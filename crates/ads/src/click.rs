@@ -1,0 +1,135 @@
+//! The user click model.
+//!
+//! The paper cannot observe why a user clicks; it observes *that* they do,
+//! and uses CTR as a proxy for profile quality. In the synthetic setting we
+//! invert that: clicks are generated from ground truth, so CTR becomes a
+//! measurable function of how well the served ad matches the user's real
+//! interests:
+//!
+//! ```text
+//! P(click) = base_ctr × (1 + affinity_gain × cos(interests, ad categories))
+//! ```
+//!
+//! With the defaults (`base_ctr = 0.11 %`, `affinity_gain = 5`) a random ad
+//! lands near the bottom of the 0.07–0.84 % industry CTR band the paper
+//! cites, and a well-targeted ad roughly triples that — enough signal for
+//! profile quality to move CTR, not so much that any profiler looks
+//! magical.
+
+use crate::ad::Ad;
+use hostprof_synth::UserProfile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Click-probability parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClickModel {
+    /// CTR of a completely untargeted impression.
+    pub base_ctr: f64,
+    /// Multiplicative gain per unit of interest–ad cosine affinity.
+    pub affinity_gain: f64,
+}
+
+impl Default for ClickModel {
+    fn default() -> Self {
+        Self {
+            base_ctr: 0.0011,
+            affinity_gain: 5.0,
+        }
+    }
+}
+
+impl ClickModel {
+    /// Click probability of `user` on `ad`.
+    pub fn click_probability(&self, user: &UserProfile, ad: &Ad) -> f64 {
+        let affinity = user.affinity(&ad.categories) as f64;
+        (self.base_ctr * (1.0 + self.affinity_gain * affinity.max(0.0))).clamp(0.0, 1.0)
+    }
+
+    /// Sample whether the user clicks.
+    pub fn clicks<R: Rng + ?Sized>(&self, rng: &mut R, user: &UserProfile, ad: &Ad) -> bool {
+        rng.gen_bool(self.click_probability(user, ad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::{AdId, CreativeSize};
+    use hostprof_ontology::{CategoryId, CategoryVector};
+    use hostprof_synth::{HostId, UserId};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn user_with_interest(cat: u16) -> UserProfile {
+        UserProfile {
+            id: UserId(0),
+            interests: CategoryVector::singleton(CategoryId(cat)),
+            topics: vec![(hostprof_ontology::TopCategoryId(0), 1.0)],
+            sessions_per_day: 1.0,
+        }
+    }
+
+    fn ad_with_category(cat: u16) -> Ad {
+        Ad {
+            id: AdId(0),
+            size: CreativeSize {
+                width: 300,
+                height: 250,
+            },
+            landing_host: HostId(0),
+            categories: CategoryVector::singleton(CategoryId(cat)),
+            labeled: true,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn matched_ads_click_more() {
+        let m = ClickModel::default();
+        let u = user_with_interest(5);
+        let matched = m.click_probability(&u, &ad_with_category(5));
+        let mismatched = m.click_probability(&u, &ad_with_category(9));
+        assert!((mismatched - m.base_ctr).abs() < 1e-12);
+        assert!((matched - m.base_ctr * 6.0).abs() < 1e-12, "gain 5 → 6× base");
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_sampling_tracks_them() {
+        let m = ClickModel {
+            base_ctr: 0.1,
+            affinity_gain: 5.0,
+        };
+        let u = user_with_interest(1);
+        let ad = ad_with_category(1);
+        let p = m.click_probability(&u, &ad);
+        assert!((0.0..=1.0).contains(&p));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20_000;
+        let clicks = (0..n).filter(|_| m.clicks(&mut rng, &u, &ad)).count();
+        let freq = clicks as f64 / n as f64;
+        assert!((freq - p).abs() < 0.02, "freq {freq} vs p {p}");
+    }
+
+    #[test]
+    fn extreme_gain_is_clamped() {
+        let m = ClickModel {
+            base_ctr: 0.5,
+            affinity_gain: 100.0,
+        };
+        let u = user_with_interest(1);
+        let p = m.click_probability(&u, &ad_with_category(1));
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn default_lands_in_the_industry_band() {
+        // Paper cites 0.07 %–0.84 % as reported campaign CTRs.
+        let m = ClickModel::default();
+        assert!(m.base_ctr >= 0.0007 && m.base_ctr <= 0.0084);
+        // A plausibly-targeted ad (affinity ~0.35) stays inside the band
+        // too.
+        let implied = m.base_ctr * (1.0 + m.affinity_gain * 0.35);
+        assert!(implied <= 0.0084, "implied {implied}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # hostprof-ads
+//!
+//! The ad-ecosystem simulator for the CoNEXT '21 reproduction — the
+//! substitute for the paper's live one-month experiment with 1329 real
+//! users (DESIGN.md §2).
+//!
+//! The paper measures profile quality indirectly: ads picked from the
+//! eavesdropper's profile are injected in place of ad-network ads, and the
+//! click-through rates of the two populations are compared (eavesdropper
+//! 0.217 % vs ad-network 0.168 %, paired t-test p ≈ 0.113 → no significant
+//! difference). To regenerate that experiment we need every moving part:
+//!
+//! * [`ad`] — an ad database (~12 K creatives after filtering, Section 5.2)
+//!   with IAB creative sizes and landing-page category vectors;
+//! * [`click`] — a probabilistic user click model where the click
+//!   probability grows with the affinity between the ad's categories and
+//!   the user's *ground-truth* interests (the quantity CTR proxies);
+//! * [`network`] — the ad-network baseline: premium / retargeted /
+//!   contextual / targeted mix backed by cookie-level visibility of site
+//!   visits;
+//! * [`eavesdropper`] — the paper's ad selection: 20 nearest labeled hosts
+//!   by Euclidean distance in category space, one ad per host
+//!   (Section 5.4);
+//! * [`experiment`] — the month-long driver: daily retraining, 10-minute
+//!   report cadence, 20-minute profiling windows, size-matched ad
+//!   replacement, per-user CTR bookkeeping and the Figure 6 topic
+//!   timelines.
+
+pub mod ad;
+pub mod click;
+pub mod eavesdropper;
+pub mod experiment;
+pub mod network;
+
+pub use ad::{Ad, AdDatabase, AdId, CreativeSize, HarvestStats};
+pub use click::ClickModel;
+pub use eavesdropper::EavesdropperSelector;
+pub use experiment::{CtrExperiment, ExperimentConfig, ExperimentResult, UserCtr};
+pub use network::{AdNetwork, AdNetworkConfig, ServedAdKind};

@@ -1,0 +1,56 @@
+//! Ad-selection latency: the eavesdropper's 20-NN pick over `H_L`
+//! (Section 5.4) and the ad-network's serving mix.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hostprof_ads::{AdDatabase, AdNetwork, AdNetworkConfig, EavesdropperSelector};
+use hostprof_ads::eavesdropper::SelectorConfig;
+use hostprof_synth::{HostKind, Population, PopulationConfig, UserId, World, WorldConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_selection(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig::default());
+    let db = AdDatabase::generate(&world, 12_000, 5);
+    let selector = EavesdropperSelector::new(&db, world.ontology(), SelectorConfig::default());
+    // A profile to select against: a labeled host's categories.
+    let (_, probe) = world.ontology().iter().next().expect("labels exist");
+
+    c.bench_function(
+        &format!("eavesdropper_select_20_of_{}", selector.pool_size()),
+        |b| b.iter(|| selector.select(black_box(probe)).len()),
+    );
+}
+
+fn bench_network_serving(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig::default());
+    let db = AdDatabase::generate(&world, 12_000, 5);
+    let pop = Population::generate(&world, &PopulationConfig::tiny());
+    let mut network = AdNetwork::new(AdNetworkConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let site = world
+        .hosts()
+        .iter()
+        .find(|h| h.kind == HostKind::Site)
+        .unwrap()
+        .id;
+    // Warm the cookie profile so every serving path is reachable.
+    for _ in 0..100 {
+        network.observe_visit(&mut rng, &world, UserId(0), site);
+    }
+    let _ = pop;
+
+    c.bench_function("ad_network_serve", |b| {
+        b.iter(|| {
+            network
+                .serve(&mut rng, &world, &db, UserId(0), site)
+                .unwrap()
+                .0
+        })
+    });
+    c.bench_function("ad_network_observe_visit", |b| {
+        b.iter(|| network.observe_visit(&mut rng, &world, UserId(0), site))
+    });
+}
+
+criterion_group!(benches, bench_selection, bench_network_serving);
+criterion_main!(benches);

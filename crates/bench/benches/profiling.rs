@@ -1,0 +1,60 @@
+//! Session-profiling latency: the per-report cost of the back-end
+//! (aggregate → N-NN → Eq. 3/4), which bounds how many users one profiling
+//! node can serve at the paper's 10-minute report cadence.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hostprof::scenario::{Scenario, ScenarioConfig};
+use hostprof_core::{ProfilerConfig, Session};
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.trace.days = 4;
+    let s = Scenario::generate(&cfg);
+    let pipeline = s.pipeline();
+    let mut corpus = Vec::new();
+    for day in 0..3 {
+        corpus.extend(s.daily_hostname_sequences(day));
+    }
+    let embeddings = pipeline.train_model(&corpus).expect("corpus");
+
+    // A real session from the trace.
+    let window = s
+        .population
+        .users()
+        .iter()
+        .map(|u| s.session_hostnames(u.id, 3))
+        .find(|w| w.len() >= 10)
+        .expect("an active user exists");
+    let session = Session::from_window(
+        window.iter().map(String::as_str),
+        Some(pipeline.blocklist()),
+    );
+
+    let mut g = c.benchmark_group("profile_session");
+    for n in [50usize, 200, 1000] {
+        let profiler = hostprof_core::Profiler::new(
+            &embeddings,
+            s.world.ontology(),
+            ProfilerConfig { n_neighbors: n, ..Default::default() },
+        );
+        g.bench_with_input(BenchmarkId::new("n_neighbors", n), &n, |b, _| {
+            b.iter(|| profiler.profile(black_box(&session)).is_some())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("session_extraction");
+    g.bench_function("from_window_with_blocklist", |b| {
+        b.iter(|| {
+            Session::from_window(
+                black_box(window.iter().map(String::as_str)),
+                Some(pipeline.blocklist()),
+            )
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! SKIPGRAM training throughput (tokens/second) and the Hogwild speedup —
+//! backing the paper's "fully parallelizable, scales to line rate" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hostprof_embed::{SkipGram, SkipGramConfig, Vocab};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A topical corpus: 40 topics × 50 hostnames, sessions stay on topic.
+fn corpus(sequences: usize) -> Vec<Vec<String>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    (0..sequences)
+        .map(|_| {
+            let topic = rng.gen_range(0..40);
+            let len = rng.gen_range(5..20);
+            (0..len)
+                .map(|_| format!("t{topic}-host{}.com", rng.gen_range(0..50)))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = corpus(2000);
+    let tokens: u64 = data.iter().map(|s| s.len() as u64).sum();
+    let mut g = c.benchmark_group("skipgram_train");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tokens));
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let cfg = SkipGramConfig {
+                    dim: 100,
+                    epochs: 1,
+                    threads,
+                    subsample: 0.0,
+                    ..SkipGramConfig::default()
+                };
+                b.iter(|| SkipGram::train(&data, &cfg).unwrap().dim())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_vocab_build(c: &mut Criterion) {
+    let data = corpus(2000);
+    let tokens: u64 = data.iter().map(|s| s.len() as u64).sum();
+    let mut g = c.benchmark_group("vocab");
+    g.throughput(Throughput::Elements(tokens));
+    g.bench_function("build", |b| {
+        b.iter(|| {
+            Vocab::build(
+                data.iter().map(|s| s.iter().map(String::as_str)),
+                1,
+                1e-3,
+            )
+            .len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let data = corpus(2000);
+    let cfg = SkipGramConfig {
+        dim: 100,
+        epochs: 2,
+        subsample: 0.0,
+        ..SkipGramConfig::default()
+    };
+    let emb = SkipGram::train(&data, &cfg).unwrap().into_embeddings();
+    let query = emb.vector_by_index(0).to_vec();
+    let mut g = c.benchmark_group("similarity");
+    g.throughput(Throughput::Elements(emb.len() as u64));
+    g.bench_function(format!("nearest_1000_of_{}", emb.len()), |b| {
+        b.iter(|| emb.nearest_to_vector(&query, 1000).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training, bench_vocab_build, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! SNI extraction throughput — the paper's "traffic analysis at line rate"
+//! claim (§4.1) rests on the observer's per-packet cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hostprof_net::dns::DnsQuery;
+use hostprof_net::quic::InitialPacket;
+use hostprof_net::tls::{extract_sni, ClientHello};
+
+fn bench_tls(c: &mut Criterion) {
+    let record = ClientHello::for_hostname("api.bkng.azureish.com").encode();
+    let mut g = c.benchmark_group("tls");
+    g.throughput(Throughput::Bytes(record.len() as u64));
+    g.bench_function("extract_sni_zero_copy", |b| {
+        b.iter(|| extract_sni(black_box(&record)).unwrap())
+    });
+    g.bench_function("full_client_hello_parse", |b| {
+        b.iter(|| ClientHello::parse(black_box(&record)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_quic(c: &mut Criterion) {
+    let pkt = InitialPacket::for_hostname("api.bkng.azureish.com").encode();
+    let mut g = c.benchmark_group("quic");
+    g.throughput(Throughput::Bytes(pkt.len() as u64));
+    g.bench_function("initial_parse_and_sni", |b| {
+        b.iter(|| {
+            let p = InitialPacket::parse(black_box(&pkt)).unwrap();
+            p.client_hello().unwrap().sni().map(str::len)
+        })
+    });
+    g.finish();
+}
+
+fn bench_dns(c: &mut Criterion) {
+    let q = DnsQuery::for_hostname("mail.google.com").encode();
+    let mut g = c.benchmark_group("dns");
+    g.throughput(Throughput::Bytes(q.len() as u64));
+    g.bench_function("query_parse", |b| {
+        b.iter(|| DnsQuery::parse(black_box(&q)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_observer_stream(c: &mut Criterion) {
+    use hostprof_net::{RequestEvent, SniObserver, TrafficSynthesizer};
+    // A realistic mixed stream of 1000 connections.
+    let synth = TrafficSynthesizer::default();
+    let events: Vec<RequestEvent> = (0..1000)
+        .map(|i| RequestEvent {
+            t_ms: i * 7,
+            client: (i % 50) as u32,
+            hostname: format!("host{}.example{}.com", i % 97, i % 13),
+        })
+        .collect();
+    let packets = synth.synthesize(&events);
+    let bytes: u64 = packets.iter().map(|p| p.payload.len() as u64).sum();
+    let mut g = c.benchmark_group("observer");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("process_1000_connections", |b| {
+        b.iter(|| {
+            let mut obs = SniObserver::new();
+            obs.process_stream(black_box(&packets));
+            obs.observations().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tls, bench_quic, bench_dns, bench_observer_stream);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Statistics micro-benches: the evaluation-side primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hostprof_stats::{paired_t_test, Ccdf, Tsne, TsneConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_ttest(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let a: Vec<f64> = (0..1329).map(|_| rng.gen::<f64>() * 0.004).collect();
+    let b: Vec<f64> = (0..1329).map(|_| rng.gen::<f64>() * 0.004).collect();
+    c.bench_function("paired_t_test_1329_users", |bch| {
+        bch.iter(|| paired_t_test(black_box(&a), black_box(&b)).unwrap().p)
+    });
+}
+
+fn bench_ccdf(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let sample: Vec<usize> = (0..10_000).map(|_| rng.gen_range(0..5000)).collect();
+    c.bench_function("ccdf_build_10k", |b| {
+        b.iter(|| Ccdf::from_counts(black_box(sample.iter().copied())).len())
+    });
+    let ccdf = Ccdf::from_counts(sample);
+    c.bench_function("ccdf_query", |b| {
+        b.iter(|| ccdf.value_at_fraction(black_box(0.75)))
+    });
+}
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let points: Vec<f32> = (0..200 * 16).map(|_| rng.gen::<f32>()).collect();
+    let mut g = c.benchmark_group("tsne");
+    g.sample_size(10);
+    g.bench_function("exact_200pts_16d_100iter", |b| {
+        b.iter(|| {
+            Tsne::new(TsneConfig {
+                iterations: 100,
+                perplexity: 15.0,
+                ..TsneConfig::default()
+            })
+            .embed(black_box(&points), 16)
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ttest, bench_ccdf, bench_tsne);
+criterion_main!(benches);

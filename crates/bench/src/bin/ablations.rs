@@ -1,0 +1,190 @@
+//! E8 — ablations over the design knobs Section 5.4 calls configurable.
+//!
+//! The paper fixes d = 100, window 2m+1 = 5, K = 5, T = 20 min, N = 1000
+//! ("we use the default hyperparameter values of GENSIM", "this value was
+//! empirically tested as a good trade-off") without publishing the sweep.
+//! Ground truth lets us run it: for each knob we measure the mean cosine
+//! between inferred session profiles and the users' true interest vectors,
+//! against the ontology-only baseline.
+
+use hostprof::scenario::Scenario;
+use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_core::{profile_accuracy, Aggregation, Pipeline, PipelineConfig, ProfilerConfig, Session};
+use hostprof_embed::SkipGramConfig;
+use hostprof_synth::trace::DAY_MS;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    knob: String,
+    value: String,
+    mean_accuracy: f64,
+    sessions_profiled: usize,
+}
+
+#[derive(Serialize)]
+struct AblationResults {
+    scale: String,
+    baseline_ontology_only: f64,
+    baseline_sessions: usize,
+    rows: Vec<AblationRow>,
+}
+
+/// Mean profile accuracy of the last day-1 session of every user, under a
+/// given pipeline config and session window.
+fn evaluate(
+    s: &Scenario,
+    pipeline_cfg: PipelineConfig,
+    ontology_only: bool,
+) -> (f64, usize) {
+    let pipeline = Pipeline::new(pipeline_cfg, s.world.blocklist().clone());
+    // Train on every day before the evaluation day (the paper's one-day
+    // window carries far more tokens than one synthetic day; see the
+    // `embed_quality` sweep).
+    let eval_day = s.trace.days().saturating_sub(1) as u64;
+    let mut sequences = Vec::new();
+    for day in 0..eval_day as u32 {
+        sequences.extend(s.daily_hostname_sequences(day));
+    }
+    let Ok(embeddings) = pipeline.train_model(&sequences) else {
+        return (0.0, 0);
+    };
+    let profiler = pipeline.profiler(&embeddings, s.world.ontology());
+
+    let mut acc = 0f64;
+    let mut n = 0usize;
+    for user in s.population.users() {
+        let last = s
+            .trace
+            .user_requests(user.id)
+            .filter(|r| r.t_ms >= eval_day * DAY_MS && r.t_ms < (eval_day + 1) * DAY_MS)
+            .last();
+        let Some(last) = last else { continue };
+        let window = s
+            .trace
+            .window(user.id, last.t_ms, pipeline.config().session_window_ms());
+        let hostnames: Vec<&str> = window.iter().map(|h| s.world.hostname(*h)).collect();
+        let session =
+            Session::from_window(hostnames.iter().copied(), Some(pipeline.blocklist()));
+        let profile = if ontology_only {
+            profiler.profile_ontology_only(&session)
+        } else {
+            profiler.profile(&session)
+        };
+        if let Some(p) = profile {
+            acc += profile_accuracy(&p.categories, &user.interests) as f64;
+            n += 1;
+        }
+    }
+    (if n > 0 { acc / n as f64 } else { 0.0 }, n)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut cfg = scale.scenario();
+    cfg.trace.days = cfg.trace.days.min(6); // 5 training days + 1 eval day
+    let s = Scenario::generate(&cfg);
+    let base_pipeline = cfg.pipeline.clone();
+
+    header(&format!("Ablations (scale: {})", scale.label()));
+
+    let (base_acc, base_n) = evaluate(&s, base_pipeline.clone(), false);
+    let (onto_acc, onto_n) = evaluate(&s, base_pipeline.clone(), true);
+    row(
+        "default config accuracy",
+        format!("{base_acc:.3} over {base_n} sessions"),
+    );
+    row(
+        "ontology-only baseline",
+        format!("{onto_acc:.3} over {onto_n} sessions"),
+    );
+    println!(
+        "  (embedding profiler covers {} sessions the baseline can't: {} vs {})\n",
+        base_n.saturating_sub(onto_n),
+        base_n,
+        onto_n
+    );
+
+    let mut rows = Vec::new();
+    let mut run = |knob: &str, value: String, pipeline_cfg: PipelineConfig| {
+        let (acc, n) = evaluate(&s, pipeline_cfg, false);
+        println!("  {knob:<22} {value:<10} accuracy {acc:.3}  ({n} sessions)");
+        rows.push(AblationRow {
+            knob: knob.to_string(),
+            value,
+            mean_accuracy: acc,
+            sessions_profiled: n,
+        });
+    };
+
+    println!("  sweep: embedding dimension d (paper: 100)");
+    for dim in [16usize, 32, 64, base_pipeline.skipgram.dim] {
+        let mut c = base_pipeline.clone();
+        c.skipgram = SkipGramConfig {
+            dim,
+            ..c.skipgram
+        };
+        run("dim", dim.to_string(), c);
+    }
+
+    println!("  sweep: half-window m (paper: 2 → window 5)");
+    for window in [1usize, 2, 4] {
+        let mut c = base_pipeline.clone();
+        c.skipgram = SkipGramConfig {
+            window,
+            ..c.skipgram
+        };
+        run("window(m)", window.to_string(), c);
+    }
+
+    println!("  sweep: negatives K (paper: 5)");
+    for negatives in [2usize, 5, 10] {
+        let mut c = base_pipeline.clone();
+        c.skipgram = SkipGramConfig {
+            negatives,
+            ..c.skipgram
+        };
+        run("negatives(K)", negatives.to_string(), c);
+    }
+
+    println!("  sweep: session window T minutes (paper: 20)");
+    for minutes in [5u64, 20, 60] {
+        let mut c = base_pipeline.clone();
+        c.session_minutes = minutes;
+        run("T(min)", minutes.to_string(), c);
+    }
+
+    println!("  sweep: profile kNN size N (paper: 1000)");
+    for n_neighbors in [50usize, 200, 1000] {
+        let mut c = base_pipeline.clone();
+        c.profiler = ProfilerConfig { n_neighbors, ..Default::default() };
+        run("N", n_neighbors.to_string(), c);
+    }
+
+    println!("  sweep: aggregation g (paper: unweighted mean)");
+    for (name, agg) in [
+        ("mean", Aggregation::Mean),
+        ("recency8", Aggregation::Recency { half_life: 8 }),
+        ("inv-freq", Aggregation::InverseFrequency),
+    ] {
+        let mut c = base_pipeline.clone();
+        c.profiler = ProfilerConfig {
+            aggregation: agg,
+            ..c.profiler
+        };
+        run("aggregation", name.to_string(), c);
+    }
+
+    println!("\n  shape check: accuracy is flat-ish around the paper's defaults (they sit on");
+    println!("  a plateau) and the embedding profiler dominates the ontology-only baseline");
+
+    write_results(
+        "ablations",
+        &AblationResults {
+            scale: scale.label().to_string(),
+            baseline_ontology_only: onto_acc,
+            baseline_sessions: onto_n,
+            rows,
+        },
+    );
+}

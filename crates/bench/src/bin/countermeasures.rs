@@ -1,0 +1,173 @@
+//! E9 — countermeasures and vantage points (paper §7.2 / §7.4), beyond
+//! the paper's qualitative discussion.
+//!
+//! The paper *argues* that ad-blockers don't help against a network
+//! observer, that encrypted SNI / ECH would, and that NAT blurs per-user
+//! attribution. Because our observer is a real packet parser, we can
+//! measure all three: every configuration below captures the same
+//! browsing trace from the wire, trains the eavesdropper's model on what
+//! was actually observed, profiles the final day, and scores the profiles
+//! against ground-truth interests.
+
+use hostprof::bridge::{ObservedTrace, ObserverScenario};
+use hostprof::scenario::Scenario;
+use hostprof::synth::trace::DAY_MS;
+use hostprof::synth::UserId;
+use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_core::{profile_accuracy, Session};
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+struct CmRow {
+    name: String,
+    hostnames_recovered_pct: f64,
+    sessions_profiled: usize,
+    mean_accuracy: f64,
+}
+
+#[derive(Serialize)]
+struct CmResults {
+    scale: String,
+    rows: Vec<CmRow>,
+}
+
+fn evaluate(s: &Scenario, name: &str, scenario: &ObserverScenario) -> CmRow {
+    let obs = ObservedTrace::capture(&s.world, &s.trace, scenario);
+    let eval_day = (s.trace.days() - 1) as u64;
+
+    // Train on everything the observer saw before the evaluation day.
+    let training: Vec<Vec<String>> = obs
+        .sequences
+        .values()
+        .map(|seq| {
+            seq.iter()
+                .filter(|(t, _)| *t < eval_day * DAY_MS)
+                .map(|(_, h)| h.clone())
+                .collect::<Vec<String>>()
+        })
+        .filter(|s: &Vec<String>| s.len() >= 2)
+        .collect();
+    let pipeline = s.pipeline();
+    let Ok(embeddings) = pipeline.train_model(&training) else {
+        return CmRow {
+            name: name.to_string(),
+            hostnames_recovered_pct: obs.useful_fidelity(&s.world) * 100.0,
+            sessions_profiled: 0,
+            mean_accuracy: 0.0,
+        };
+    };
+    let profiler = pipeline.profiler(&embeddings, s.world.ontology());
+
+    // Map each observed client address back to the user(s) behind it.
+    let mut users_of_ip: HashMap<u32, Vec<UserId>> = HashMap::new();
+    for u in s.population.users() {
+        users_of_ip
+            .entry(ObservedTrace::address_of(scenario, u.id))
+            .or_default()
+            .push(u.id);
+    }
+
+    let mut acc = 0f64;
+    let mut n = 0usize;
+    for (ip, seq) in &obs.sequences {
+        let Some(&end) = seq
+            .iter()
+            .map(|(t, _)| t).rfind(|t| **t >= eval_day * DAY_MS)
+        else {
+            continue;
+        };
+        let start = end.saturating_sub(pipeline.config().session_window_ms());
+        let window: Vec<&str> = seq
+            .iter()
+            .filter(|(t, _)| *t > start && *t <= end)
+            .map(|(_, h)| h.as_str())
+            .collect();
+        let session =
+            Session::from_window(window.iter().copied(), Some(pipeline.blocklist()));
+        let Some(profile) = profiler.profile(&session) else {
+            continue;
+        };
+        // Score against every user behind this address — under NAT the
+        // observer can only produce one profile for all of them, which is
+        // precisely the degradation §7.2 predicts.
+        if let Some(users) = users_of_ip.get(ip) {
+            for uid in users {
+                acc += profile_accuracy(
+                    &profile.categories,
+                    &s.population.user(*uid).interests,
+                ) as f64;
+                n += 1;
+            }
+        }
+    }
+    CmRow {
+        name: name.to_string(),
+        hostnames_recovered_pct: obs.useful_fidelity(&s.world) * 100.0,
+        sessions_profiled: n,
+        mean_accuracy: if n > 0 { acc / n as f64 } else { 0.0 },
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut cfg = scale.scenario();
+    cfg.trace.days = cfg.trace.days.min(6);
+    let s = Scenario::generate(&cfg);
+
+    header(&format!(
+        "Countermeasures & vantage points (scale: {})",
+        scale.label()
+    ));
+    println!(
+        "  {:<28} {:>11} {:>10} {:>14}",
+        "configuration", "recovered", "profiles", "mean accuracy"
+    );
+
+    let mut rows = Vec::new();
+    let mut run = |name: &str, sc: ObserverScenario| {
+        let r = evaluate(&s, name, &sc);
+        println!(
+            "  {:<28} {:>10.1}% {:>10} {:>14.3}",
+            r.name, r.hostnames_recovered_pct, r.sessions_profiled, r.mean_accuracy
+        );
+        rows.push(r);
+    };
+
+    run("baseline (per-user IP)", ObserverScenario::per_user());
+    for frac in [0.25, 0.5, 0.9] {
+        run(&format!("ECH on {:.0}%", frac * 100.0), ObserverScenario::with_ech(frac));
+    }
+    // ECH everywhere but plaintext DNS still observable — the paper's
+    // "DoH/DoT matter too" point inverted.
+    let mut ech_dns = ObserverScenario::with_ech(1.0);
+    ech_dns.synthesizer.dns_fraction = 1.0;
+    ech_dns.harvest_dns = true;
+    run("ECH 100% + plaintext DNS", ech_dns);
+    // …and the full countermeasure stack: ECH + DoH leaves the observer
+    // with nothing but the resolver's own hostname.
+    let mut ech_doh = ObserverScenario::with_ech(1.0);
+    ech_doh.synthesizer.dns_fraction = 1.0;
+    ech_doh.synthesizer.doh_resolver = Some("dns.resolver.example".to_string());
+    ech_doh.harvest_dns = true;
+    run("ECH 100% + DoH", ech_doh);
+    for n in [2u32, 4, 8] {
+        run(&format!("NAT {n} users/IP"), ObserverScenario::behind_nat(n));
+    }
+
+    println!("\n  shape check: accuracy degrades monotonically with ECH adoption; full ECH");
+    println!("  with plaintext DNS restores the baseline (the observer just moves to DNS);");
+    println!("  ECH *plus* DoH is the only stack that blinds the observer completely;");
+    println!("  NAT keeps recovery at 100% but replaces each user's profile with the");
+    println!("  household blend — accuracy drifts toward the population average");
+
+    write_results(
+        "countermeasures",
+        &CmResults {
+            scale: scale.label().to_string(),
+            rows,
+        },
+    );
+
+    row("note", "TOR-style relaying removes the hostname channel entirely (§7.4)");
+}

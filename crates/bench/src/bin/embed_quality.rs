@@ -1,0 +1,85 @@
+//! Diagnostic: embedding quality vs training budget.
+//!
+//! The paper trains on one day of traffic from 1329 heavy-browsing users —
+//! orders of magnitude more tokens than our laptop-scale day. This tool
+//! sweeps training days and epochs and reports same-topic neighbor purity
+//! and the intra/inter cosine gap, to pick honest defaults for the Figure 4
+//! experiment and document the data-budget sensitivity.
+
+use hostprof::scenario::Scenario;
+use hostprof_bench::{header, Scale};
+use hostprof_core::Pipeline;
+use hostprof_embed::SkipGramConfig;
+use hostprof_stats::{neighbor_purity, similarity_gap};
+use hostprof_synth::names::second_level_domain;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = scale.scenario();
+    let s = Scenario::generate(&base);
+
+    header(&format!("Embedding quality sweep (scale: {})", scale.label()));
+    println!(
+        "  {:>5} {:>7} {:>6} {:>9} {:>9} {:>8} {:>8}",
+        "days", "epochs", "dim", "purity@10", "baseline", "intra", "inter"
+    );
+
+    let hierarchy_topics: HashMap<&str, usize> = s
+        .world
+        .hosts()
+        .iter()
+        .filter_map(|h| h.top_topic.map(|t| (second_level_domain(&h.name), t.index())))
+        .collect();
+
+    for (days, epochs, dim) in [
+        (1u32, 4usize, 64usize),
+        (1, 20, 64),
+        (3, 8, 64),
+        (s.trace.days(), 8, 64),
+        (s.trace.days(), 8, 100),
+        (s.trace.days(), 20, 100),
+    ] {
+        let days = days.min(s.trace.days());
+        let mut sequences: Vec<Vec<String>> = Vec::new();
+        for d in 0..days {
+            sequences.extend(s.daily_hostname_sequences(d).into_iter().map(|seq| {
+                seq.iter()
+                    .map(|h| second_level_domain(h).to_string())
+                    .collect()
+            }));
+        }
+        let mut cfg = base.pipeline.clone();
+        cfg.skipgram = SkipGramConfig {
+            epochs,
+            dim,
+            ..cfg.skipgram
+        };
+        let pipeline = Pipeline::new(cfg, s.world.blocklist().clone());
+        let Ok(emb) = pipeline.train_model(&sequences) else {
+            continue;
+        };
+
+        let mut points: Vec<f32> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        for (idx, token) in emb.vocab().iter() {
+            if let Some(&t) = hierarchy_topics.get(token) {
+                points.extend_from_slice(emb.vector_by_index(idx));
+                labels.push(t);
+            }
+        }
+        let purity = neighbor_purity(&points, emb.dim(), &labels, 10);
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for l in &labels {
+            *counts.entry(*l).or_insert(0) += 1;
+        }
+        let baseline: f64 = counts
+            .values()
+            .map(|&c| (c as f64 / labels.len() as f64).powi(2))
+            .sum();
+        let (intra, inter) = similarity_gap(&points, emb.dim(), &labels);
+        println!(
+            "  {days:>5} {epochs:>7} {dim:>6} {purity:>9.3} {baseline:>9.3} {intra:>8.3} {inter:>8.3}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! E7 — Sections 5.3 / 6 headline counts, scale model.
+//!
+//! The paper's deployment totals: 1329 installs, 17 countries, 600 M
+//! connections to 470 K hostnames over the whole study, 2.4 M ad
+//! impressions; during the one-month profiling phase, 75 M connections,
+//! 270 K impressions, 41 K replaced. We run the simulator at the selected
+//! scale and linearly extrapolate per-user-day rates to the paper's
+//! 1329 users × 30 days, checking the orders of magnitude.
+
+use hostprof::scenario::Scenario;
+use hostprof_ads::{CtrExperiment, ExperimentConfig};
+use hostprof_bench::{header, row, write_results, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct HeadlineResults {
+    scale: String,
+    users: usize,
+    days: u32,
+    connections: usize,
+    unique_hostnames: usize,
+    impressions: u64,
+    replaced: u64,
+    extrapolated_connections_1329x30: f64,
+    extrapolated_impressions_1329x30: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let s = Scenario::generate(&scale.scenario());
+    let stats = s.trace.stats();
+
+    // The collection-phase harvest funnel (paper: raw capture → manual
+    // filtering → ~12 K usable ads).
+    let (_, harvest) = hostprof_ads::AdDatabase::harvest(
+        &s.world,
+        (s.config.num_ads as f64 * 1.2) as usize,
+        s.config.ads_seed,
+    );
+
+    let config = ExperimentConfig {
+        pipeline: s.config.pipeline.clone(),
+        ..ExperimentConfig::default()
+    };
+    let result = CtrExperiment::new(&s.world, &s.population, &s.trace, &s.ads, config).run();
+
+    let user_days = stats.active_users as f64 * stats.days as f64;
+    let conn_rate = stats.connections as f64 / user_days;
+    let impr_rate = result.impressions as f64 / user_days;
+    let paper_user_days = 1329.0 * 30.0;
+
+    header(&format!("Headline counts (scale: {})", scale.label()));
+    row("users (active)", stats.active_users);
+    row("days", stats.days);
+    row("connections", stats.connections);
+    row("unique hostnames", stats.unique_hosts);
+    row("ad impressions", result.impressions);
+    row("ads replaced", result.replaced);
+    row(
+        "ad harvest funnel",
+        format!(
+            "{} raw → {} broken, {} offensive → {} kept (paper: → 12K)",
+            harvest.raw, harvest.broken, harvest.offensive, harvest.kept
+        ),
+    );
+    println!();
+    row(
+        "connections / user / day",
+        format!("{conn_rate:.0}"),
+    );
+    row(
+        "extrapolated connections @1329×30d",
+        format!("{:.1}M  (paper: 75M)", conn_rate * paper_user_days / 1e6),
+    );
+    row(
+        "extrapolated impressions @1329×30d",
+        format!("{:.0}K  (paper: 270K)", impr_rate * paper_user_days / 1e3),
+    );
+    row(
+        "replaced fraction",
+        format!(
+            "{:.1}%  (paper: 41K/270K ≈ 15%)",
+            result.replaced_fraction() * 100.0
+        ),
+    );
+
+    write_results(
+        "headline_counts",
+        &HeadlineResults {
+            scale: scale.label().to_string(),
+            users: stats.active_users,
+            days: stats.days,
+            connections: stats.connections,
+            unique_hostnames: stats.unique_hosts,
+            impressions: result.impressions,
+            replaced: result.replaced,
+            extrapolated_connections_1329x30: conn_rate * paper_user_days,
+            extrapolated_impressions_1329x30: impr_rate * paper_user_days,
+        },
+    );
+}

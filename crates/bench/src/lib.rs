@@ -1,0 +1,123 @@
+//! # hostprof-bench
+//!
+//! The benchmark harness: one binary per paper figure / in-text result
+//! (see `DESIGN.md` §4 for the experiment index) plus Criterion
+//! micro-benches for the performance-sensitive paths.
+//!
+//! Every binary:
+//!
+//! * honors `HOSTPROF_SCALE` = `tiny` | `small` | `default` (default:
+//!   `small`) so the same code runs in seconds for smoke tests and at full
+//!   scale for the recorded results;
+//! * prints a human-readable report that mirrors what the paper's figure
+//!   or table shows;
+//! * writes machine-readable JSON to `results/<experiment>.json` so
+//!   `EXPERIMENTS.md` numbers are regenerable.
+
+pub mod chart;
+
+use hostprof::scenario::ScenarioConfig;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Scale selected via the `HOSTPROF_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast smoke scale.
+    Tiny,
+    /// Minutes-fast evaluation scale (the recorded EXPERIMENTS.md runs).
+    Small,
+    /// The full laptop-scale model of the paper's deployment.
+    Default,
+}
+
+impl Scale {
+    /// Read `HOSTPROF_SCALE`, defaulting to [`Scale::Small`].
+    pub fn from_env() -> Self {
+        match std::env::var("HOSTPROF_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("default") | Ok("full") => Scale::Default,
+            _ => Scale::Small,
+        }
+    }
+
+    /// The scenario configuration for this scale.
+    pub fn scenario(self) -> ScenarioConfig {
+        match self {
+            Scale::Tiny => ScenarioConfig::tiny(),
+            Scale::Small => ScenarioConfig::small(),
+            Scale::Default => ScenarioConfig::paper_month(),
+        }
+    }
+
+    /// Human label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Default => "default",
+        }
+    }
+}
+
+/// Write an experiment's JSON record to `results/<name>.json` (created
+/// next to the workspace root; best effort — printing is the primary
+/// output).
+pub fn write_results<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize results: {e}"),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // The workspace root is two levels up from this crate at build time,
+    // but binaries run from arbitrary cwd; prefer CARGO_MANIFEST_DIR's
+    // grandparent and fall back to ./results.
+    let from_manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"));
+    from_manifest.unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Print a `label: value` row with aligned columns.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<44} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_env_values() {
+        // from_env reads the process env; just check the mapping logic via
+        // scenario shapes.
+        assert_eq!(Scale::Tiny.scenario().trace.days, 2);
+        assert_eq!(Scale::Small.scenario().trace.days, 12);
+        assert_eq!(Scale::Default.scenario().trace.days, 30);
+    }
+
+    #[test]
+    fn results_dir_is_stable() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-session user profiles.
+//!
+//! The paper profiles *sessions* (the last `T` minutes) because its ad
+//! experiment needs instantaneous interests. A network observer running
+//! for months would accumulate those session profiles into a long-lived
+//! per-user profile — §7.3's "profiles could be sold to third parties".
+//! [`ProfileAccumulator`] does exactly that: an exponentially-weighted
+//! moving average over session category vectors, so stable interests
+//! consolidate while one-off sessions wash out.
+
+use hostprof_ontology::CategoryVector;
+use serde::{Deserialize, Serialize};
+
+/// EWMA accumulator over session profiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileAccumulator {
+    /// Smoothing factor in `(0, 1]`: weight of the newest session.
+    alpha: f32,
+    profile: CategoryVector,
+    sessions: u64,
+}
+
+impl ProfileAccumulator {
+    /// Create with smoothing factor `alpha` (weight of each new session).
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            profile: CategoryVector::empty(),
+            sessions: 0,
+        }
+    }
+
+    /// Fold one session profile into the accumulated profile.
+    pub fn observe(&mut self, session_categories: &CategoryVector) {
+        self.sessions += 1;
+        if self.sessions == 1 {
+            self.profile = session_categories.clone();
+            return;
+        }
+        // EWMA: profile = (1 - α)·profile + α·session.
+        let mut next = CategoryVector::empty();
+        next.add_scaled(&self.profile, 1.0 - self.alpha);
+        next.add_scaled(session_categories, self.alpha);
+        self.profile = next;
+    }
+
+    /// The accumulated profile (empty before any session).
+    pub fn profile(&self) -> &CategoryVector {
+        &self.profile
+    }
+
+    /// Number of sessions folded in.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostprof_ontology::CategoryId;
+
+    fn v(pairs: &[(u16, f32)]) -> CategoryVector {
+        CategoryVector::from_pairs(pairs.iter().map(|&(c, w)| (CategoryId(c), w)).collect())
+    }
+
+    #[test]
+    fn first_session_is_adopted_verbatim() {
+        let mut acc = ProfileAccumulator::new(0.2);
+        acc.observe(&v(&[(1, 0.8)]));
+        assert_eq!(acc.profile().get(CategoryId(1)), 0.8);
+        assert_eq!(acc.sessions(), 1);
+    }
+
+    #[test]
+    fn stable_interests_consolidate_and_noise_washes_out() {
+        let mut acc = ProfileAccumulator::new(0.25);
+        // 19 sports sessions, 1 stray cooking session.
+        for i in 0..20 {
+            if i == 5 {
+                acc.observe(&v(&[(99, 1.0)]));
+            } else {
+                acc.observe(&v(&[(7, 0.9)]));
+            }
+        }
+        let sports = acc.profile().get(CategoryId(7));
+        let stray = acc.profile().get(CategoryId(99));
+        assert!(sports > 0.8, "stable interest consolidated: {sports}");
+        assert!(stray < 0.05, "one-off session washed out: {stray}");
+    }
+
+    #[test]
+    fn accumulation_beats_single_sessions_against_a_stable_truth() {
+        let truth = v(&[(1, 1.0), (2, 0.6)]);
+        // Sessions are noisy single-topic views of the truth.
+        let sessions = [v(&[(1, 1.0)]), v(&[(2, 0.9)]), v(&[(1, 0.8)]), v(&[(2, 0.5)])];
+        let mut acc = ProfileAccumulator::new(0.4);
+        let mut best_single = 0f32;
+        for s in &sessions {
+            acc.observe(s);
+            best_single = best_single.max(s.cosine(&truth));
+        }
+        assert!(
+            acc.profile().cosine(&truth) > best_single,
+            "blend {} beats best single {}",
+            acc.profile().cosine(&truth),
+            best_single
+        );
+    }
+
+    #[test]
+    fn alpha_one_tracks_the_latest_session() {
+        let mut acc = ProfileAccumulator::new(1.0);
+        acc.observe(&v(&[(1, 1.0)]));
+        acc.observe(&v(&[(2, 1.0)]));
+        assert_eq!(acc.profile().get(CategoryId(1)), 0.0);
+        assert_eq!(acc.profile().get(CategoryId(2)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = ProfileAccumulator::new(0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Popularity cores (Figures 2 and 3).
+//!
+//! "We use 'Core XX' to denote the set of hostnames visited by at least
+//! XX % of the users" (Section 6.1). Hostnames inside a core are
+//! background noise shared by everyone; what a profiler can discriminate
+//! on is the per-user count *outside* the core. The same construction
+//! applies to categories (Figure 3).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// The items present in at least `fraction` of the user sets
+/// (e.g. `fraction = 0.8` → the paper's Core 80).
+///
+/// ```
+/// use hostprof_core::{core_items, counts_outside_core};
+/// use std::collections::HashSet;
+/// let users = vec![
+///     HashSet::from(["google.com", "espn.com"]),
+///     HashSet::from(["google.com", "hotels.com"]),
+/// ];
+/// let core = core_items(&users, 1.0);
+/// assert!(core.contains("google.com"));
+/// assert_eq!(counts_outside_core(&users, &core), vec![1, 1]);
+/// ```
+///
+/// # Panics
+/// Panics when `fraction` is not in `(0, 1]`.
+pub fn core_items<T: Eq + Hash + Clone>(user_sets: &[HashSet<T>], fraction: f64) -> HashSet<T> {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "core fraction must be in (0, 1]"
+    );
+    if user_sets.is_empty() {
+        return HashSet::new();
+    }
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    for set in user_sets {
+        for item in set {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    // Guard the ceil against binary-float error: 0.8 × 5 evaluates to
+    // 4.000000000000001, whose ceil would wrongly demand 5 users.
+    let threshold = ((fraction * user_sets.len() as f64) - 1e-9).ceil() as usize;
+    counts
+        .into_iter()
+        .filter(|(_, c)| *c >= threshold.max(1))
+        .map(|(item, _)| item.clone())
+        .collect()
+}
+
+/// Per-user count of items outside `core`, index-aligned with `user_sets`.
+pub fn counts_outside_core<T: Eq + Hash>(
+    user_sets: &[HashSet<T>],
+    core: &HashSet<T>,
+) -> Vec<usize> {
+    user_sets
+        .iter()
+        .map(|set| set.iter().filter(|i| !core.contains(*i)).count())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets() -> Vec<HashSet<u32>> {
+        // Item 0 visited by everyone; item 1 by 3/4; item 2 by 2/4;
+        // items 10+u unique per user.
+        (0..4u32)
+            .map(|u| {
+                let mut s: HashSet<u32> = HashSet::from([0, 10 + u]);
+                if u < 3 {
+                    s.insert(1);
+                }
+                if u < 2 {
+                    s.insert(2);
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cores_shrink_as_the_threshold_rises() {
+        let s = sets();
+        let c100 = core_items(&s, 1.0);
+        let c75 = core_items(&s, 0.75);
+        let c50 = core_items(&s, 0.5);
+        assert_eq!(c100, HashSet::from([0]));
+        assert_eq!(c75, HashSet::from([0, 1]));
+        assert_eq!(c50, HashSet::from([0, 1, 2]));
+        assert!(c100.is_subset(&c75) && c75.is_subset(&c50));
+    }
+
+    #[test]
+    fn outside_counts_align_with_users() {
+        let s = sets();
+        let core = core_items(&s, 0.75); // {0, 1}
+        let out = counts_outside_core(&s, &core);
+        // user 0: {2, 10} → 2; user 1: {2, 11} → 2; user 2: {12} → 1;
+        // user 3: {13} → 1.
+        assert_eq!(out, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_population_has_empty_core() {
+        let s: Vec<HashSet<u32>> = Vec::new();
+        assert!(core_items(&s, 0.8).is_empty());
+        assert!(counts_outside_core(&s, &HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn exact_fraction_boundaries_are_not_lost_to_float_error() {
+        // 4 of 5 users share item 1; Core 80 must include it even though
+        // 0.8 × 5 > 4.0 in f64.
+        let s: Vec<HashSet<u32>> = (0..5u32)
+            .map(|u| {
+                if u < 4 {
+                    HashSet::from([1, 10 + u])
+                } else {
+                    HashSet::from([10 + u])
+                }
+            })
+            .collect();
+        assert_eq!(core_items(&s, 0.8), HashSet::from([1]));
+    }
+
+    #[test]
+    fn fractional_threshold_uses_ceiling() {
+        // 3 users, fraction 0.5 → threshold ceil(1.5) = 2 users.
+        let s: Vec<HashSet<u32>> = vec![
+            HashSet::from([1, 2]),
+            HashSet::from([1]),
+            HashSet::from([3]),
+        ];
+        let core = core_items(&s, 0.5);
+        assert_eq!(core, HashSet::from([1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "core fraction")]
+    fn zero_fraction_panics() {
+        let _ = core_items(&Vec::<HashSet<u32>>::new(), 0.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! The session profiler (Eq. 3–4 of the paper).
+//!
+//! Given trained hostname embeddings and the partial ontology `H_L`, a
+//! [`Profiler`] turns a [`Session`] into a category-importance vector:
+//!
+//! * the session vector is the mean of its hostnames' embeddings
+//!   (aggregation function `g`);
+//! * the `N` most cosine-similar hostnames `H_{s}` are retrieved
+//!   (paper: `N = 1000`);
+//! * over `H_s ∪ L` (L = labeled hosts *in* the session), weights are
+//!   `α_h = 1` for `h ∈ L` and `α_h = [cos(s, h)]₊` otherwise (Eq. 3);
+//! * category importances are the α-weighted mean of the labeled hosts'
+//!   category vectors (Eq. 4) — unlabeled neighbors drop out of the sum,
+//!   which is exactly how the kNN propagates the sparse ontology to
+//!   CDN/API-heavy sessions.
+
+use crate::session::Session;
+use hostprof_embed::EmbeddingSet;
+use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Profiler knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// `N`: how many nearest hostnames to retrieve around the session
+    /// vector (paper: 1000).
+    pub n_neighbors: usize,
+    /// The aggregation function `g` combining hostname vectors into the
+    /// session vector. The paper only requires *an* aggregation and uses a
+    /// simple one; these variants back the E8 ablations.
+    pub aggregation: Aggregation,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self {
+            n_neighbors: 1000,
+            aggregation: Aggregation::Mean,
+        }
+    }
+}
+
+/// Variants of the aggregation function `g` (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Unweighted element-wise mean — the paper's implicit choice.
+    Mean,
+    /// Exponential recency weighting: the i-th most recent hostname gets
+    /// weight `0.5^(i / half_life)`, so fresh interests dominate.
+    Recency {
+        /// Positions per weight halving.
+        half_life: usize,
+    },
+    /// Inverse-frequency weighting: hostname `h` gets weight
+    /// `1 / ln(e + count(h))`, discounting the google/facebook-style hosts
+    /// that appear in every session.
+    InverseFrequency,
+}
+
+/// The inferred profile of one session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionProfile {
+    /// Category importances `c^{s_u^T}`, each in `[0, 1]` (Eq. 4).
+    pub categories: CategoryVector,
+    /// The aggregated session embedding `s_u^T` (empty when no session
+    /// hostname was in vocabulary and the profile fell back to
+    /// ontology-only labels).
+    pub session_vector: Vec<f32>,
+    /// How many session hostnames had ontology labels (`|L|`).
+    pub labeled_in_session: usize,
+    /// How many labeled neighbors contributed through the embedding.
+    pub labeled_neighbors: usize,
+}
+
+/// Profiles sessions against one day's embedding model.
+pub struct Profiler<'a> {
+    embeddings: &'a EmbeddingSet,
+    ontology: &'a Ontology,
+    config: ProfilerConfig,
+    /// vocab index → category vector, for every labeled in-vocabulary host.
+    labeled_by_idx: HashMap<u32, &'a CategoryVector>,
+}
+
+impl<'a> Profiler<'a> {
+    /// Bind embeddings + ontology. Precomputes the labeled-host index once
+    /// so per-session profiling stays cheap.
+    pub fn new(
+        embeddings: &'a EmbeddingSet,
+        ontology: &'a Ontology,
+        config: ProfilerConfig,
+    ) -> Self {
+        let mut labeled_by_idx = HashMap::new();
+        for (host, cats) in ontology.iter() {
+            if let Some(idx) = embeddings.vocab().get(host) {
+                labeled_by_idx.insert(idx, cats);
+            }
+        }
+        Self {
+            embeddings,
+            ontology,
+            config,
+            labeled_by_idx,
+        }
+    }
+
+    /// The embeddings this profiler queries.
+    pub fn embeddings(&self) -> &EmbeddingSet {
+        self.embeddings
+    }
+
+    /// Number of labeled hosts that are also in vocabulary.
+    pub fn labeled_in_vocabulary(&self) -> usize {
+        self.labeled_by_idx.len()
+    }
+
+    /// Profile a session. Returns `None` only when the session is empty or
+    /// carries no signal at all (no hostname in vocabulary *and* none with
+    /// an ontology label).
+    pub fn profile(&self, session: &Session) -> Option<SessionProfile> {
+        if session.is_empty() {
+            return None;
+        }
+        // L: labeled hosts in the session (weight 1 regardless of cosine).
+        let labeled_in_session: Vec<(Option<u32>, &CategoryVector)> = session
+            .iter()
+            .filter_map(|h| {
+                self.ontology
+                    .lookup(h)
+                    .map(|cats| (self.embeddings.vocab().get(h), cats))
+            })
+            .collect();
+
+        let session_vector = self.aggregate(session);
+        let mut weighted: Vec<(f32, &CategoryVector)> = Vec::new();
+        let mut labeled_neighbors = 0usize;
+
+        if let Some(ref sv) = session_vector {
+            // H_s: the N nearest hostnames to the session vector.
+            let in_session_idx: std::collections::HashSet<u32> = labeled_in_session
+                .iter()
+                .filter_map(|(idx, _)| *idx)
+                .collect();
+            for (idx, sim) in self
+                .embeddings
+                .nearest_to_vector(sv, self.config.n_neighbors)
+            {
+                if in_session_idx.contains(&idx) {
+                    continue; // weighted 1 below, don't double-count
+                }
+                if let Some(cats) = self.labeled_by_idx.get(&idx) {
+                    let alpha = sim.max(0.0); // [x]₊ of Eq. 3
+                    if alpha > 0.0 {
+                        weighted.push((alpha, cats));
+                        labeled_neighbors += 1;
+                    }
+                }
+            }
+        }
+        for (_, cats) in &labeled_in_session {
+            weighted.push((1.0, cats));
+        }
+        if weighted.is_empty() {
+            return None;
+        }
+
+        // Eq. 4: category importance = α-weighted mean.
+        let mut num: HashMap<CategoryId, f32> = HashMap::new();
+        let mut alpha_sum = 0f32;
+        for (alpha, cats) in &weighted {
+            alpha_sum += alpha;
+            for (c, w) in cats.iter() {
+                *num.entry(c).or_insert(0.0) += alpha * w;
+            }
+        }
+        let categories = CategoryVector::from_pairs(
+            num.into_iter().map(|(c, v)| (c, v / alpha_sum)).collect(),
+        );
+
+        Some(SessionProfile {
+            categories,
+            session_vector: session_vector.unwrap_or_default(),
+            labeled_in_session: labeled_in_session.len(),
+            labeled_neighbors,
+        })
+    }
+
+    /// The aggregation `g`: a weighted element-wise mean of the session
+    /// hostnames' vectors (weights per [`Aggregation`]). `None` when no
+    /// session hostname is in vocabulary.
+    fn aggregate(&self, session: &Session) -> Option<Vec<f32>> {
+        let dim = self.embeddings.dim();
+        let mut acc = vec![0f32; dim];
+        let mut weight_sum = 0f32;
+        let n = session.len();
+        for (pos, h) in session.iter().enumerate() {
+            let Some(idx) = self.embeddings.vocab().get(h) else {
+                continue;
+            };
+            let w = match self.config.aggregation {
+                Aggregation::Mean => 1.0,
+                Aggregation::Recency { half_life } => {
+                    // Sessions are in first-visit order: the last entry is
+                    // the most recent.
+                    let age = (n - 1 - pos) as f32;
+                    0.5f32.powf(age / half_life.max(1) as f32)
+                }
+                Aggregation::InverseFrequency => {
+                    let count = self.embeddings.vocab().count(idx) as f32;
+                    1.0 / (std::f32::consts::E + count).ln()
+                }
+            };
+            for (a, v) in acc.iter_mut().zip(self.embeddings.vector_by_index(idx)) {
+                *a += w * v;
+            }
+            weight_sum += w;
+        }
+        if weight_sum <= 0.0 {
+            return None;
+        }
+        for a in &mut acc {
+            *a /= weight_sum;
+        }
+        Some(acc)
+    }
+
+    /// Baseline: ontology-only profiling (no embeddings) — what previous
+    /// work could do, limited by coverage. Used by the E8 ablations.
+    pub fn profile_ontology_only(&self, session: &Session) -> Option<SessionProfile> {
+        let labeled: Vec<&CategoryVector> =
+            session.iter().filter_map(|h| self.ontology.lookup(h)).collect();
+        if labeled.is_empty() {
+            return None;
+        }
+        let mut num: HashMap<CategoryId, f32> = HashMap::new();
+        for cats in &labeled {
+            for (c, w) in cats.iter() {
+                *num.entry(c).or_insert(0.0) += w;
+            }
+        }
+        let n = labeled.len() as f32;
+        Some(SessionProfile {
+            categories: CategoryVector::from_pairs(
+                num.into_iter().map(|(c, v)| (c, v / n)).collect(),
+            ),
+            session_vector: Vec::new(),
+            labeled_in_session: labeled.len(),
+            labeled_neighbors: 0,
+        })
+    }
+}
+
+/// Ground-truth validation: cosine between an inferred category profile and
+/// the user's true interest vector. Only meaningful in the synthetic
+/// setting — the paper had to proxy this with CTR.
+pub fn profile_accuracy(profile: &CategoryVector, truth: &CategoryVector) -> f32 {
+    profile.cosine(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostprof_embed::Vocab;
+
+    /// Hand-built world: 2-D embeddings with a "travel" axis and a "sport"
+    /// axis. travel.com is labeled; travel-api.net is NOT labeled but sits
+    /// on the travel axis; sport.com is labeled on the sport axis.
+    fn setup() -> (EmbeddingSet, Ontology) {
+        let seqs = vec![vec![
+            "travel.com",
+            "travel-api.net",
+            "sport.com",
+            "sport-cdn.net",
+            "neutral.org",
+        ]];
+        let vocab = Vocab::build(seqs, 1, 0.0);
+        let mut vectors = vec![0f32; vocab.len() * 2];
+        let mut set = |name: &str, v: [f32; 2]| {
+            let i = vocab.get(name).unwrap() as usize;
+            vectors[i * 2] = v[0];
+            vectors[i * 2 + 1] = v[1];
+        };
+        set("travel.com", [1.0, 0.0]);
+        set("travel-api.net", [0.95, 0.05]);
+        set("sport.com", [0.0, 1.0]);
+        set("sport-cdn.net", [0.05, 0.95]);
+        set("neutral.org", [0.5, 0.5]);
+        let embeddings = EmbeddingSet::new(2, vocab, vectors);
+
+        let mut ontology = Ontology::new();
+        ontology.insert("travel.com", CategoryVector::singleton(CategoryId(10)));
+        ontology.insert("sport.com", CategoryVector::singleton(CategoryId(20)));
+        (embeddings, ontology)
+    }
+
+    #[test]
+    fn labeled_session_host_dominates() {
+        let (e, o) = setup();
+        let p = Profiler::new(&e, &o, ProfilerConfig { n_neighbors: 5, ..Default::default() });
+        let session = Session::from_window(["travel.com"], None);
+        let prof = p.profile(&session).unwrap();
+        assert!(prof.categories.get(CategoryId(10)) > prof.categories.get(CategoryId(20)));
+        assert_eq!(prof.labeled_in_session, 1);
+    }
+
+    #[test]
+    fn unlabeled_api_host_inherits_nearby_labels() {
+        let (e, o) = setup();
+        let p = Profiler::new(&e, &o, ProfilerConfig { n_neighbors: 5, ..Default::default() });
+        // Session contains ONLY the unlabeled API endpoint: the kNN must
+        // propagate travel.com's label (the paper's api.bkng.azure.com
+        // example).
+        let session = Session::from_window(["travel-api.net"], None);
+        let prof = p.profile(&session).unwrap();
+        assert_eq!(prof.labeled_in_session, 0);
+        assert!(prof.labeled_neighbors >= 1);
+        assert!(
+            prof.categories.get(CategoryId(10)) > prof.categories.get(CategoryId(20)),
+            "travel label propagated: {:?}",
+            prof.categories
+        );
+        // The ontology-only baseline fails on this exact session.
+        assert!(p.profile_ontology_only(&session).is_none());
+    }
+
+    #[test]
+    fn mixed_session_blends_categories() {
+        let (e, o) = setup();
+        let p = Profiler::new(&e, &o, ProfilerConfig { n_neighbors: 5, ..Default::default() });
+        let session = Session::from_window(["travel.com", "sport.com"], None);
+        let prof = p.profile(&session).unwrap();
+        let travel = prof.categories.get(CategoryId(10));
+        let sport = prof.categories.get(CategoryId(20));
+        assert!(travel > 0.0 && sport > 0.0);
+        assert!((travel - sport).abs() < 0.3, "roughly balanced: {travel} vs {sport}");
+    }
+
+    #[test]
+    fn importances_stay_in_unit_interval() {
+        let (e, o) = setup();
+        let p = Profiler::new(&e, &o, ProfilerConfig::default());
+        let session =
+            Session::from_window(["travel.com", "travel-api.net", "sport-cdn.net"], None);
+        let prof = p.profile(&session).unwrap();
+        for (_, w) in prof.categories.iter() {
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn out_of_vocabulary_unlabeled_session_yields_none() {
+        let (e, o) = setup();
+        let p = Profiler::new(&e, &o, ProfilerConfig::default());
+        let session = Session::from_window(["never-seen.example"], None);
+        assert!(p.profile(&session).is_none());
+        assert!(p.profile(&Session::default()).is_none());
+    }
+
+    #[test]
+    fn out_of_vocabulary_but_labeled_host_still_profiles() {
+        let (e, mut o) = setup();
+        o.insert("fresh-labeled.example", CategoryVector::singleton(CategoryId(7)));
+        let p = Profiler::new(&e, &o, ProfilerConfig::default());
+        let session = Session::from_window(["fresh-labeled.example"], None);
+        let prof = p.profile(&session).unwrap();
+        assert!(prof.categories.get(CategoryId(7)) > 0.9);
+        assert!(prof.session_vector.is_empty(), "no embedding available");
+    }
+
+    #[test]
+    fn recency_aggregation_tilts_toward_recent_hosts() {
+        let (e, o) = setup();
+        let cfg_mean = ProfilerConfig {
+            n_neighbors: 5,
+            aggregation: Aggregation::Mean,
+        };
+        let cfg_recent = ProfilerConfig {
+            n_neighbors: 5,
+            aggregation: Aggregation::Recency { half_life: 1 },
+        };
+        // travel.com is visited FIRST, sport.com most recently.
+        let session = Session::from_window(["travel.com", "sport.com"], None);
+        let mean = Profiler::new(&e, &o, cfg_mean).profile(&session).unwrap();
+        let recent = Profiler::new(&e, &o, cfg_recent).profile(&session).unwrap();
+        // Recency weighting pushes the session vector toward the sport
+        // axis (dimension 1 in the toy embedding).
+        assert!(
+            recent.session_vector[1] > mean.session_vector[1] + 0.1,
+            "recency {:?} vs mean {:?}",
+            recent.session_vector,
+            mean.session_vector
+        );
+    }
+
+    #[test]
+    fn inverse_frequency_discounts_popular_hosts() {
+        // Build a vocabulary where travel.com is 10× more frequent.
+        let mut seq = vec!["travel.com"; 10];
+        seq.push("sport.com");
+        let vocab = hostprof_embed::Vocab::build(vec![seq], 1, 0.0);
+        let mut vectors = vec![0f32; vocab.len() * 2];
+        let ti = vocab.get("travel.com").unwrap() as usize;
+        let si = vocab.get("sport.com").unwrap() as usize;
+        vectors[ti * 2] = 1.0;
+        vectors[si * 2 + 1] = 1.0;
+        let e = EmbeddingSet::new(2, vocab, vectors);
+        let mut o = Ontology::new();
+        o.insert("travel.com", CategoryVector::singleton(CategoryId(10)));
+        o.insert("sport.com", CategoryVector::singleton(CategoryId(20)));
+
+        let session = Session::from_window(["travel.com", "sport.com"], None);
+        let mean = Profiler::new(
+            &e,
+            &o,
+            ProfilerConfig {
+                n_neighbors: 5,
+                aggregation: Aggregation::Mean,
+            },
+        )
+        .profile(&session)
+        .unwrap();
+        let idf = Profiler::new(
+            &e,
+            &o,
+            ProfilerConfig {
+                n_neighbors: 5,
+                aggregation: Aggregation::InverseFrequency,
+            },
+        )
+        .profile(&session)
+        .unwrap();
+        // Under IDF the rare sport.com pulls harder than the frequent
+        // travel.com.
+        assert!(idf.session_vector[1] > idf.session_vector[0]);
+        assert!(
+            idf.session_vector[1] > mean.session_vector[1] + 0.05,
+            "idf {:?} vs mean {:?}",
+            idf.session_vector,
+            mean.session_vector
+        );
+    }
+
+    #[test]
+    fn profile_accuracy_is_cosine() {
+        let a = CategoryVector::singleton(CategoryId(1));
+        let b = CategoryVector::singleton(CategoryId(1));
+        let c = CategoryVector::singleton(CategoryId(2));
+        assert!((profile_accuracy(&a, &b) - 1.0).abs() < 1e-6);
+        assert_eq!(profile_accuracy(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn labeled_in_vocabulary_counts_intersection() {
+        let (e, o) = setup();
+        let p = Profiler::new(&e, &o, ProfilerConfig::default());
+        assert_eq!(p.labeled_in_vocabulary(), 2);
+    }
+}

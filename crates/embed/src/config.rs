@@ -1,0 +1,107 @@
+//! Training hyperparameters.
+
+use serde::{Deserialize, Serialize};
+
+/// SKIPGRAM hyperparameters. [`SkipGramConfig::default`] matches the
+/// paper's Section 5.4 choice of "the default hyperparameter values of the
+/// popular implementation GENSIM": `d = 100`, window `2m+1 = 5`, `K = 5`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkipGramConfig {
+    /// Embedding dimensionality `d`.
+    pub dim: usize,
+    /// Half-window `m`; the full window is `2m + 1`.
+    pub window: usize,
+    /// Negative samples `K` per (center, context) pair.
+    pub negatives: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to ~0 over training).
+    pub learning_rate: f32,
+    /// Tokens seen fewer times than this are dropped from the vocabulary.
+    pub min_count: u64,
+    /// Frequent-token subsampling threshold (gensim `sample`); 0 disables.
+    pub subsample: f64,
+    /// Worker threads. 1 → bit-deterministic SGD; >1 → Hogwild.
+    pub threads: usize,
+    /// RNG seed (initialization and sampling).
+    pub seed: u64,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        Self {
+            dim: 100,
+            window: 2,
+            negatives: 5,
+            epochs: 5,
+            learning_rate: 0.025,
+            min_count: 1,
+            subsample: 1e-3,
+            threads: 1,
+            seed: 0x5eed_e4be,
+        }
+    }
+}
+
+impl SkipGramConfig {
+    /// A tiny configuration for fast unit tests.
+    ///
+    /// Subsampling is disabled: in a toy corpus every token exceeds the
+    /// gensim `1e-3` frequency threshold, so the default would discard
+    /// most of the training data.
+    pub fn tiny() -> Self {
+        Self {
+            dim: 16,
+            epochs: 25,
+            subsample: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Validate parameter sanity; called by the trainer.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 {
+            return Err("dim must be positive".into());
+        }
+        if self.window == 0 {
+            return Err("window must be positive".into());
+        }
+        if self.epochs == 0 {
+            return Err("epochs must be positive".into());
+        }
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
+            return Err("learning_rate must be positive".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SkipGramConfig::default();
+        assert_eq!(c.dim, 100);
+        assert_eq!(c.window, 2, "2m+1 = 5 → m = 2");
+        assert_eq!(c.negatives, 5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        for bad in [
+            SkipGramConfig { dim: 0, ..Default::default() },
+            SkipGramConfig { window: 0, ..Default::default() },
+            SkipGramConfig { epochs: 0, ..Default::default() },
+            SkipGramConfig { learning_rate: 0.0, ..Default::default() },
+            SkipGramConfig { threads: 0, ..Default::default() },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+}

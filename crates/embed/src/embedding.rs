@@ -1,0 +1,410 @@
+//! Trained embeddings and similarity queries.
+//!
+//! After training, the profiler needs three operations (paper Section 4.1):
+//! aggregate a session's hostname vectors into a session vector
+//! ([`EmbeddingSet::mean_vector`]), find the `N = 1000` hostnames most
+//! similar to it by cosine ([`EmbeddingSet::nearest_to_vector`]), and score
+//! individual hostnames against the session ([`EmbeddingSet::cosine_to`]).
+
+use crate::vocab::Vocab;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A frozen `|V| × d` embedding matrix with its vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingSet {
+    dim: usize,
+    vocab: Vocab,
+    /// Row-major vectors.
+    vectors: Vec<f32>,
+    /// Precomputed L2 norms, row-aligned.
+    norms: Vec<f32>,
+}
+
+/// Heap entry for top-N selection (min-heap on similarity).
+#[derive(PartialEq)]
+struct HeapItem {
+    sim: f32,
+    idx: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want to pop the *smallest*
+        // similarity first.
+        other
+            .sim
+            .partial_cmp(&self.sim)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl EmbeddingSet {
+    /// Wrap a trained matrix. `vectors.len()` must equal
+    /// `vocab.len() * dim`.
+    pub fn new(dim: usize, vocab: Vocab, vectors: Vec<f32>) -> Self {
+        assert_eq!(vectors.len(), vocab.len() * dim, "matrix shape mismatch");
+        let norms = (0..vocab.len())
+            .map(|i| {
+                vectors[i * dim..(i + 1) * dim]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum::<f32>()
+                    .sqrt()
+            })
+            .collect();
+        Self {
+            dim,
+            vocab,
+            vectors,
+            norms,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of embedded tokens.
+    pub fn len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vocab.is_empty()
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Vector of a token, if in vocabulary.
+    pub fn vector(&self, token: &str) -> Option<&[f32]> {
+        self.vocab.get(token).map(|i| self.vector_by_index(i))
+    }
+
+    /// Vector by dense index.
+    ///
+    /// # Panics
+    /// Panics when the index is out of range.
+    pub fn vector_by_index(&self, idx: u32) -> &[f32] {
+        &self.vectors[idx as usize * self.dim..(idx as usize + 1) * self.dim]
+    }
+
+    /// Cosine similarity between two tokens (None if either is unknown).
+    pub fn cosine(&self, a: &str, b: &str) -> Option<f32> {
+        let ia = self.vocab.get(a)?;
+        let ib = self.vocab.get(b)?;
+        Some(self.cosine_indices(ia, ib))
+    }
+
+    /// Cosine similarity between two indexed tokens.
+    pub fn cosine_indices(&self, a: u32, b: u32) -> f32 {
+        let va = self.vector_by_index(a);
+        let vb = self.vector_by_index(b);
+        let denom = self.norms[a as usize] * self.norms[b as usize];
+        if denom <= f32::EPSILON {
+            return 0.0;
+        }
+        dot(va, vb) / denom
+    }
+
+    /// Cosine between an arbitrary query vector and an indexed token.
+    pub fn cosine_to(&self, query: &[f32], idx: u32) -> f32 {
+        debug_assert_eq!(query.len(), self.dim);
+        let qn = dot(query, query).sqrt();
+        let denom = qn * self.norms[idx as usize];
+        if denom <= f32::EPSILON {
+            return 0.0;
+        }
+        dot(query, self.vector_by_index(idx)) / denom
+    }
+
+    /// The aggregation function `g`: element-wise mean of the vectors of
+    /// the known tokens in `tokens`. Returns `None` when no token is in
+    /// vocabulary (the paper's `s_u^T` cannot be empty; callers decide how
+    /// to handle sessions the eavesdropper cannot embed).
+    pub fn mean_vector<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> Option<Vec<f32>> {
+        let mut acc = vec![0f32; self.dim];
+        let mut n = 0usize;
+        for t in tokens {
+            if let Some(v) = self.vector(t) {
+                for (a, x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        for a in &mut acc {
+            *a /= n as f32;
+        }
+        Some(acc)
+    }
+
+    /// The `n` tokens most cosine-similar to `query`, descending.
+    /// Zero-norm rows are skipped. Brute force `O(|V| d)` — exact, and at
+    /// the paper's vocabulary sizes this is the honest baseline an
+    /// approximate index would be benchmarked against.
+    pub fn nearest_to_vector(&self, query: &[f32], n: usize) -> Vec<(u32, f32)> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let qn = dot(query, query).sqrt();
+        if qn <= f32::EPSILON || n == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(n + 1);
+        for i in 0..self.vocab.len() {
+            let norm = self.norms[i];
+            if norm <= f32::EPSILON {
+                continue;
+            }
+            let sim = dot(query, &self.vectors[i * self.dim..(i + 1) * self.dim]) / (qn * norm);
+            if heap.len() < n {
+                heap.push(HeapItem {
+                    sim,
+                    idx: i as u32,
+                });
+            } else if let Some(min) = heap.peek() {
+                if sim > min.sim {
+                    heap.pop();
+                    heap.push(HeapItem {
+                        sim,
+                        idx: i as u32,
+                    });
+                }
+            }
+        }
+        let mut out: Vec<(u32, f32)> = heap.into_iter().map(|h| (h.idx, h.sim)).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    /// Subtract the mean embedding from every vector and rebuild norms.
+    ///
+    /// Small corpora produce a strong common direction (hubness): every
+    /// pair of hostnames ends up with a large positive cosine, which
+    /// flattens the α-weights of the profiler's Eq. 3. Removing the mean —
+    /// the first step of the standard "all-but-the-top" postprocessing —
+    /// restores contrast. Embeddings trained at the paper's data scale do
+    /// not need this, so it is opt-in via the pipeline config.
+    pub fn centered(mut self) -> Self {
+        if self.vocab.is_empty() {
+            return self;
+        }
+        let n = self.vocab.len();
+        let mut mean = vec![0f32; self.dim];
+        for i in 0..n {
+            for (m, v) in mean.iter_mut().zip(&self.vectors[i * self.dim..(i + 1) * self.dim]) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        for i in 0..n {
+            for (d, m) in mean.iter().enumerate() {
+                self.vectors[i * self.dim + d] -= m;
+            }
+        }
+        Self::new(self.dim, self.vocab, self.vectors)
+    }
+
+    /// Analogy query: `a` is to `b` as `c` is to … — solved as the tokens
+    /// nearest to `vec(b) − vec(a) + vec(c)` (excluding the three query
+    /// tokens). A standard embedding-space sanity probe: in a well-trained
+    /// hostname space, "news-site : news-CDN :: shop-site : shop-CDN"-style
+    /// relations hold approximately.
+    pub fn analogy(&self, a: &str, b: &str, c: &str, n: usize) -> Vec<(String, f32)> {
+        let (Some(va), Some(vb), Some(vc)) = (self.vector(a), self.vector(b), self.vector(c))
+        else {
+            return Vec::new();
+        };
+        let query: Vec<f32> = va
+            .iter()
+            .zip(vb)
+            .zip(vc)
+            .map(|((x, y), z)| y - x + z)
+            .collect();
+        let exclude: [Option<u32>; 3] = [self.vocab.get(a), self.vocab.get(b), self.vocab.get(c)];
+        self.nearest_to_vector(&query, n + 3)
+            .into_iter()
+            .filter(|(i, _)| !exclude.contains(&Some(*i)))
+            .take(n)
+            .map(|(i, s)| (self.vocab.token(i).to_string(), s))
+            .collect()
+    }
+
+    /// The `n` tokens most similar to `token` (token itself excluded).
+    pub fn most_similar(&self, token: &str, n: usize) -> Vec<(String, f32)> {
+        let Some(idx) = self.vocab.get(token) else {
+            return Vec::new();
+        };
+        let query = self.vector_by_index(idx).to_vec();
+        self.nearest_to_vector(&query, n + 1)
+            .into_iter()
+            .filter(|(i, _)| *i != idx)
+            .take(n)
+            .map(|(i, s)| (self.vocab.token(i).to_string(), s))
+            .collect()
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built 2-D embedding: two tight groups on orthogonal axes.
+    fn toy() -> EmbeddingSet {
+        let seqs = vec![vec!["a0", "a1", "a2", "b0", "b1", "zero"]];
+        let vocab = Vocab::build(seqs, 1, 0.0);
+        let mut vectors = vec![0f32; vocab.len() * 2];
+        let mut set = |name: &str, v: [f32; 2]| {
+            let i = vocab.get(name).unwrap() as usize;
+            vectors[i * 2] = v[0];
+            vectors[i * 2 + 1] = v[1];
+        };
+        set("a0", [1.0, 0.0]);
+        set("a1", [0.9, 0.1]);
+        set("a2", [1.0, 0.05]);
+        set("b0", [0.0, 1.0]);
+        set("b1", [0.1, 0.9]);
+        set("zero", [0.0, 0.0]);
+        EmbeddingSet::new(2, vocab, vectors)
+    }
+
+    #[test]
+    fn cosine_identifies_groups() {
+        let e = toy();
+        assert!(e.cosine("a0", "a1").unwrap() > 0.98);
+        assert!(e.cosine("a0", "b0").unwrap() < 0.1);
+        assert!(e.cosine("a0", "nope").is_none());
+    }
+
+    #[test]
+    fn most_similar_excludes_self_and_ranks() {
+        let e = toy();
+        let sims = e.most_similar("a0", 2);
+        assert_eq!(sims.len(), 2);
+        assert!(sims[0].0.starts_with('a'));
+        assert!(sims[1].0.starts_with('a'));
+        assert!(sims[0].1 >= sims[1].1);
+    }
+
+    #[test]
+    fn mean_vector_averages_known_tokens() {
+        let e = toy();
+        let m = e.mean_vector(["a0", "b0", "unknown"]).unwrap();
+        assert!((m[0] - 0.5).abs() < 1e-6);
+        assert!((m[1] - 0.5).abs() < 1e-6);
+        assert!(e.mean_vector(["nope", "nada"]).is_none());
+    }
+
+    #[test]
+    fn nearest_to_vector_skips_zero_rows_and_sorts() {
+        let e = toy();
+        let res = e.nearest_to_vector(&[1.0, 0.0], 10);
+        assert_eq!(res.len(), 5, "zero-norm token skipped");
+        for w in res.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(e.vocab().token(res[0].0).chars().next(), Some('a'));
+    }
+
+    #[test]
+    fn nearest_with_zero_query_is_empty() {
+        let e = toy();
+        assert!(e.nearest_to_vector(&[0.0, 0.0], 3).is_empty());
+        assert!(e.nearest_to_vector(&[1.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn top_n_truncation_keeps_the_best() {
+        let e = toy();
+        let all = e.nearest_to_vector(&[1.0, 0.0], 5);
+        let top2 = e.nearest_to_vector(&[1.0, 0.0], 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].0, all[0].0);
+        assert_eq!(top2[1].0, all[1].0);
+    }
+
+    #[test]
+    fn centering_removes_the_common_direction() {
+        // All vectors share a large offset along x.
+        let seqs = vec![vec!["p", "q", "r"]];
+        let vocab = Vocab::build(seqs, 1, 0.0);
+        let mut vectors = vec![0f32; 6];
+        let mut set = |name: &str, v: [f32; 2]| {
+            let i = vocab.get(name).unwrap() as usize;
+            vectors[i * 2] = v[0];
+            vectors[i * 2 + 1] = v[1];
+        };
+        set("p", [10.0, 1.0]);
+        set("q", [10.0, -1.0]);
+        set("r", [10.0, 0.0]);
+        let raw = EmbeddingSet::new(2, vocab, vectors);
+        assert!(raw.cosine("p", "q").unwrap() > 0.9, "hubness before centering");
+        let centered = raw.centered();
+        assert!(
+            centered.cosine("p", "q").unwrap() < -0.9,
+            "opposed after removing the common direction"
+        );
+    }
+
+    #[test]
+    fn analogy_solves_the_parallelogram() {
+        // Build vectors where b - a == d - c exactly.
+        let seqs = vec![vec!["a", "b", "c", "d", "e"]];
+        let vocab = Vocab::build(seqs, 1, 0.0);
+        let mut vectors = vec![0f32; vocab.len() * 2];
+        let mut set = |name: &str, v: [f32; 2]| {
+            let i = vocab.get(name).unwrap() as usize;
+            vectors[i * 2] = v[0];
+            vectors[i * 2 + 1] = v[1];
+        };
+        set("a", [1.0, 0.0]);
+        set("b", [1.0, 1.0]); // b = a + (0,1)
+        set("c", [2.0, 0.1]);
+        set("d", [2.0, 1.1]); // d = c + (0,1)
+        set("e", [-1.0, -1.0]);
+        let emb = EmbeddingSet::new(2, vocab, vectors);
+        let result = emb.analogy("a", "b", "c", 1);
+        assert_eq!(result[0].0, "d", "{result:?}");
+        assert!(emb.analogy("a", "b", "missing", 1).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_queries() {
+        let e = toy();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: EmbeddingSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), e.len());
+        assert_eq!(back.cosine("a0", "a1"), e.cosine("a0", "a1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix shape mismatch")]
+    fn wrong_shape_panics() {
+        let vocab = Vocab::build(vec![vec!["x"]], 1, 0.0);
+        let _ = EmbeddingSet::new(3, vocab, vec![0.0; 2]);
+    }
+}

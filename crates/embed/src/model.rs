@@ -1,0 +1,515 @@
+//! SKIPGRAM training (SGD with negative sampling, optional Hogwild).
+//!
+//! Implements the paper's Eq. 2: for each window position, maximize
+//! `log σ(h_cᵀ h'_o)` for the observed (center, context) pair and
+//! `log σ(−h_cᵀ h'_k)` for `K` negatives drawn from the powered unigram
+//! distribution. All parameters are learned with SGD under a linearly
+//! decaying learning rate, exactly as in word2vec/GENSIM.
+//!
+//! # Parallelism
+//!
+//! With `threads = 1` training is bit-deterministic. With more threads we
+//! use **Hogwild** (Recht et al.): workers update the shared weight
+//! matrices without locks. The data races are benign — each update touches
+//! a handful of rows, and SGD tolerates the occasional lost write; this is
+//! the same strategy as the reference word2vec and GENSIM C paths, and it
+//! is what lets the paper claim line-rate scalability. The `unsafe` is
+//! confined to the `SharedWeights` accessor.
+
+use crate::config::SkipGramConfig;
+use crate::embedding::EmbeddingSet;
+use crate::sigmoid::SigmoidTable;
+use crate::table::NegativeTable;
+use crate::vocab::Vocab;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A trained (or in-training) skip-gram model.
+#[derive(Debug)]
+pub struct SkipGram {
+    config: SkipGramConfig,
+    vocab: Vocab,
+    /// Input (center) matrix, row-major `|V| × d`.
+    input: Vec<f32>,
+    /// Context (output) matrix, row-major `|V| × d`.
+    context: Vec<f32>,
+}
+
+/// Raw-pointer view of the two weight matrices for Hogwild workers.
+///
+/// Safety contract: rows are only accessed through [`SharedWeights::row`]
+/// within the matrix bounds, and the underlying vectors outlive the worker
+/// scope (guaranteed by `crossbeam::thread::scope`). Concurrent unsynchronized
+/// writes are *intentional* (Hogwild).
+struct SharedWeights {
+    input: *mut f32,
+    context: *mut f32,
+    rows: usize,
+    dim: usize,
+}
+
+unsafe impl Sync for SharedWeights {}
+
+impl SharedWeights {
+    #[inline]
+    /// Mutable slice of one row of the input matrix.
+    ///
+    /// # Safety
+    /// `idx < rows`; aliasing across threads is accepted per Hogwild —
+    /// handing out `&mut` from `&self` is the whole point of the lock-free
+    /// scheme, hence the lint opt-out.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn input_row(&self, idx: usize) -> &mut [f32] {
+        debug_assert!(idx < self.rows);
+        std::slice::from_raw_parts_mut(self.input.add(idx * self.dim), self.dim)
+    }
+
+    #[inline]
+    /// Mutable slice of one row of the context matrix (same contract).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn context_row(&self, idx: usize) -> &mut [f32] {
+        debug_assert!(idx < self.rows);
+        std::slice::from_raw_parts_mut(self.context.add(idx * self.dim), self.dim)
+    }
+}
+
+/// xorshift64* — the cheap per-worker RNG word2vec uses in its hot loop.
+#[inline]
+fn next_random(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+impl SkipGram {
+    /// Build the vocabulary from `sequences` and train.
+    ///
+    /// Returns an error for invalid configs or an empty corpus.
+    ///
+    /// ```
+    /// use hostprof_embed::{SkipGram, SkipGramConfig};
+    /// let mut corpus: Vec<Vec<String>> = Vec::new();
+    /// for i in 0..60 {
+    ///     // Travel sessions co-request an opaque API endpoint…
+    ///     corpus.push(vec![
+    ///         format!("travel{}.com", i % 3),
+    ///         "api.bkng.cloud".to_string(),
+    ///         format!("travel{}.com", (i + 1) % 3),
+    ///     ]);
+    ///     // …sport sessions never do.
+    ///     corpus.push(vec![
+    ///         format!("sport{}.com", i % 3),
+    ///         format!("sport{}.com", (i + 1) % 3),
+    ///     ]);
+    /// }
+    /// let model = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+    /// let emb = model.into_embeddings();
+    /// // The unlabeled API endpoint lands nearer the travel sites it is
+    /// // co-requested with (the paper's api.bkng.azure.com example).
+    /// let to_travel = emb.cosine("api.bkng.cloud", "travel0.com").unwrap();
+    /// let to_sport = emb.cosine("api.bkng.cloud", "sport0.com").unwrap();
+    /// assert!(to_travel > to_sport);
+    /// ```
+    pub fn train<S: AsRef<str>>(
+        sequences: &[Vec<S>],
+        config: &SkipGramConfig,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let vocab = Vocab::build(
+            sequences
+                .iter()
+                .map(|s| s.iter().map(|t| t.as_ref())),
+            config.min_count,
+            config.subsample,
+        );
+        if vocab.is_empty() {
+            return Err("empty corpus after min-count filtering".into());
+        }
+        let encoded: Vec<Vec<u32>> = sequences
+            .iter()
+            .map(|s| vocab.encode(s.iter().map(|t| t.as_ref())))
+            .filter(|s| s.len() >= 2)
+            .collect();
+        if encoded.is_empty() {
+            return Err("no sequence has two or more in-vocabulary tokens".into());
+        }
+        Self::train_encoded(vocab, &encoded, config)
+    }
+
+    /// Train over pre-encoded index sequences (the pipeline's fast path:
+    /// the daily retraining loop re-encodes once, not per epoch).
+    pub fn train_encoded(
+        vocab: Vocab,
+        sequences: &[Vec<u32>],
+        config: &SkipGramConfig,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        if vocab.is_empty() {
+            return Err("empty vocabulary".into());
+        }
+        let dim = config.dim;
+        let rows = vocab.len();
+
+        // word2vec initialization: input uniform in (-0.5/d, 0.5/d),
+        // context all-zero.
+        let mut init_state = config.seed | 1;
+        let mut input = Vec::with_capacity(rows * dim);
+        for _ in 0..rows * dim {
+            let r = next_random(&mut init_state);
+            let u = (r >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
+            input.push((u - 0.5) / dim as f32);
+        }
+        let context = vec![0f32; rows * dim];
+
+        let mut model = Self {
+            config: config.clone(),
+            vocab,
+            input,
+            context,
+        };
+        model.run_sgd(sequences);
+        Ok(model)
+    }
+
+    fn run_sgd(&mut self, sequences: &[Vec<u32>]) {
+        let config = self.config.clone();
+        let table = NegativeTable::from_vocab(&self.vocab);
+        if table.is_empty() {
+            return;
+        }
+        let sigmoid = SigmoidTable::new();
+        // Snapshot the keep-probabilities so the worker closures don't
+        // borrow `self` while the weight matrices are aliased raw pointers.
+        let keep_probs: Vec<f64> = (0..self.vocab.len())
+            .map(|i| self.vocab.keep_prob(i as u32))
+            .collect();
+        let total_tokens: u64 = sequences.iter().map(|s| s.len() as u64).sum();
+        let planned = (total_tokens * config.epochs as u64).max(1);
+        let processed = AtomicU64::new(0);
+
+        let shared = SharedWeights {
+            input: self.input.as_mut_ptr(),
+            context: self.context.as_mut_ptr(),
+            rows: self.vocab.len(),
+            dim: config.dim,
+        };
+
+        let n_threads = config.threads.min(sequences.len()).max(1);
+        let worker = |tid: usize| {
+            let mut rng_state = config.seed ^ (0x9e37_79b9u64.wrapping_mul(tid as u64 + 1)) | 1;
+            let mut neu1e = vec![0f32; config.dim];
+            let mut kept: Vec<u32> = Vec::new();
+            let mut lr = config.learning_rate;
+            let mut since_lr_update = 0u64;
+            for epoch in 0..config.epochs {
+                // Static sharding: worker `tid` owns every n-th sequence.
+                for seq in sequences.iter().skip(tid).step_by(n_threads) {
+                    // Frequent-token subsampling (reusing one buffer keeps
+                    // the hot loop allocation-free).
+                    kept.clear();
+                    kept.extend(seq.iter().copied().filter(|&w| {
+                        let p = keep_probs[w as usize];
+                        p >= 1.0 || {
+                            let u =
+                                (next_random(&mut rng_state) >> 11) as f64 / (1u64 << 53) as f64;
+                            u < p
+                        }
+                    }));
+                    since_lr_update += seq.len() as u64;
+                    if since_lr_update >= 10_000 {
+                        let done = processed.fetch_add(since_lr_update, Ordering::Relaxed)
+                            + since_lr_update;
+                        since_lr_update = 0;
+                        let frac = done as f32 / planned as f32;
+                        lr = (config.learning_rate * (1.0 - frac))
+                            .max(config.learning_rate * 1e-4);
+                    }
+                    if kept.len() < 2 {
+                        continue;
+                    }
+                    for c in 0..kept.len() {
+                        // Dynamic (reduced) window, as in word2vec.
+                        let b = (next_random(&mut rng_state) % config.window as u64) as usize;
+                        let lo = c.saturating_sub(config.window - b);
+                        let hi = (c + config.window - b).min(kept.len() - 1);
+                        for j in lo..=hi {
+                            if j == c {
+                                continue;
+                            }
+                            let center = kept[c] as usize;
+                            let ctx_word = kept[j] as usize;
+                            // SAFETY: indices come from the vocabulary; the
+                            // matrices outlive this scope; Hogwild races
+                            // accepted.
+                            unsafe {
+                                let h_c = shared.input_row(center);
+                                neu1e.iter_mut().for_each(|v| *v = 0.0);
+                                // Positive sample + K negatives.
+                                for k in 0..=config.negatives {
+                                    let (target, label) = if k == 0 {
+                                        (ctx_word, 1.0f32)
+                                    } else {
+                                        let neg =
+                                            table.sample(next_random(&mut rng_state)) as usize;
+                                        if neg == ctx_word {
+                                            continue;
+                                        }
+                                        (neg, 0.0f32)
+                                    };
+                                    let h_o = shared.context_row(target);
+                                    let mut f = 0f32;
+                                    for d in 0..config.dim {
+                                        f += h_c[d] * h_o[d];
+                                    }
+                                    let g = (label - sigmoid.get(f)) * lr;
+                                    for d in 0..config.dim {
+                                        neu1e[d] += g * h_o[d];
+                                        h_o[d] += g * h_c[d];
+                                    }
+                                }
+                                for d in 0..config.dim {
+                                    h_c[d] += neu1e[d];
+                                }
+                            }
+                        }
+                    }
+                }
+                let _ = epoch;
+            }
+        };
+
+        if n_threads == 1 {
+            worker(0);
+        } else {
+            crossbeam::thread::scope(|s| {
+                for tid in 0..n_threads {
+                    let worker_ref = &worker;
+                    s.spawn(move |_| worker_ref(tid));
+                }
+            })
+            .expect("hogwild worker panicked");
+        }
+    }
+
+    /// Fine-tune the model on additional sequences without rebuilding the
+    /// vocabulary — the incremental alternative to the paper's full daily
+    /// retrain ("the amount of data used for training is configurable",
+    /// §5.4). Out-of-vocabulary hostnames are dropped; the same LR
+    /// schedule is replayed over the new data. Returns how many sequences
+    /// were actually used.
+    pub fn continue_training<S: AsRef<str>>(&mut self, sequences: &[Vec<S>]) -> usize {
+        let encoded: Vec<Vec<u32>> = sequences
+            .iter()
+            .map(|s| self.vocab.encode(s.iter().map(|t| t.as_ref())))
+            .filter(|s| s.len() >= 2)
+            .collect();
+        if encoded.is_empty() {
+            return 0;
+        }
+        self.run_sgd(&encoded);
+        encoded.len()
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Input vector of a token index.
+    pub fn vector(&self, idx: u32) -> &[f32] {
+        let d = self.config.dim;
+        &self.input[idx as usize * d..(idx as usize + 1) * d]
+    }
+
+    /// Extract the final embeddings (input matrix), consuming the model.
+    pub fn into_embeddings(self) -> EmbeddingSet {
+        EmbeddingSet::new(self.config.dim, self.vocab, self.input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Corpus with three topical clusters; sequences stay in-cluster.
+    fn clustered_corpus(seqs_per_cluster: usize) -> Vec<Vec<String>> {
+        let clusters: [&[&str]; 3] = [
+            &["travel0", "travel1", "travel2", "travel3", "travel4"],
+            &["sport0", "sport1", "sport2", "sport3", "sport4"],
+            &["news0", "news1", "news2", "news3", "news4"],
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut out = Vec::new();
+        for cluster in clusters {
+            for _ in 0..seqs_per_cluster {
+                let len = rng.gen_range(4..10);
+                out.push(
+                    (0..len)
+                        .map(|_| cluster[rng.gen_range(0..cluster.len())].to_string())
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-12)
+    }
+
+    fn cluster_separation(model: &SkipGram) -> (f32, f32) {
+        let groups = [
+            ["travel0", "travel1", "travel2"],
+            ["sport0", "sport1", "sport2"],
+            ["news0", "news1", "news2"],
+        ];
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for (gi, g) in groups.iter().enumerate() {
+            for (gj, h) in groups.iter().enumerate() {
+                for a in g {
+                    for b in h {
+                        if a == b {
+                            continue;
+                        }
+                        let (Some(ia), Some(ib)) =
+                            (model.vocab().get(a), model.vocab().get(b))
+                        else {
+                            continue;
+                        };
+                        let c = cosine(model.vector(ia), model.vector(ib));
+                        if gi == gj {
+                            intra.push(c);
+                        } else {
+                            inter.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        (mean(&intra), mean(&inter))
+    }
+
+    #[test]
+    fn learns_cluster_structure() {
+        let corpus = clustered_corpus(120);
+        let model = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        let (intra, inter) = cluster_separation(&model);
+        assert!(
+            intra > inter + 0.25,
+            "intra {intra} should beat inter {inter}"
+        );
+    }
+
+    #[test]
+    fn single_thread_training_is_deterministic() {
+        let corpus = clustered_corpus(30);
+        let cfg = SkipGramConfig::tiny();
+        let a = SkipGram::train(&corpus, &cfg).unwrap();
+        let b = SkipGram::train(&corpus, &cfg).unwrap();
+        for i in 0..a.vocab().len() as u32 {
+            assert_eq!(a.vector(i), b.vector(i), "token {i}");
+        }
+    }
+
+    #[test]
+    fn hogwild_training_still_learns() {
+        let corpus = clustered_corpus(120);
+        let cfg = SkipGramConfig {
+            threads: 4,
+            ..SkipGramConfig::tiny()
+        };
+        let model = SkipGram::train(&corpus, &cfg).unwrap();
+        let (intra, inter) = cluster_separation(&model);
+        assert!(intra > inter + 0.2, "hogwild: intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        let corpus: Vec<Vec<String>> = Vec::new();
+        assert!(SkipGram::train(&corpus, &SkipGramConfig::tiny()).is_err());
+    }
+
+    #[test]
+    fn min_count_can_empty_the_corpus() {
+        let corpus = vec![vec!["a".to_string(), "b".to_string()]];
+        let cfg = SkipGramConfig {
+            min_count: 5,
+            ..SkipGramConfig::tiny()
+        };
+        assert!(SkipGram::train(&corpus, &cfg).is_err());
+    }
+
+    #[test]
+    fn vectors_are_finite() {
+        let corpus = clustered_corpus(40);
+        let model = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        for i in 0..model.vocab().len() as u32 {
+            for v in model.vector(i) {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn continue_training_refines_without_changing_vocab() {
+        let corpus = clustered_corpus(40);
+        let mut model = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        let vocab_before = model.vocab().len();
+        let v_before = {
+            let i = model.vocab().get("travel0").unwrap();
+            model.vector(i).to_vec()
+        };
+        let more = clustered_corpus(40);
+        let used = model.continue_training(&more);
+        assert!(used > 0);
+        assert_eq!(model.vocab().len(), vocab_before, "vocabulary frozen");
+        let i = model.vocab().get("travel0").unwrap();
+        assert_ne!(model.vector(i), v_before.as_slice(), "weights moved");
+        // And the structure is still (or more) coherent.
+        let (intra, inter) = cluster_separation(&model);
+        assert!(intra > inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn continue_training_ignores_unknown_tokens() {
+        let corpus = clustered_corpus(20);
+        let mut model = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        let unknown = vec![vec!["never-seen-1".to_string(), "never-seen-2".to_string()]];
+        assert_eq!(model.continue_training(&unknown), 0, "nothing usable");
+        // A mixed sequence keeps only known tokens.
+        let mixed = vec![vec![
+            "travel0".to_string(),
+            "never-seen".to_string(),
+            "travel1".to_string(),
+        ]];
+        assert_eq!(model.continue_training(&mixed), 1);
+    }
+
+    #[test]
+    fn different_seeds_give_different_embeddings() {
+        let corpus = clustered_corpus(30);
+        let a = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        let cfg_b = SkipGramConfig {
+            seed: 999,
+            ..SkipGramConfig::tiny()
+        };
+        let b = SkipGram::train(&corpus, &cfg_b).unwrap();
+        let ia = a.vocab().get("travel0").unwrap();
+        let ib = b.vocab().get("travel0").unwrap();
+        assert_ne!(a.vector(ia), b.vector(ib));
+    }
+}

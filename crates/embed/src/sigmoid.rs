@@ -1,0 +1,95 @@
+//! Precomputed sigmoid, as in the reference word2vec implementation.
+//!
+//! The inner SGD loop evaluates `σ(x)` for every (center, context) pair and
+//! every negative sample; a 1000-slot lookup table over `[-6, 6]` replaces
+//! the `exp` call, and dot products outside that range saturate to 0/1 —
+//! identical behaviour to word2vec's `EXP_TABLE`.
+
+/// Table resolution.
+pub const TABLE_SIZE: usize = 1000;
+/// Saturation bound: `σ(±MAX_EXP)` is treated as 1/0.
+pub const MAX_EXP: f32 = 6.0;
+
+/// The lookup table.
+#[derive(Debug, Clone)]
+pub struct SigmoidTable {
+    table: [f32; TABLE_SIZE],
+}
+
+impl SigmoidTable {
+    /// Precompute the table.
+    pub fn new() -> Self {
+        let mut table = [0f32; TABLE_SIZE];
+        for (i, slot) in table.iter_mut().enumerate() {
+            // x spans [-MAX_EXP, MAX_EXP).
+            let x = (i as f32 / TABLE_SIZE as f32 * 2.0 - 1.0) * MAX_EXP;
+            let e = x.exp();
+            *slot = e / (e + 1.0);
+        }
+        Self { table }
+    }
+
+    /// `σ(x)` with saturation outside `[-MAX_EXP, MAX_EXP]`.
+    #[inline]
+    pub fn get(&self, x: f32) -> f32 {
+        if x >= MAX_EXP {
+            1.0
+        } else if x <= -MAX_EXP {
+            0.0
+        } else {
+            let i = ((x + MAX_EXP) / (2.0 * MAX_EXP) * TABLE_SIZE as f32) as usize;
+            self.table[i.min(TABLE_SIZE - 1)]
+        }
+    }
+}
+
+impl Default for SigmoidTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_sigmoid_within_table_resolution() {
+        let t = SigmoidTable::new();
+        for i in -50..=50 {
+            let x = i as f32 * 0.1;
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!(
+                (t.get(x) - exact).abs() < 0.01,
+                "x={x}: {} vs {exact}",
+                t.get(x)
+            );
+        }
+    }
+
+    #[test]
+    fn saturates_at_the_bounds() {
+        let t = SigmoidTable::new();
+        assert_eq!(t.get(100.0), 1.0);
+        assert_eq!(t.get(-100.0), 0.0);
+        assert_eq!(t.get(MAX_EXP), 1.0);
+        assert_eq!(t.get(-MAX_EXP), 0.0);
+    }
+
+    #[test]
+    fn is_monotone() {
+        let t = SigmoidTable::new();
+        let mut prev = -1.0f32;
+        for i in -60..=60 {
+            let v = t.get(i as f32 * 0.1);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn midpoint_is_half() {
+        let t = SigmoidTable::new();
+        assert!((t.get(0.0) - 0.5).abs() < 0.01);
+    }
+}

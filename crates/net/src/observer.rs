@@ -1,0 +1,587 @@
+//! The passive SNI observer.
+//!
+//! [`SniObserver`] is the paper's eavesdropper: it consumes a packet stream,
+//! inspects exactly one payload per flow (via [`FlowTable`]), extracts
+//! hostnames from TLS ClientHellos, QUIC Initials and DNS queries, and
+//! assembles per-client hostname sequences — the input format of the
+//! profiling algorithm (Section 4.1: "hostname request sequences across
+//! users in the network").
+
+use crate::dns;
+use crate::error::ParseError;
+use crate::flow::{FlowDecision, FlowKey, FlowTable};
+use crate::packet::{Packet, Transport};
+use crate::quic;
+use crate::tls;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Where a hostname was recovered from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostnameSource {
+    /// TLS ClientHello `server_name` over TCP.
+    TlsSni,
+    /// ClientHello inside a QUIC Initial.
+    QuicSni,
+    /// Plaintext DNS query name.
+    DnsQuery,
+}
+
+/// One recovered `(time, client, hostname)` fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Packet timestamp, milliseconds.
+    pub t_ms: u64,
+    /// Client IPv4 address — the observer's only notion of "user".
+    pub client_ip: u32,
+    /// Recovered hostname (lowercase).
+    pub hostname: String,
+    /// Extraction path.
+    pub source: HostnameSource,
+}
+
+/// Observer counters, reported by the E6-style experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserverStats {
+    /// Packets consumed.
+    pub packets: u64,
+    /// Hostnames recovered from TCP TLS.
+    pub tls_sni: u64,
+    /// Hostnames recovered from QUIC Initials.
+    pub quic_sni: u64,
+    /// Hostnames recovered from DNS queries.
+    pub dns_names: u64,
+    /// Well-formed handshakes with no readable name (ECH).
+    pub hidden: u64,
+    /// Payloads that failed to parse as anything the observer knows.
+    pub parse_errors: u64,
+    /// ClientHellos recovered only after reassembling 2+ TCP segments.
+    pub reassembled: u64,
+    /// QUIC long/short-header packets that are legitimately not Initials
+    /// (Handshake, 0-RTT, Retry, Version Negotiation, 1-RTT).
+    pub skipped_non_initial: u64,
+}
+
+/// Hard caps on the per-flow reassembly buffer: a ClientHello that hasn't
+/// completed within this budget is abandoned as unparseable.
+const MAX_PENDING_BYTES: usize = 8 * 1024;
+const MAX_PENDING_SEGMENTS: u32 = 8;
+/// Cap on concurrently-reassembling flows; beyond it the oldest pending
+/// flow is abandoned (counted as a parse error) so a flood of never-
+/// completing handshakes cannot grow memory without bound.
+const MAX_PENDING_FLOWS: usize = 4096;
+
+/// A passive network eavesdropper.
+#[derive(Debug)]
+pub struct SniObserver {
+    flows: FlowTable,
+    observations: Vec<Observation>,
+    stats: ObserverStats,
+    /// Partial ClientHello bytes per TCP flow, while a handshake spans
+    /// several segments.
+    pending: HashMap<FlowKey, (Vec<u8>, u32)>,
+    /// Insertion order of `pending` keys, for FIFO eviction at the cap.
+    pending_order: std::collections::VecDeque<FlowKey>,
+    /// Whether DNS queries are harvested too (off when modeling a pure
+    /// TLS-only vantage point, on when modeling a DNS provider, §7.2).
+    harvest_dns: bool,
+}
+
+/// Outcome of feeding one TCP segment to the TLS reassembler.
+enum TlsOutcome {
+    /// A hostname was recovered.
+    Hostname(String),
+    /// More segments are needed; the flow stays pending.
+    Incomplete,
+    /// Well-formed ClientHello with no readable name (ECH).
+    Hidden,
+    /// Not a parseable ClientHello (or budget exceeded).
+    Garbage,
+}
+
+impl SniObserver {
+    /// An observer with the default flow table, ignoring DNS.
+    pub fn new() -> Self {
+        Self {
+            flows: FlowTable::default(),
+            observations: Vec::new(),
+            stats: ObserverStats::default(),
+            pending: HashMap::new(),
+            pending_order: std::collections::VecDeque::new(),
+            harvest_dns: false,
+        }
+    }
+
+    /// Also record hostnames from plaintext DNS queries.
+    pub fn with_dns_harvesting(mut self) -> Self {
+        self.harvest_dns = true;
+        self
+    }
+
+    /// Consume one packet; records an observation when a hostname leaks.
+    pub fn process(&mut self, pkt: &Packet) {
+        self.stats.packets += 1;
+        let decision = self.flows.observe(pkt);
+        if decision == FlowDecision::Skip {
+            return;
+        }
+        let key = FlowKey::of(pkt);
+        if decision == FlowDecision::InspectNew {
+            // A fresh flow on this 5-tuple: discard any reassembly state a
+            // previous (evicted) occupant left behind, or its stale bytes
+            // would corrupt this connection's ClientHello.
+            self.pending.remove(&key);
+        }
+        let recovered: Option<(String, HostnameSource)> = match pkt.transport {
+            // TCP: the ClientHello may span several segments — reassemble
+            // per flow until it parses, it is provably hidden/garbage, or
+            // the buffer budget runs out.
+            Transport::Tcp => match self.try_tls(&key, pkt) {
+                TlsOutcome::Hostname(name) => Some((name, HostnameSource::TlsSni)),
+                TlsOutcome::Incomplete => return, // flow stays pending
+                TlsOutcome::Hidden => {
+                    self.stats.hidden += 1;
+                    self.flows.finish(&key);
+                    None
+                }
+                TlsOutcome::Garbage => {
+                    self.stats.parse_errors += 1;
+                    self.flows.finish(&key);
+                    None
+                }
+            },
+            // UDP is datagram-oriented: one shot, no reassembly.
+            Transport::Udp if pkt.dst.port == 53 => {
+                self.flows.finish(&key);
+                if !self.harvest_dns {
+                    return;
+                }
+                match dns::extract_qname(&pkt.payload) {
+                    Ok(name) => Some((name.to_ascii_lowercase(), HostnameSource::DnsQuery)),
+                    Err(_) => {
+                        self.stats.parse_errors += 1;
+                        None
+                    }
+                }
+            }
+            Transport::Udp => {
+                self.flows.finish(&key);
+                match quic::classify(&pkt.payload) {
+                    Ok(quic::QuicPacketKind::Initial) => {
+                        match quic::extract_sni_from_quic(&pkt.payload) {
+                            Ok(Some(name)) => {
+                                Some((name.to_ascii_lowercase(), HostnameSource::QuicSni))
+                            }
+                            Ok(None) => {
+                                self.stats.hidden += 1;
+                                None
+                            }
+                            Err(_) => {
+                                self.stats.parse_errors += 1;
+                                None
+                            }
+                        }
+                    }
+                    // Mid-connection capture: Handshake/0-RTT/1-RTT/Retry
+                    // packets carry no SNI by design — not an error.
+                    Ok(_) => {
+                        self.stats.skipped_non_initial += 1;
+                        None
+                    }
+                    Err(_) => {
+                        self.stats.parse_errors += 1;
+                        None
+                    }
+                }
+            }
+        };
+        if let Some((hostname, source)) = recovered {
+            match source {
+                HostnameSource::TlsSni => self.stats.tls_sni += 1,
+                HostnameSource::QuicSni => self.stats.quic_sni += 1,
+                HostnameSource::DnsQuery => self.stats.dns_names += 1,
+            }
+            self.observations.push(Observation {
+                t_ms: pkt.t_ms,
+                client_ip: pkt.src.ip,
+                hostname,
+                source,
+            });
+        }
+    }
+
+    /// Feed one TCP segment into the per-flow reassembly state.
+    fn try_tls(&mut self, key: &FlowKey, pkt: &Packet) -> TlsOutcome {
+        enum Parsed {
+            Name(String),
+            Hidden,
+            Truncated,
+            Garbage,
+        }
+        let buffered = self.pending.contains_key(key);
+        // Parse against either the lone segment (fast path) or the
+        // accumulated flow buffer; the borrow ends before we mutate state.
+        let parsed = {
+            let attempt: &[u8] = if buffered {
+                let (buf, segments) = self.pending.get_mut(key).expect("checked above");
+                buf.extend_from_slice(&pkt.payload);
+                *segments += 1;
+                buf
+            } else {
+                &pkt.payload
+            };
+            match tls::extract_sni(attempt) {
+                Ok(Some(name)) => Parsed::Name(name.to_ascii_lowercase()),
+                Ok(None) => Parsed::Hidden,
+                Err(ParseError::Truncated) => Parsed::Truncated,
+                Err(_) => Parsed::Garbage,
+            }
+        };
+        match parsed {
+            Parsed::Name(name) => {
+                if buffered {
+                    self.stats.reassembled += 1;
+                    self.pending.remove(key);
+                }
+                self.flows.finish(key);
+                TlsOutcome::Hostname(name)
+            }
+            Parsed::Hidden => {
+                self.pending.remove(key);
+                TlsOutcome::Hidden
+            }
+            Parsed::Truncated => {
+                if buffered {
+                    let (buf, segments) = self.pending.get(key).expect("checked above");
+                    if buf.len() > MAX_PENDING_BYTES || *segments >= MAX_PENDING_SEGMENTS {
+                        self.pending.remove(key);
+                        return TlsOutcome::Garbage;
+                    }
+                } else {
+                    if pkt.payload.len() > MAX_PENDING_BYTES {
+                        return TlsOutcome::Garbage;
+                    }
+                    // Bound concurrent reassemblies: abandon the oldest.
+                    while self.pending.len() >= MAX_PENDING_FLOWS {
+                        match self.pending_order.pop_front() {
+                            Some(old) => {
+                                if self.pending.remove(&old).is_some() {
+                                    self.stats.parse_errors += 1;
+                                    self.flows.finish(&old);
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                    self.pending.insert(*key, (pkt.payload.to_vec(), 1));
+                    self.pending_order.push_back(*key);
+                }
+                TlsOutcome::Incomplete
+            }
+            Parsed::Garbage => {
+                self.pending.remove(key);
+                TlsOutcome::Garbage
+            }
+        }
+    }
+
+    /// Consume a whole stream.
+    pub fn process_stream<'a, I: IntoIterator<Item = &'a Packet>>(&mut self, packets: I) {
+        for p in packets {
+            self.process(p);
+        }
+    }
+
+    /// Everything observed so far, in processing order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Drain the observations, leaving the observer running.
+    pub fn take_observations(&mut self) -> Vec<Observation> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// Group observations into per-client `(time, hostname)` sequences —
+    /// the profiling algorithm's input. Clients are keyed by IP: behind a
+    /// NAT, several users collapse into one sequence, exactly the §7.2
+    /// confusion this substrate lets us quantify.
+    pub fn per_client_sequences(&self) -> HashMap<u32, Vec<(u64, String)>> {
+        let mut map: HashMap<u32, Vec<(u64, String)>> = HashMap::new();
+        for o in &self.observations {
+            map.entry(o.client_ip)
+                .or_default()
+                .push((o.t_ms, o.hostname.clone()));
+        }
+        for seq in map.values_mut() {
+            seq.sort_by_key(|(t, _)| *t);
+        }
+        map
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ObserverStats {
+        self.stats
+    }
+
+    /// Flow-table counters.
+    pub fn flow_stats(&self) -> crate::flow::FlowStats {
+        self.flows.stats()
+    }
+}
+
+impl Default for SniObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Endpoint;
+    use crate::tls::ClientHello;
+    use bytes::Bytes;
+
+    fn tls_packet(t: u64, client_ip: u32, sport: u16, host: &str) -> Packet {
+        Packet {
+            t_ms: t,
+            src: Endpoint::new(client_ip, sport),
+            dst: Endpoint::new(0x0808_0808, 443),
+            transport: Transport::Tcp,
+            payload: Bytes::from(ClientHello::for_hostname(host).encode()),
+        }
+    }
+
+    #[test]
+    fn tls_sni_is_observed_once_per_flow() {
+        let mut obs = SniObserver::new();
+        obs.process(&tls_packet(0, 1, 5000, "espn.com"));
+        // Subsequent data on the same flow must not re-count.
+        let mut follow = tls_packet(5, 1, 5000, "espn.com");
+        follow.payload = Bytes::from_static(&[23, 3, 3, 0, 1, 0]);
+        obs.process(&follow);
+        assert_eq!(obs.observations().len(), 1);
+        assert_eq!(obs.observations()[0].hostname, "espn.com");
+        assert_eq!(obs.stats().tls_sni, 1);
+    }
+
+    #[test]
+    fn quic_and_dns_paths_work() {
+        let mut obs = SniObserver::new().with_dns_harvesting();
+        let quic_pkt = Packet {
+            t_ms: 1,
+            src: Endpoint::new(7, 40000),
+            dst: Endpoint::new(9, 443),
+            transport: Transport::Udp,
+            payload: Bytes::from(crate::quic::InitialPacket::for_hostname("quic.example").encode()),
+        };
+        obs.process(&quic_pkt);
+        let dns_pkt = Packet {
+            t_ms: 2,
+            src: Endpoint::new(7, 40001),
+            dst: Endpoint::new(9, 53),
+            transport: Transport::Udp,
+            payload: Bytes::from(crate::dns::DnsQuery::for_hostname("dns.example").encode()),
+        };
+        obs.process(&dns_pkt);
+        assert_eq!(obs.stats().quic_sni, 1);
+        assert_eq!(obs.stats().dns_names, 1);
+        let seqs = obs.per_client_sequences();
+        assert_eq!(seqs[&7].len(), 2);
+        assert_eq!(seqs[&7][0].1, "quic.example");
+    }
+
+    #[test]
+    fn dns_is_ignored_without_harvesting() {
+        let mut obs = SniObserver::new();
+        let dns_pkt = Packet {
+            t_ms: 2,
+            src: Endpoint::new(7, 40001),
+            dst: Endpoint::new(9, 53),
+            transport: Transport::Udp,
+            payload: Bytes::from(crate::dns::DnsQuery::for_hostname("dns.example").encode()),
+        };
+        obs.process(&dns_pkt);
+        assert!(obs.observations().is_empty());
+    }
+
+    #[test]
+    fn ech_counts_as_hidden_not_error() {
+        let mut obs = SniObserver::new();
+        let pkt = Packet {
+            t_ms: 0,
+            src: Endpoint::new(1, 5000),
+            dst: Endpoint::new(2, 443),
+            transport: Transport::Tcp,
+            payload: Bytes::from(ClientHello::with_ech(64).encode()),
+        };
+        obs.process(&pkt);
+        assert_eq!(obs.stats().hidden, 1);
+        assert_eq!(obs.stats().parse_errors, 0);
+        assert!(obs.observations().is_empty());
+    }
+
+    #[test]
+    fn garbage_counts_as_parse_error() {
+        let mut obs = SniObserver::new();
+        let pkt = Packet {
+            t_ms: 0,
+            src: Endpoint::new(1, 5001),
+            dst: Endpoint::new(2, 443),
+            transport: Transport::Tcp,
+            payload: Bytes::from_static(b"GET / HTTP/1.1\r\n"),
+        };
+        obs.process(&pkt);
+        assert_eq!(obs.stats().parse_errors, 1);
+    }
+
+    #[test]
+    fn sequences_are_time_sorted_per_client() {
+        let mut obs = SniObserver::new();
+        obs.process(&tls_packet(100, 1, 5000, "b.com"));
+        obs.process(&tls_packet(50, 1, 5001, "a.com"));
+        obs.process(&tls_packet(70, 2, 5002, "c.com"));
+        let seqs = obs.per_client_sequences();
+        let names: Vec<&str> = seqs[&1].iter().map(|(_, h)| h.as_str()).collect();
+        assert_eq!(names, vec!["a.com", "b.com"]);
+        assert_eq!(seqs[&2].len(), 1);
+    }
+
+    #[test]
+    fn segmented_client_hello_is_reassembled() {
+        let mut obs = SniObserver::new();
+        let record = ClientHello::for_hostname("segmented.example").encode();
+        let cuts = [record.len() / 3, 2 * record.len() / 3, record.len()];
+        let mut prev = 0usize;
+        for (i, &cut) in cuts.iter().enumerate() {
+            let mut pkt = tls_packet(i as u64, 9, 7000, "ignored");
+            pkt.payload = Bytes::from(record[prev..cut].to_vec());
+            obs.process(&pkt);
+            prev = cut;
+        }
+        assert_eq!(obs.observations().len(), 1);
+        assert_eq!(obs.observations()[0].hostname, "segmented.example");
+        assert_eq!(obs.stats().reassembled, 1);
+        assert_eq!(obs.stats().parse_errors, 0);
+        // A later data segment on the same flow is skipped.
+        let mut follow = tls_packet(10, 9, 7000, "ignored");
+        follow.payload = Bytes::from_static(&[23, 3, 3, 0, 1, 0]);
+        obs.process(&follow);
+        assert_eq!(obs.observations().len(), 1);
+    }
+
+    #[test]
+    fn reassembly_budget_is_bounded() {
+        let mut obs = SniObserver::new();
+        // An endless stream of truncated-looking bytes on one flow: a
+        // record header promising far more data than ever arrives.
+        let mut header = vec![22u8, 3, 1, 0xff, 0xff];
+        header.extend_from_slice(&[1, 0xff, 0xff, 0xff]);
+        for i in 0..40u64 {
+            let mut pkt = tls_packet(i, 3, 7100, "ignored");
+            pkt.payload = if i == 0 {
+                Bytes::from(header.clone())
+            } else {
+                Bytes::from(vec![0u8; 1024])
+            };
+            obs.process(&pkt);
+        }
+        assert_eq!(obs.stats().parse_errors, 1, "abandoned exactly once");
+        assert!(obs.observations().is_empty());
+    }
+
+    #[test]
+    fn interleaved_flows_reassemble_independently() {
+        let mut obs = SniObserver::new();
+        let rec_a = ClientHello::for_hostname("alpha.example").encode();
+        let rec_b = ClientHello::for_hostname("beta.example").encode();
+        let mid_a = rec_a.len() / 2;
+        let mid_b = rec_b.len() / 2;
+        let mut send = |t: u64, sport: u16, bytes: Vec<u8>| {
+            let mut pkt = tls_packet(t, 4, sport, "ignored");
+            pkt.payload = Bytes::from(bytes);
+            obs.process(&pkt);
+        };
+        send(0, 8000, rec_a[..mid_a].to_vec());
+        send(1, 8001, rec_b[..mid_b].to_vec());
+        send(2, 8000, rec_a[mid_a..].to_vec());
+        send(3, 8001, rec_b[mid_b..].to_vec());
+        let names: Vec<&str> = obs
+            .observations()
+            .iter()
+            .map(|o| o.hostname.as_str())
+            .collect();
+        assert_eq!(names, vec!["alpha.example", "beta.example"]);
+        assert_eq!(obs.stats().reassembled, 2);
+    }
+
+    #[test]
+    fn non_initial_quic_packets_are_skipped_not_errors() {
+        let mut obs = SniObserver::new();
+        // A 1-RTT short-header datagram as the first packet of a flow
+        // (mid-connection capture).
+        let pkt = Packet {
+            t_ms: 0,
+            src: Endpoint::new(1, 6000),
+            dst: Endpoint::new(2, 443),
+            transport: Transport::Udp,
+            payload: Bytes::from_static(&[0x41, 9, 9, 9, 9, 9]),
+        };
+        obs.process(&pkt);
+        assert_eq!(obs.stats().skipped_non_initial, 1);
+        assert_eq!(obs.stats().parse_errors, 0);
+        // A Handshake long-header packet on another flow.
+        let pkt2 = Packet {
+            t_ms: 1,
+            src: Endpoint::new(1, 6001),
+            dst: Endpoint::new(2, 443),
+            transport: Transport::Udp,
+            payload: Bytes::from_static(&[0b1110_0000, 0, 0, 0, 1, 0, 0]),
+        };
+        obs.process(&pkt2);
+        assert_eq!(obs.stats().skipped_non_initial, 2);
+    }
+
+    #[test]
+    fn port_reuse_does_not_inherit_stale_reassembly_bytes() {
+        let mut obs = SniObserver::new();
+        // First occupant of the 5-tuple: one truncated segment, then gone.
+        let record = ClientHello::for_hostname("old-flow.example").encode();
+        let mut stale = tls_packet(0, 5, 7200, "ignored");
+        stale.payload = Bytes::from(record[..10].to_vec());
+        obs.process(&stale);
+        // The flow idles out of the table: amortized eviction runs every
+        // 1024 packets, so push 1100 late, unrelated empty segments.
+        for i in 0..1100u64 {
+            let mut tick = tls_packet(
+                10_000_000 + i,
+                99,
+                (1025 + (i % 20_000)) as u16,
+                "x.com",
+            );
+            tick.payload = Bytes::from_static(b"");
+            obs.process(&tick);
+        }
+        // …and a NEW connection reuses the same 5-tuple with a complete,
+        // valid ClientHello. It must parse cleanly, not be appended to the
+        // stale 10 bytes.
+        let mut fresh = tls_packet(100_000_000, 5, 7200, "new-flow.example");
+        fresh.payload = Bytes::from(ClientHello::for_hostname("new-flow.example").encode());
+        obs.process(&fresh);
+        assert!(
+            obs.observations().iter().any(|o| o.hostname == "new-flow.example"),
+            "fresh flow recovered: {:?}",
+            obs.observations()
+        );
+    }
+
+    #[test]
+    fn take_observations_drains() {
+        let mut obs = SniObserver::new();
+        obs.process(&tls_packet(0, 1, 5000, "x.com"));
+        assert_eq!(obs.take_observations().len(), 1);
+        assert!(obs.observations().is_empty());
+        assert_eq!(obs.stats().tls_sni, 1, "stats survive draining");
+    }
+}

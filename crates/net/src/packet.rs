@@ -1,0 +1,94 @@
+//! Packets and endpoints.
+//!
+//! The observer sees traffic as a time-ordered stream of [`Packet`]s, each a
+//! transport 5-tuple plus an opaque payload. Payloads use [`bytes::Bytes`]
+//! so the synthesizer, the flow table and the observer can share buffers
+//! without copying.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    /// TCP segment payload (we only model the first client payload, i.e.
+    /// the TLS ClientHello record).
+    Tcp,
+    /// UDP datagram (QUIC Initial or DNS query).
+    Udp,
+}
+
+/// An IPv4 endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// IPv4 address as a big-endian integer.
+    pub ip: u32,
+    /// Transport port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct from address parts.
+    pub fn new(ip: u32, port: u16) -> Self {
+        Self { ip, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c, d] = self.ip.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}:{}", self.port)
+    }
+}
+
+/// One observed packet (client → server direction; the observer's SNI logic
+/// only needs that direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Capture timestamp, milliseconds.
+    pub t_ms: u64,
+    /// Sender.
+    pub src: Endpoint,
+    /// Receiver.
+    pub dst: Endpoint,
+    /// Transport protocol.
+    pub transport: Transport,
+    /// Transport payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the packet carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_displays_dotted_quad() {
+        let e = Endpoint::new(0xC0A8_0101, 443);
+        assert_eq!(e.to_string(), "192.168.1.1:443");
+    }
+
+    #[test]
+    fn packet_len_tracks_payload() {
+        let p = Packet {
+            t_ms: 0,
+            src: Endpoint::new(1, 1000),
+            dst: Endpoint::new(2, 443),
+            transport: Transport::Tcp,
+            payload: Bytes::from_static(b"abc"),
+        };
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+}

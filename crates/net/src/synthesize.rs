@@ -1,0 +1,364 @@
+//! Traffic synthesis: request events → wire packets.
+//!
+//! The synthetic trace generator (`hostprof-synth`) produces abstract
+//! `(time, client, hostname)` events; this module lowers them to actual
+//! packets so the [`crate::observer::SniObserver`] exercises the same code
+//! path a real eavesdropper would. Protocol choice (TLS-over-TCP vs QUIC),
+//! optional leading DNS queries, ECH adoption and NAT aggregation are all
+//! deterministic functions of the event, keeping experiments reproducible
+//! without threading RNG state through the packet layer.
+
+use crate::dns::DnsQuery;
+use crate::packet::{Endpoint, Packet, Transport};
+use crate::quic::InitialPacket;
+use crate::tls::ClientHello;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// An abstract browsing event to lower onto the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestEvent {
+    /// Event time, milliseconds.
+    pub t_ms: u64,
+    /// Abstract client id (e.g. a `UserId` index).
+    pub client: u32,
+    /// Requested hostname.
+    pub hostname: String,
+}
+
+/// How abstract clients map to source IP addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Addressing {
+    /// One IP per client — the WiFi/mobile-provider vantage point where
+    /// MAC/IMSI separates users (§7.2).
+    PerClient {
+        /// First address of the client range.
+        base_ip: u32,
+    },
+    /// `clients_per_ip` clients share each IP — the landline-ISP-behind-NAT
+    /// vantage point that degrades profiling (§7.2).
+    Nat {
+        /// First address of the NAT pool.
+        base_ip: u32,
+        /// How many clients collapse into one address.
+        clients_per_ip: u32,
+    },
+}
+
+impl Addressing {
+    /// Source IP of a client.
+    pub fn client_ip(&self, client: u32) -> u32 {
+        match *self {
+            Addressing::PerClient { base_ip } => base_ip.wrapping_add(client),
+            Addressing::Nat {
+                base_ip,
+                clients_per_ip,
+            } => base_ip.wrapping_add(client / clients_per_ip.max(1)),
+        }
+    }
+}
+
+/// Lowers request events to packets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficSynthesizer {
+    /// Client → IP mapping.
+    pub addressing: Addressing,
+    /// Fraction of connections using QUIC instead of TLS-over-TCP.
+    pub quic_fraction: f64,
+    /// Fraction of connections preceded by a plaintext DNS query.
+    pub dns_fraction: f64,
+    /// Fraction of TLS-over-TCP connections hiding the name with ECH.
+    /// Applies to the TCP path only — to model full ECH adoption set
+    /// `quic_fraction` to 0 as well (QUIC Initials here always carry a
+    /// readable ClientHello), as `ObserverScenario::with_ech` does.
+    pub ech_fraction: f64,
+    /// Fraction of TLS connections whose ClientHello record is split
+    /// across 2–3 TCP segments (exercises the observer's reassembly).
+    pub tcp_fragment_fraction: f64,
+    /// When set, DNS lookups use DoH: instead of a plaintext UDP/53 query
+    /// the client opens a TLS connection to this resolver hostname — the
+    /// observer sees only the resolver's SNI (§7.2's DoH/DoT point).
+    pub doh_resolver: Option<String>,
+}
+
+impl Default for TrafficSynthesizer {
+    fn default() -> Self {
+        Self {
+            addressing: Addressing::PerClient { base_ip: 0x0a00_0000 },
+            quic_fraction: 0.25,
+            dns_fraction: 0.0,
+            ech_fraction: 0.0,
+            tcp_fragment_fraction: 0.15,
+            doh_resolver: None,
+        }
+    }
+}
+
+/// SplitMix64: cheap deterministic per-event hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn hash_hostname(hostname: &str) -> u64 {
+    crate::wire::fnv1a(hostname.as_bytes())
+}
+
+impl TrafficSynthesizer {
+    /// Lower one event to its packet(s): optionally a DNS query, then the
+    /// connection's first payload (TLS record or QUIC Initial).
+    pub fn packets_for(&self, ev: &RequestEvent) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(2);
+        let hhash = hash_hostname(&ev.hostname);
+        let ehash = splitmix64(
+            hhash ^ splitmix64(ev.t_ms) ^ (ev.client as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+        );
+        let src_ip = self.addressing.client_ip(ev.client);
+        // Ephemeral port: unique-ish per event so each request is its own
+        // flow even from behind a NAT.
+        let sport = 32_768 + (ehash % 28_000) as u16;
+        let server_ip = 0x5000_0000 | (hhash as u32 & 0x00ff_ffff);
+
+        let frac = |salt: u64| -> f64 {
+            (splitmix64(ehash ^ salt) >> 11) as f64 / (1u64 << 53) as f64
+        };
+
+        if frac(0xD45) < self.dns_fraction {
+            match &self.doh_resolver {
+                // DoH: the query travels inside TLS to the resolver; only
+                // the resolver's own SNI is visible on the wire.
+                Some(resolver) => out.push(Packet {
+                    t_ms: ev.t_ms.saturating_sub(15),
+                    src: Endpoint::new(src_ip, sport.wrapping_sub(1).max(1024)),
+                    dst: Endpoint::new(0x0808_0808, 443),
+                    transport: Transport::Tcp,
+                    payload: Bytes::from(ClientHello::for_hostname(resolver).encode()),
+                }),
+                None => out.push(Packet {
+                    t_ms: ev.t_ms.saturating_sub(15),
+                    src: Endpoint::new(src_ip, sport.wrapping_sub(1).max(1024)),
+                    dst: Endpoint::new(0x0808_0808, 53),
+                    transport: Transport::Udp,
+                    payload: Bytes::from(DnsQuery::for_hostname(&ev.hostname).encode()),
+                }),
+            }
+        }
+
+        if frac(0x901C) < self.quic_fraction {
+            out.push(Packet {
+                t_ms: ev.t_ms,
+                src: Endpoint::new(src_ip, sport),
+                dst: Endpoint::new(server_ip, 443),
+                transport: Transport::Udp,
+                payload: Bytes::from(InitialPacket::for_hostname(&ev.hostname).encode()),
+            });
+        } else {
+            let hello = if frac(0xEC4) < self.ech_fraction {
+                ClientHello::with_ech(96)
+            } else {
+                ClientHello::for_hostname(&ev.hostname)
+            };
+            let record = hello.encode();
+            let src_ep = Endpoint::new(src_ip, sport);
+            let dst_ep = Endpoint::new(server_ip, 443);
+            if frac(0xF7A6) < self.tcp_fragment_fraction && record.len() > 8 {
+                // Split into 2 or 3 segments at deterministic cut points.
+                let parts = 2 + (splitmix64(ehash ^ 0x5e6) % 2) as usize;
+                let mut cuts: Vec<usize> = (1..parts)
+                    .map(|k| {
+                        let base = record.len() * k / parts;
+                        // Jitter the cut a little so it rarely lands on a
+                        // structure boundary.
+                        (base + (splitmix64(ehash ^ k as u64) % 5) as usize)
+                            .min(record.len() - 1)
+                            .max(1)
+                    })
+                    .collect();
+                cuts.push(record.len());
+                cuts.sort_unstable();
+                cuts.dedup();
+                let mut prev = 0usize;
+                for (i, &cut) in cuts.iter().enumerate() {
+                    out.push(Packet {
+                        t_ms: ev.t_ms + i as u64,
+                        src: src_ep,
+                        dst: dst_ep,
+                        transport: Transport::Tcp,
+                        payload: Bytes::from(record[prev..cut].to_vec()),
+                    });
+                    prev = cut;
+                }
+            } else {
+                out.push(Packet {
+                    t_ms: ev.t_ms,
+                    src: src_ep,
+                    dst: dst_ep,
+                    transport: Transport::Tcp,
+                    payload: Bytes::from(record),
+                });
+            }
+        }
+        out
+    }
+
+    /// Lower a whole event stream, preserving time order.
+    pub fn synthesize<'a, I>(&self, events: I) -> Vec<Packet>
+    where
+        I: IntoIterator<Item = &'a RequestEvent>,
+    {
+        let mut out: Vec<Packet> = events
+            .into_iter()
+            .flat_map(|ev| self.packets_for(ev))
+            .collect();
+        out.sort_by_key(|p| p.t_ms);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::SniObserver;
+
+    fn ev(t: u64, client: u32, host: &str) -> RequestEvent {
+        RequestEvent {
+            t_ms: t,
+            client,
+            hostname: host.to_string(),
+        }
+    }
+
+    #[test]
+    fn per_client_addressing_is_unique() {
+        let a = Addressing::PerClient { base_ip: 100 };
+        assert_eq!(a.client_ip(0), 100);
+        assert_eq!(a.client_ip(5), 105);
+    }
+
+    #[test]
+    fn nat_addressing_collapses_clients() {
+        let a = Addressing::Nat {
+            base_ip: 100,
+            clients_per_ip: 4,
+        };
+        assert_eq!(a.client_ip(0), a.client_ip(3));
+        assert_ne!(a.client_ip(3), a.client_ip(4));
+    }
+
+    #[test]
+    fn synthesized_traffic_roundtrips_through_the_observer() {
+        let synth = TrafficSynthesizer::default();
+        let events: Vec<RequestEvent> = (0..200)
+            .map(|i| ev(i * 10, (i % 7) as u32, &format!("site{}.example.com", i % 23)))
+            .collect();
+        let packets = synth.synthesize(&events);
+        let mut obs = SniObserver::new();
+        obs.process_stream(&packets);
+        // Every event leaks its hostname (no ECH, no DNS-only losses).
+        assert_eq!(obs.observations().len(), events.len());
+        let stats = obs.stats();
+        assert!(stats.quic_sni > 0, "some connections use QUIC");
+        assert!(stats.tls_sni > 0, "some connections use TCP TLS");
+        assert_eq!(stats.parse_errors, 0);
+    }
+
+    #[test]
+    fn ech_fraction_hides_hostnames() {
+        let synth = TrafficSynthesizer {
+            quic_fraction: 0.0,
+            ech_fraction: 1.0,
+            ..Default::default()
+        };
+        let packets = synth.synthesize(&[ev(0, 1, "secret.example")]);
+        let mut obs = SniObserver::new();
+        obs.process_stream(&packets);
+        assert!(obs.observations().is_empty());
+        assert_eq!(obs.stats().hidden, 1);
+    }
+
+    #[test]
+    fn dns_fraction_emits_leading_queries() {
+        let synth = TrafficSynthesizer {
+            dns_fraction: 1.0,
+            quic_fraction: 0.0,
+            ..Default::default()
+        };
+        let packets = synth.synthesize(&[ev(100, 1, "lookup.example")]);
+        assert_eq!(packets.len(), 2);
+        assert_eq!(packets[0].dst.port, 53);
+        assert!(packets[0].t_ms <= packets[1].t_ms);
+        let mut obs = SniObserver::new().with_dns_harvesting();
+        obs.process_stream(&packets);
+        assert_eq!(obs.stats().dns_names, 1);
+        assert_eq!(obs.stats().tls_sni, 1);
+    }
+
+    #[test]
+    fn fragmented_tls_still_roundtrips() {
+        let synth = TrafficSynthesizer {
+            quic_fraction: 0.0,
+            tcp_fragment_fraction: 1.0,
+            ..Default::default()
+        };
+        let events: Vec<RequestEvent> =
+            (0..100).map(|i| ev(i * 10, 1, &format!("frag{i}.example.com"))).collect();
+        let packets = synth.synthesize(&events);
+        assert!(packets.len() > events.len(), "records were split");
+        let mut obs = SniObserver::new();
+        obs.process_stream(&packets);
+        assert_eq!(obs.observations().len(), events.len());
+        assert_eq!(obs.stats().parse_errors, 0);
+        assert_eq!(obs.stats().reassembled as usize, events.len());
+    }
+
+    #[test]
+    fn doh_hides_query_names_behind_the_resolver() {
+        let synth = TrafficSynthesizer {
+            dns_fraction: 1.0,
+            quic_fraction: 0.0,
+            ech_fraction: 1.0, // the page connections hide their names too
+            doh_resolver: Some("dns.resolver.example".to_string()),
+            ..Default::default()
+        };
+        let packets = synth.synthesize(&[ev(100, 1, "secret.example")]);
+        let mut obs = SniObserver::new().with_dns_harvesting();
+        obs.process_stream(&packets);
+        // The only hostname visible is the resolver's.
+        let names: Vec<&str> = obs
+            .observations()
+            .iter()
+            .map(|o| o.hostname.as_str())
+            .collect();
+        assert_eq!(names, vec!["dns.resolver.example"]);
+        assert_eq!(obs.stats().dns_names, 0, "no plaintext DNS on the wire");
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let synth = TrafficSynthesizer::default();
+        let events = vec![ev(0, 1, "a.com"), ev(10, 2, "b.com")];
+        assert_eq!(synth.synthesize(&events), synth.synthesize(&events));
+    }
+
+    #[test]
+    fn nat_merges_sequences_at_the_observer() {
+        let synth = TrafficSynthesizer {
+            addressing: Addressing::Nat {
+                base_ip: 50,
+                clients_per_ip: 2,
+            },
+            quic_fraction: 0.0,
+            ..Default::default()
+        };
+        let events = vec![ev(0, 0, "a.com"), ev(10, 1, "b.com"), ev(20, 2, "c.com")];
+        let packets = synth.synthesize(&events);
+        let mut obs = SniObserver::new();
+        obs.process_stream(&packets);
+        let seqs = obs.per_client_sequences();
+        assert_eq!(seqs.len(), 2, "clients 0 and 1 share an IP");
+        assert_eq!(seqs[&50].len(), 2);
+        assert_eq!(seqs[&51].len(), 1);
+    }
+}

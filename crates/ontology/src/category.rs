@@ -1,0 +1,71 @@
+//! Category identifiers.
+//!
+//! The harmonized ontology (paper Section 5.4) has 328 second-level
+//! categories grouped under 34 top-level topics. [`CategoryId`] indexes the
+//! harmonized set `C`; [`TopCategoryId`] indexes the top-level topics used
+//! for the Figure 6 timelines.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a harmonized (level ≤ 2) category, `0 .. HARMONIZED_CATEGORIES`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CategoryId(pub u16);
+
+/// Index of a top-level topic, `0 .. TOP_CATEGORIES`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TopCategoryId(pub u8);
+
+impl CategoryId {
+    /// The raw index, convenient for dense-array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TopCategoryId {
+    /// The raw index, convenient for dense-array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CategoryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl std::fmt::Display for TopCategoryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = CategoryId(3);
+        let b = CategoryId(7);
+        assert!(a < b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        set.insert(b);
+        set.insert(CategoryId(3));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(CategoryId(12).to_string(), "c12");
+        assert_eq!(TopCategoryId(4).to_string(), "t4");
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the ontology's data structures.
+
+use hostprof_ontology::{Blocklist, BlocklistProvider, CategoryId, CategoryVector, Ontology};
+use proptest::prelude::*;
+
+fn pairs() -> impl Strategy<Value = Vec<(CategoryId, f32)>> {
+    proptest::collection::vec((0u16..328, -0.5f32..1.5), 0..16)
+        .prop_map(|v| v.into_iter().map(|(c, w)| (CategoryId(c), w)).collect())
+}
+
+proptest! {
+    #[test]
+    fn from_pairs_is_idempotent(p in pairs()) {
+        let v = CategoryVector::from_pairs(p);
+        let again = CategoryVector::from_pairs(v.iter().collect());
+        prop_assert_eq!(v, again);
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_self_cosine_is_one(p in pairs()) {
+        let v = CategoryVector::from_pairs(p);
+        if !v.is_empty() {
+            prop_assert!((v.cosine(&v) - 1.0).abs() < 1e-5);
+        }
+        let w = CategoryVector::singleton(CategoryId(0));
+        let c = v.cosine(&w);
+        prop_assert!((-1.0..=1.0001).contains(&c));
+    }
+
+    #[test]
+    fn euclidean_satisfies_identity_and_symmetry(a in pairs(), b in pairs()) {
+        let va = CategoryVector::from_pairs(a);
+        let vb = CategoryVector::from_pairs(b);
+        prop_assert!(va.euclidean(&va) < 1e-5);
+        prop_assert!((va.euclidean(&vb) - vb.euclidean(&va)).abs() < 1e-5);
+        prop_assert!(va.euclidean(&vb) >= 0.0);
+    }
+
+    #[test]
+    fn subdomains_of_blocked_hosts_are_blocked(
+        host in "[a-z]{2,8}\\.[a-z]{2,4}",
+        sub in "[a-z]{1,8}",
+    ) {
+        let b = Blocklist::from_providers(vec![BlocklistProvider::new("p", [host.as_str()])]);
+        let one_level = format!("{sub}.{host}");
+        let two_level = format!("{sub}.{sub}.{host}");
+        prop_assert!(b.is_blocked(&host));
+        prop_assert!(b.is_blocked(&one_level));
+        prop_assert!(b.is_blocked(&two_level));
+    }
+
+    #[test]
+    fn ontology_lookup_is_case_insensitive_total(
+        host in "[a-zA-Z]{2,10}\\.[a-z]{2,4}",
+        cat in 0u16..328,
+    ) {
+        let mut o = Ontology::new();
+        o.insert(&host, CategoryVector::singleton(CategoryId(cat)));
+        prop_assert!(o.is_labeled(&host.to_ascii_lowercase()));
+        prop_assert!(o.is_labeled(&host.to_ascii_uppercase()));
+        let stats = o.coverage([host.as_str()]);
+        prop_assert_eq!(stats.labeled, 1);
+        prop_assert_eq!(stats.universe, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Complementary CDFs (survival functions).
+//!
+//! Figures 2 and 3 of the paper plot, for each threshold `N`, the fraction
+//! of users who visited *at least* `N` hostnames (resp. categories) outside
+//! a popularity core. [`Ccdf`] provides exactly those queries plus the
+//! inverse ("how many hostnames do the top 25 % of users exceed?").
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical survival function over a sample of counts.
+///
+/// ```
+/// use hostprof_stats::Ccdf;
+/// // "75% of the users visit at least N hostnames":
+/// let ccdf = Ccdf::from_counts([120usize, 300, 450, 900]);
+/// assert_eq!(ccdf.fraction_at_least(300.0), 0.75);
+/// assert_eq!(ccdf.value_at_fraction(0.75), Some(300.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ccdf {
+    /// Sorted ascending sample.
+    sorted: Vec<f64>,
+}
+
+impl Ccdf {
+    /// Build from any sample (order irrelevant, NaNs rejected).
+    ///
+    /// # Panics
+    /// Panics if the sample contains NaN.
+    pub fn new<I: IntoIterator<Item = f64>>(sample: I) -> Self {
+        let mut sorted: Vec<f64> = sample.into_iter().collect();
+        assert!(
+            sorted.iter().all(|x| !x.is_nan()),
+            "CCDF sample must not contain NaN"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self { sorted }
+    }
+
+    /// Convenience constructor from integer counts.
+    pub fn from_counts<I: IntoIterator<Item = usize>>(sample: I) -> Self {
+        Self::new(sample.into_iter().map(|c| c as f64))
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≥ x)`: fraction of the sample at or above `x`.
+    pub fn fraction_at_least(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse survival: the largest value `x` such that at least
+    /// `fraction` of the sample is ≥ `x`. This answers the paper's reading
+    /// "75 % of the users visit at least 217 hostnames".
+    pub fn value_at_fraction(&self, fraction: f64) -> Option<f64> {
+        if self.sorted.is_empty() || fraction <= 0.0 {
+            return self.sorted.last().copied();
+        }
+        if fraction >= 1.0 {
+            return self.sorted.first().copied();
+        }
+        // We need the k-th largest where k = ceil(fraction * n).
+        let n = self.sorted.len();
+        let k = (fraction * n as f64).ceil() as usize;
+        let k = k.clamp(1, n);
+        Some(self.sorted[n - k])
+    }
+
+    /// The survival curve as `(value, fraction ≥ value)` points at each
+    /// distinct sample value, ascending — directly plottable as Figure 2/3.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let n = self.sorted.len() as f64;
+        let mut i = 0usize;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            let frac = (self.sorted.len() - i) as f64 / n;
+            out.push((v, frac));
+            while i < self.sorted.len() && self.sorted[i] == v {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_at_least_counts_ties_correctly() {
+        let c = Ccdf::from_counts([1, 2, 2, 3, 10]);
+        assert_eq!(c.fraction_at_least(0.0), 1.0);
+        assert_eq!(c.fraction_at_least(2.0), 0.8);
+        assert_eq!(c.fraction_at_least(3.0), 0.4);
+        assert_eq!(c.fraction_at_least(11.0), 0.0);
+    }
+
+    #[test]
+    fn value_at_fraction_inverts_the_survival() {
+        // 100 users with counts 1..=100.
+        let c = Ccdf::from_counts(1..=100usize);
+        // 75 % of users have at least 26 (users 26..=100).
+        assert_eq!(c.value_at_fraction(0.75), Some(26.0));
+        assert_eq!(c.value_at_fraction(0.25), Some(76.0));
+        // Consistency: fraction at that value is ≥ requested.
+        let v = c.value_at_fraction(0.75).unwrap();
+        assert!(c.fraction_at_least(v) >= 0.75);
+    }
+
+    #[test]
+    fn extreme_fractions_hit_the_endpoints() {
+        let c = Ccdf::from_counts([5, 7, 9]);
+        assert_eq!(c.value_at_fraction(1.0), Some(5.0));
+        assert_eq!(c.value_at_fraction(0.0), Some(9.0));
+    }
+
+    #[test]
+    fn points_trace_the_curve() {
+        let c = Ccdf::from_counts([1, 1, 2, 4]);
+        let pts = c.points();
+        assert_eq!(pts, vec![(1.0, 1.0), (2.0, 0.5), (4.0, 0.25)]);
+    }
+
+    #[test]
+    fn empty_sample_behaves() {
+        let c = Ccdf::new(std::iter::empty());
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at_least(1.0), 0.0);
+        assert_eq!(c.value_at_fraction(0.5), None);
+        assert!(c.points().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Ccdf::new([1.0, f64::NAN]);
+    }
+}

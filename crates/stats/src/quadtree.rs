@@ -1,0 +1,295 @@
+//! A 2-D quadtree for Barnes–Hut force approximation.
+//!
+//! Each node stores the center of mass and point count of its subtree;
+//! traversal can then treat any well-separated cell as a single body. Used
+//! by [`crate::bhtsne`] to approximate the O(n²) repulsive term of the
+//! t-SNE gradient in O(n log n).
+
+/// Index of a node inside the arena.
+type NodeId = usize;
+
+/// Marker for "no child".
+const NONE: NodeId = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Cell bounds.
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+    /// Sum of member coordinates (center of mass = sum / count).
+    sum_x: f64,
+    sum_y: f64,
+    /// Members in this subtree.
+    count: usize,
+    /// A point held directly by this leaf (before it splits).
+    point: Option<(f64, f64)>,
+    /// Child cells (NW, NE, SW, SE), `NONE` when absent.
+    children: [NodeId; 4],
+}
+
+impl Node {
+    fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+            sum_x: 0.0,
+            sum_y: 0.0,
+            count: 0,
+            point: None,
+            children: [NONE; 4],
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children == [NONE; 4]
+    }
+
+    fn quadrant(&self, x: f64, y: f64) -> usize {
+        let mid_x = (self.min_x + self.max_x) / 2.0;
+        let mid_y = (self.min_y + self.max_y) / 2.0;
+        match (x < mid_x, y < mid_y) {
+            (true, true) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (false, false) => 3,
+        }
+    }
+
+    fn child_bounds(&self, quadrant: usize) -> (f64, f64, f64, f64) {
+        let mid_x = (self.min_x + self.max_x) / 2.0;
+        let mid_y = (self.min_y + self.max_y) / 2.0;
+        match quadrant {
+            0 => (self.min_x, self.min_y, mid_x, mid_y),
+            1 => (mid_x, self.min_y, self.max_x, mid_y),
+            2 => (self.min_x, mid_y, mid_x, self.max_y),
+            _ => (mid_x, mid_y, self.max_x, self.max_y),
+        }
+    }
+}
+
+/// An arena-allocated quadtree over a fixed point set.
+#[derive(Debug)]
+pub struct QuadTree {
+    nodes: Vec<Node>,
+    /// Maximum tree depth; identical points stack in a leaf beyond it.
+    max_depth: usize,
+}
+
+impl QuadTree {
+    /// Build a tree over `points` (slice of `(x, y)`).
+    pub fn build(points: &[(f64, f64)]) -> Self {
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in points {
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        if points.is_empty() {
+            (min_x, min_y, max_x, max_y) = (0.0, 0.0, 1.0, 1.0);
+        }
+        // Grow bounds slightly so max-coordinate points fall inside.
+        let pad_x = ((max_x - min_x).abs()).max(1e-9) * 1e-3;
+        let pad_y = ((max_y - min_y).abs()).max(1e-9) * 1e-3;
+        let mut tree = Self {
+            nodes: vec![Node::new(
+                min_x - pad_x,
+                min_y - pad_y,
+                max_x + pad_x,
+                max_y + pad_y,
+            )],
+            max_depth: 64,
+        };
+        for &(x, y) in points {
+            tree.insert(x, y);
+        }
+        tree
+    }
+
+    fn insert(&mut self, x: f64, y: f64) {
+        let mut node = 0;
+        let mut depth = 0;
+        loop {
+            self.nodes[node].sum_x += x;
+            self.nodes[node].sum_y += y;
+            self.nodes[node].count += 1;
+            if depth >= self.max_depth {
+                // Degenerate stack of (near-)identical points: absorb into
+                // the aggregate without splitting further.
+                return;
+            }
+            if self.nodes[node].is_leaf() {
+                match self.nodes[node].point {
+                    None if self.nodes[node].count == 1 => {
+                        self.nodes[node].point = Some((x, y));
+                        return;
+                    }
+                    _ => {
+                        // Split: push the resident point down, then continue
+                        // inserting the new one.
+                        if let Some((px, py)) = self.nodes[node].point.take() {
+                            let q = self.nodes[node].quadrant(px, py);
+                            let child = self.ensure_child(node, q);
+                            self.nodes[child].sum_x += px;
+                            self.nodes[child].sum_y += py;
+                            self.nodes[child].count += 1;
+                            self.nodes[child].point = Some((px, py));
+                        }
+                    }
+                }
+            }
+            let q = self.nodes[node].quadrant(x, y);
+            node = self.ensure_child(node, q);
+            depth += 1;
+        }
+    }
+
+    fn ensure_child(&mut self, node: NodeId, quadrant: usize) -> NodeId {
+        if self.nodes[node].children[quadrant] == NONE {
+            let (min_x, min_y, max_x, max_y) = self.nodes[node].child_bounds(quadrant);
+            self.nodes.push(Node::new(min_x, min_y, max_x, max_y));
+            let id = self.nodes.len() - 1;
+            self.nodes[node].children[quadrant] = id;
+        }
+        self.nodes[node].children[quadrant]
+    }
+
+    /// Points inserted.
+    pub fn len(&self) -> usize {
+        self.nodes[0].count
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accumulate the Barnes–Hut approximation of the t-SNE repulsive
+    /// force on `(x, y)`: calls `visit(count, com_x, com_y)` for every
+    /// accepted cell (well-separated under `theta`) or individual point.
+    /// The visited body may include the query point itself when it is a
+    /// member; callers subtract the self-interaction (q=1 at d=0) instead,
+    /// which is the standard BH-SNE bookkeeping.
+    pub fn for_each_body<F: FnMut(usize, f64, f64)>(
+        &self,
+        x: f64,
+        y: f64,
+        theta: f64,
+        visit: &mut F,
+    ) {
+        self.walk(0, x, y, theta, visit);
+    }
+
+    fn walk<F: FnMut(usize, f64, f64)>(
+        &self,
+        node: NodeId,
+        x: f64,
+        y: f64,
+        theta: f64,
+        visit: &mut F,
+    ) {
+        let n = &self.nodes[node];
+        if n.count == 0 {
+            return;
+        }
+        let com_x = n.sum_x / n.count as f64;
+        let com_y = n.sum_y / n.count as f64;
+        let cell = (n.max_x - n.min_x).max(n.max_y - n.min_y);
+        let dist2 = (x - com_x) * (x - com_x) + (y - com_y) * (y - com_y);
+        let well_separated = cell * cell < theta * theta * dist2;
+        if n.is_leaf() || well_separated {
+            visit(n.count, com_x, com_y);
+            return;
+        }
+        for &child in &n.children {
+            if child != NONE {
+                self.walk(child, x, y, theta, visit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i as f64, j as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn tree_counts_every_point() {
+        let pts = grid(8);
+        let tree = QuadTree::build(&pts);
+        assert_eq!(tree.len(), 64);
+    }
+
+    #[test]
+    fn theta_zero_visits_every_point_individually() {
+        let pts = grid(4);
+        let tree = QuadTree::build(&pts);
+        let mut total = 0usize;
+        let mut bodies = 0usize;
+        tree.for_each_body(100.0, 100.0, 0.0, &mut |count, _, _| {
+            total += count;
+            bodies += 1;
+        });
+        assert_eq!(total, 16, "every point accounted for");
+        assert_eq!(bodies, 16, "theta=0 never aggregates");
+    }
+
+    #[test]
+    fn large_theta_aggregates_distant_cells() {
+        let pts = grid(8);
+        let tree = QuadTree::build(&pts);
+        let mut bodies = 0usize;
+        let mut total = 0usize;
+        // Query far away: the whole tree should collapse to few bodies.
+        tree.for_each_body(1e6, 1e6, 0.8, &mut |count, _, _| {
+            bodies += 1;
+            total += count;
+        });
+        assert_eq!(total, 64, "mass conserved");
+        assert!(bodies <= 4, "distant mass aggregates: {bodies} bodies");
+    }
+
+    #[test]
+    fn center_of_mass_is_exact_for_full_aggregation() {
+        let pts = vec![(0.0, 0.0), (2.0, 0.0), (0.0, 2.0), (2.0, 2.0)];
+        let tree = QuadTree::build(&pts);
+        let mut seen = Vec::new();
+        tree.for_each_body(1e9, 1e9, 1.0, &mut |count, cx, cy| {
+            seen.push((count, cx, cy));
+        });
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, 4);
+        assert!((seen[0].1 - 1.0).abs() < 1e-12);
+        assert!((seen[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_do_not_recurse_forever() {
+        let pts = vec![(1.0, 1.0); 1000];
+        let tree = QuadTree::build(&pts);
+        assert_eq!(tree.len(), 1000);
+        let mut total = 0usize;
+        tree.for_each_body(0.0, 0.0, 0.5, &mut |count, _, _| total += count);
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn empty_tree_is_harmless() {
+        let tree = QuadTree::build(&[]);
+        assert!(tree.is_empty());
+        let mut called = false;
+        tree.for_each_body(0.0, 0.0, 0.5, &mut |_, _, _| called = true);
+        assert!(!called);
+    }
+}

@@ -1,0 +1,355 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008).
+//!
+//! Figure 4 of the paper projects the 100-dimensional hostname embeddings
+//! to 2-D with t-SNE. This is the reference O(n²) algorithm: Gaussian
+//! input affinities with per-point bandwidths found by binary search on the
+//! target perplexity, Student-t output affinities, gradient descent with
+//! early exaggeration, momentum switching and adaptive per-parameter gains —
+//! the same recipe as the canonical implementation. At the paper's Figure 4
+//! scale (~3 K second-level domains) exact t-SNE is perfectly feasible.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TsneConfig {
+    /// Target perplexity of the input affinities.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate (η).
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub early_exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 500,
+            learning_rate: 200.0,
+            early_exaggeration: 12.0,
+            seed: 0x7e5e_0001,
+        }
+    }
+}
+
+/// The t-SNE reducer.
+#[derive(Debug, Clone)]
+pub struct Tsne {
+    config: TsneConfig,
+}
+
+impl Tsne {
+    /// Create with a config.
+    pub fn new(config: TsneConfig) -> Self {
+        Self { config }
+    }
+
+    /// Embed `n = points.len() / dim` row-major points into 2-D.
+    ///
+    /// Returns one `(x, y)` per input point.
+    ///
+    /// # Panics
+    /// Panics when `points.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn embed(&self, points: &[f32], dim: usize) -> Vec<(f64, f64)> {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(points.len() % dim, 0, "points must be n × dim");
+        let n = points.len() / dim;
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![(0.0, 0.0)];
+        }
+
+        let p = self.joint_affinities(points, dim, n);
+        self.gradient_descent(&p, n)
+    }
+
+    /// Symmetrized joint input affinities `P`, row-major n×n.
+    fn joint_affinities(&self, points: &[f32], dim: usize, n: usize) -> Vec<f64> {
+        // Pairwise squared distances.
+        let mut d2 = vec![0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut s = 0f64;
+                for k in 0..dim {
+                    let diff = (points[i * dim + k] - points[j * dim + k]) as f64;
+                    s += diff * diff;
+                }
+                d2[i * n + j] = s;
+                d2[j * n + i] = s;
+            }
+        }
+
+        // Conditional affinities with per-point bandwidth search.
+        let target_entropy = self.config.perplexity.max(1.0).ln();
+        let mut p = vec![0f64; n * n];
+        for i in 0..n {
+            let row = &d2[i * n..(i + 1) * n];
+            let mut beta = 1.0f64;
+            let (mut beta_lo, mut beta_hi) = (f64::NEG_INFINITY, f64::INFINITY);
+            for _ in 0..50 {
+                // Entropy and unnormalized affinities at this beta.
+                let mut sum = 0f64;
+                let mut dsum = 0f64; // Σ p_j * d_j (for entropy)
+                for (j, &d) in row.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let pj = (-d * beta).exp();
+                    sum += pj;
+                    dsum += pj * d;
+                }
+                if sum <= 0.0 {
+                    break;
+                }
+                let entropy = beta * dsum / sum + sum.ln();
+                let diff = entropy - target_entropy;
+                if diff.abs() < 1e-5 {
+                    break;
+                }
+                if diff > 0.0 {
+                    beta_lo = beta;
+                    beta = if beta_hi.is_finite() {
+                        (beta + beta_hi) / 2.0
+                    } else {
+                        beta * 2.0
+                    };
+                } else {
+                    beta_hi = beta;
+                    beta = if beta_lo.is_finite() {
+                        (beta + beta_lo) / 2.0
+                    } else {
+                        beta / 2.0
+                    };
+                }
+            }
+            let mut sum = 0f64;
+            for (j, &d) in row.iter().enumerate() {
+                if j != i {
+                    let pj = (-d * beta).exp();
+                    p[i * n + j] = pj;
+                    sum += pj;
+                }
+            }
+            if sum > 0.0 {
+                for j in 0..n {
+                    p[i * n + j] /= sum;
+                }
+            }
+        }
+
+        // Symmetrize and normalize to a joint distribution.
+        let mut joint = vec![0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+            }
+            joint[i * n + i] = 1e-12;
+        }
+        joint
+    }
+
+    fn gradient_descent(&self, p: &[f64], n: usize) -> Vec<(f64, f64)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut y = vec![0f64; n * 2];
+        for v in &mut y {
+            // Small Gaussian init via Box–Muller.
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            *v = 1e-4 * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+        let mut velocity = vec![0f64; n * 2];
+        let mut gains = vec![1f64; n * 2];
+        let exag_until = self.config.iterations / 4;
+        let mut grad = vec![0f64; n * 2];
+        let mut qnum = vec![0f64; n * n];
+
+        for iter in 0..self.config.iterations {
+            let exag = if iter < exag_until {
+                self.config.early_exaggeration
+            } else {
+                1.0
+            };
+            let momentum = if iter < self.config.iterations / 2 {
+                0.5
+            } else {
+                0.8
+            };
+
+            // Student-t numerators and their sum.
+            let mut z = 0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let dx = y[i * 2] - y[j * 2];
+                    let dy = y[i * 2 + 1] - y[j * 2 + 1];
+                    let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                    qnum[i * n + j] = q;
+                    qnum[j * n + i] = q;
+                    z += 2.0 * q;
+                }
+            }
+            let z = z.max(1e-12);
+
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let q = qnum[i * n + j];
+                    let mult = (exag * p[i * n + j] - q / z) * q;
+                    grad[i * 2] += 4.0 * mult * (y[i * 2] - y[j * 2]);
+                    grad[i * 2 + 1] += 4.0 * mult * (y[i * 2 + 1] - y[j * 2 + 1]);
+                }
+            }
+
+            // Adaptive gains + momentum update.
+            for k in 0..n * 2 {
+                let same_sign = grad[k].signum() == velocity[k].signum();
+                gains[k] = if same_sign {
+                    (gains[k] * 0.8).max(0.01)
+                } else {
+                    gains[k] + 0.2
+                };
+                velocity[k] =
+                    momentum * velocity[k] - self.config.learning_rate * gains[k] * grad[k];
+                y[k] += velocity[k];
+            }
+
+            // Re-center.
+            let (mut cx, mut cy) = (0f64, 0f64);
+            for i in 0..n {
+                cx += y[i * 2];
+                cy += y[i * 2 + 1];
+            }
+            cx /= n as f64;
+            cy /= n as f64;
+            for i in 0..n {
+                y[i * 2] -= cx;
+                y[i * 2 + 1] -= cy;
+            }
+        }
+
+        (0..n).map(|i| (y[i * 2], y[i * 2 + 1])).collect()
+    }
+}
+
+impl Default for Tsne {
+    fn default() -> Self {
+        Self::new(TsneConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 10-D.
+    fn blobs(n_per: usize) -> (Vec<f32>, usize) {
+        let dim = 10;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut pts = Vec::with_capacity(2 * n_per * dim);
+        for blob in 0..2 {
+            for _ in 0..n_per {
+                for k in 0..dim {
+                    let center = if blob == 0 { 0.0 } else { 8.0 };
+                    let jitter: f32 = rng.gen::<f32>() - 0.5;
+                    pts.push(center + jitter + k as f32 * 0.0);
+                }
+            }
+        }
+        (pts, dim)
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated_in_2d() {
+        let (pts, dim) = blobs(30);
+        let cfg = TsneConfig {
+            perplexity: 10.0,
+            iterations: 300,
+            ..Default::default()
+        };
+        let y = Tsne::new(cfg).embed(&pts, dim);
+        assert_eq!(y.len(), 60);
+        // Centroid distance between blobs must dominate intra-blob spread.
+        let centroid = |r: std::ops::Range<usize>| {
+            let n = r.len() as f64;
+            let (mut cx, mut cy) = (0.0, 0.0);
+            for i in r {
+                cx += y[i].0;
+                cy += y[i].1;
+            }
+            (cx / n, cy / n)
+        };
+        let (ax, ay) = centroid(0..30);
+        let (bx, by) = centroid(30..60);
+        let between = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        // Mean intra-blob spread (max would be dominated by one straggler).
+        let spread_a = (0..30)
+            .map(|i| ((y[i].0 - ax).powi(2) + (y[i].1 - ay).powi(2)).sqrt())
+            .sum::<f64>()
+            / 30.0;
+        let spread_b = (30..60)
+            .map(|i| ((y[i].0 - bx).powi(2) + (y[i].1 - by).powi(2)).sqrt())
+            .sum::<f64>()
+            / 30.0;
+        let spread = spread_a.max(spread_b);
+        assert!(
+            between > spread * 2.0,
+            "between {between} vs mean spread {spread}"
+        );
+    }
+
+    #[test]
+    fn output_is_finite_and_centered() {
+        let (pts, dim) = blobs(15);
+        let y = Tsne::new(TsneConfig {
+            iterations: 100,
+            perplexity: 5.0,
+            ..Default::default()
+        })
+        .embed(&pts, dim);
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for (a, b) in &y {
+            assert!(a.is_finite() && b.is_finite());
+            cx += a;
+            cy += b;
+        }
+        assert!(cx.abs() / (y.len() as f64) < 1e-6);
+        assert!(cy.abs() / (y.len() as f64) < 1e-6);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let t = Tsne::default();
+        assert!(t.embed(&[], 3).is_empty());
+        assert_eq!(t.embed(&[1.0, 2.0, 3.0], 3), vec![(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (pts, dim) = blobs(10);
+        let cfg = TsneConfig {
+            iterations: 50,
+            perplexity: 5.0,
+            ..Default::default()
+        };
+        let a = Tsne::new(cfg.clone()).embed(&pts, dim);
+        let b = Tsne::new(cfg).embed(&pts, dim);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "n × dim")]
+    fn shape_mismatch_panics() {
+        let _ = Tsne::default().embed(&[1.0, 2.0, 3.0], 2);
+    }
+}

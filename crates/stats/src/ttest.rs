@@ -1,0 +1,277 @@
+//! Student's t-test.
+//!
+//! Section 6.4: "we used a two-tailed paired t-test with p < .05 to assess
+//! the mean difference of CTRs. Resulting p-value was .11333 so we conclude
+//! that there is no statistical difference". [`paired_t_test`] reproduces
+//! that procedure; the Student CDF is computed from a from-scratch
+//! regularized incomplete beta function (Lanczos log-gamma + the standard
+//! continued-fraction expansion), since no stats crate is in the allowed
+//! dependency set.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom.
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p: f64,
+    /// Mean of the paired differences.
+    pub mean_diff: f64,
+}
+
+impl TTestResult {
+    /// Whether the difference is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p < alpha
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().abs().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta `I_x(a, b)` by continued fraction
+/// (Numerical Recipes `betai`/`betacf`).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0f64;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-tailed p-value of a Student t statistic with `df` degrees of
+/// freedom: `P(|T| ≥ |t|) = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn student_t_two_tailed_p(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Paired two-tailed t-test over equal-length samples.
+///
+/// ```
+/// use hostprof_stats::paired_t_test;
+/// let eaves = [0.0021, 0.0023, 0.0019, 0.0025, 0.0020];
+/// let orig  = [0.0016, 0.0018, 0.0017, 0.0015, 0.0019];
+/// let r = paired_t_test(&eaves, &orig).unwrap();
+/// assert!(r.mean_diff > 0.0);
+/// assert!((0.0..=1.0).contains(&r.p));
+/// ```
+///
+/// Returns `None` when there are fewer than two pairs or the differences
+/// have zero variance (the statistic is undefined; with all-zero
+/// differences the samples are identical and `p = 1` would be the
+/// conventional reading — callers can special-case that).
+///
+/// # Panics
+/// Panics when the samples have different lengths.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    assert_eq!(a.len(), b.len(), "paired test needs equal-length samples");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean_diff = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs
+        .iter()
+        .map(|d| (d - mean_diff) * (d - mean_diff))
+        .sum::<f64>()
+        / (n - 1) as f64;
+    if var.is_nan() || var <= 0.0 || !mean_diff.is_finite() {
+        // Zero variance, or NaN/∞ anywhere in the inputs: the statistic is
+        // undefined.
+        return None;
+    }
+    let se = (var / n as f64).sqrt();
+    let t = mean_diff / se;
+    let df = (n - 1) as f64;
+    Some(TTestResult {
+        t,
+        df,
+        p: student_t_two_tailed_p(t, df),
+        mean_diff,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_endpoints_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        let x = 0.37;
+        let lhs = incomplete_beta(2.5, 1.5, x);
+        let rhs = 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+        // I_x(1,1) = x (uniform).
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn student_p_matches_reference_values() {
+        // Reference values from standard t tables.
+        // df=10, t=2.228 → p ≈ 0.05.
+        assert!((student_t_two_tailed_p(2.228, 10.0) - 0.05).abs() < 2e-3);
+        // df=1, t=1 → p = 0.5 (Cauchy quartile).
+        assert!((student_t_two_tailed_p(1.0, 1.0) - 0.5).abs() < 1e-9);
+        // t=0 → p = 1.
+        assert!((student_t_two_tailed_p(0.0, 7.0) - 1.0).abs() < 1e-12);
+        // Large |t| → p → 0, monotone.
+        assert!(student_t_two_tailed_p(8.0, 20.0) < 1e-6);
+        assert!(
+            student_t_two_tailed_p(1.0, 9.0) > student_t_two_tailed_p(2.0, 9.0)
+        );
+    }
+
+    #[test]
+    fn paired_test_detects_a_real_shift() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x - 2.0 + 0.1 * (x % 3.0)).collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.mean_diff > 1.0);
+        assert!(r.significant(0.05), "clear shift must be significant, p={}", r.p);
+    }
+
+    #[test]
+    fn paired_test_accepts_no_difference() {
+        // Symmetric noise around zero difference.
+        let a: Vec<f64> = (0..40).map(|i| 5.0 + ((i * 7) % 11) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| 5.0 + ((i * 7 + 4) % 11) as f64 * 0.1)
+            .collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(!r.significant(0.05), "p={}", r.p);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+        assert!(paired_t_test(&[1.0, 2.0], &[0.0, 1.0]).is_none(), "constant diff");
+        assert!(paired_t_test(&[], &[]).is_none());
+        assert!(
+            paired_t_test(&[f64::NAN, 2.0], &[0.0, 1.0]).is_none(),
+            "NaN input must not report p = 0"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn p_is_in_unit_interval_for_a_grid() {
+        for &t in &[-5.0, -1.0, -0.1, 0.0, 0.3, 2.0, 30.0] {
+            for &df in &[1.0, 3.0, 29.0, 500.0] {
+                let p = student_t_two_tailed_p(t, df);
+                assert!((0.0..=1.0).contains(&p), "t={t} df={df} p={p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Compact identifiers for hosts and users.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a hostname in the synthetic world (`0 .. World::num_hosts()`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HostId(pub u32);
+
+/// Index of a user in the synthetic population.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct UserId(pub u32);
+
+impl HostId {
+    /// Raw index for dense-array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl UserId {
+    /// Raw index for dense-array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_index_and_display() {
+        assert_eq!(HostId(9).index(), 9);
+        assert_eq!(UserId(2).index(), 2);
+        assert_eq!(HostId(9).to_string(), "h9");
+        assert_eq!(UserId(2).to_string(), "u2");
+    }
+}

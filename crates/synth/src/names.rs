@@ -1,0 +1,348 @@
+//! Deterministic hostname minting.
+//!
+//! Hostnames in the synthetic world should *look* like the real thing —
+//! topical stems for content sites (`flytrips4.com`), infrastructure-ish
+//! names for CDNs/APIs (`img3.fastedge.net`, `api.bookstack.cloudnet.com`)
+//! and tracker-ish names for the ad-tech universe (`pixel.admetrics.net`).
+//! Realism matters only for readability of experiment output; uniqueness
+//! and determinism matter for correctness, and both are guaranteed here.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Topical stems per top-level topic name (see `Hierarchy::top_name`).
+/// Topics without an entry fall back to [`GENERIC_STEMS`].
+fn topic_stems(top_name: &str) -> &'static [&'static str] {
+    match top_name {
+        "Online Communities" => &["forum", "social", "chat", "community", "meet"],
+        "Arts & Entertainment" => &["movie", "music", "show", "cinema", "series", "celeb"],
+        "People & Society" => &["life", "society", "family", "culture", "belief"],
+        "Jobs & Education" => &["jobs", "career", "campus", "course", "learn"],
+        "Games" => &["game", "play", "arcade", "quest", "pixelplay"],
+        "Internet & Telecom" => &["telecom", "mobile", "broadband", "hosting"],
+        "Computers & Electronics" => &["tech", "gadget", "soft", "code", "hardware"],
+        "Shopping" => &["shop", "store", "deal", "outlet", "bazaar"],
+        "News" => &["news", "daily", "times", "press", "headline"],
+        "Business & Industrial" => &["biz", "trade", "industry", "factory", "logistics"],
+        "Reference" => &["wiki", "dict", "encyclo", "reference", "define"],
+        "Books & Literature" => &["book", "novel", "read", "library", "poem"],
+        "Sports" => &["sport", "futbol", "goal", "liga", "stadium"],
+        "Travel" => &["travel", "trip", "fly", "hotel", "tour", "booking"],
+        "Finance" => &["bank", "invest", "coin", "finance", "credit"],
+        "Health" => &["health", "clinic", "medic", "pharma", "wellness"],
+        "Real Estate" => &["homes", "estate", "rent", "property", "casa"],
+        "Beauty & Fitness" => &["beauty", "fit", "gym", "style", "glow"],
+        "Autos & Vehicles" => &["auto", "car", "motor", "drive", "garage"],
+        "Science" => &["science", "lab", "research", "physics", "astro"],
+        "Hobbies & Leisure" => &["hobby", "craft", "leisure", "collect", "garden"],
+        "Food & Drink" => &["food", "recipe", "cook", "taste", "drink"],
+        "Law & Government" => &["gov", "law", "legal", "tribunal", "civic"],
+        "Pets & Animals" => &["pet", "animal", "vet", "paws", "zoo"],
+        "Home & Garden" => &["home", "decor", "garden", "kitchen", "diy"],
+        "Sororities & Student Societies" => &["students", "fraternity", "campuslife"],
+        "Crime & Mystery Films" => &["noir", "mystery", "detective"],
+        "Awards & Prizes" => &["awards", "prize", "trophy"],
+        "Reviews & Comparisons" => &["review", "compare", "versus"],
+        "DIY & Expert Content" => &["howto", "tutorial", "expert"],
+        "Jellies & Preserves" => &["jam", "preserve", "marmalade"],
+        "Cooktops & Ovens" => &["oven", "cooktop", "stove"],
+        "Clubs & Nightlife" => &["club", "night", "party"],
+        "Copiers & Fax" => &["copier", "fax", "printshop"],
+        _ => GENERIC_STEMS,
+    }
+}
+
+const GENERIC_STEMS: &[&str] = &["web", "portal", "online", "site", "hub"];
+
+const SITE_SUFFIXES: &[&str] = &["", "world", "zone", "hub", "now", "plus", "top", "base"];
+
+/// Weighted TLD pool matching the paper's predominantly Spanish-speaking
+/// population (see Figure 4's zoomed clusters).
+const TLDS: &[(&str, u32)] = &[
+    ("com", 50),
+    ("es", 14),
+    ("net", 8),
+    ("org", 6),
+    ("com.ve", 5),
+    ("com.co", 4),
+    ("com.ar", 3),
+    ("pe", 3),
+    ("mx", 2),
+    ("io", 2),
+    ("tv", 2),
+    ("cat", 1),
+];
+
+/// Fixed names for the ultra-popular "core" hosts every user touches
+/// (google.com / facebook.com analogues). Topically near-useless for
+/// profiling, exactly like the paper's Core-80 hostnames.
+pub const CORE_SITE_NAMES: &[&str] = &[
+    "searchzilla.com",
+    "socialbook.com",
+    "videotube.com",
+    "mailhub.com",
+    "wikiborg.org",
+    "tweetly.com",
+    "chatterapp.com",
+    "shopzon.com",
+    "mapsly.com",
+    "newsfeed.com",
+    "cloudboxx.com",
+    "photogrid.com",
+    "streamflixx.com",
+    "musicfy.com",
+    "translately.com",
+    "weatherly.com",
+    "docsuite.com",
+    "calendario.com",
+    "paypost.com",
+    "msgr.com",
+    "pinbook.com",
+    "videochat.com",
+    "bloghouse.com",
+    "qnaplace.com",
+    "jobsy.com",
+    "marketplaza.com",
+    "fotolog.com",
+    "livecast.tv",
+    "codeforge.io",
+    "duolingua.com",
+];
+
+/// CDN operator stems; a CDN host looks like `img3.fastedge.net`.
+const CDN_OPERATORS: &[&str] = &[
+    "fastedge",
+    "akamel",
+    "cloudfrond",
+    "edgecast",
+    "cachefly",
+    "speedcdn",
+    "globedge",
+    "statichost",
+];
+const CDN_PREFIXES: &[&str] = &["cdn", "static", "img", "media", "assets", "cache", "dl"];
+
+/// API hosting platforms; an API host looks like `api.bkng.azureish.com`
+/// (the paper's motivating example is `api.bkng.azure.com`).
+const API_PLATFORMS: &[&str] = &["azureish", "awsborg", "gcloudy", "cloudnet", "apihost"];
+
+/// Tracker / ad-server stems.
+const TRACKER_STEMS: &[&str] = &[
+    "doubletap",
+    "admetrics",
+    "pixeltrk",
+    "adnexus",
+    "clickcount",
+    "audiencelab",
+    "beacon",
+    "retargetly",
+    "bannerx",
+    "popserve",
+];
+const TRACKER_PREFIXES: &[&str] = &["track", "ads", "pixel", "stats", "sync", "bid", "tag"];
+
+/// Mints unique hostnames, deterministically for a given RNG stream.
+#[derive(Debug, Default)]
+pub struct NameGenerator {
+    used: HashSet<String>,
+}
+
+impl NameGenerator {
+    /// A fresh generator with no names taken.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pick_tld<R: Rng + ?Sized>(rng: &mut R) -> &'static str {
+        let total: u32 = TLDS.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0..total);
+        for (tld, w) in TLDS {
+            if x < *w {
+                return tld;
+            }
+            x -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+
+    fn unique(&mut self, candidate: String) -> String {
+        if self.used.insert(candidate.clone()) {
+            return candidate;
+        }
+        // Collision: append a counter before the TLD (or at the end for a
+        // dotless name handed to `reserve`).
+        for n in 2u32.. {
+            let alt = match candidate.split_once('.') {
+                Some((head, tail)) => format!("{head}{n}.{tail}"),
+                None => format!("{candidate}{n}"),
+            };
+            if self.used.insert(alt.clone()) {
+                return alt;
+            }
+        }
+        unreachable!("u32 counter space exhausted")
+    }
+
+    /// Reserve an explicit name (used for the fixed core sites).
+    ///
+    /// Returns the name, made unique if it was already taken.
+    pub fn reserve(&mut self, name: &str) -> String {
+        self.unique(name.to_ascii_lowercase())
+    }
+
+    /// A topical content-site name like `flytrips4.es`.
+    pub fn site_name<R: Rng + ?Sized>(&mut self, rng: &mut R, top_name: &str) -> String {
+        let stems = topic_stems(top_name);
+        let stem = stems[rng.gen_range(0..stems.len())];
+        let suffix = SITE_SUFFIXES[rng.gen_range(0..SITE_SUFFIXES.len())];
+        let num: u32 = if rng.gen_bool(0.35) {
+            rng.gen_range(1..100)
+        } else {
+            0
+        };
+        let tld = Self::pick_tld(rng);
+        let name = if num > 0 {
+            format!("{stem}{suffix}{num}.{tld}")
+        } else {
+            format!("{stem}{suffix}.{tld}")
+        };
+        self.unique(name)
+    }
+
+    /// A CDN host name like `img3.fastedge.net`.
+    pub fn cdn_name<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
+        let op = CDN_OPERATORS[rng.gen_range(0..CDN_OPERATORS.len())];
+        let prefix = CDN_PREFIXES[rng.gen_range(0..CDN_PREFIXES.len())];
+        let shard: u32 = rng.gen_range(0..32);
+        self.unique(format!("{prefix}{shard}.{op}.net"))
+    }
+
+    /// An API endpoint name like `api.bkng.azureish.com`: an opaque service
+    /// token under a hosting platform, mirroring the paper's example.
+    pub fn api_name<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
+        let platform = API_PLATFORMS[rng.gen_range(0..API_PLATFORMS.len())];
+        // Opaque 4-letter service token, intentionally content-free: the
+        // whole point of the paper is that such names carry no topical
+        // signal on their own. Re-roll the rare token that spells an
+        // English profanity.
+        const UNPRINTABLE: [&str; 6] = ["shit", "fuck", "cunt", "dick", "twat", "arse"];
+        let token: String = loop {
+            let t: String = (0..4)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect();
+            if !UNPRINTABLE.contains(&t.as_str()) {
+                break t;
+            }
+        };
+        self.unique(format!("api.{token}.{platform}.com"))
+    }
+
+    /// A tracker / ad-server name like `pixel.admetrics.net`.
+    pub fn tracker_name<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
+        let stem = TRACKER_STEMS[rng.gen_range(0..TRACKER_STEMS.len())];
+        let prefix = TRACKER_PREFIXES[rng.gen_range(0..TRACKER_PREFIXES.len())];
+        self.unique(format!("{prefix}.{stem}.net"))
+    }
+
+    /// Number of names minted so far.
+    pub fn minted(&self) -> usize {
+        self.used.len()
+    }
+}
+
+/// The second-level domain of a hostname, used by the paper for the Figure 4
+/// embedding visualization (`mail.google.com` → `google.com`).
+///
+/// A small list of multi-label public suffixes (`com.ve`, `com.co`, …) is
+/// honored so `shop.store.com.ve` maps to `store.com.ve`, not `com.ve`.
+pub fn second_level_domain(hostname: &str) -> &str {
+    const TWO_LABEL_SUFFIXES: &[&str] = &["com.ve", "com.co", "com.ar", "com.mx", "co.uk"];
+    let labels: Vec<&str> = hostname.split('.').collect();
+    if labels.len() <= 2 {
+        return hostname;
+    }
+    let last_two = &hostname[hostname.len()
+        - labels[labels.len() - 2].len()
+        - labels[labels.len() - 1].len()
+        - 1..];
+    let keep = if TWO_LABEL_SUFFIXES.contains(&last_two) {
+        3
+    } else {
+        2
+    };
+    if labels.len() <= keep {
+        return hostname;
+    }
+    let tail_len: usize =
+        labels[labels.len() - keep..].iter().map(|l| l.len()).sum::<usize>() + keep - 1;
+    &hostname[hostname.len() - tail_len..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn names_are_unique_across_kinds() {
+        let mut g = NameGenerator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut all = HashSet::new();
+        for _ in 0..500 {
+            assert!(all.insert(g.site_name(&mut rng, "Travel")));
+            assert!(all.insert(g.cdn_name(&mut rng)));
+            assert!(all.insert(g.api_name(&mut rng)));
+            assert!(all.insert(g.tracker_name(&mut rng)));
+        }
+        assert_eq!(g.minted(), 2000);
+    }
+
+    #[test]
+    fn reserve_handles_collisions() {
+        let mut g = NameGenerator::new();
+        assert_eq!(g.reserve("searchzilla.com"), "searchzilla.com");
+        assert_eq!(g.reserve("searchzilla.com"), "searchzilla2.com");
+        assert_eq!(g.reserve("SEARCHZILLA.com"), "searchzilla3.com");
+        // Dotless names (e.g. "localhost") must not panic on collision.
+        assert_eq!(g.reserve("localhost"), "localhost");
+        assert_eq!(g.reserve("localhost"), "localhost2");
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_a_seed() {
+        let run = || {
+            let mut g = NameGenerator::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..50)
+                .map(|_| g.site_name(&mut rng, "Games"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn api_names_have_the_paper_shape() {
+        let mut g = NameGenerator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let name = g.api_name(&mut rng);
+        assert!(name.starts_with("api."));
+        assert_eq!(name.split('.').count(), 4, "api.<token>.<platform>.com: {name}");
+    }
+
+    #[test]
+    fn second_level_domain_extraction() {
+        assert_eq!(second_level_domain("mail.google.com"), "google.com");
+        assert_eq!(second_level_domain("ds-aksb-a.akamaihd.net"), "akamaihd.net");
+        assert_eq!(second_level_domain("google.com"), "google.com");
+        assert_eq!(second_level_domain("a.b.store.com.ve"), "store.com.ve");
+        assert_eq!(second_level_domain("localhost"), "localhost");
+    }
+
+    #[test]
+    fn core_names_are_distinct() {
+        let set: HashSet<_> = CORE_SITE_NAMES.iter().collect();
+        assert_eq!(set.len(), CORE_SITE_NAMES.len());
+        assert!(CORE_SITE_NAMES.len() >= 30);
+    }
+}

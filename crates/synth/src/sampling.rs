@@ -1,0 +1,293 @@
+//! Small, from-scratch samplers.
+//!
+//! The workspace's allowed dependency set does not include `rand_distr`, so
+//! the handful of distributions the generator needs are implemented here:
+//! Zipf (via precomputed CDF), Poisson (Knuth's method, normal approximation
+//! for large means), log-normal (Box–Muller), Gamma (Marsaglia–Tsang) and
+//! Dirichlet (normalized Gammas). All take a generic [`rand::Rng`].
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal sample with the given parameters of the underlying normal.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Poisson sample.
+///
+/// Knuth's multiplication method for small `lambda`; for `lambda > 30` a
+/// rounded normal approximation is used (adequate for session counts).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson rate must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = lambda + lambda.sqrt() * standard_normal(rng);
+        return x.max(0.0).round() as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Gamma(shape, 1) sample by Marsaglia–Tsang; `shape > 0`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Dirichlet sample over `alphas.len()` components.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
+    assert!(!alphas.is_empty(), "dirichlet needs at least one component");
+    let gammas: Vec<f64> = alphas.iter().map(|&a| gamma(rng, a)).collect();
+    let sum: f64 = gammas.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate numeric corner: fall back to uniform.
+        return vec![1.0 / alphas.len() as f64; alphas.len()];
+    }
+    gammas.into_iter().map(|g| g / sum).collect()
+}
+
+/// A Zipf sampler over ranks `0 .. n` with exponent `s`: probability of rank
+/// `r` is proportional to `1 / (r + 1)^s`. Sampling is O(log n) via binary
+/// search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the CDF. `n` must be at least 1.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "zipf over an empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n >= 1");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0 .. n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // `c <= u` (not `c < u`) so a draw of exactly 0.0 cannot select a
+        // zero-mass prefix entry.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r >= self.cdf.len() {
+            return 0.0;
+        }
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+/// Weighted index sampling without building an alias table: O(n) setup,
+/// O(log n) per sample. Weights must be non-negative with a positive sum.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cdf: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Build from weights.
+    ///
+    /// Returns `None` when `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        for &w in weights {
+            debug_assert!(w >= 0.0, "negative weight");
+            acc += w.max(0.0);
+            cdf.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Some(Self { cdf })
+    }
+
+    /// Sample an index in `0 .. weights.len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // `c <= u` so a draw of exactly 0.0 lands on the first index with
+        // positive mass, never on a zero-weight prefix entry.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_mean_and_variance_are_plausible() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut r = rng();
+        for &lambda in &[0.5, 3.0, 12.0, 60.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.08,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn gamma_mean_is_shape() {
+        let mut r = rng();
+        for &shape in &[0.3, 1.0, 4.5] {
+            let n = 30_000;
+            let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.08 * shape.max(1.0), "shape {shape} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_tracks_alphas() {
+        let mut r = rng();
+        let alphas = [2.0, 1.0, 1.0];
+        let n = 10_000;
+        let mut acc = [0.0f64; 3];
+        for _ in 0..n {
+            let d = dirichlet(&mut r, &alphas);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (a, x) in acc.iter_mut().zip(&d) {
+                *a += x;
+            }
+        }
+        // Expected proportions 0.5, 0.25, 0.25.
+        assert!((acc[0] / n as f64 - 0.5).abs() < 0.02);
+        assert!((acc[1] / n as f64 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_is_heavy_headed_and_normalized() {
+        let z = Zipf::new(1000, 1.0);
+        let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > 10.0 * z.pmf(99), "rank 0 much more likely than rank 99");
+        let mut r = rng();
+        let mut head = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        // First 10 ranks carry ~39 % of the mass at s=1, n=1000.
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.3 && frac < 0.5, "head fraction {frac}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let w = WeightedIndex::new(&[0.0, 3.0, 1.0]).unwrap();
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_degenerate_inputs() {
+        assert!(WeightedIndex::new(&[]).is_none());
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(log_normal(&mut r, 1.0, 0.8) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The synthetic user population.
+//!
+//! Each user carries a ground-truth interest vector over the 328 harmonized
+//! categories — the quantity the paper can never observe but that our
+//! synthetic setting exposes for validation — plus behavioral parameters
+//! (activity level) used by the trace generator.
+
+use crate::config::PopulationConfig;
+use crate::ids::UserId;
+use crate::sampling::{dirichlet, log_normal, WeightedIndex};
+use crate::world::World;
+use hostprof_ontology::{CategoryId, CategoryVector, TopCategoryId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One synthetic participant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Stable identifier (== index into `Population::users`).
+    pub id: UserId,
+    /// Ground-truth interests over the harmonized categories; weights in
+    /// `[0, 1]` with the strongest interest at 1.0.
+    pub interests: CategoryVector,
+    /// The user's top-level interest topics with sampling weights
+    /// (sums to 1); the trace generator walks these.
+    pub topics: Vec<(TopCategoryId, f64)>,
+    /// Expected browsing sessions per day.
+    pub sessions_per_day: f64,
+}
+
+impl UserProfile {
+    /// Sample one of the user's interest topics.
+    pub fn sample_topic<R: Rng + ?Sized>(&self, rng: &mut R) -> TopCategoryId {
+        let weights: Vec<f64> = self.topics.iter().map(|(_, w)| *w).collect();
+        match WeightedIndex::new(&weights) {
+            Some(s) => self.topics[s.sample(rng)].0,
+            None => self.topics[0].0,
+        }
+    }
+
+    /// Ground-truth affinity of this user for a category vector: cosine
+    /// between interests and the vector. Used by the click model and by
+    /// profile-accuracy validation.
+    pub fn affinity(&self, categories: &CategoryVector) -> f32 {
+        self.interests.cosine(categories)
+    }
+}
+
+/// The whole population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Population {
+    users: Vec<UserProfile>,
+}
+
+impl Population {
+    /// Generate a population against a world. Deterministic per config.
+    pub fn generate(world: &World, config: &PopulationConfig) -> Self {
+        assert!(config.interests_min >= 1);
+        assert!(config.interests_max >= config.interests_min);
+        let hierarchy = world.hierarchy();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        // Topic prevalence mirrors the world's site distribution so users
+        // want things the synthetic web actually offers.
+        let topic_weights: Vec<f64> = hierarchy
+            .top_ids()
+            .map(|t| 1.0 + world.sites_of_topic(t).len() as f64)
+            .collect();
+
+        let mut users = Vec::with_capacity(config.num_users);
+        for i in 0..config.num_users {
+            let k = rng.gen_range(config.interests_min..=config.interests_max);
+            // Sample k distinct topics, prevalence-weighted.
+            let mut chosen: Vec<TopCategoryId> = Vec::with_capacity(k);
+            let mut weights = topic_weights.clone();
+            for _ in 0..k.min(hierarchy.num_top()) {
+                let Some(s) = WeightedIndex::new(&weights) else {
+                    break;
+                };
+                let t = s.sample(&mut rng);
+                chosen.push(TopCategoryId(t as u8));
+                weights[t] = 0.0;
+            }
+            let alphas = vec![config.interest_alpha; chosen.len()];
+            let shares = dirichlet(&mut rng, &alphas);
+            let topics: Vec<(TopCategoryId, f64)> =
+                chosen.iter().copied().zip(shares.iter().copied()).collect();
+
+            // Spread each topic's share over a few of its subcategories to
+            // form the ground-truth interest vector.
+            let mut pairs: Vec<(CategoryId, f32)> = Vec::new();
+            for &(t, share) in &topics {
+                let kids = hierarchy.children_of_top(t);
+                let n_sub = if kids.is_empty() {
+                    0
+                } else {
+                    rng.gen_range(1..=kids.len().min(4))
+                };
+                pairs.push((hierarchy.top_level_category(t), (share * 0.8) as f32));
+                for _ in 0..n_sub {
+                    let c = kids[rng.gen_range(0..kids.len())];
+                    pairs.push((c, (share * (0.4 + rng.gen::<f64>() * 0.6)) as f32));
+                }
+            }
+            // Normalize so the strongest interest is 1.0.
+            let max_w = pairs.iter().map(|(_, w)| *w).fold(0.0f32, f32::max);
+            let interests = if max_w > 0.0 {
+                CategoryVector::from_pairs(
+                    pairs.into_iter().map(|(c, w)| (c, w / max_w)).collect(),
+                )
+            } else {
+                CategoryVector::from_pairs(pairs)
+            };
+
+            let sessions_per_day = log_normal(
+                &mut rng,
+                config.sessions_per_day_median.ln(),
+                config.sessions_per_day_sigma,
+            )
+            .clamp(0.2, 30.0);
+
+            users.push(UserProfile {
+                id: UserId(i as u32),
+                interests,
+                topics,
+                sessions_per_day,
+            });
+        }
+        Self { users }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// User by id.
+    ///
+    /// # Panics
+    /// Panics when the id is not from this population.
+    pub fn user(&self, id: UserId) -> &UserProfile {
+        &self.users[id.index()]
+    }
+
+    /// All users in id order.
+    pub fn users(&self) -> &[UserProfile] {
+        &self.users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn setup() -> (World, Population) {
+        let world = World::generate(&WorldConfig::tiny());
+        let pop = Population::generate(&world, &PopulationConfig::tiny());
+        (world, pop)
+    }
+
+    #[test]
+    fn population_has_requested_size_and_valid_profiles() {
+        let (_, pop) = setup();
+        assert_eq!(pop.len(), PopulationConfig::tiny().num_users);
+        let cfg = PopulationConfig::tiny();
+        for u in pop.users() {
+            assert!(!u.interests.is_empty());
+            assert!(u.topics.len() >= cfg.interests_min.min(34));
+            assert!(u.topics.len() <= cfg.interests_max);
+            let share_sum: f64 = u.topics.iter().map(|(_, w)| w).sum();
+            assert!((share_sum - 1.0).abs() < 1e-9, "topic shares sum to 1");
+            assert!(u.sessions_per_day > 0.0);
+            // Strongest interest normalized to 1.
+            let max_w = u.interests.iter().map(|(_, w)| w).fold(0.0f32, f32::max);
+            assert!((max_w - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn topics_are_distinct_per_user() {
+        let (_, pop) = setup();
+        for u in pop.users() {
+            let mut ts: Vec<_> = u.topics.iter().map(|(t, _)| *t).collect();
+            ts.sort();
+            ts.dedup();
+            assert_eq!(ts.len(), u.topics.len());
+        }
+    }
+
+    #[test]
+    fn users_differ_from_each_other() {
+        let (_, pop) = setup();
+        let a = &pop.users()[0];
+        let distinct = pop
+            .users()
+            .iter()
+            .skip(1)
+            .filter(|u| u.interests != a.interests)
+            .count();
+        assert!(distinct >= pop.len() - 2, "interest vectors are diverse");
+    }
+
+    #[test]
+    fn affinity_is_high_for_own_interests_and_low_for_disjoint() {
+        let (_, pop) = setup();
+        let u = &pop.users()[0];
+        assert!((u.affinity(&u.interests) - 1.0).abs() < 1e-6);
+        // A category the user has no weight on.
+        let missing = (0..328u16)
+            .map(CategoryId)
+            .find(|c| u.interests.get(*c) == 0.0)
+            .expect("no user covers all 328 categories");
+        assert_eq!(u.affinity(&CategoryVector::singleton(missing)), 0.0);
+    }
+
+    #[test]
+    fn sample_topic_returns_own_topics() {
+        let (_, pop) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let u = &pop.users()[3];
+        let own: std::collections::HashSet<_> = u.topics.iter().map(|(t, _)| *t).collect();
+        for _ in 0..50 {
+            assert!(own.contains(&u.sample_topic(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let world = World::generate(&WorldConfig::tiny());
+        let a = Population::generate(&world, &PopulationConfig::tiny());
+        let b = Population::generate(&world, &PopulationConfig::tiny());
+        for (x, y) in a.users().iter().zip(b.users()) {
+            assert_eq!(x.interests, y.interests);
+            assert_eq!(x.sessions_per_day, y.sessions_per_day);
+        }
+    }
+}

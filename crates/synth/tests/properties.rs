@@ -1,0 +1,73 @@
+//! Property tests for the synthetic-world generators and samplers.
+
+use hostprof_synth::names::second_level_domain;
+use hostprof_synth::sampling::{dirichlet, poisson, WeightedIndex, Zipf};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #[test]
+    fn zipf_samples_stay_in_support(n in 1usize..2000, s in 0.1f64..2.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        // PMF sums to 1.
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Monotone non-increasing mass.
+        for r in 1..n.min(50) {
+            prop_assert!(z.pmf(r - 1) >= z.pmf(r) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_index_only_picks_positive_weights(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..40),
+        seed in any::<u64>(),
+    ) {
+        if let Some(w) = WeightedIndex::new(&weights) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let i = w.sample(&mut rng);
+                prop_assert!(i < weights.len());
+                prop_assert!(weights[i] > 0.0, "index {i} has zero weight");
+            }
+        } else {
+            // Construction only fails when no weight is positive.
+            prop_assert!(weights.iter().all(|&x| x <= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_a_distribution(
+        alphas in proptest::collection::vec(0.05f64..5.0, 1..10),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let d = dirichlet(&mut rng, &alphas);
+        prop_assert_eq!(d.len(), alphas.len());
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn poisson_is_finite_and_nonnegative(lambda in 0.0f64..200.0, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = poisson(&mut rng, lambda);
+        // Extremely loose upper bound that still catches runaway loops.
+        prop_assert!(k < (lambda as u64 + 1) * 100 + 100);
+    }
+
+    #[test]
+    fn second_level_domain_is_a_dot_suffix(host in "[a-z]{1,8}(\\.[a-z]{1,8}){0,4}") {
+        let sld = second_level_domain(&host);
+        prop_assert!(host.ends_with(sld));
+        // Idempotent.
+        prop_assert_eq!(second_level_domain(sld), sld);
+        // Never more labels than the input.
+        prop_assert!(sld.matches('.').count() <= host.matches('.').count());
+    }
+}

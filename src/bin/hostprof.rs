@@ -1,0 +1,386 @@
+//! The `hostprof` command-line tool.
+//!
+//! A thin operational wrapper over the library: generate a deterministic
+//! scenario, train and persist a model, query the embedding space, profile
+//! a user, run the observer under countermeasures, or run the full CTR
+//! experiment — all without writing Rust.
+//!
+//! ```text
+//! hostprof train   [--scale S] [--days N] --out model.json
+//! hostprof similar --model model.json --host <hostname> [--top N]
+//! hostprof profile [--scale S] --model model.json --user N [--day D]
+//! hostprof observe [--scale S] [--ech F] [--nat N] [--dns] [--save cap.hpcap]
+//! hostprof replay  --capture cap.hpcap [--dns]
+//! hostprof experiment [--scale S]
+//! ```
+//!
+//! `--scale` is `tiny` (default), `small` or `default` and selects the
+//! same deterministic scenarios the experiment binaries use.
+
+use hostprof::ads::{CtrExperiment, ExperimentConfig};
+use hostprof::bridge::{ObservedTrace, ObserverScenario};
+use hostprof::profiling::{profile_accuracy, Session};
+use hostprof::scenario::{Scenario, ScenarioConfig};
+use hostprof::stats::paired_t_test;
+use hostprof::storage;
+use hostprof::synth::UserId;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--key`.
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument '{}'", raw[i]))?;
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                values.insert(key.to_string(), raw[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Self { values, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        // `--top --dns` parses --top as a bare flag; surface that as the
+        // missing-value error it really is instead of silently ignoring it.
+        if self.flags.iter().any(|f| f == key) {
+            return Err(format!("--{key} requires a value"));
+        }
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Reject unknown options so typos fail loudly instead of silently
+    /// falling back to defaults.
+    fn expect_keys(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.values.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown option --{key} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn scenario_config(args: &Args) -> Result<ScenarioConfig, String> {
+    let mut cfg = match args.get("scale").unwrap_or("tiny") {
+        "tiny" => ScenarioConfig::tiny(),
+        "small" => ScenarioConfig::small(),
+        "default" | "full" => ScenarioConfig::paper_month(),
+        other => return Err(format!("unknown scale '{other}'")),
+    };
+    if let Some(days) = args.get_parsed::<u32>("days")? {
+        cfg.trace.days = days;
+    }
+    if let Some(users) = args.get_parsed::<usize>("users")? {
+        cfg.population.num_users = users;
+    }
+    Ok(cfg)
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    args.expect_keys(&["scale", "days", "users", "out"])?;
+    let out: PathBuf = args
+        .get("out")
+        .ok_or("train requires --out <path>")?
+        .into();
+    let cfg = scenario_config(args)?;
+    let s = Scenario::generate(&cfg);
+    eprintln!(
+        "generated scenario: {} hosts, {} users, {} days",
+        s.world.num_hosts(),
+        s.population.len(),
+        s.trace.days()
+    );
+    let pipeline = s.pipeline();
+    let mut corpus = Vec::new();
+    for day in 0..s.trace.days() {
+        corpus.extend(s.daily_hostname_sequences(day));
+    }
+    let model = pipeline.train_model(&corpus)?;
+    storage::save_model(&out, &model).map_err(|e| e.to_string())?;
+    println!(
+        "trained {}-d embeddings for {} hostnames → {}",
+        model.dim(),
+        model.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_similar(args: &Args) -> Result<(), String> {
+    args.expect_keys(&["model", "host", "top"])?;
+    let model_path: PathBuf = args
+        .get("model")
+        .ok_or("similar requires --model <path>")?
+        .into();
+    let host = args.get("host").ok_or("similar requires --host <name>")?;
+    let top = args.get_parsed::<usize>("top")?.unwrap_or(10);
+    let model = storage::load_model(&model_path).map_err(|e| e.to_string())?;
+    let sims = model.most_similar(host, top);
+    if sims.is_empty() {
+        return Err(format!("'{host}' is not in the model vocabulary"));
+    }
+    println!("{:<40} cosine", "hostname");
+    for (name, sim) in sims {
+        println!("{name:<40} {sim:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    args.expect_keys(&["scale", "days", "users", "model", "user", "day"])?;
+    let model_path: PathBuf = args
+        .get("model")
+        .ok_or("profile requires --model <path>")?
+        .into();
+    let user = UserId(
+        args.get_parsed::<u32>("user")?
+            .ok_or("profile requires --user <index>")?,
+    );
+    let cfg = scenario_config(args)?;
+    let s = Scenario::generate(&cfg);
+    let day = args
+        .get_parsed::<u32>("day")?
+        .unwrap_or(s.trace.days().saturating_sub(1));
+    if user.index() >= s.population.len() {
+        return Err(format!(
+            "user {} out of range (population {})",
+            user.0,
+            s.population.len()
+        ));
+    }
+    let model = storage::load_model(&model_path).map_err(|e| e.to_string())?;
+    let pipeline = s.pipeline();
+    let profiler = pipeline.profiler(&model, s.world.ontology());
+    let window = s.session_hostnames(user, day);
+    if window.is_empty() {
+        return Err(format!("user {} was idle on day {day}", user.0));
+    }
+    let session = Session::from_window(
+        window.iter().map(String::as_str),
+        Some(pipeline.blocklist()),
+    );
+    let profile = profiler
+        .profile(&session)
+        .ok_or("session carries no profiling signal")?;
+    println!(
+        "user {} day {day}: session of {} hostnames",
+        user.0,
+        session.len()
+    );
+    let hierarchy = s.world.hierarchy();
+    let mut pairs: Vec<_> = profile.categories.iter().collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (cat, w) in pairs.into_iter().take(8) {
+        println!("  {:<44} {w:.2}", hierarchy.category_name(cat));
+    }
+    let truth = &s.population.user(user).interests;
+    println!(
+        "ground-truth cosine: {:.3}",
+        profile_accuracy(&profile.categories, truth)
+    );
+    Ok(())
+}
+
+fn cmd_observe(args: &Args) -> Result<(), String> {
+    args.expect_keys(&["scale", "days", "users", "ech", "nat", "dns", "save"])?;
+    let cfg = scenario_config(args)?;
+    let s = Scenario::generate(&cfg);
+    // Optional capture recording: lower the whole trace to packets and
+    // save them before (or instead of) analyzing.
+    let save: Option<PathBuf> = args.get("save").map(PathBuf::from);
+    let mut scenario = ObserverScenario::per_user();
+    if let Some(frac) = args.get_parsed::<f64>("ech")? {
+        scenario.synthesizer.ech_fraction = frac;
+        scenario.synthesizer.quic_fraction = 0.0;
+    }
+    if let Some(n) = args.get_parsed::<u32>("nat")? {
+        scenario = ObserverScenario {
+            synthesizer: hostprof::net::TrafficSynthesizer {
+                addressing: hostprof::net::Addressing::Nat {
+                    base_ip: 0x0a00_0000,
+                    clients_per_ip: n,
+                },
+                ..scenario.synthesizer
+            },
+            ..scenario
+        };
+    }
+    if args.flag("dns") {
+        scenario.synthesizer.dns_fraction = 1.0;
+        scenario.harvest_dns = true;
+    }
+    if let Some(path) = save {
+        let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+        let mut writer = hostprof::net::CaptureWriter::new(std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        for r in s.trace.requests() {
+            let ev = hostprof::net::RequestEvent {
+                t_ms: r.t_ms,
+                client: r.user.0,
+                hostname: s.world.hostname(r.host).to_string(),
+            };
+            for pkt in scenario.synthesizer.packets_for(&ev) {
+                writer.write_packet(&pkt).map_err(|e| e.to_string())?;
+            }
+        }
+        let n = writer.packets();
+        writer.finish().map_err(|e| e.to_string())?;
+        println!("wrote {n} packets → {}", path.display());
+    }
+    let obs = ObservedTrace::capture(&s.world, &s.trace, &scenario);
+    println!("ground-truth requests : {}", obs.ground_truth_requests);
+    println!("hostnames recovered   : {:.1}%", obs.fidelity() * 100.0);
+    println!("client addresses seen : {}", obs.sequences.len());
+    let st = obs.observer_stats;
+    println!(
+        "sources               : {} TLS SNI, {} QUIC SNI, {} DNS",
+        st.tls_sni, st.quic_sni, st.dns_names
+    );
+    println!(
+        "hidden / errors       : {} / {} (reassembled: {})",
+        st.hidden, st.parse_errors, st.reassembled
+    );
+    println!(
+        "flows                 : {} created, {} packets",
+        obs.flow_stats.flows_created, obs.flow_stats.packets
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    args.expect_keys(&["capture", "dns"])?;
+    let path: PathBuf = args
+        .get("capture")
+        .ok_or("replay requires --capture <path>")?
+        .into();
+    let file = std::fs::File::open(&path).map_err(|e| e.to_string())?;
+    let reader = hostprof::net::CaptureReader::new(std::io::BufReader::new(file))
+        .map_err(|e| e.to_string())?;
+    let mut observer = if args.flag("dns") {
+        hostprof::net::SniObserver::new().with_dns_harvesting()
+    } else {
+        hostprof::net::SniObserver::new()
+    };
+    let packets = reader.read_all().map_err(|e| e.to_string())?;
+    observer.process_stream(&packets);
+    let st = observer.stats();
+    println!("packets               : {}", st.packets);
+    println!(
+        "hostnames recovered   : {} TLS + {} QUIC + {} DNS",
+        st.tls_sni, st.quic_sni, st.dns_names
+    );
+    println!(
+        "hidden / errors       : {} / {} (reassembled: {})",
+        st.hidden, st.parse_errors, st.reassembled
+    );
+    println!("clients seen          : {}", observer.per_client_sequences().len());
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    args.expect_keys(&["scale", "days", "users"])?;
+    let cfg = scenario_config(args)?;
+    let s = Scenario::generate(&cfg);
+    let result = CtrExperiment::new(
+        &s.world,
+        &s.population,
+        &s.trace,
+        &s.ads,
+        ExperimentConfig {
+            pipeline: cfg.pipeline.clone(),
+            ..ExperimentConfig::default()
+        },
+    )
+    .run();
+    println!("impressions  : {}", result.impressions);
+    println!(
+        "replaced     : {} ({:.1}%)",
+        result.replaced,
+        result.replaced_fraction() * 100.0
+    );
+    println!("CTR eaves    : {:.3}%", result.eaves_ctr() * 100.0);
+    println!("CTR original : {:.3}%", result.orig_ctr() * 100.0);
+    let (a, b) = result.ctr_pairs();
+    match paired_t_test(&a, &b) {
+        Some(t) => println!("paired t-test: t = {:.3}, p = {:.4}", t.t, t.p),
+        None => println!("paired t-test: undefined (too few clicks at this scale)"),
+    }
+    Ok(())
+}
+
+const USAGE: &str = "\
+hostprof — user profiling by network observers (CoNEXT '21 reproduction)
+
+USAGE:
+  hostprof train      [--scale tiny|small|default] [--days N] --out model.json
+  hostprof similar    --model model.json --host <hostname> [--top N]
+  hostprof profile    [--scale S] --model model.json --user N [--day D]
+  hostprof observe    [--scale S] [--ech FRACTION] [--nat USERS_PER_IP] [--dns]
+                      [--save capture.hpcap]
+  hostprof replay     --capture capture.hpcap [--dns]
+  hostprof experiment [--scale S] [--days N] [--users N]
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "similar" => cmd_similar(&args),
+        "profile" => cmd_profile(&args),
+        "observe" => cmd_observe(&args),
+        "replay" => cmd_replay(&args),
+        "experiment" => cmd_experiment(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

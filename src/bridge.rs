@@ -1,0 +1,213 @@
+//! Trace → wire → observer bridge.
+//!
+//! The synthetic trace knows the ground truth `(user, host)` of every
+//! request; a real eavesdropper only gets packets. This module lowers a
+//! trace onto the wire with [`hostprof_net::TrafficSynthesizer`] and runs
+//! the passive [`hostprof_net::SniObserver`] over it, producing the
+//! per-client hostname sequences the profiler consumes — so experiments can
+//! run off *observed* data and we can quantify the observer's fidelity
+//! (and how ECH or NAT degrade it, §7.2/§7.4 of the paper).
+
+use hostprof_net::{Addressing, RequestEvent, SniObserver, TrafficSynthesizer};
+use hostprof_synth::{Trace, UserId, World};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How the traffic is put on the wire for observation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct ObserverScenario {
+    /// Packet synthesis parameters (protocol mix, ECH, DNS, addressing).
+    pub synthesizer: TrafficSynthesizer,
+    /// Whether the observer also harvests plaintext DNS queries.
+    pub harvest_dns: bool,
+}
+
+
+impl ObserverScenario {
+    /// A vantage point where every client has their own IP (WiFi / mobile
+    /// provider, §7.2).
+    pub fn per_user() -> Self {
+        Self::default()
+    }
+
+    /// A landline-ISP vantage point with `n` users behind each NAT.
+    pub fn behind_nat(n: u32) -> Self {
+        Self {
+            synthesizer: TrafficSynthesizer {
+                addressing: Addressing::Nat {
+                    base_ip: 0x0a00_0000,
+                    clients_per_ip: n,
+                },
+                ..TrafficSynthesizer::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// A future where `fraction` of TLS connections use ECH (§7.4).
+    pub fn with_ech(fraction: f64) -> Self {
+        Self {
+            synthesizer: TrafficSynthesizer {
+                ech_fraction: fraction,
+                quic_fraction: 0.0,
+                ..TrafficSynthesizer::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// What the eavesdropper reconstructed from the wire.
+#[derive(Debug, Clone)]
+pub struct ObservedTrace {
+    /// Per-client-IP hostname sequences, time-sorted. Ordered by client
+    /// address so any iteration (e.g. building a training corpus) is
+    /// deterministic.
+    pub sequences: BTreeMap<u32, Vec<(u64, String)>>,
+    /// Observer counters.
+    pub observer_stats: hostprof_net::ObserverStats,
+    /// Flow-table counters.
+    pub flow_stats: hostprof_net::FlowStats,
+    /// Ground-truth request count, for fidelity computation.
+    pub ground_truth_requests: usize,
+}
+
+impl ObservedTrace {
+    /// Replay a trace through packet synthesis and the observer.
+    /// Packets are synthesized and consumed request-by-request, so memory
+    /// stays flat regardless of trace size.
+    pub fn capture(world: &World, trace: &Trace, scenario: &ObserverScenario) -> Self {
+        let mut observer = if scenario.harvest_dns {
+            SniObserver::new().with_dns_harvesting()
+        } else {
+            SniObserver::new()
+        };
+        for r in trace.requests() {
+            let ev = RequestEvent {
+                t_ms: r.t_ms,
+                client: r.user.0,
+                hostname: world.hostname(r.host).to_string(),
+            };
+            for pkt in scenario.synthesizer.packets_for(&ev) {
+                observer.process(&pkt);
+            }
+        }
+        let sequences: BTreeMap<u32, Vec<(u64, String)>> =
+            observer.per_client_sequences().into_iter().collect();
+        Self {
+            sequences,
+            observer_stats: observer.stats(),
+            flow_stats: observer.flow_stats(),
+            ground_truth_requests: trace.requests().len(),
+        }
+    }
+
+    /// Fraction of ground-truth requests whose hostname the observer
+    /// recovered (1.0 without ECH; DNS harvesting can push it above 1).
+    pub fn fidelity(&self) -> f64 {
+        if self.ground_truth_requests == 0 {
+            return 0.0;
+        }
+        let recovered: usize = self.sequences.values().map(Vec::len).sum();
+        recovered as f64 / self.ground_truth_requests as f64
+    }
+
+    /// Like [`ObservedTrace::fidelity`], but only counts observations whose
+    /// hostname actually exists in the world — a DoH deployment floods the
+    /// observer with the *resolver's* hostname, which recovers nothing
+    /// about the user.
+    pub fn useful_fidelity(&self, world: &World) -> f64 {
+        if self.ground_truth_requests == 0 {
+            return 0.0;
+        }
+        let useful: usize = self
+            .sequences
+            .values()
+            .map(|seq| {
+                seq.iter()
+                    .filter(|(_, h)| world.host_id_by_name(h).is_some())
+                    .count()
+            })
+            .sum();
+        useful as f64 / self.ground_truth_requests as f64
+    }
+
+    /// The hostname sequence of one client IP, hostnames only.
+    pub fn client_hostnames(&self, client_ip: u32) -> Vec<&str> {
+        self.sequences
+            .get(&client_ip)
+            .map(|seq| seq.iter().map(|(_, h)| h.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Map a ground-truth user to their wire address under the scenario's
+    /// addressing scheme.
+    pub fn address_of(scenario: &ObserverScenario, user: UserId) -> u32 {
+        scenario.synthesizer.addressing.client_ip(user.0)
+    }
+
+    /// Training corpus from observed data: one hostname sequence per
+    /// client IP (what a real eavesdropper would feed the SKIPGRAM model).
+    pub fn observed_sequences(&self) -> Vec<Vec<String>> {
+        self.sequences
+            .values()
+            .map(|seq| seq.iter().map(|(_, h)| h.clone()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+
+    fn small_scenario() -> Scenario {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.trace.days = 1;
+        cfg.population.num_users = 8;
+        Scenario::generate(&cfg)
+    }
+
+    #[test]
+    fn clean_capture_recovers_every_request() {
+        let s = small_scenario();
+        let obs = ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::per_user());
+        assert!((obs.fidelity() - 1.0).abs() < 1e-9, "fidelity {}", obs.fidelity());
+        assert_eq!(obs.observer_stats.parse_errors, 0);
+        // Per-user sequences match ground truth exactly.
+        let scenario = ObserverScenario::per_user();
+        for u in 0..8u32 {
+            let ip = ObservedTrace::address_of(&scenario, UserId(u));
+            let got = obs.client_hostnames(ip);
+            let want: Vec<&str> = s
+                .trace
+                .user_requests(UserId(u))
+                .map(|r| s.world.hostname(r.host))
+                .collect();
+            assert_eq!(got, want, "user {u}");
+        }
+    }
+
+    #[test]
+    fn ech_blinds_the_observer() {
+        let s = small_scenario();
+        let obs =
+            ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::with_ech(1.0));
+        assert_eq!(obs.fidelity(), 0.0);
+        assert_eq!(
+            obs.observer_stats.hidden as usize,
+            s.trace.requests().len()
+        );
+    }
+
+    #[test]
+    fn nat_collapses_users_into_shared_sequences() {
+        let s = small_scenario();
+        let scenario = ObserverScenario::behind_nat(4);
+        let obs = ObservedTrace::capture(&s.world, &s.trace, &scenario);
+        // 8 users at 4 per IP → 2 client addresses.
+        assert_eq!(obs.sequences.len(), 2);
+        assert!((obs.fidelity() - 1.0).abs() < 1e-9, "NAT loses nothing, it only mixes");
+    }
+}

@@ -1,0 +1,65 @@
+//! # hostprof
+//!
+//! A full reproduction of *User Profiling by Network Observers*
+//! (Gonzalez et al., CoNEXT 2021) as a Rust workspace, built on synthetic
+//! substitutes for the paper's proprietary inputs (see `DESIGN.md`).
+//!
+//! The pipeline, end to end:
+//!
+//! ```text
+//! synthetic web + users  ──►  browsing trace  ──►  wire packets (TLS/QUIC/DNS)
+//!        (hostprof-synth)        (hostprof-synth)        (hostprof-net)
+//!                                                            │ passive SNI observer
+//!                                                            ▼
+//!                       per-user hostname sequences ──► SKIPGRAM embeddings
+//!                                                          (hostprof-embed)
+//!                                                            │ Eq. 3–4
+//!                                                            ▼
+//!            ads + clicks + CTR  ◄──  session category profiles
+//!              (hostprof-ads)             (hostprof-core)
+//! ```
+//!
+//! This facade crate re-exports the sub-crates, bundles them into runnable
+//! [`scenario::Scenario`]s, and provides the [`bridge`] that drives the
+//! byte-level network observer from a synthetic trace.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hostprof::scenario::{Scenario, ScenarioConfig};
+//! use hostprof::profiling::Session;
+//!
+//! // A miniature world, population and 2-day trace.
+//! let s = Scenario::generate(&ScenarioConfig::tiny());
+//! // Train a model on day 0 and profile a session from day 1.
+//! let pipeline = s.pipeline();
+//! let embeddings = pipeline
+//!     .train_model(&s.daily_hostname_sequences(0))
+//!     .expect("day 0 has traffic");
+//! let profiler = pipeline.profiler(&embeddings, s.world.ontology());
+//! let user = s.population.users()[0].id;
+//! let window = s.session_hostnames(user, 1);
+//! let session = Session::from_window(
+//!     window.iter().map(String::as_str),
+//!     Some(pipeline.blocklist()),
+//! );
+//! if let Some(profile) = profiler.profile(&session) {
+//!     assert!(!profile.categories.is_empty());
+//! }
+//! ```
+
+pub use hostprof_ads as ads;
+pub use hostprof_core as profiling;
+pub use hostprof_embed as embed;
+pub use hostprof_net as net;
+pub use hostprof_ontology as ontology;
+pub use hostprof_stats as stats;
+pub use hostprof_synth as synth;
+
+pub mod bridge;
+pub mod scenario;
+pub mod storage;
+
+pub use bridge::{ObservedTrace, ObserverScenario};
+pub use storage::{load_model, save_model, StorageError};
+pub use scenario::{Scenario, ScenarioConfig};

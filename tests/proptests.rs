@@ -1,0 +1,147 @@
+//! Property-based tests across the workspace: codec roundtrips, parser
+//! robustness on arbitrary bytes, and algebraic invariants of the core
+//! data structures.
+
+use hostprof::net::{dns::DnsQuery, quic::InitialPacket, tls, ParseError};
+use hostprof::ontology::{CategoryId, CategoryVector};
+use hostprof::profiling::Session;
+use hostprof::stats::Ccdf;
+use proptest::prelude::*;
+
+/// A plausible hostname: 1–4 lowercase alphanumeric labels joined by dots.
+fn hostname_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z][a-z0-9-]{0,14}[a-z0-9]", 1..=4)
+        .prop_map(|labels| labels.join("."))
+}
+
+/// Sparse category pairs within the harmonized space.
+fn category_pairs() -> impl Strategy<Value = Vec<(CategoryId, f32)>> {
+    proptest::collection::vec((0u16..328, 0.0f32..=1.0), 0..12)
+        .prop_map(|v| v.into_iter().map(|(c, w)| (CategoryId(c), w)).collect())
+}
+
+proptest! {
+    #[test]
+    fn tls_client_hello_roundtrips(host in hostname_strategy()) {
+        let ch = tls::ClientHello::for_hostname(&host);
+        let bytes = ch.encode();
+        let back = tls::ClientHello::parse(&bytes).unwrap();
+        prop_assert_eq!(&ch, &back);
+        prop_assert_eq!(back.sni(), Some(host.as_str()));
+        prop_assert_eq!(tls::extract_sni(&bytes).unwrap(), Some(host.as_str()));
+    }
+
+    #[test]
+    fn quic_initial_roundtrips(host in hostname_strategy()) {
+        let pkt = InitialPacket::for_hostname(&host);
+        let bytes = pkt.encode();
+        let back = InitialPacket::parse(&bytes).unwrap();
+        let hello = back.client_hello().unwrap();
+        prop_assert_eq!(hello.sni(), Some(host.as_str()));
+    }
+
+    #[test]
+    fn dns_query_roundtrips(host in hostname_strategy()) {
+        let q = DnsQuery::for_hostname(&host);
+        let back = DnsQuery::parse(&q.encode()).unwrap();
+        prop_assert_eq!(back.qname, host);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Whatever the input, parsers return Ok or a typed error — no
+        // panics, no UB, no unbounded allocation.
+        let _: Result<_, ParseError> = tls::ClientHello::parse(&bytes);
+        let _ = tls::extract_sni(&bytes);
+        let _ = InitialPacket::parse(&bytes);
+        let _ = DnsQuery::parse(&bytes);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_truncated_valid_messages(
+        host in hostname_strategy(),
+        cut_permille in 0u32..1000,
+    ) {
+        let bytes = tls::ClientHello::for_hostname(&host).encode();
+        let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+        prop_assert!(tls::ClientHello::parse(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn category_vector_ops_match_dense_reference(a in category_pairs(), b in category_pairs()) {
+        let va = CategoryVector::from_pairs(a);
+        let vb = CategoryVector::from_pairs(b);
+        let da = va.to_dense(328);
+        let db = vb.to_dense(328);
+        let dot: f32 = da.iter().zip(&db).map(|(x, y)| x * y).sum();
+        let eucl: f32 = da.iter().zip(&db).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+        prop_assert!((va.dot(&vb) - dot).abs() < 1e-4);
+        prop_assert!((va.euclidean(&vb) - eucl).abs() < 1e-3);
+        // Cosine is symmetric and bounded.
+        let c = va.cosine(&vb);
+        prop_assert!((c - vb.cosine(&va)).abs() < 1e-6);
+        prop_assert!((-1.0..=1.0001).contains(&c));
+    }
+
+    #[test]
+    fn category_vector_weights_stay_in_unit_interval(a in category_pairs()) {
+        let v = CategoryVector::from_pairs(a);
+        for (_, w) in v.iter() {
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+        // top_k never increases length and keeps the max weight.
+        let t = v.top_k(3);
+        prop_assert!(t.len() <= 3.min(v.len()));
+        if let (Some(am), Some(tm)) = (v.argmax(), t.argmax()) {
+            prop_assert!((v.get(am) - t.get(tm)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_bounded(sample in proptest::collection::vec(0usize..5000, 1..200)) {
+        let c = Ccdf::from_counts(sample.clone());
+        let mut prev = 1.0f64;
+        for x in [0.0, 1.0, 10.0, 100.0, 1000.0, 5000.0] {
+            let f = c.fraction_at_least(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f <= prev + 1e-12, "survival is non-increasing");
+            prev = f;
+        }
+        // Inverse query consistency.
+        for frac in [0.25, 0.5, 0.75] {
+            let v = c.value_at_fraction(frac).unwrap();
+            prop_assert!(c.fraction_at_least(v) >= frac - 1e-12);
+        }
+    }
+
+    #[test]
+    fn session_dedup_is_idempotent_and_order_preserving(
+        hosts in proptest::collection::vec(hostname_strategy(), 0..40),
+    ) {
+        let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+        let s1 = Session::from_window(refs.iter().copied(), None);
+        let s2 = Session::from_window(s1.iter(), None);
+        prop_assert_eq!(&s1, &s2, "already-deduped input is a fixed point");
+        // No duplicates, all lowercase, subset of input.
+        let mut seen = std::collections::HashSet::new();
+        for h in s1.iter() {
+            prop_assert!(seen.insert(h.to_string()));
+            prop_assert!(hosts.iter().any(|x| x.eq_ignore_ascii_case(h)));
+        }
+    }
+
+    #[test]
+    fn varint_roundtrips(v in 0u64..=0x3fff_ffff_ffff_ffff) {
+        let mut buf = Vec::new();
+        hostprof::net::quic::encode_varint(&mut buf, v);
+        // Round-trip through a QUIC packet parse is covered elsewhere;
+        // here check the length classes.
+        let expect_len = match v {
+            0..=0x3f => 1,
+            0x40..=0x3fff => 2,
+            0x4000..=0x3fff_ffff => 4,
+            _ => 8,
+        };
+        prop_assert_eq!(buf.len(), expect_len);
+    }
+}

@@ -39,12 +39,30 @@ pub struct CreativeSize {
 
 /// The standard IAB display sizes the synthetic ecosystem uses.
 pub const IAB_SIZES: [CreativeSize; 6] = [
-    CreativeSize { width: 300, height: 250 }, // medium rectangle
-    CreativeSize { width: 728, height: 90 },  // leaderboard
-    CreativeSize { width: 160, height: 600 }, // skyscraper
-    CreativeSize { width: 320, height: 50 },  // mobile banner
-    CreativeSize { width: 300, height: 600 }, // half page
-    CreativeSize { width: 970, height: 250 }, // billboard
+    CreativeSize {
+        width: 300,
+        height: 250,
+    }, // medium rectangle
+    CreativeSize {
+        width: 728,
+        height: 90,
+    }, // leaderboard
+    CreativeSize {
+        width: 160,
+        height: 600,
+    }, // skyscraper
+    CreativeSize {
+        width: 320,
+        height: 50,
+    }, // mobile banner
+    CreativeSize {
+        width: 300,
+        height: 600,
+    }, // half page
+    CreativeSize {
+        width: 970,
+        height: 250,
+    }, // billboard
 ];
 
 /// One ad.
@@ -246,11 +264,7 @@ impl AdDatabase {
     /// ads with primary category `category` (falling back to a global scan
     /// when that bucket is empty). Used by the eavesdropper's per-host ad
     /// pick.
-    pub fn closest_ad_in_category(
-        &self,
-        category: u16,
-        query: &CategoryVector,
-    ) -> Option<AdId> {
+    pub fn closest_ad_in_category(&self, category: u16, query: &CategoryVector) -> Option<AdId> {
         let bucket = self.by_primary_category(category);
         let candidates: Box<dyn Iterator<Item = &AdId>> = if bucket.is_empty() {
             Box::new(self.ads.iter().map(|a| &a.id))
@@ -319,7 +333,9 @@ mod tests {
         let (_, db) = db();
         let some_ad = &db.ads()[0];
         let cat = some_ad.categories.argmax().unwrap();
-        let found = db.closest_ad_in_category(cat.0, &some_ad.categories).unwrap();
+        let found = db
+            .closest_ad_in_category(cat.0, &some_ad.categories)
+            .unwrap();
         // The found ad's distance can't exceed the probe ad's own distance
         // (which is 0 to itself — so we must find something at distance 0
         // or the probe itself).

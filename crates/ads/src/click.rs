@@ -91,7 +91,10 @@ mod tests {
         let matched = m.click_probability(&u, &ad_with_category(5));
         let mismatched = m.click_probability(&u, &ad_with_category(9));
         assert!((mismatched - m.base_ctr).abs() < 1e-12);
-        assert!((matched - m.base_ctr * 6.0).abs() < 1e-12, "gain 5 → 6× base");
+        assert!(
+            (matched - m.base_ctr * 6.0).abs() < 1e-12,
+            "gain 5 → 6× base"
+        );
     }
 
     #[test]

@@ -157,7 +157,9 @@ mod tests {
         let sel = EavesdropperSelector::new(
             &db,
             world.ontology(),
-            SelectorConfig { hosts_per_profile: 0 },
+            SelectorConfig {
+                hosts_per_profile: 0,
+            },
         );
         let (_, probe) = world.ontology().iter().next().unwrap();
         assert!(sel.select(probe).is_empty());

@@ -20,7 +20,7 @@ use crate::ad::{AdDatabase, AdId};
 use crate::click::ClickModel;
 use crate::eavesdropper::{EavesdropperSelector, SelectorConfig};
 use crate::network::{AdNetwork, AdNetworkConfig};
-use hostprof_core::{Pipeline, PipelineConfig, Session};
+use hostprof_core::{Pipeline, PipelineConfig, Session, SessionProfile};
 use hostprof_ontology::CategoryVector;
 use hostprof_synth::trace::DAY_MS;
 use hostprof_synth::{HostKind, Population, Trace, World};
@@ -54,6 +54,9 @@ pub struct ExperimentConfig {
     /// paper's per-model token budget at our scale (see the
     /// `embed_quality` binary for the sensitivity sweep).
     pub training_days: u32,
+    /// Worker threads for the batched report-tick profiling. Profiling
+    /// consumes no randomness, so the thread count never changes results.
+    pub profile_threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -68,6 +71,7 @@ impl Default for ExperimentConfig {
             impression_prob: 0.3,
             replace_prob: 0.155,
             training_days: 7,
+            profile_threads: 4,
             seed: 0x5eed_00ad,
         }
     }
@@ -95,8 +99,7 @@ impl UserCtr {
 
     /// CTR of original ads (None when no impressions).
     pub fn orig_ctr(&self) -> Option<f64> {
-        (self.orig_impressions > 0)
-            .then(|| self.orig_clicks as f64 / self.orig_impressions as f64)
+        (self.orig_impressions > 0).then(|| self.orig_clicks as f64 / self.orig_impressions as f64)
     }
 }
 
@@ -213,15 +216,9 @@ impl<'a> CtrExperiment<'a> {
     /// and ad serving run on days `1 .. trace.days()`.
     pub fn run(&self) -> ExperimentResult {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let pipeline = Pipeline::new(
-            self.config.pipeline.clone(),
-            self.world.blocklist().clone(),
-        );
-        let selector = EavesdropperSelector::new(
-            self.db,
-            self.world.ontology(),
-            self.config.selector.clone(),
-        );
+        let pipeline = Pipeline::new(self.config.pipeline.clone(), self.world.blocklist().clone());
+        let selector =
+            EavesdropperSelector::new(self.db, self.world.ontology(), self.config.selector.clone());
         let mut network = AdNetwork::new(self.config.network.clone());
         let hierarchy = self.world.hierarchy();
         let n_top = hierarchy.num_top();
@@ -238,8 +235,7 @@ impl<'a> CtrExperiment<'a> {
             daily_topics_original: vec![vec![0.0; n_top]; days as usize],
             daily_topics_eaves: vec![vec![0.0; n_top]; days as usize],
         };
-        let mut ext: Vec<ExtensionState> =
-            vec![ExtensionState::default(); self.population.len()];
+        let mut ext: Vec<ExtensionState> = vec![ExtensionState::default(); self.population.len()];
 
         let requests = self.trace.requests();
         for day in 1..days {
@@ -267,30 +263,75 @@ impl<'a> CtrExperiment<'a> {
                 }
                 Err(_) => None,
             };
-            let profiler = embeddings
-                .as_ref()
-                .map(|e| pipeline.profiler(e, self.world.ontology()));
+            let batch_profiler = embeddings.as_ref().map(|e| {
+                pipeline.batch_profiler(e, self.world.ontology(), self.config.profile_threads)
+            });
 
             // Replay the day's requests in time order.
             let start = day as u64 * DAY_MS;
             let end = start + DAY_MS;
             let lo = requests.partition_point(|r| r.t_ms < start);
             let hi = requests.partition_point(|r| r.t_ms < end);
+
+            // Pre-pass: the report cadence depends only on request times,
+            // never on the RNG, so the day's due reports are known up
+            // front. Walk them once, grouping by 10-minute report tick,
+            // and profile each tick's active users in one batched,
+            // multi-threaded call. The replay below then consumes the
+            // profiles in the same order it rediscovers the reports.
+            let mut scheduled: std::collections::VecDeque<Option<SessionProfile>> =
+                std::collections::VecDeque::new();
+            if let Some(batch) = batch_profiler.as_ref() {
+                let interval = self.config.pipeline.report_interval_ms();
+                let mut clocks: Vec<Option<u64>> = ext.iter().map(|s| s.last_report_ms).collect();
+                let mut pending: Vec<Session> = Vec::new();
+                let mut pending_tick = 0u64;
+                let flush =
+                    |pending: &mut Vec<Session>,
+                     scheduled: &mut std::collections::VecDeque<Option<SessionProfile>>| {
+                        scheduled.extend(batch.profile_sessions(pending));
+                        pending.clear();
+                    };
+                for r in &requests[lo..hi] {
+                    let host = self.world.host(r.host);
+                    if !matches!(host.kind, HostKind::Site | HostKind::Core) {
+                        continue;
+                    }
+                    let clock = &mut clocks[r.user.index()];
+                    let due = clock.map(|t| r.t_ms >= t + interval).unwrap_or(true);
+                    if !due {
+                        continue;
+                    }
+                    *clock = Some(r.t_ms);
+                    let tick = (r.t_ms - start) / interval;
+                    if tick != pending_tick && !pending.is_empty() {
+                        flush(&mut pending, &mut scheduled);
+                    }
+                    pending_tick = tick;
+                    let window =
+                        self.trace
+                            .window(r.user, r.t_ms, self.config.pipeline.session_window_ms());
+                    let hostnames: Vec<&str> =
+                        window.iter().map(|h| self.world.hostname(*h)).collect();
+                    pending.push(Session::from_window(
+                        hostnames.iter().copied(),
+                        Some(pipeline.blocklist()),
+                    ));
+                }
+                if !pending.is_empty() {
+                    flush(&mut pending, &mut scheduled);
+                }
+            }
             for r in &requests[lo..hi] {
                 let host = self.world.host(r.host);
                 let day_idx = day as usize;
 
                 // Figure 6a: labeled connections by top topic.
                 if let Some(cats) = self.world.ontology().lookup(&host.name) {
-                    add_topics(
-                        &mut result.daily_topics_visits[day_idx],
-                        hierarchy,
-                        cats,
-                    );
+                    add_topics(&mut result.daily_topics_visits[day_idx], hierarchy, cats);
                 }
 
-                let is_page_visit =
-                    matches!(host.kind, HostKind::Site | HostKind::Core);
+                let is_page_visit = matches!(host.kind, HostKind::Site | HostKind::Core);
                 if !is_page_visit {
                     continue;
                 }
@@ -306,21 +347,13 @@ impl<'a> CtrExperiment<'a> {
                 if due {
                     state.last_report_ms = Some(r.t_ms);
                     result.reports += 1;
-                    if let Some(profiler) = profiler.as_ref() {
-                        let window = self.trace.window(
-                            r.user,
-                            r.t_ms,
-                            self.config.pipeline.session_window_ms(),
-                        );
-                        let hostnames: Vec<&str> = window
-                            .iter()
-                            .map(|h| self.world.hostname(*h))
-                            .collect();
-                        let session = Session::from_window(
-                            hostnames.iter().copied(),
-                            Some(pipeline.blocklist()),
-                        );
-                        if let Some(profile) = profiler.profile(&session) {
+                    if batch_profiler.is_some() {
+                        // The pre-pass profiled this report already; its
+                        // queue yields reports in the same order.
+                        let profile = scheduled
+                            .pop_front()
+                            .expect("pre-pass scheduled every due report");
+                        if let Some(profile) = profile {
                             result.profiles += 1;
                             let list = selector.select(&profile.categories);
                             if !list.is_empty() {
@@ -395,11 +428,7 @@ impl<'a> CtrExperiment<'a> {
     }
 }
 
-fn add_topics(
-    acc: &mut [f64],
-    hierarchy: &hostprof_ontology::Hierarchy,
-    cats: &CategoryVector,
-) {
+fn add_topics(acc: &mut [f64], hierarchy: &hostprof_ontology::Hierarchy, cats: &CategoryVector) {
     for (t, w) in hierarchy.project_to_top(cats).into_iter().enumerate() {
         acc[t] += w as f64;
     }
@@ -449,11 +478,7 @@ pub fn mean_profile_accuracy(
             .filter(|r| r.t_ms >= day as u64 * DAY_MS && r.t_ms < (day as u64 + 1) * DAY_MS)
             .collect();
         let Some(last) = reqs.last() else { continue };
-        let window = trace.window(
-            user.id,
-            last.t_ms,
-            pipeline.config().session_window_ms(),
-        );
+        let window = trace.window(user.id, last.t_ms, pipeline.config().session_window_ms());
         let hostnames: Vec<&str> = window.iter().map(|h| world.hostname(*h)).collect();
         let session = Session::from_window(hostnames.iter().copied(), Some(pipeline.blocklist()));
         if let Some(profile) = profiler.profile(&session) {
@@ -473,10 +498,14 @@ mod tests {
     fn tiny_experiment() -> ExperimentResult {
         let world = World::generate(&WorldConfig::tiny());
         let pop = Population::generate(&world, &PopulationConfig::tiny());
-        let trace = Trace::generate(&world, &pop, &TraceConfig {
-            days: 3,
-            ..TraceConfig::tiny()
-        });
+        let trace = Trace::generate(
+            &world,
+            &pop,
+            &TraceConfig {
+                days: 3,
+                ..TraceConfig::tiny()
+            },
+        );
         let db = AdDatabase::generate(&world, 600, 31);
         let config = ExperimentConfig {
             pipeline: PipelineConfig {
@@ -528,7 +557,10 @@ mod tests {
     #[test]
     fn topic_histograms_cover_profiled_days_only() {
         let r = tiny_experiment();
-        assert!(r.daily_topics_visits[0].iter().all(|&v| v == 0.0), "day 0 is warm-up");
+        assert!(
+            r.daily_topics_visits[0].iter().all(|&v| v == 0.0),
+            "day 0 is warm-up"
+        );
         let day1: f64 = r.daily_topics_visits[1].iter().sum();
         assert!(day1 > 0.0, "labeled visits recorded on day 1");
         let shares = to_percent_shares(&r.daily_topics_visits);
@@ -555,10 +587,14 @@ mod tests {
     fn profile_accuracy_helper_returns_a_valid_cosine() {
         let world = World::generate(&WorldConfig::tiny());
         let pop = Population::generate(&world, &PopulationConfig::tiny());
-        let trace = Trace::generate(&world, &pop, &TraceConfig {
-            days: 2,
-            ..TraceConfig::tiny()
-        });
+        let trace = Trace::generate(
+            &world,
+            &pop,
+            &TraceConfig {
+                days: 2,
+                ..TraceConfig::tiny()
+            },
+        );
         let pipeline = Pipeline::new(
             PipelineConfig {
                 skipgram: SkipGramConfig {

@@ -229,12 +229,7 @@ impl AdNetwork {
     }
 
     /// Targeted: an ad matching the cookie profile.
-    fn pick_targeted<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        db: &AdDatabase,
-        user: UserId,
-    ) -> AdId {
+    fn pick_targeted<R: Rng + ?Sized>(&self, rng: &mut R, db: &AdDatabase, user: UserId) -> AdId {
         let profile = self.cookie_profile(user);
         match profile
             .argmax()
@@ -275,7 +270,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let site = a_site(&world);
         for _ in 0..200 {
-            assert!(network.serve(&mut rng, &world, &db, UserId(0), site).is_some());
+            assert!(network
+                .serve(&mut rng, &world, &db, UserId(0), site)
+                .is_some());
         }
     }
 
@@ -289,10 +286,16 @@ mod tests {
         }
         let mut kinds = std::collections::HashSet::new();
         for _ in 0..500 {
-            let (_, kind) = network.serve(&mut rng, &world, &db, UserId(0), site).unwrap();
+            let (_, kind) = network
+                .serve(&mut rng, &world, &db, UserId(0), site)
+                .unwrap();
             kinds.insert(kind);
         }
-        assert_eq!(kinds.len(), 4, "all four serving paths exercised: {kinds:?}");
+        assert_eq!(
+            kinds.len(),
+            4,
+            "all four serving paths exercised: {kinds:?}"
+        );
     }
 
     #[test]

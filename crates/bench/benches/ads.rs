@@ -2,8 +2,8 @@
 //! (Section 5.4) and the ad-network's serving mix.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hostprof_ads::{AdDatabase, AdNetwork, AdNetworkConfig, EavesdropperSelector};
 use hostprof_ads::eavesdropper::SelectorConfig;
+use hostprof_ads::{AdDatabase, AdNetwork, AdNetworkConfig, EavesdropperSelector};
 use hostprof_synth::{HostKind, Population, PopulationConfig, UserId, World, WorldConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -2,9 +2,9 @@
 //! (aggregate → N-NN → Eq. 3/4), which bounds how many users one profiling
 //! node can serve at the paper's 10-minute report cadence.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hostprof::scenario::{Scenario, ScenarioConfig};
-use hostprof_core::{ProfilerConfig, Session};
+use hostprof_core::{BatchProfiler, Profiler, ProfilerConfig, Session};
 
 fn bench_profiling(c: &mut Criterion) {
     let mut cfg = ScenarioConfig::tiny();
@@ -35,11 +35,74 @@ fn bench_profiling(c: &mut Criterion) {
         let profiler = hostprof_core::Profiler::new(
             &embeddings,
             s.world.ontology(),
-            ProfilerConfig { n_neighbors: n, ..Default::default() },
+            ProfilerConfig {
+                n_neighbors: n,
+                ..Default::default()
+            },
         );
         g.bench_with_input(BenchmarkId::new("n_neighbors", n), &n, |b, _| {
             b.iter(|| profiler.profile(black_box(&session)).is_some())
         });
+    }
+    g.finish();
+
+    // Sessions/sec of the batched engine: thread counts 1/4/N over batch
+    // sizes 1/32/256, all profiling the same real-trace session set.
+    let sessions: Vec<Session> = {
+        let mut out = Vec::new();
+        'outer: for day in 1..cfg.trace.days {
+            for u in s.population.users() {
+                let w = s.session_hostnames(u.id, day);
+                if w.is_empty() {
+                    continue;
+                }
+                out.push(Session::from_window(
+                    w.iter().map(String::as_str),
+                    Some(pipeline.blocklist()),
+                ));
+                if out.len() >= 256 {
+                    break 'outer;
+                }
+            }
+        }
+        let distinct = out.len().max(1);
+        while out.len() < 256 && distinct > 0 {
+            out.push(out[out.len() % distinct].clone());
+        }
+        out
+    };
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 4];
+    if !thread_counts.contains(&hardware) {
+        thread_counts.push(hardware);
+    }
+    let mut g = c.benchmark_group("profile_throughput");
+    for &threads in &thread_counts {
+        for batch_size in [1usize, 32, 256] {
+            let batch = BatchProfiler::new(
+                Profiler::new(&embeddings, s.world.ontology(), ProfilerConfig::default()),
+                threads,
+            );
+            g.throughput(Throughput::Elements(sessions.len() as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("threads_{threads}"), batch_size),
+                &batch_size,
+                |b, &batch_size| {
+                    b.iter(|| {
+                        sessions
+                            .chunks(batch_size)
+                            .map(|chunk| {
+                                batch
+                                    .profile_sessions(black_box(chunk))
+                                    .iter()
+                                    .filter(|p| p.is_some())
+                                    .count()
+                            })
+                            .sum::<usize>()
+                    })
+                },
+            );
+        }
     }
     g.finish();
 

@@ -51,14 +51,7 @@ fn bench_vocab_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("vocab");
     g.throughput(Throughput::Elements(tokens));
     g.bench_function("build", |b| {
-        b.iter(|| {
-            Vocab::build(
-                data.iter().map(|s| s.iter().map(String::as_str)),
-                1,
-                1e-3,
-            )
-            .len()
-        })
+        b.iter(|| Vocab::build(data.iter().map(|s| s.iter().map(String::as_str)), 1, 1e-3).len())
     });
     g.finish();
 }

@@ -67,5 +67,11 @@ fn bench_observer_stream(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tls, bench_quic, bench_dns, bench_observer_stream);
+criterion_group!(
+    benches,
+    bench_tls,
+    bench_quic,
+    bench_dns,
+    bench_observer_stream
+);
 criterion_main!(benches);

@@ -9,7 +9,9 @@
 
 use hostprof::scenario::Scenario;
 use hostprof_bench::{header, row, write_results, Scale};
-use hostprof_core::{profile_accuracy, Aggregation, Pipeline, PipelineConfig, ProfilerConfig, Session};
+use hostprof_core::{
+    profile_accuracy, Aggregation, Pipeline, PipelineConfig, ProfilerConfig, Session,
+};
 use hostprof_embed::SkipGramConfig;
 use hostprof_synth::trace::DAY_MS;
 use serde::Serialize;
@@ -32,11 +34,7 @@ struct AblationResults {
 
 /// Mean profile accuracy of the last day-1 session of every user, under a
 /// given pipeline config and session window.
-fn evaluate(
-    s: &Scenario,
-    pipeline_cfg: PipelineConfig,
-    ontology_only: bool,
-) -> (f64, usize) {
+fn evaluate(s: &Scenario, pipeline_cfg: PipelineConfig, ontology_only: bool) -> (f64, usize) {
     let pipeline = Pipeline::new(pipeline_cfg, s.world.blocklist().clone());
     // Train on every day before the evaluation day (the paper's one-day
     // window carries far more tokens than one synthetic day; see the
@@ -64,8 +62,7 @@ fn evaluate(
             .trace
             .window(user.id, last.t_ms, pipeline.config().session_window_ms());
         let hostnames: Vec<&str> = window.iter().map(|h| s.world.hostname(*h)).collect();
-        let session =
-            Session::from_window(hostnames.iter().copied(), Some(pipeline.blocklist()));
+        let session = Session::from_window(hostnames.iter().copied(), Some(pipeline.blocklist()));
         let profile = if ontology_only {
             profiler.profile_ontology_only(&session)
         } else {
@@ -120,10 +117,7 @@ fn main() {
     println!("  sweep: embedding dimension d (paper: 100)");
     for dim in [16usize, 32, 64, base_pipeline.skipgram.dim] {
         let mut c = base_pipeline.clone();
-        c.skipgram = SkipGramConfig {
-            dim,
-            ..c.skipgram
-        };
+        c.skipgram = SkipGramConfig { dim, ..c.skipgram };
         run("dim", dim.to_string(), c);
     }
 
@@ -157,7 +151,10 @@ fn main() {
     println!("  sweep: profile kNN size N (paper: 1000)");
     for n_neighbors in [50usize, 200, 1000] {
         let mut c = base_pipeline.clone();
-        c.profiler = ProfilerConfig { n_neighbors, ..Default::default() };
+        c.profiler = ProfilerConfig {
+            n_neighbors,
+            ..Default::default()
+        };
         run("N", n_neighbors.to_string(), c);
     }
 

@@ -1,0 +1,357 @@
+//! Profiling-throughput benchmark: sessions/second of the batched,
+//! multi-threaded engine against the seed's one-session-at-a-time loop.
+//!
+//! The baseline below reproduces the pre-optimization hot path exactly as
+//! the seed shipped it: a naive strict-order dot product, cosine computed
+//! as `dot / (|q|·|row|)` per row (no prepared unit-norm matrix), a
+//! `partial_cmp`-sorted top-N heap, and `HashMap`-based Eq. 3/4
+//! accumulation — so the reported speedups measure the kernel + batching
+//! work, not scenario drift.
+//!
+//! Writes `results/bench_profiling.json`.
+
+use hostprof::scenario::Scenario;
+use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_core::{BatchProfiler, Profiler, ProfilerConfig, Session};
+use hostprof_embed::EmbeddingSet;
+use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The seed's profiling path, reproduced verbatim for an honest baseline.
+mod seed_path {
+    use super::*;
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashMap, HashSet};
+
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[derive(PartialEq)]
+    struct HeapItem {
+        sim: f32,
+        idx: u32,
+    }
+
+    impl Eq for HeapItem {}
+
+    impl PartialOrd for HeapItem {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for HeapItem {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .sim
+                .partial_cmp(&self.sim)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| self.idx.cmp(&other.idx))
+        }
+    }
+
+    fn nearest_to_vector(
+        e: &EmbeddingSet,
+        norms: &[f32],
+        query: &[f32],
+        n: usize,
+    ) -> Vec<(u32, f32)> {
+        let qn = dot(query, query).sqrt();
+        if qn <= f32::EPSILON || n == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(n + 1);
+        for (i, &norm) in norms.iter().enumerate() {
+            let v = e.vector_by_index(i as u32);
+            if norm <= f32::EPSILON {
+                continue;
+            }
+            let sim = dot(query, v) / (qn * norm);
+            if heap.len() < n {
+                heap.push(HeapItem { sim, idx: i as u32 });
+            } else if let Some(min) = heap.peek() {
+                if sim > min.sim {
+                    heap.pop();
+                    heap.push(HeapItem { sim, idx: i as u32 });
+                }
+            }
+        }
+        let mut out: Vec<(u32, f32)> = heap.into_iter().map(|h| (h.idx, h.sim)).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    /// The seed `Profiler`: per-call `HashMap`s, per-call allocations.
+    pub struct SeedProfiler<'a> {
+        embeddings: &'a EmbeddingSet,
+        ontology: &'a Ontology,
+        n_neighbors: usize,
+        labeled_by_idx: HashMap<u32, &'a CategoryVector>,
+        /// Row norms, precomputed once as the seed's `EmbeddingSet` did.
+        norms: Vec<f32>,
+    }
+
+    impl<'a> SeedProfiler<'a> {
+        pub fn new(
+            embeddings: &'a EmbeddingSet,
+            ontology: &'a Ontology,
+            n_neighbors: usize,
+        ) -> Self {
+            let mut labeled_by_idx = HashMap::new();
+            for (host, cats) in ontology.iter() {
+                if let Some(idx) = embeddings.vocab().get(host) {
+                    labeled_by_idx.insert(idx, cats);
+                }
+            }
+            let norms = (0..embeddings.len())
+                .map(|i| {
+                    let v = embeddings.vector_by_index(i as u32);
+                    dot(v, v).sqrt()
+                })
+                .collect();
+            Self {
+                embeddings,
+                ontology,
+                n_neighbors,
+                labeled_by_idx,
+                norms,
+            }
+        }
+
+        pub fn profile(&self, session: &Session) -> Option<CategoryVector> {
+            if session.is_empty() {
+                return None;
+            }
+            let labeled_in_session: Vec<(Option<u32>, &CategoryVector)> = session
+                .iter()
+                .filter_map(|h| {
+                    self.ontology
+                        .lookup(h)
+                        .map(|cats| (self.embeddings.vocab().get(h), cats))
+                })
+                .collect();
+
+            let dim = self.embeddings.dim();
+            let mut acc = vec![0f32; dim];
+            let mut count = 0usize;
+            for h in session.iter() {
+                if let Some(idx) = self.embeddings.vocab().get(h) {
+                    for (a, v) in acc.iter_mut().zip(self.embeddings.vector_by_index(idx)) {
+                        *a += v;
+                    }
+                    count += 1;
+                }
+            }
+            let session_vector = (count > 0).then(|| {
+                for a in &mut acc {
+                    *a /= count as f32;
+                }
+                acc
+            });
+
+            let mut weighted: Vec<(f32, &CategoryVector)> = Vec::new();
+            if let Some(ref sv) = session_vector {
+                let in_session_idx: HashSet<u32> = labeled_in_session
+                    .iter()
+                    .filter_map(|(idx, _)| *idx)
+                    .collect();
+                for (idx, sim) in
+                    nearest_to_vector(self.embeddings, &self.norms, sv, self.n_neighbors)
+                {
+                    if in_session_idx.contains(&idx) {
+                        continue;
+                    }
+                    if let Some(cats) = self.labeled_by_idx.get(&idx) {
+                        let alpha = sim.max(0.0);
+                        if alpha > 0.0 {
+                            weighted.push((alpha, cats));
+                        }
+                    }
+                }
+            }
+            for (_, cats) in &labeled_in_session {
+                weighted.push((1.0, cats));
+            }
+            if weighted.is_empty() {
+                return None;
+            }
+            let mut num: HashMap<CategoryId, f32> = HashMap::new();
+            let mut alpha_sum = 0f32;
+            for (alpha, cats) in &weighted {
+                alpha_sum += alpha;
+                for (c, w) in cats.iter() {
+                    *num.entry(c).or_insert(0.0) += alpha * w;
+                }
+            }
+            Some(CategoryVector::from_pairs(
+                num.into_iter().map(|(c, v)| (c, v / alpha_sum)).collect(),
+            ))
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ThroughputRow {
+    threads: usize,
+    batch_size: usize,
+    sessions_per_sec: f64,
+    speedup_vs_seed: f64,
+}
+
+#[derive(Serialize)]
+struct BenchProfilingResults {
+    scale: String,
+    hardware_threads: usize,
+    sessions: usize,
+    vocabulary: usize,
+    dim: usize,
+    n_neighbors: usize,
+    /// The seed's one-session-at-a-time loop (naive kernel, per-call maps).
+    seed_loop_sessions_per_sec: f64,
+    /// The optimized single-query path (unit-norm tiled kernel + scratch).
+    single_query_sessions_per_sec: f64,
+    throughput: Vec<ThroughputRow>,
+    best_speedup_at_4_threads: f64,
+}
+
+/// Wall-clock the closure over `repeats` runs, keeping the fastest.
+fn best_of<F: FnMut() -> u64>(repeats: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, sink)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let s = Scenario::generate(&scale.scenario());
+    let pipeline = s.pipeline();
+    let mut corpus = Vec::new();
+    for day in 0..s.trace.days().saturating_sub(1) {
+        corpus.extend(s.daily_hostname_sequences(day));
+    }
+    let embeddings = pipeline.train_model(&corpus).expect("trainable corpus");
+    let ontology = s.world.ontology();
+    let n_neighbors = ProfilerConfig::default().n_neighbors;
+
+    // Real sessions from the trace: every user's window on each profiled
+    // day, cycled up to the largest batch we measure.
+    let mut sessions: Vec<Session> = Vec::new();
+    'outer: for day in 1..s.trace.days() {
+        for user in s.population.users() {
+            let window = s.session_hostnames(user.id, day);
+            if window.is_empty() {
+                continue;
+            }
+            sessions.push(Session::from_window(
+                window.iter().map(String::as_str),
+                Some(pipeline.blocklist()),
+            ));
+            if sessions.len() >= 256 {
+                break 'outer;
+            }
+        }
+    }
+    assert!(!sessions.is_empty(), "trace produced no sessions");
+    let distinct = sessions.len();
+    while sessions.len() < 256 {
+        let again = sessions[sessions.len() % distinct].clone();
+        sessions.push(again);
+    }
+    let repeats = match scale {
+        Scale::Tiny => 5,
+        _ => 3,
+    };
+
+    header("profiling throughput (sessions/sec)");
+    row("scale", scale.label());
+    row("sessions", sessions.len());
+    row("vocabulary", embeddings.len());
+    row("n_neighbors", n_neighbors);
+
+    // Baseline: the seed's single-query loop.
+    let seed = seed_path::SeedProfiler::new(&embeddings, ontology, n_neighbors);
+    let (seed_time, _) = best_of(repeats, || {
+        sessions.iter().filter_map(|s| seed.profile(s)).count() as u64
+    });
+    let seed_rate = sessions.len() as f64 / seed_time;
+    row("seed single-query loop", format!("{seed_rate:.1}/s"));
+
+    // Optimized single-query path (no batching, fresh profiler state).
+    let profiler = Profiler::new(&embeddings, ontology, ProfilerConfig::default());
+    let (single_time, _) = best_of(repeats, || {
+        sessions.iter().filter_map(|s| profiler.profile(s)).count() as u64
+    });
+    let single_rate = sessions.len() as f64 / single_time;
+    row(
+        "single-query (tiled kernel)",
+        format!("{single_rate:.1}/s  ({:.2}x)", single_rate / seed_rate),
+    );
+
+    // Batched engine across thread counts and batch sizes.
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 4];
+    if !thread_counts.contains(&hardware) {
+        thread_counts.push(hardware);
+    }
+    let mut throughput = Vec::new();
+    let mut best_at_4 = 0f64;
+    for &threads in &thread_counts {
+        for batch_size in [1usize, 32, 256] {
+            let batch = BatchProfiler::new(
+                Profiler::new(&embeddings, ontology, ProfilerConfig::default()),
+                threads,
+            );
+            let (time, _) = best_of(repeats, || {
+                sessions
+                    .chunks(batch_size)
+                    .map(|c| {
+                        batch
+                            .profile_sessions(c)
+                            .iter()
+                            .filter(|p| p.is_some())
+                            .count() as u64
+                    })
+                    .sum()
+            });
+            let rate = sessions.len() as f64 / time;
+            let speedup = rate / seed_rate;
+            if threads == 4 {
+                best_at_4 = best_at_4.max(speedup);
+            }
+            row(
+                format!("batched t={threads} b={batch_size}").as_str(),
+                format!("{rate:.1}/s  ({speedup:.2}x)"),
+            );
+            throughput.push(ThroughputRow {
+                threads,
+                batch_size,
+                sessions_per_sec: rate,
+                speedup_vs_seed: speedup,
+            });
+        }
+    }
+    row("best speedup at 4 threads", format!("{best_at_4:.2}x"));
+
+    write_results(
+        "bench_profiling",
+        &BenchProfilingResults {
+            scale: scale.label().to_string(),
+            hardware_threads: hardware,
+            sessions: sessions.len(),
+            vocabulary: embeddings.len(),
+            dim: embeddings.dim(),
+            n_neighbors,
+            seed_loop_sessions_per_sec: seed_rate,
+            single_query_sessions_per_sec: single_rate,
+            throughput,
+            best_speedup_at_4_threads: best_at_4,
+        },
+    );
+}

@@ -73,7 +73,8 @@ fn evaluate(s: &Scenario, name: &str, scenario: &ObserverScenario) -> CmRow {
     for (ip, seq) in &obs.sequences {
         let Some(&end) = seq
             .iter()
-            .map(|(t, _)| t).rfind(|t| **t >= eval_day * DAY_MS)
+            .map(|(t, _)| t)
+            .rfind(|t| **t >= eval_day * DAY_MS)
         else {
             continue;
         };
@@ -83,8 +84,7 @@ fn evaluate(s: &Scenario, name: &str, scenario: &ObserverScenario) -> CmRow {
             .filter(|(t, _)| *t > start && *t <= end)
             .map(|(_, h)| h.as_str())
             .collect();
-        let session =
-            Session::from_window(window.iter().copied(), Some(pipeline.blocklist()));
+        let session = Session::from_window(window.iter().copied(), Some(pipeline.blocklist()));
         let Some(profile) = profiler.profile(&session) else {
             continue;
         };
@@ -93,10 +93,8 @@ fn evaluate(s: &Scenario, name: &str, scenario: &ObserverScenario) -> CmRow {
         // precisely the degradation §7.2 predicts.
         if let Some(users) = users_of_ip.get(ip) {
             for uid in users {
-                acc += profile_accuracy(
-                    &profile.categories,
-                    &s.population.user(*uid).interests,
-                ) as f64;
+                acc += profile_accuracy(&profile.categories, &s.population.user(*uid).interests)
+                    as f64;
                 n += 1;
             }
         }
@@ -136,7 +134,10 @@ fn main() {
 
     run("baseline (per-user IP)", ObserverScenario::per_user());
     for frac in [0.25, 0.5, 0.9] {
-        run(&format!("ECH on {:.0}%", frac * 100.0), ObserverScenario::with_ech(frac));
+        run(
+            &format!("ECH on {:.0}%", frac * 100.0),
+            ObserverScenario::with_ech(frac),
+        );
     }
     // ECH everywhere but plaintext DNS still observable — the paper's
     // "DoH/DoT matter too" point inverted.
@@ -152,7 +153,10 @@ fn main() {
     ech_doh.harvest_dns = true;
     run("ECH 100% + DoH", ech_doh);
     for n in [2u32, 4, 8] {
-        run(&format!("NAT {n} users/IP"), ObserverScenario::behind_nat(n));
+        run(
+            &format!("NAT {n} users/IP"),
+            ObserverScenario::behind_nat(n),
+        );
     }
 
     println!("\n  shape check: accuracy degrades monotonically with ECH adoption; full ECH");
@@ -169,5 +173,8 @@ fn main() {
         },
     );
 
-    row("note", "TOR-style relaying removes the hostname channel entirely (§7.4)");
+    row(
+        "note",
+        "TOR-style relaying removes the hostname channel entirely (§7.4)",
+    );
 }

@@ -103,7 +103,11 @@ fn main() {
                 ci.lo * 100.0,
                 ci.hi * 100.0,
                 ci.point * 100.0,
-                if ci.excludes_zero() { "" } else { " (contains 0)" }
+                if ci.excludes_zero() {
+                    ""
+                } else {
+                    " (contains 0)"
+                }
             ),
         );
     }

@@ -19,7 +19,10 @@ fn main() {
     let base = scale.scenario();
     let s = Scenario::generate(&base);
 
-    header(&format!("Embedding quality sweep (scale: {})", scale.label()));
+    header(&format!(
+        "Embedding quality sweep (scale: {})",
+        scale.label()
+    ));
     println!(
         "  {:>5} {:>7} {:>6} {:>9} {:>9} {:>8} {:>8}",
         "days", "epochs", "dim", "purity@10", "baseline", "intra", "inter"
@@ -29,7 +32,10 @@ fn main() {
         .world
         .hosts()
         .iter()
-        .filter_map(|h| h.top_topic.map(|t| (second_level_domain(&h.name), t.index())))
+        .filter_map(|h| {
+            h.top_topic
+                .map(|t| (second_level_domain(&h.name), t.index()))
+        })
         .collect();
 
     for (days, epochs, dim) in [

@@ -70,11 +70,20 @@ fn main() {
 
     let all_counts: Vec<usize> = sets.iter().map(|s| s.len()).collect();
     let all = report(all_counts, 0.0, 0);
-    row("75% of users visit at least (all domains)", all.p75_at_least);
-    row("25% of users visit at least (all domains)", all.p25_at_least);
+    row(
+        "75% of users visit at least (all domains)",
+        all.p75_at_least,
+    );
+    row(
+        "25% of users visit at least (all domains)",
+        all.p25_at_least,
+    );
 
     let mut cores = Vec::new();
-    println!("\n  {:<10} {:>10} {:>16} {:>16}", "core", "size", "75% ≥", "25% ≥");
+    println!(
+        "\n  {:<10} {:>10} {:>16} {:>16}",
+        "core", "size", "75% ≥", "25% ≥"
+    );
     for fraction in [0.8, 0.6, 0.4, 0.2] {
         let core = core_items(&sets, fraction);
         let counts = counts_outside_core(&sets, &core);
@@ -94,9 +103,15 @@ fn main() {
     println!("\n  CCDF — % of users visiting ≥ N hostnames (log N):\n");
     let curve: Vec<(f64, f64)> = {
         let ccdf = Ccdf::from_counts(sets.iter().map(|s| s.len()));
-        ccdf.points().into_iter().map(|(v, f)| (v.max(1.0), f * 100.0)).collect()
+        ccdf.points()
+            .into_iter()
+            .map(|(v, f)| (v.max(1.0), f * 100.0))
+            .collect()
     };
-    print!("{}", hostprof_bench::chart::line_chart(&curve, 56, 12, true));
+    print!(
+        "{}",
+        hostprof_bench::chart::line_chart(&curve, 56, 12, true)
+    );
 
     println!(
         "\n  paper: cores 80/60/40/20 sized 30/120/271/639; 75% of users ≥217 hostnames, 25% ≥1015"

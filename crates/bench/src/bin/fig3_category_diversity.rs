@@ -90,9 +90,7 @@ fn main() {
         });
     }
 
-    println!(
-        "\n  paper: cores 80/60/40/20 sized 47/80/124/177; all users share 14 categories,"
-    );
+    println!("\n  paper: cores 80/60/40/20 sized 47/80/124/177; all users share 14 categories,");
     println!("  50% share 113; 1.5/5.2/11.1/23.2% of users have no category outside the cores");
     println!("  shape check: a nonzero shared-by-all core; zero-outside fraction rises as the core grows");
 

@@ -58,7 +58,9 @@ fn main() {
     let mut domain_topic: HashMap<&str, usize> = HashMap::new();
     for h in s.world.hosts() {
         if let Some(t) = h.top_topic {
-            domain_topic.entry(second_level_domain(&h.name)).or_insert(t.index());
+            domain_topic
+                .entry(second_level_domain(&h.name))
+                .or_insert(t.index());
         }
     }
 
@@ -99,7 +101,11 @@ fn main() {
             .filter(|&j| j != i)
             .map(|j| {
                 let vj = &points[j * dim..(j + 1) * dim];
-                let dot: f64 = vi.iter().zip(vj).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+                let dot: f64 = vi
+                    .iter()
+                    .zip(vj)
+                    .map(|(a, b)| (*a as f64) * (*b as f64))
+                    .sum();
                 (dot, j)
             })
             .collect();

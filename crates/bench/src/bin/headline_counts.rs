@@ -64,10 +64,7 @@ fn main() {
         ),
     );
     println!();
-    row(
-        "connections / user / day",
-        format!("{conn_rate:.0}"),
-    );
+    row("connections / user / day", format!("{conn_rate:.0}"));
     row(
         "extrapolated connections @1329×30d",
         format!("{:.1}M  (paper: 75M)", conn_rate * paper_user_days / 1e6),

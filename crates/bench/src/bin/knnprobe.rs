@@ -1,0 +1,98 @@
+//! Micro-probe separating the profiling hot path into its stages: a raw
+//! naive dot scan (the seed's floor), the tiled kernel single-query and
+//! batched, and a full end-to-end `profile` call. Useful when tuning the
+//! kernel — the throughput bench (`bench_profiling`) only shows totals.
+
+use hostprof::scenario::Scenario;
+use hostprof_bench::Scale;
+use hostprof_core::{Profiler, ProfilerConfig};
+use std::time::Instant;
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let s = Scenario::generate(&scale.scenario());
+    let pipeline = s.pipeline();
+    let mut corpus = Vec::new();
+    for day in 0..s.trace.days().saturating_sub(1) {
+        corpus.extend(s.daily_hostname_sequences(day));
+    }
+    let embeddings = pipeline.train_model(&corpus).expect("corpus");
+    println!("vocab={} dim={}", embeddings.len(), embeddings.dim());
+    let dim = embeddings.dim();
+    let q: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+
+    let reps = 2000;
+    // Seed naive scan (dot only, no heap).
+    let norms: Vec<f32> = (0..embeddings.len())
+        .map(|i| {
+            let v = embeddings.vector_by_index(i as u32);
+            dot(v, v).sqrt()
+        })
+        .collect();
+    let t = Instant::now();
+    let mut acc = 0f32;
+    for _ in 0..reps {
+        for (i, norm) in norms.iter().enumerate() {
+            let v = embeddings.vector_by_index(i as u32);
+            acc += dot(&q, v) / norm;
+        }
+    }
+    println!(
+        "seed dot scan: {:.1} us/scan (acc {acc})",
+        t.elapsed().as_secs_f64() * 1e6 / reps as f64
+    );
+
+    // Full seed scan incl heap = from earlier bench. Now new kernel single:
+    let mut scratch = hostprof_embed::KnnScratch::new();
+    let t = Instant::now();
+    let mut n_out = 0usize;
+    for _ in 0..reps {
+        n_out += embeddings
+            .nearest_to_vector_with(&q, 1000, &mut scratch)
+            .len();
+    }
+    println!(
+        "tiled single: {:.1} us/scan ({n_out})",
+        t.elapsed().as_secs_f64() * 1e6 / reps as f64
+    );
+
+    // Batched 32 queries.
+    let queries: Vec<Vec<f32>> = (0..32)
+        .map(|k| (0..dim).map(|i| ((i + k) as f32 * 0.37).sin()).collect())
+        .collect();
+    let t = Instant::now();
+    let mut n_out = 0usize;
+    for _ in 0..reps / 32 {
+        n_out += embeddings
+            .nearest_to_vectors_with(&queries, 1000, &mut scratch)
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>();
+    }
+    println!(
+        "tiled batch32: {:.1} us/query ({n_out})",
+        t.elapsed().as_secs_f64() * 1e6 / ((reps / 32) * 32) as f64
+    );
+
+    // Full profile for comparison.
+    let profiler = Profiler::new(&embeddings, s.world.ontology(), ProfilerConfig::default());
+    let user = s.population.users()[0].id;
+    let w = s.session_hostnames(user, 1);
+    let session = hostprof_core::Session::from_window(
+        w.iter().map(String::as_str),
+        Some(pipeline.blocklist()),
+    );
+    let t = Instant::now();
+    let mut cnt = 0;
+    for _ in 0..reps {
+        cnt += profiler.profile(&session).is_some() as u32;
+    }
+    println!(
+        "full profile: {:.1} us ({cnt})",
+        t.elapsed().as_secs_f64() * 1e6 / reps as f64
+    );
+}

@@ -111,7 +111,10 @@ mod tests {
         let chart = line_chart(&pts, 40, 10, true);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 12, "10 rows + axis + x labels");
-        assert!(lines[0].contains('*') || lines[1].contains('*'), "max is plotted near the top");
+        assert!(
+            lines[0].contains('*') || lines[1].contains('*'),
+            "max is plotted near the top"
+        );
         assert!(chart.contains("1.00"), "y max label");
         assert!(chart.contains("10^"), "log x labels");
     }
@@ -153,9 +156,6 @@ mod tests {
     #[test]
     fn stacked_bar_handles_empty() {
         assert_eq!(stacked_bar(&[], 10), "(empty)");
-        assert_eq!(
-            stacked_bar(&[("x".to_string(), 0.0)], 10),
-            "(empty)"
-        );
+        assert_eq!(stacked_bar(&[("x".to_string(), 0.0)], 10), "(empty)");
     }
 }

@@ -97,7 +97,12 @@ mod tests {
     fn accumulation_beats_single_sessions_against_a_stable_truth() {
         let truth = v(&[(1, 1.0), (2, 0.6)]);
         // Sessions are noisy single-topic views of the truth.
-        let sessions = [v(&[(1, 1.0)]), v(&[(2, 0.9)]), v(&[(1, 0.8)]), v(&[(2, 0.5)])];
+        let sessions = [
+            v(&[(1, 1.0)]),
+            v(&[(2, 0.9)]),
+            v(&[(1, 0.8)]),
+            v(&[(2, 0.5)]),
+        ];
         let mut acc = ProfileAccumulator::new(0.4);
         let mut best_single = 0f32;
         for s in &sessions {

@@ -1,0 +1,222 @@
+//! Batched, multi-threaded session profiling.
+//!
+//! The paper's deployment profiles every reporting extension on a
+//! 10-minute cadence (Section 5.4) — at any tick the back-end holds a
+//! *batch* of sessions, not one. [`BatchProfiler`] exploits that shape
+//! twice over:
+//!
+//! * **within a worker**, all of its sessions' kNN queries run through one
+//!   tiled scan of the vocabulary
+//!   ([`EmbeddingSet::nearest_to_vectors_with`][nv]), so each cache-sized
+//!   block of the unit-norm matrix is loaded once and scored against many
+//!   session vectors;
+//! * **across workers**, sessions fan out over scoped threads
+//!   (`crossbeam::thread::scope`), each worker owning one reusable
+//!   [`ProfileScratch`] — no locks, no shared mutable state, results
+//!   written straight into disjoint output slices.
+//!
+//! Results are **exactly** those of calling [`Profiler::profile`] per
+//! session, in order: both paths run the same aggregation, the same kNN
+//! kernel, and the same Eq. 3/4 accumulation with the same float-operation
+//! order, so equality is bit-for-bit, independent of the thread count.
+//! The property tests in `tests/batch_equivalence.rs` pin this down.
+//!
+//! [nv]: hostprof_embed::EmbeddingSet::nearest_to_vectors_with
+
+use crate::profiler::{ProfileScratch, Profiler, SessionProfile};
+use crate::session::Session;
+
+/// Fans batches of sessions across worker threads, each running the
+/// single-session profiling code against a private scratch.
+pub struct BatchProfiler<'a> {
+    profiler: Profiler<'a>,
+    threads: usize,
+}
+
+impl<'a> BatchProfiler<'a> {
+    /// Wrap a profiler; `threads` is clamped to at least 1.
+    pub fn new(profiler: Profiler<'a>, threads: usize) -> Self {
+        Self {
+            profiler,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The wrapped single-session profiler.
+    pub fn profiler(&self) -> &Profiler<'a> {
+        &self.profiler
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Profile a batch. `out[i]` is exactly what
+    /// `self.profiler().profile(&sessions[i])` returns, for every `i`.
+    pub fn profile_sessions(&self, sessions: &[Session]) -> Vec<Option<SessionProfile>> {
+        let mut out: Vec<Option<SessionProfile>> = Vec::new();
+        out.resize_with(sessions.len(), || None);
+        if sessions.is_empty() {
+            return out;
+        }
+        let workers = self.threads.min(sessions.len());
+        if workers <= 1 {
+            profile_chunk(
+                &self.profiler,
+                sessions,
+                &mut out,
+                &mut ProfileScratch::new(),
+            );
+            return out;
+        }
+        let chunk = sessions.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (sess, slots) in sessions.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    profile_chunk(&self.profiler, sess, slots, &mut ProfileScratch::new());
+                });
+            }
+        })
+        .expect("profiling worker panicked");
+        out
+    }
+}
+
+/// One worker's share: stage every session's aggregation, resolve all kNN
+/// queries in a single tiled scan, then assemble the profiles.
+fn profile_chunk(
+    profiler: &Profiler<'_>,
+    sessions: &[Session],
+    out: &mut [Option<SessionProfile>],
+    scratch: &mut ProfileScratch,
+) {
+    debug_assert_eq!(sessions.len(), out.len());
+    // (labels, has-session-vector) per non-empty session; `None` marks an
+    // empty session, which profiles to `None` without touching the kernel.
+    let mut staged = Vec::with_capacity(sessions.len());
+    let mut queries: Vec<Vec<f32>> = Vec::new();
+    for session in sessions {
+        if session.is_empty() {
+            staged.push(None);
+            continue;
+        }
+        let labels = profiler.session_labels(session);
+        let sv = profiler.aggregate(session);
+        let has_sv = match sv {
+            Some(v) => {
+                queries.push(v);
+                true
+            }
+            None => false,
+        };
+        staged.push(Some((labels, has_sv)));
+    }
+    let results = profiler.embeddings().nearest_to_vectors_with(
+        &queries,
+        profiler.config().n_neighbors,
+        &mut scratch.knn,
+    );
+    // Queries and results line up in session order, so drain them in step.
+    let mut answered = queries.into_iter().zip(results);
+    for (slot, entry) in out.iter_mut().zip(staged) {
+        let Some((labels, has_sv)) = entry else {
+            continue;
+        };
+        let (sv, neighbors) = if has_sv {
+            let (q, r) = answered.next().expect("one kNN result per query");
+            (Some(q), r)
+        } else {
+            (None, Vec::new())
+        };
+        *slot = profiler.assemble(&labels, sv, &neighbors, scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::ProfilerConfig;
+    use hostprof_embed::{EmbeddingSet, Vocab};
+    use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
+
+    fn setup() -> (EmbeddingSet, Ontology) {
+        let seqs = vec![vec![
+            "travel.com",
+            "travel-api.net",
+            "sport.com",
+            "sport-cdn.net",
+            "neutral.org",
+        ]];
+        let vocab = Vocab::build(seqs, 1, 0.0);
+        let mut vectors = vec![0f32; vocab.len() * 2];
+        let mut set = |name: &str, v: [f32; 2]| {
+            let i = vocab.get(name).unwrap() as usize;
+            vectors[i * 2] = v[0];
+            vectors[i * 2 + 1] = v[1];
+        };
+        set("travel.com", [1.0, 0.0]);
+        set("travel-api.net", [0.95, 0.05]);
+        set("sport.com", [0.0, 1.0]);
+        set("sport-cdn.net", [0.05, 0.95]);
+        set("neutral.org", [0.5, 0.5]);
+        let embeddings = EmbeddingSet::new(2, vocab, vectors);
+
+        let mut ontology = Ontology::new();
+        ontology.insert("travel.com", CategoryVector::singleton(CategoryId(10)));
+        ontology.insert("sport.com", CategoryVector::singleton(CategoryId(20)));
+        ontology.insert(
+            "off-vocab.example",
+            CategoryVector::singleton(CategoryId(7)),
+        );
+        (embeddings, ontology)
+    }
+
+    fn mixed_sessions() -> Vec<Session> {
+        vec![
+            Session::from_window(["travel.com"], None),
+            Session::default(), // empty
+            Session::from_window(["travel-api.net", "neutral.org"], None),
+            Session::from_window(["never-seen.example"], None), // no signal
+            Session::from_window(["off-vocab.example"], None),  // label, no vector
+            Session::from_window(["sport.com", "sport-cdn.net"], None),
+            Session::from_window(["travel.com", "sport.com"], None),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_single_for_every_thread_count() {
+        let (e, o) = setup();
+        let sessions = mixed_sessions();
+        let config = ProfilerConfig {
+            n_neighbors: 5,
+            ..Default::default()
+        };
+        let reference: Vec<Option<SessionProfile>> = {
+            let p = Profiler::new(&e, &o, config.clone());
+            sessions.iter().map(|s| p.profile(s)).collect()
+        };
+        for threads in [1, 2, 3, 8, 64] {
+            let batch = BatchProfiler::new(Profiler::new(&e, &o, config.clone()), threads);
+            assert_eq!(
+                batch.profile_sessions(&sessions),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (e, o) = setup();
+        let batch = BatchProfiler::new(Profiler::new(&e, &o, ProfilerConfig::default()), 4);
+        assert!(batch.profile_sessions(&[]).is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let (e, o) = setup();
+        let batch = BatchProfiler::new(Profiler::new(&e, &o, ProfilerConfig::default()), 0);
+        assert_eq!(batch.threads(), 1);
+    }
+}

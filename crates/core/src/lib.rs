@@ -23,7 +23,10 @@
 //!    trained every simulated day on the previous day's sequences
 //!    (Section 5.4, "We update our model every day").
 //!
-//! [`cores`] implements the Figure 2/3 user-diversity analysis (popularity
+//! [`batch`] scales step 3 to deployment shape: one batched, multi-threaded
+//! call profiles every session of a report tick, bit-identical to the
+//! one-at-a-time path. [`cores`] implements the Figure 2/3 user-diversity
+//! analysis (popularity
 //! cores and per-user counts outside them), [`accumulator`] folds session
 //! profiles into long-lived per-user profiles (the §7.3 "profiles could be
 //! sold" artifact), and
@@ -31,13 +34,17 @@
 //! synthetic ground truth no real deployment could observe.
 
 pub mod accumulator;
+pub mod batch;
 pub mod cores;
 pub mod pipeline;
 pub mod profiler;
 pub mod session;
 
 pub use accumulator::ProfileAccumulator;
+pub use batch::BatchProfiler;
 pub use cores::{core_items, counts_outside_core};
 pub use pipeline::{Pipeline, PipelineConfig};
-pub use profiler::{profile_accuracy, Aggregation, Profiler, ProfilerConfig, SessionProfile};
+pub use profiler::{
+    profile_accuracy, Aggregation, ProfileScratch, Profiler, ProfilerConfig, SessionProfile,
+};
 pub use session::Session;

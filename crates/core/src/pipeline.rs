@@ -11,6 +11,7 @@
 //! (including the Section 5.4 blocklist filtering of tracker hostnames,
 //! applied to the *training corpus* as well as to sessions).
 
+use crate::batch::BatchProfiler;
 use crate::profiler::{Profiler, ProfilerConfig};
 use hostprof_embed::{EmbeddingSet, SkipGram, SkipGramConfig};
 use hostprof_ontology::{Blocklist, Ontology};
@@ -84,10 +85,7 @@ impl Pipeline {
 
     /// Train one day's model from the previous day's per-user hostname
     /// sequences. Tracker hostnames are filtered out first.
-    pub fn train_model<S: AsRef<str>>(
-        &self,
-        sequences: &[Vec<S>],
-    ) -> Result<EmbeddingSet, String> {
+    pub fn train_model<S: AsRef<str>>(&self, sequences: &[Vec<S>]) -> Result<EmbeddingSet, String> {
         let filtered: Vec<Vec<&str>> = sequences
             .iter()
             .map(|seq| {
@@ -114,6 +112,18 @@ impl Pipeline {
         ontology: &'a Ontology,
     ) -> Profiler<'a> {
         Profiler::new(embeddings, ontology, self.config.profiler.clone())
+    }
+
+    /// A batched profiler over `threads` workers — what the report tick
+    /// uses to profile all active users in one call. Produces exactly the
+    /// same profiles as [`Self::profiler`], session for session.
+    pub fn batch_profiler<'a>(
+        &self,
+        embeddings: &'a EmbeddingSet,
+        ontology: &'a Ontology,
+        threads: usize,
+    ) -> BatchProfiler<'a> {
+        BatchProfiler::new(self.profiler(embeddings, ontology), threads)
     }
 }
 
@@ -143,10 +153,8 @@ mod tests {
     }
 
     fn pipeline() -> Pipeline {
-        let blocklist = Blocklist::from_providers(vec![BlocklistProvider::new(
-            "t",
-            ["tracker.net"],
-        )]);
+        let blocklist =
+            Blocklist::from_providers(vec![BlocklistProvider::new("t", ["tracker.net"])]);
         let config = PipelineConfig {
             skipgram: SkipGramConfig::tiny(),
             ..Default::default()
@@ -212,6 +220,9 @@ mod tests {
         let p = pipeline();
         let a = p.train_model(&corpus()).unwrap();
         let b = p.train_model(&corpus()).unwrap();
-        assert_eq!(a.cosine("travel0.com", "travel1.com"), b.cosine("travel0.com", "travel1.com"));
+        assert_eq!(
+            a.cosine("travel0.com", "travel1.com"),
+            b.cosine("travel0.com", "travel1.com")
+        );
     }
 }

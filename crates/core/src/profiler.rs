@@ -13,12 +13,17 @@
 //!   category vectors (Eq. 4) — unlabeled neighbors drop out of the sum,
 //!   which is exactly how the kNN propagates the sparse ontology to
 //!   CDN/API-heavy sessions.
+//!
+//! The hot path is allocation-light: the labeled-host index is a sorted
+//! array probed by binary search, Eq. 4 accumulates into a dense
+//! `f32` array indexed by [`CategoryId`] (no hashing), and every buffer
+//! lives in a caller-reusable [`ProfileScratch`]. The batched engine in
+//! [`crate::batch`] drives the same code with one scratch per worker.
 
 use crate::session::Session;
-use hostprof_embed::EmbeddingSet;
+use hostprof_embed::{EmbeddingSet, KnnScratch};
 use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Profiler knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -59,7 +64,7 @@ pub enum Aggregation {
 }
 
 /// The inferred profile of one session.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionProfile {
     /// Category importances `c^{s_u^T}`, each in `[0, 1]` (Eq. 4).
     pub categories: CategoryVector,
@@ -73,13 +78,99 @@ pub struct SessionProfile {
     pub labeled_neighbors: usize,
 }
 
+/// Reusable per-caller working memory for profiling.
+///
+/// Holds the kNN query/heap scratch and the dense Eq. 4 accumulator.
+/// The accumulator is epoch-stamped: `begin` bumps the epoch instead of
+/// zeroing the whole array, so resetting between sessions is `O(1)` and
+/// only the categories actually touched are read back out.
+pub struct ProfileScratch {
+    pub(crate) knn: KnnScratch,
+    /// Dense Eq. 4 numerator, indexed by `CategoryId::index()`.
+    acc: Vec<f32>,
+    /// Epoch stamp per slot; a stale stamp means the slot is logically 0.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Categories touched this session, in first-touch order.
+    touched: Vec<CategoryId>,
+    /// Sorted vocab indices of the session's labeled hosts.
+    in_session: Vec<u32>,
+}
+
+impl ProfileScratch {
+    /// Fresh scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self {
+            knn: KnnScratch::new(),
+            acc: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
+            touched: Vec::new(),
+            in_session: Vec::new(),
+        }
+    }
+
+    /// Start a new accumulation over category ids `0..bound`.
+    fn begin(&mut self, bound: usize) {
+        if self.acc.len() < bound {
+            self.acc.resize(bound, 0.0);
+            self.stamp.resize(bound, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: old stamps could alias the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Fold `alpha * cats` into the numerator.
+    #[inline]
+    fn add(&mut self, cats: &CategoryVector, alpha: f32) {
+        for (c, w) in cats.iter() {
+            let i = c.index();
+            if self.stamp[i] != self.epoch {
+                self.stamp[i] = self.epoch;
+                self.acc[i] = 0.0;
+                self.touched.push(c);
+            }
+            self.acc[i] += alpha * w;
+        }
+    }
+
+    /// Read the accumulated categories back out, divided by `alpha_sum`.
+    fn take(&mut self, alpha_sum: f32) -> CategoryVector {
+        CategoryVector::from_pairs(
+            self.touched
+                .iter()
+                .map(|&c| (c, self.acc[c.index()] / alpha_sum))
+                .collect(),
+        )
+    }
+}
+
+impl Default for ProfileScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Profiles sessions against one day's embedding model.
 pub struct Profiler<'a> {
     embeddings: &'a EmbeddingSet,
     ontology: &'a Ontology,
     config: ProfilerConfig,
-    /// vocab index → category vector, for every labeled in-vocabulary host.
-    labeled_by_idx: HashMap<u32, &'a CategoryVector>,
+    /// `(vocab index, categories)` for every labeled in-vocabulary host,
+    /// sorted by index (replaces a per-profiler `HashMap`).
+    labeled_by_idx: Vec<(u32, &'a CategoryVector)>,
+    /// Dense vocab-indexed table: `labeled_slot[idx]` is the position of
+    /// `idx` in `labeled_by_idx`, or `u32::MAX`. Turns the per-neighbor
+    /// lookup on the kNN result stream into one bounds-checked load.
+    labeled_slot: Vec<u32>,
+    /// One past the largest `CategoryId` any ontology entry carries —
+    /// sizes the dense Eq. 4 accumulator.
+    category_bound: usize,
 }
 
 impl<'a> Profiler<'a> {
@@ -90,17 +181,29 @@ impl<'a> Profiler<'a> {
         ontology: &'a Ontology,
         config: ProfilerConfig,
     ) -> Self {
-        let mut labeled_by_idx = HashMap::new();
+        let mut labeled_by_idx = Vec::new();
+        let mut category_bound = 0usize;
         for (host, cats) in ontology.iter() {
             if let Some(idx) = embeddings.vocab().get(host) {
-                labeled_by_idx.insert(idx, cats);
+                labeled_by_idx.push((idx, cats));
             }
+            for (c, _) in cats.iter() {
+                category_bound = category_bound.max(c.index() + 1);
+            }
+        }
+        // Ontology hosts are unique, so vocab indices are too.
+        labeled_by_idx.sort_unstable_by_key(|&(idx, _)| idx);
+        let mut labeled_slot = vec![u32::MAX; embeddings.len()];
+        for (slot, &(idx, _)) in labeled_by_idx.iter().enumerate() {
+            labeled_slot[idx as usize] = slot as u32;
         }
         Self {
             embeddings,
             ontology,
             config,
             labeled_by_idx,
+            labeled_slot,
+            category_bound,
         }
     }
 
@@ -109,74 +212,118 @@ impl<'a> Profiler<'a> {
         self.embeddings
     }
 
+    /// The configuration this profiler runs with.
+    pub fn config(&self) -> &ProfilerConfig {
+        &self.config
+    }
+
     /// Number of labeled hosts that are also in vocabulary.
     pub fn labeled_in_vocabulary(&self) -> usize {
         self.labeled_by_idx.len()
+    }
+
+    /// Category vector of the labeled host at vocab index `idx`, if any.
+    #[inline]
+    fn labeled_for(&self, idx: u32) -> Option<&'a CategoryVector> {
+        let slot = *self.labeled_slot.get(idx as usize)?;
+        (slot != u32::MAX).then(|| self.labeled_by_idx[slot as usize].1)
     }
 
     /// Profile a session. Returns `None` only when the session is empty or
     /// carries no signal at all (no hostname in vocabulary *and* none with
     /// an ontology label).
     pub fn profile(&self, session: &Session) -> Option<SessionProfile> {
+        self.profile_with_scratch(session, &mut ProfileScratch::new())
+    }
+
+    /// [`Self::profile`] with caller-owned scratch, so repeated profiling
+    /// reuses the kNN buffers and the dense category accumulator. Output
+    /// is identical to [`Self::profile`] — the scratch only recycles
+    /// memory, never state.
+    pub fn profile_with_scratch(
+        &self,
+        session: &Session,
+        scratch: &mut ProfileScratch,
+    ) -> Option<SessionProfile> {
         if session.is_empty() {
             return None;
         }
-        // L: labeled hosts in the session (weight 1 regardless of cosine).
-        let labeled_in_session: Vec<(Option<u32>, &CategoryVector)> = session
+        let labeled_in_session = self.session_labels(session);
+        let session_vector = self.aggregate(session);
+        let neighbors = match &session_vector {
+            // H_s: the N nearest hostnames to the session vector.
+            Some(sv) => self.embeddings.nearest_to_vector_with(
+                sv,
+                self.config.n_neighbors,
+                &mut scratch.knn,
+            ),
+            None => Vec::new(),
+        };
+        self.assemble(&labeled_in_session, session_vector, &neighbors, scratch)
+    }
+
+    /// L: labeled hosts in the session (weight 1 regardless of cosine).
+    pub(crate) fn session_labels(
+        &self,
+        session: &Session,
+    ) -> Vec<(Option<u32>, &'a CategoryVector)> {
+        session
             .iter()
             .filter_map(|h| {
                 self.ontology
                     .lookup(h)
                     .map(|cats| (self.embeddings.vocab().get(h), cats))
             })
-            .collect();
+            .collect()
+    }
 
-        let session_vector = self.aggregate(session);
-        let mut weighted: Vec<(f32, &CategoryVector)> = Vec::new();
+    /// Eq. 3/4 tail shared by the single-session and batched paths: fold
+    /// the kNN neighbor stream and the in-session labels into a profile.
+    /// `neighbors` must be the kNN result for `session_vector` (empty when
+    /// the session has no vector).
+    pub(crate) fn assemble(
+        &self,
+        labeled_in_session: &[(Option<u32>, &'a CategoryVector)],
+        session_vector: Option<Vec<f32>>,
+        neighbors: &[(u32, f32)],
+        scratch: &mut ProfileScratch,
+    ) -> Option<SessionProfile> {
+        scratch.in_session.clear();
+        scratch
+            .in_session
+            .extend(labeled_in_session.iter().filter_map(|(idx, _)| *idx));
+        scratch.in_session.sort_unstable();
+
+        scratch.begin(self.category_bound);
+        let mut alpha_sum = 0f32;
         let mut labeled_neighbors = 0usize;
-
-        if let Some(ref sv) = session_vector {
-            // H_s: the N nearest hostnames to the session vector.
-            let in_session_idx: std::collections::HashSet<u32> = labeled_in_session
-                .iter()
-                .filter_map(|(idx, _)| *idx)
-                .collect();
-            for (idx, sim) in self
-                .embeddings
-                .nearest_to_vector(sv, self.config.n_neighbors)
-            {
-                if in_session_idx.contains(&idx) {
-                    continue; // weighted 1 below, don't double-count
-                }
-                if let Some(cats) = self.labeled_by_idx.get(&idx) {
-                    let alpha = sim.max(0.0); // [x]₊ of Eq. 3
-                    if alpha > 0.0 {
-                        weighted.push((alpha, cats));
-                        labeled_neighbors += 1;
-                    }
-                }
+        let mut contributions = 0usize;
+        for &(idx, sim) in neighbors {
+            if scratch.in_session.binary_search(&idx).is_ok() {
+                continue; // weighted 1 below, don't double-count
+            }
+            let Some(cats) = self.labeled_for(idx) else {
+                continue;
+            };
+            let alpha = sim.max(0.0); // [x]₊ of Eq. 3
+            if alpha > 0.0 {
+                alpha_sum += alpha;
+                scratch.add(cats, alpha);
+                labeled_neighbors += 1;
+                contributions += 1;
             }
         }
-        for (_, cats) in &labeled_in_session {
-            weighted.push((1.0, cats));
+        for (_, cats) in labeled_in_session {
+            alpha_sum += 1.0;
+            scratch.add(cats, 1.0);
+            contributions += 1;
         }
-        if weighted.is_empty() {
+        if contributions == 0 {
             return None;
         }
 
         // Eq. 4: category importance = α-weighted mean.
-        let mut num: HashMap<CategoryId, f32> = HashMap::new();
-        let mut alpha_sum = 0f32;
-        for (alpha, cats) in &weighted {
-            alpha_sum += alpha;
-            for (c, w) in cats.iter() {
-                *num.entry(c).or_insert(0.0) += alpha * w;
-            }
-        }
-        let categories = CategoryVector::from_pairs(
-            num.into_iter().map(|(c, v)| (c, v / alpha_sum)).collect(),
-        );
-
+        let categories = scratch.take(alpha_sum);
         Some(SessionProfile {
             categories,
             session_vector: session_vector.unwrap_or_default(),
@@ -188,7 +335,7 @@ impl<'a> Profiler<'a> {
     /// The aggregation `g`: a weighted element-wise mean of the session
     /// hostnames' vectors (weights per [`Aggregation`]). `None` when no
     /// session hostname is in vocabulary.
-    fn aggregate(&self, session: &Session) -> Option<Vec<f32>> {
+    pub(crate) fn aggregate(&self, session: &Session) -> Option<Vec<f32>> {
         let dim = self.embeddings.dim();
         let mut acc = vec![0f32; dim];
         let mut weight_sum = 0f32;
@@ -227,22 +374,20 @@ impl<'a> Profiler<'a> {
     /// Baseline: ontology-only profiling (no embeddings) — what previous
     /// work could do, limited by coverage. Used by the E8 ablations.
     pub fn profile_ontology_only(&self, session: &Session) -> Option<SessionProfile> {
-        let labeled: Vec<&CategoryVector> =
-            session.iter().filter_map(|h| self.ontology.lookup(h)).collect();
+        let labeled: Vec<&CategoryVector> = session
+            .iter()
+            .filter_map(|h| self.ontology.lookup(h))
+            .collect();
         if labeled.is_empty() {
             return None;
         }
-        let mut num: HashMap<CategoryId, f32> = HashMap::new();
+        let mut scratch = ProfileScratch::new();
+        scratch.begin(self.category_bound);
         for cats in &labeled {
-            for (c, w) in cats.iter() {
-                *num.entry(c).or_insert(0.0) += w;
-            }
+            scratch.add(cats, 1.0);
         }
-        let n = labeled.len() as f32;
         Some(SessionProfile {
-            categories: CategoryVector::from_pairs(
-                num.into_iter().map(|(c, v)| (c, v / n)).collect(),
-            ),
+            categories: scratch.take(labeled.len() as f32),
             session_vector: Vec::new(),
             labeled_in_session: labeled.len(),
             labeled_neighbors: 0,
@@ -296,7 +441,14 @@ mod tests {
     #[test]
     fn labeled_session_host_dominates() {
         let (e, o) = setup();
-        let p = Profiler::new(&e, &o, ProfilerConfig { n_neighbors: 5, ..Default::default() });
+        let p = Profiler::new(
+            &e,
+            &o,
+            ProfilerConfig {
+                n_neighbors: 5,
+                ..Default::default()
+            },
+        );
         let session = Session::from_window(["travel.com"], None);
         let prof = p.profile(&session).unwrap();
         assert!(prof.categories.get(CategoryId(10)) > prof.categories.get(CategoryId(20)));
@@ -306,7 +458,14 @@ mod tests {
     #[test]
     fn unlabeled_api_host_inherits_nearby_labels() {
         let (e, o) = setup();
-        let p = Profiler::new(&e, &o, ProfilerConfig { n_neighbors: 5, ..Default::default() });
+        let p = Profiler::new(
+            &e,
+            &o,
+            ProfilerConfig {
+                n_neighbors: 5,
+                ..Default::default()
+            },
+        );
         // Session contains ONLY the unlabeled API endpoint: the kNN must
         // propagate travel.com's label (the paper's api.bkng.azure.com
         // example).
@@ -326,21 +485,30 @@ mod tests {
     #[test]
     fn mixed_session_blends_categories() {
         let (e, o) = setup();
-        let p = Profiler::new(&e, &o, ProfilerConfig { n_neighbors: 5, ..Default::default() });
+        let p = Profiler::new(
+            &e,
+            &o,
+            ProfilerConfig {
+                n_neighbors: 5,
+                ..Default::default()
+            },
+        );
         let session = Session::from_window(["travel.com", "sport.com"], None);
         let prof = p.profile(&session).unwrap();
         let travel = prof.categories.get(CategoryId(10));
         let sport = prof.categories.get(CategoryId(20));
         assert!(travel > 0.0 && sport > 0.0);
-        assert!((travel - sport).abs() < 0.3, "roughly balanced: {travel} vs {sport}");
+        assert!(
+            (travel - sport).abs() < 0.3,
+            "roughly balanced: {travel} vs {sport}"
+        );
     }
 
     #[test]
     fn importances_stay_in_unit_interval() {
         let (e, o) = setup();
         let p = Profiler::new(&e, &o, ProfilerConfig::default());
-        let session =
-            Session::from_window(["travel.com", "travel-api.net", "sport-cdn.net"], None);
+        let session = Session::from_window(["travel.com", "travel-api.net", "sport-cdn.net"], None);
         let prof = p.profile(&session).unwrap();
         for (_, w) in prof.categories.iter() {
             assert!((0.0..=1.0).contains(&w));
@@ -359,7 +527,10 @@ mod tests {
     #[test]
     fn out_of_vocabulary_but_labeled_host_still_profiles() {
         let (e, mut o) = setup();
-        o.insert("fresh-labeled.example", CategoryVector::singleton(CategoryId(7)));
+        o.insert(
+            "fresh-labeled.example",
+            CategoryVector::singleton(CategoryId(7)),
+        );
         let p = Profiler::new(&e, &o, ProfilerConfig::default());
         let session = Session::from_window(["fresh-labeled.example"], None);
         let prof = p.profile(&session).unwrap();
@@ -454,5 +625,52 @@ mod tests {
         let (e, o) = setup();
         let p = Profiler::new(&e, &o, ProfilerConfig::default());
         assert_eq!(p.labeled_in_vocabulary(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_never_leaks_state_across_sessions() {
+        let (e, o) = setup();
+        let p = Profiler::new(
+            &e,
+            &o,
+            ProfilerConfig {
+                n_neighbors: 5,
+                ..Default::default()
+            },
+        );
+        let sessions = [
+            Session::from_window(["travel.com"], None),
+            Session::from_window(["sport.com", "sport-cdn.net"], None),
+            Session::from_window(["never-seen.example"], None),
+            Session::from_window(["travel-api.net", "neutral.org"], None),
+        ];
+        let mut scratch = ProfileScratch::new();
+        for session in &sessions {
+            let fresh = p.profile(session);
+            let reused = p.profile_with_scratch(session, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn epoch_wraparound_clears_stale_stamps() {
+        let (e, o) = setup();
+        let p = Profiler::new(
+            &e,
+            &o,
+            ProfilerConfig {
+                n_neighbors: 5,
+                ..Default::default()
+            },
+        );
+        let session = Session::from_window(["travel.com", "sport.com"], None);
+        let mut scratch = ProfileScratch::new();
+        let baseline = p.profile(&session).unwrap();
+        // Force the epoch to the wrap boundary mid-stream.
+        let first = p.profile_with_scratch(&session, &mut scratch).unwrap();
+        scratch.epoch = u32::MAX;
+        let wrapped = p.profile_with_scratch(&session, &mut scratch).unwrap();
+        assert_eq!(baseline, first);
+        assert_eq!(baseline, wrapped);
     }
 }

@@ -86,10 +86,7 @@ mod tests {
 
     #[test]
     fn first_visit_order_is_kept_and_duplicates_dropped() {
-        let s = Session::from_window(
-            ["b.com", "a.com", "b.com", "c.com", "a.com"],
-            None,
-        );
+        let s = Session::from_window(["b.com", "a.com", "b.com", "c.com", "a.com"], None);
         assert_eq!(s.hostnames(), &["b.com", "a.com", "c.com"]);
         assert_eq!(s.len(), 3);
     }
@@ -102,10 +99,7 @@ mod tests {
 
     #[test]
     fn blocklisted_hosts_are_removed() {
-        let b = Blocklist::from_providers(vec![BlocklistProvider::new(
-            "t",
-            ["tracker.net"],
-        )]);
+        let b = Blocklist::from_providers(vec![BlocklistProvider::new("t", ["tracker.net"])]);
         let s = Session::from_window(
             ["site.com", "tracker.net", "px.tracker.net", "other.com"],
             Some(&b),
@@ -115,10 +109,7 @@ mod tests {
 
     #[test]
     fn all_tracker_window_empties_out() {
-        let b = Blocklist::from_providers(vec![BlocklistProvider::new(
-            "t",
-            ["tracker.net"],
-        )]);
+        let b = Blocklist::from_providers(vec![BlocklistProvider::new("t", ["tracker.net"])]);
         let s = Session::from_window(["tracker.net", "tracker.net"], Some(&b));
         assert!(s.is_empty());
     }

@@ -1,0 +1,171 @@
+//! Property tests pinning the batched profiling engine to the
+//! single-session path: for every generated world and every session,
+//! [`BatchProfiler`] must return **bit-for-bit** what
+//! [`Profiler::profile`] returns, at every thread count.
+
+use hostprof_core::{
+    Aggregation, BatchProfiler, Profiler, ProfilerConfig, Session, SessionProfile,
+};
+use hostprof_embed::{EmbeddingSet, Vocab};
+use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
+use proptest::prelude::*;
+
+/// Deterministic f32 stream in `[-1, 1)` (splitmix64-based), so vector
+/// contents vary with the sampled seed without a dependent-size strategy.
+struct F32Stream(u64);
+
+impl F32Stream {
+    fn next(&mut self) -> f32 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        ((z >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
+    }
+}
+
+fn host_name(i: usize) -> String {
+    format!("host{i}.example")
+}
+
+/// Build a world from sampled knobs: `n_hosts` in-vocabulary hostnames
+/// with seeded random vectors, an ontology labeling some in- and some
+/// out-of-vocabulary hosts, and sessions mixing known and unknown names.
+#[allow(clippy::type_complexity)]
+fn build_world(
+    dim: usize,
+    n_hosts: usize,
+    seed: u64,
+    labels: &[(usize, u16, u16)],
+    sessions: &[Vec<usize>],
+) -> (EmbeddingSet, Ontology, Vec<Session>) {
+    let hosts: Vec<String> = (0..n_hosts).map(host_name).collect();
+    let vocab = Vocab::build(std::iter::once(hosts.iter().map(String::as_str)), 1, 0.0);
+    let mut stream = F32Stream(seed);
+    let vectors: Vec<f32> = (0..vocab.len() * dim).map(|_| stream.next()).collect();
+    let embeddings = EmbeddingSet::new(dim, vocab, vectors);
+
+    let mut ontology = Ontology::new();
+    for &(host, cat_a, cat_b) in labels {
+        // Indices past the vocabulary label hosts the model never saw.
+        let name = host_name(host);
+        ontology.insert(
+            &name,
+            CategoryVector::from_pairs(vec![(CategoryId(cat_a), 1.0), (CategoryId(cat_b), 0.5)]),
+        );
+    }
+
+    let sessions: Vec<Session> = sessions
+        .iter()
+        .map(|hosts| {
+            let names: Vec<String> = hosts.iter().map(|&h| host_name(h)).collect();
+            Session::from_window(names.iter().map(String::as_str), None)
+        })
+        .collect();
+    (embeddings, ontology, sessions)
+}
+
+/// Exact-bits comparison: `PartialEq` on f32 would already fail on any
+/// value drift, but bit comparison additionally distinguishes `-0.0` from
+/// `0.0` and is the acceptance bar the batched engine promises.
+fn assert_bit_identical(
+    a: &Option<SessionProfile>,
+    b: &Option<SessionProfile>,
+) -> Result<(), String> {
+    match (a, b) {
+        (None, None) => Ok(()),
+        (Some(x), Some(y)) => {
+            if x.labeled_in_session != y.labeled_in_session
+                || x.labeled_neighbors != y.labeled_neighbors
+            {
+                return Err(format!("count mismatch: {x:?} vs {y:?}"));
+            }
+            let xv: Vec<u32> = x.session_vector.iter().map(|v| v.to_bits()).collect();
+            let yv: Vec<u32> = y.session_vector.iter().map(|v| v.to_bits()).collect();
+            if xv != yv {
+                return Err(format!("session vector bits differ: {x:?} vs {y:?}"));
+            }
+            let xc: Vec<(CategoryId, u32)> =
+                x.categories.iter().map(|(c, w)| (c, w.to_bits())).collect();
+            let yc: Vec<(CategoryId, u32)> =
+                y.categories.iter().map(|(c, w)| (c, w.to_bits())).collect();
+            if xc != yc {
+                return Err(format!("category bits differ: {x:?} vs {y:?}"));
+            }
+            Ok(())
+        }
+        _ => Err(format!("presence mismatch: {a:?} vs {b:?}")),
+    }
+}
+
+proptest! {
+    #[test]
+    fn batch_profiler_is_bit_identical_to_sequential_profiling(
+        dim in 2usize..6,
+        n_hosts in 2usize..16,
+        seed in any::<u64>(),
+        // Host indices past `n_hosts` become out-of-vocabulary (and, for
+        // labels, out-of-vocabulary-but-labeled) hosts.
+        labels in proptest::collection::vec((0usize..20, 0u16..40, 0u16..40), 0..12),
+        sessions in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 0..8),
+            0..10,
+        ),
+        n_neighbors in 1usize..40,
+        agg_pick in 0u8..3,
+    ) {
+        let (embeddings, ontology, sessions) =
+            build_world(dim, n_hosts, seed, &labels, &sessions);
+        let config = ProfilerConfig {
+            n_neighbors,
+            aggregation: match agg_pick {
+                0 => Aggregation::Mean,
+                1 => Aggregation::Recency { half_life: 1 + (seed % 5) as usize },
+                _ => Aggregation::InverseFrequency,
+            },
+        };
+        let reference: Vec<Option<SessionProfile>> = {
+            let profiler = Profiler::new(&embeddings, &ontology, config.clone());
+            sessions.iter().map(|s| profiler.profile(s)).collect()
+        };
+        for threads in [1usize, 2, 3, 5, 8] {
+            let batch = BatchProfiler::new(
+                Profiler::new(&embeddings, &ontology, config.clone()),
+                threads,
+            );
+            let got = batch.profile_sessions(&sessions);
+            prop_assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                if let Err(e) = assert_bit_identical(g, r) {
+                    return Err(format!("threads={threads}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_profiling(
+        dim in 2usize..5,
+        n_hosts in 2usize..12,
+        seed in any::<u64>(),
+        labels in proptest::collection::vec((0usize..14, 0u16..30, 0u16..30), 0..8),
+        sessions in proptest::collection::vec(
+            proptest::collection::vec(0usize..16, 0..6),
+            1..8,
+        ),
+    ) {
+        let (embeddings, ontology, sessions) =
+            build_world(dim, n_hosts, seed, &labels, &sessions);
+        let profiler = Profiler::new(&embeddings, &ontology, ProfilerConfig {
+            n_neighbors: 10,
+            ..Default::default()
+        });
+        let mut scratch = hostprof_core::ProfileScratch::new();
+        for session in &sessions {
+            let fresh = profiler.profile(session);
+            let reused = profiler.profile_with_scratch(session, &mut scratch);
+            assert_bit_identical(&fresh, &reused)?;
+        }
+    }
+}

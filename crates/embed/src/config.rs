@@ -95,11 +95,26 @@ mod tests {
     #[test]
     fn validation_rejects_degenerate_configs() {
         for bad in [
-            SkipGramConfig { dim: 0, ..Default::default() },
-            SkipGramConfig { window: 0, ..Default::default() },
-            SkipGramConfig { epochs: 0, ..Default::default() },
-            SkipGramConfig { learning_rate: 0.0, ..Default::default() },
-            SkipGramConfig { threads: 0, ..Default::default() },
+            SkipGramConfig {
+                dim: 0,
+                ..Default::default()
+            },
+            SkipGramConfig {
+                window: 0,
+                ..Default::default()
+            },
+            SkipGramConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+            SkipGramConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
+            SkipGramConfig {
+                threads: 0,
+                ..Default::default()
+            },
         ] {
             assert!(bad.validate().is_err());
         }

@@ -6,13 +6,17 @@
 //! similar to it by cosine ([`EmbeddingSet::nearest_to_vector`]), and score
 //! individual hostnames against the session ([`EmbeddingSet::cosine_to`]).
 
+use crate::knn::{self, KnnScratch};
 use crate::vocab::Vocab;
-use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A frozen `|V| × d` embedding matrix with its vocabulary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Alongside the raw matrix, construction prepares a row-normalized copy
+/// (`unit`) so cosine kNN reduces to dot products against unit vectors —
+/// see [`crate::knn`]. The prepared view is derived state: it is rebuilt
+/// on deserialization rather than persisted.
+#[derive(Debug, Clone)]
 pub struct EmbeddingSet {
     dim: usize,
     vocab: Vocab,
@@ -20,32 +24,40 @@ pub struct EmbeddingSet {
     vectors: Vec<f32>,
     /// Precomputed L2 norms, row-aligned.
     norms: Vec<f32>,
+    /// Unit-norm rows (zero rows stay zero), row-aligned with `vectors`.
+    unit: Vec<f32>,
 }
 
-/// Heap entry for top-N selection (min-heap on similarity).
-#[derive(PartialEq)]
-struct HeapItem {
-    sim: f32,
-    idx: u32,
-}
-
-impl Eq for HeapItem {}
-
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl Serialize for EmbeddingSet {
+    fn to_value(&self) -> Value {
+        // Matches the former derived layout; `unit` is derived state.
+        Value::Map(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("vocab".to_string(), self.vocab.to_value()),
+            ("vectors".to_string(), self.vectors.to_value()),
+            ("norms".to_string(), self.norms.to_value()),
+        ])
     }
 }
 
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want to pop the *smallest*
-        // similarity first.
-        other
-            .sim
-            .partial_cmp(&self.sim)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.idx.cmp(&self.idx))
+impl Deserialize for EmbeddingSet {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "EmbeddingSet"))?;
+        let dim = usize::from_value(serde::map_get(map, "dim", "EmbeddingSet")?)?;
+        let vocab = Vocab::from_value(serde::map_get(map, "vocab", "EmbeddingSet")?)?;
+        let vectors = Vec::<f32>::from_value(serde::map_get(map, "vectors", "EmbeddingSet")?)?;
+        if vectors.len() != vocab.len() * dim {
+            return Err(DeError::custom(format!(
+                "EmbeddingSet shape mismatch: {} floats for {} x {}",
+                vectors.len(),
+                vocab.len(),
+                dim
+            )));
+        }
+        // Norms and the unit-norm view are recomputed from the matrix.
+        Ok(EmbeddingSet::new(dim, vocab, vectors))
     }
 }
 
@@ -54,7 +66,7 @@ impl EmbeddingSet {
     /// `vocab.len() * dim`.
     pub fn new(dim: usize, vocab: Vocab, vectors: Vec<f32>) -> Self {
         assert_eq!(vectors.len(), vocab.len() * dim, "matrix shape mismatch");
-        let norms = (0..vocab.len())
+        let norms: Vec<f32> = (0..vocab.len())
             .map(|i| {
                 vectors[i * dim..(i + 1) * dim]
                     .iter()
@@ -63,11 +75,23 @@ impl EmbeddingSet {
                     .sqrt()
             })
             .collect();
+        let mut unit = vec![0f32; vectors.len()];
+        for (i, &norm) in norms.iter().enumerate() {
+            if norm > f32::EPSILON {
+                for (u, v) in unit[i * dim..(i + 1) * dim]
+                    .iter_mut()
+                    .zip(&vectors[i * dim..(i + 1) * dim])
+                {
+                    *u = v / norm;
+                }
+            }
+        }
         Self {
             dim,
             vocab,
             vectors,
             norms,
+            unit,
         }
     }
 
@@ -157,41 +181,88 @@ impl EmbeddingSet {
         Some(acc)
     }
 
-    /// The `n` tokens most cosine-similar to `query`, descending.
-    /// Zero-norm rows are skipped. Brute force `O(|V| d)` — exact, and at
-    /// the paper's vocabulary sizes this is the honest baseline an
-    /// approximate index would be benchmarked against.
+    /// The `n` tokens most cosine-similar to `query`, descending (exact
+    /// similarity ties break toward the lower index). Zero-norm rows are
+    /// skipped. Brute force `O(|V| d)` over the prepared unit-norm matrix —
+    /// exact, and at the paper's vocabulary sizes this is the honest
+    /// baseline an approximate index would be benchmarked against.
     pub fn nearest_to_vector(&self, query: &[f32], n: usize) -> Vec<(u32, f32)> {
+        let mut scratch = KnnScratch::new();
+        self.nearest_to_vector_with(query, n, &mut scratch)
+    }
+
+    /// [`Self::nearest_to_vector`] with caller-owned scratch, so repeated
+    /// scans reuse the query buffer and heap allocations.
+    pub fn nearest_to_vector_with(
+        &self,
+        query: &[f32],
+        n: usize,
+        scratch: &mut KnnScratch,
+    ) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        let qn = dot(query, query).sqrt();
+        let qn = knn::dot_unrolled(query, query).sqrt();
         if qn <= f32::EPSILON || n == 0 {
             return Vec::new();
         }
-        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(n + 1);
-        for i in 0..self.vocab.len() {
-            let norm = self.norms[i];
-            if norm <= f32::EPSILON {
+        scratch.qhat.clear();
+        scratch.qhat.extend(query.iter().map(|x| x / qn));
+        let mut results = knn::tiled_scan(
+            &self.unit,
+            &self.norms,
+            self.dim,
+            &scratch.qhat,
+            n,
+            &mut scratch.heaps,
+        );
+        results.pop().unwrap_or_default()
+    }
+
+    /// Batched [`Self::nearest_to_vector`]: scores all queries against
+    /// each cache-sized tile of the vocabulary before moving to the next
+    /// tile. Zero-norm queries produce empty result rows. Output is
+    /// bit-for-bit identical to calling the single-query path per query —
+    /// both run the same kernel with the same per-pair operations.
+    pub fn nearest_to_vectors(&self, queries: &[Vec<f32>], n: usize) -> Vec<Vec<(u32, f32)>> {
+        let mut scratch = KnnScratch::new();
+        self.nearest_to_vectors_with(queries, n, &mut scratch)
+    }
+
+    /// [`Self::nearest_to_vectors`] with caller-owned scratch.
+    pub fn nearest_to_vectors_with(
+        &self,
+        queries: &[Vec<f32>],
+        n: usize,
+        scratch: &mut KnnScratch,
+    ) -> Vec<Vec<(u32, f32)>> {
+        scratch.qhat.clear();
+        let mut slot_of: Vec<Option<usize>> = Vec::with_capacity(queries.len());
+        let mut slots = 0usize;
+        for query in queries {
+            assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+            let qn = knn::dot_unrolled(query, query).sqrt();
+            if qn <= f32::EPSILON || n == 0 {
+                slot_of.push(None);
                 continue;
             }
-            let sim = dot(query, &self.vectors[i * self.dim..(i + 1) * self.dim]) / (qn * norm);
-            if heap.len() < n {
-                heap.push(HeapItem {
-                    sim,
-                    idx: i as u32,
-                });
-            } else if let Some(min) = heap.peek() {
-                if sim > min.sim {
-                    heap.pop();
-                    heap.push(HeapItem {
-                        sim,
-                        idx: i as u32,
-                    });
-                }
-            }
+            scratch.qhat.extend(query.iter().map(|x| x / qn));
+            slot_of.push(Some(slots));
+            slots += 1;
         }
-        let mut out: Vec<(u32, f32)> = heap.into_iter().map(|h| (h.idx, h.sim)).collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
-        out
+        let mut packed = knn::tiled_scan(
+            &self.unit,
+            &self.norms,
+            self.dim,
+            &scratch.qhat,
+            n,
+            &mut scratch.heaps,
+        );
+        slot_of
+            .into_iter()
+            .map(|slot| {
+                slot.map(|i| std::mem::take(&mut packed[i]))
+                    .unwrap_or_default()
+            })
+            .collect()
     }
 
     /// Subtract the mean embedding from every vector and rebuild norms.
@@ -209,7 +280,10 @@ impl EmbeddingSet {
         let n = self.vocab.len();
         let mut mean = vec![0f32; self.dim];
         for i in 0..n {
-            for (m, v) in mean.iter_mut().zip(&self.vectors[i * self.dim..(i + 1) * self.dim]) {
+            for (m, v) in mean
+                .iter_mut()
+                .zip(&self.vectors[i * self.dim..(i + 1) * self.dim])
+            {
                 *m += v;
             }
         }
@@ -362,7 +436,10 @@ mod tests {
         set("q", [10.0, -1.0]);
         set("r", [10.0, 0.0]);
         let raw = EmbeddingSet::new(2, vocab, vectors);
-        assert!(raw.cosine("p", "q").unwrap() > 0.9, "hubness before centering");
+        assert!(
+            raw.cosine("p", "q").unwrap() > 0.9,
+            "hubness before centering"
+        );
         let centered = raw.centered();
         assert!(
             centered.cosine("p", "q").unwrap() < -0.9,
@@ -406,5 +483,99 @@ mod tests {
     fn wrong_shape_panics() {
         let vocab = Vocab::build(vec![vec!["x"]], 1, 0.0);
         let _ = EmbeddingSet::new(3, vocab, vec![0.0; 2]);
+    }
+
+    /// Exact similarity ties (duplicate rows) must order by ascending
+    /// vocabulary index, every run.
+    #[test]
+    fn knn_breaks_exact_ties_by_ascending_index() {
+        let seqs = vec![vec!["t0", "t1", "t2", "t3", "other"]];
+        let vocab = Vocab::build(seqs, 1, 0.0);
+        let mut vectors = vec![0f32; vocab.len() * 2];
+        for name in ["t0", "t1", "t2", "t3"] {
+            let i = vocab.get(name).unwrap() as usize;
+            vectors[i * 2] = 0.6;
+            vectors[i * 2 + 1] = 0.8;
+        }
+        let other = vocab.get("other").unwrap() as usize;
+        vectors[other * 2] = -1.0;
+        let e = EmbeddingSet::new(2, vocab, vectors);
+        let res = e.nearest_to_vector(&[0.6, 0.8], 3);
+        assert_eq!(res.len(), 3);
+        // All three results are duplicates with identical similarity…
+        assert_eq!(res[0].1.to_bits(), res[1].1.to_bits());
+        assert_eq!(res[1].1.to_bits(), res[2].1.to_bits());
+        // …so they must come out in ascending index order.
+        assert!(res[0].0 < res[1].0 && res[1].0 < res[2].0, "{res:?}");
+    }
+
+    /// The batched scan must agree with the one-query-at-a-time scan
+    /// bit-for-bit: same indices, same similarity bits.
+    #[test]
+    fn batched_knn_is_bit_identical_to_single_query() {
+        let e = toy();
+        let queries: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 0.0], // zero query: empty result row
+            vec![0.3, 0.7],
+            vec![-1.0, 0.2],
+        ];
+        for n in [0, 1, 2, 100] {
+            let batched = e.nearest_to_vectors(&queries, n);
+            assert_eq!(batched.len(), queries.len());
+            for (q, batch_row) in queries.iter().zip(&batched) {
+                let single = e.nearest_to_vector(q, n);
+                assert_eq!(single.len(), batch_row.len());
+                for (s, b) in single.iter().zip(batch_row) {
+                    assert_eq!(s.0, b.0);
+                    assert_eq!(s.1.to_bits(), b.1.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Preparing the unit-norm view must not perturb the raw-vector
+    /// cosine path: `cosine_indices` stays exactly (f32-bit) equal to the
+    /// straightforward dot/(|a||b|) computation on the stored matrix.
+    #[test]
+    fn unit_norm_preparation_leaves_cosine_indices_unchanged() {
+        let e = toy();
+        for a in 0..e.len() as u32 {
+            for b in 0..e.len() as u32 {
+                let va = e.vector_by_index(a);
+                let vb = e.vector_by_index(b);
+                let na = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let nb = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let expected = if na * nb <= f32::EPSILON {
+                    0.0
+                } else {
+                    va.iter().zip(vb).map(|(x, y)| x * y).sum::<f32>() / (na * nb)
+                };
+                assert_eq!(e.cosine_indices(a, b).to_bits(), expected.to_bits());
+            }
+        }
+        // And a serde roundtrip (which rebuilds the prepared view) keeps
+        // the same bits too.
+        let back: EmbeddingSet = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        for a in 0..e.len() as u32 {
+            for b in 0..e.len() as u32 {
+                assert_eq!(
+                    back.cosine_indices(a, b).to_bits(),
+                    e.cosine_indices(a, b).to_bits()
+                );
+            }
+        }
+    }
+
+    /// Scratch reuse must not change results.
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        let e = toy();
+        let mut scratch = crate::KnnScratch::new();
+        let first = e.nearest_to_vector_with(&[1.0, 0.0], 4, &mut scratch);
+        let _ = e.nearest_to_vector_with(&[0.2, 0.9], 2, &mut scratch);
+        let again = e.nearest_to_vector_with(&[1.0, 0.0], 4, &mut scratch);
+        assert_eq!(first, again);
+        assert_eq!(first, e.nearest_to_vector(&[1.0, 0.0], 4));
     }
 }

@@ -1,0 +1,418 @@
+//! Tiled exact-kNN kernel over the prepared unit-norm matrix.
+//!
+//! [`crate::EmbeddingSet`] keeps a row-normalized copy of the embedding
+//! matrix, so cosine similarity is a plain dot product. The scan walks the
+//! vocabulary in cache-sized row tiles and scores every query against a
+//! tile before moving on, keeping the tile hot in L1/L2 when several
+//! session queries are batched. Candidates feed fixed-size top-k heaps.
+//!
+//! Ordering is fully deterministic: similarities compare via
+//! `f32::total_cmp` and exact ties break toward the *lower* vocabulary
+//! index, in the heap and in the final sort. The single-query and batched
+//! entry points in `embedding.rs` both route through [`tiled_scan`], so a
+//! batched result is bit-for-bit identical to the one-query-at-a-time
+//! result by construction.
+
+/// Tile footprint to aim for; 32 KiB of rows fits typical L1 caches.
+const TILE_BYTES: usize = 32 * 1024;
+
+/// Pack `(sim, idx)` into one order-preserving `u64` key: the high word is
+/// the similarity's bits remapped so unsigned comparison matches
+/// `f32::total_cmp`, the low word is `!idx` so equal similarities rank the
+/// *lower* index higher. A larger key is a strictly better candidate, and
+/// keys are unique (indices are), so selection is a total order with no
+/// float comparisons in the hot loop.
+#[inline]
+fn pack(sim: f32, idx: u32) -> u64 {
+    let bits = sim.to_bits();
+    let ord = if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits ^ 0x8000_0000
+    };
+    ((ord as u64) << 32) | (!idx) as u64
+}
+
+/// Inverse of [`pack`].
+#[inline]
+fn unpack(key: u64) -> (u32, f32) {
+    let idx = !(key as u32);
+    let ord = (key >> 32) as u32;
+    let bits = if ord & 0x8000_0000 != 0 {
+        ord ^ 0x8000_0000
+    } else {
+        !ord
+    };
+    (idx, f32::from_bits(bits))
+}
+
+/// Reusable top-k accumulator over packed keys.
+///
+/// Two modes, chosen from `(k, rows)` at [`TopK::reset`] time (so any two
+/// scans over the same matrix with the same `k` pick the same mode):
+///
+/// * **dense** — when `k` is a sizable fraction of the row count (the
+///   paper's serving regime: `N = 1000` against a few-thousand-host
+///   vocabulary), a bounded heap would churn on almost every row. Instead
+///   all candidates are appended to a flat buffer and the top `k` are cut
+///   out afterwards with `select_nth_unstable` + a sort of just the
+///   winners.
+/// * **heap** — when `k ≪ rows`, a classic bounded min-heap (root = worst
+///   kept candidate) touches the heap only for the rare improving row.
+///
+/// Keys are totally ordered and unique, so both modes produce the same
+/// output bit-for-bit.
+pub(crate) struct TopK {
+    keys: Vec<u64>,
+    k: usize,
+    dense: bool,
+}
+
+impl TopK {
+    fn new() -> Self {
+        Self {
+            keys: Vec::new(),
+            k: 0,
+            dense: false,
+        }
+    }
+
+    fn reset(&mut self, k: usize, rows: usize) {
+        self.keys.clear();
+        self.k = k;
+        self.dense = k.saturating_mul(8) >= rows || rows <= 4096;
+        self.keys.reserve(if self.dense { rows } else { k });
+    }
+
+    #[inline]
+    fn consider(&mut self, idx: u32, sim: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let key = pack(sim, idx);
+        if self.dense {
+            self.keys.push(key);
+        } else if self.keys.len() < self.k {
+            self.keys.push(key);
+            self.sift_up(self.keys.len() - 1);
+        } else if key > self.keys[0] {
+            self.keys[0] = key;
+            self.sift_down();
+        }
+    }
+
+    /// Move the freshly pushed last element up to its min-heap position.
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.keys[pos] >= self.keys[parent] {
+                break;
+            }
+            self.keys.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    /// Restore the min-heap after replacing the root.
+    fn sift_down(&mut self) {
+        let len = self.keys.len();
+        let mut pos = 0;
+        loop {
+            let mut child = 2 * pos + 1;
+            if child >= len {
+                break;
+            }
+            if child + 1 < len && self.keys[child + 1] < self.keys[child] {
+                child += 1;
+            }
+            if self.keys[pos] <= self.keys[child] {
+                break;
+            }
+            self.keys.swap(pos, child);
+            pos = child;
+        }
+    }
+
+    /// Drain into `(index, similarity)` pairs, best first; ties by
+    /// ascending index.
+    fn take_sorted(&mut self) -> Vec<(u32, f32)> {
+        if self.k == 0 {
+            self.keys.clear();
+            return Vec::new();
+        }
+        if self.dense && self.keys.len() > self.k {
+            // Partition the k largest keys to the front, then order them.
+            self.keys
+                .select_nth_unstable_by(self.k - 1, |a, b| b.cmp(a));
+            self.keys.truncate(self.k);
+        }
+        self.keys.sort_unstable_by(|a, b| b.cmp(a));
+        let out = self.keys.iter().map(|&key| unpack(key)).collect();
+        self.keys.clear();
+        out
+    }
+}
+
+/// Dot product entry point: AVX2+FMA kernel when the CPU has it, the
+/// portable unrolled version otherwise. The choice is process-wide and
+/// constant, so every caller in a run sees one consistent summation order
+/// — the single-query and batched paths stay bit-identical either way.
+#[inline]
+pub(crate) fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: the feature check above gates the target_feature fn.
+        return unsafe { dot_avx2_fma(a, b) };
+    }
+    dot_portable(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_fma_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+/// 8-lane FMA dot with four independent vector accumulators (32 floats in
+/// flight), horizontal-summed in a fixed order; the scalar tail folds in
+/// last. The default x86-64 target is SSE2-only, so this has to be an
+/// explicit `target_feature` kernel rather than autovectorization.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2_fma(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 32 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 8)),
+            _mm256_loadu_ps(pb.add(i + 8)),
+            acc1,
+        );
+        acc2 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 16)),
+            _mm256_loadu_ps(pb.add(i + 16)),
+            acc2,
+        );
+        acc3 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 24)),
+            _mm256_loadu_ps(pb.add(i + 24)),
+            acc3,
+        );
+        i += 32;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        i += 8;
+    }
+    let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+    let quad = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+    let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+    let single = _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, 0b01));
+    let mut out = _mm_cvtss_f32(single);
+    while i < n {
+        out += a[i] * b[i];
+        i += 1;
+    }
+    out
+}
+
+/// Unrolled dot product with four independent accumulators, giving the
+/// compiler room to vectorize while keeping a fixed, deterministic
+/// floating-point summation order.
+#[inline]
+fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = 0f32;
+    let mut acc1 = 0f32;
+    let mut acc2 = 0f32;
+    let mut acc3 = 0f32;
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let mut tail = 0f32;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    for (x, y) in chunks_a.zip(chunks_b) {
+        acc0 += x[0] * y[0];
+        acc1 += x[1] * y[1];
+        acc2 += x[2] * y[2];
+        acc3 += x[3] * y[3];
+    }
+    ((acc0 + acc1) + (acc2 + acc3)) + tail
+}
+
+/// Reusable per-caller scratch: the normalized-query buffer and the
+/// per-query top-k heaps survive across calls, so steady-state scans
+/// allocate only their result vectors.
+pub struct KnnScratch {
+    pub(crate) qhat: Vec<f32>,
+    pub(crate) heaps: Vec<TopK>,
+}
+
+impl KnnScratch {
+    pub fn new() -> Self {
+        Self {
+            qhat: Vec::new(),
+            heaps: Vec::new(),
+        }
+    }
+}
+
+impl Default for KnnScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Scan `norms.len()` unit-norm rows against `q` normalized queries laid
+/// out contiguously in `qhats` (`q * dim` floats), returning each query's
+/// top `k` as `(index, cosine)` pairs, best first. Zero-norm rows are
+/// skipped, matching the pre-normalization scan's behaviour.
+pub(crate) fn tiled_scan(
+    unit: &[f32],
+    norms: &[f32],
+    dim: usize,
+    qhats: &[f32],
+    k: usize,
+    heaps: &mut Vec<TopK>,
+) -> Vec<Vec<(u32, f32)>> {
+    let q = qhats.len().checked_div(dim).unwrap_or(0);
+    let rows = norms.len();
+    while heaps.len() < q {
+        heaps.push(TopK::new());
+    }
+    for heap in heaps.iter_mut().take(q) {
+        heap.reset(k, rows);
+    }
+    let rows_per_tile = (TILE_BYTES / (dim.max(1) * std::mem::size_of::<f32>())).clamp(8, 512);
+    let mut start = 0;
+    while start < rows {
+        let end = (start + rows_per_tile).min(rows);
+        for (qi, heap) in heaps.iter_mut().enumerate().take(q) {
+            let qhat = &qhats[qi * dim..(qi + 1) * dim];
+            for row in start..end {
+                if norms[row] <= f32::EPSILON {
+                    continue;
+                }
+                let sim = dot_unrolled(qhat, &unit[row * dim..(row + 1) * dim]);
+                heap.consider(row as u32, sim);
+            }
+        }
+        start = end;
+    }
+    heaps.iter_mut().take(q).map(TopK::take_sorted).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_unrolled_matches_naive_order_free_cases() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| 1.0 - i as f32 * 0.25).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let fast = dot_unrolled(&a, &b);
+        assert!((naive - fast).abs() < 1e-4, "{naive} vs {fast}");
+        // Exactly deterministic: same inputs, same bits.
+        assert_eq!(fast.to_bits(), dot_unrolled(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn packed_keys_roundtrip_and_order_like_total_cmp() {
+        let sims = [
+            -f32::NAN,
+            f32::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            f32::EPSILON,
+            0.5,
+            1.0,
+            f32::INFINITY,
+            f32::NAN,
+        ];
+        for (i, &a) in sims.iter().enumerate() {
+            let (idx, back) = unpack(pack(a, i as u32));
+            assert_eq!(idx, i as u32);
+            assert_eq!(back.to_bits(), a.to_bits(), "roundtrip of {a}");
+            for &b in &sims {
+                assert_eq!(pack(a, 3).cmp(&pack(b, 3)), a.total_cmp(&b), "{a} vs {b}");
+            }
+        }
+        // Equal similarity: the lower index must win (rank higher).
+        assert!(pack(0.5, 2) > pack(0.5, 7));
+    }
+
+    /// `rows` large enough to force heap mode, or small for dense mode.
+    fn collect_topk(k: usize, rows: usize, items: &[(u32, f32)]) -> Vec<(u32, f32)> {
+        let mut topk = TopK::new();
+        topk.reset(k, rows);
+        for &(idx, sim) in items {
+            topk.consider(idx, sim);
+        }
+        topk.take_sorted()
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_ascending_index_in_both_modes() {
+        // Three exact ties and one winner, fed out of order.
+        let items = [(7, 0.5), (2, 0.5), (9, 0.9), (4, 0.5)];
+        for rows in [4, 1_000_000] {
+            let out = collect_topk(3, rows, &items);
+            assert_eq!(out.len(), 3, "rows={rows}");
+            assert_eq!(out[0], (9, 0.9));
+            // Ties keep the lowest indices, in ascending order.
+            assert_eq!(out[1].0, 2);
+            assert_eq!(out[2].0, 4);
+        }
+    }
+
+    #[test]
+    fn top_k_is_nan_safe_and_deterministic_in_both_modes() {
+        let items = [(0, f32::NAN), (1, 0.1), (2, 0.3)];
+        for rows in [3, 1_000_000] {
+            let out = collect_topk(2, rows, &items);
+            // total_cmp ranks positive NaN above every real, but never
+            // panics and never depends on insertion order.
+            assert_eq!(out.len(), 2, "rows={rows}");
+            assert!(out[0].1.is_nan());
+            assert_eq!(out[1], (2, 0.3));
+        }
+    }
+
+    #[test]
+    fn dense_and_heap_modes_agree_bit_for_bit() {
+        // Pseudo-random similarities with duplicates; both mode choices
+        // must produce identical output for identical input.
+        let items: Vec<(u32, f32)> = (0u32..500)
+            .map(|i| (i, (i.wrapping_mul(2654435761) % 97) as f32 / 97.0))
+            .collect();
+        for k in [0, 1, 7, 100, 499, 500, 600] {
+            let dense = collect_topk(k, items.len(), &items);
+            let heap = collect_topk(k, 1_000_000, &items);
+            assert_eq!(dense.len(), heap.len(), "k={k}");
+            for (d, h) in dense.iter().zip(&heap) {
+                assert_eq!(d.0, h.0, "k={k}");
+                assert_eq!(d.1.to_bits(), h.1.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_zero_k_returns_empty() {
+        assert!(collect_topk(0, 10, &[(0, 1.0), (1, 0.5)]).is_empty());
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod embedding;
+pub mod knn;
 pub mod model;
 pub mod sigmoid;
 pub mod table;
@@ -33,6 +34,7 @@ pub mod vocab;
 
 pub use config::SkipGramConfig;
 pub use embedding::EmbeddingSet;
+pub use knn::KnnScratch;
 pub use model::SkipGram;
 pub use table::NegativeTable;
 pub use vocab::Vocab;

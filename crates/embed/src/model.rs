@@ -118,9 +118,7 @@ impl SkipGram {
     ) -> Result<Self, String> {
         config.validate()?;
         let vocab = Vocab::build(
-            sequences
-                .iter()
-                .map(|s| s.iter().map(|t| t.as_ref())),
+            sequences.iter().map(|s| s.iter().map(|t| t.as_ref())),
             config.min_count,
             config.subsample,
         );
@@ -223,8 +221,7 @@ impl SkipGram {
                             + since_lr_update;
                         since_lr_update = 0;
                         let frac = done as f32 / planned as f32;
-                        lr = (config.learning_rate * (1.0 - frac))
-                            .max(config.learning_rate * 1e-4);
+                        lr = (config.learning_rate * (1.0 - frac)).max(config.learning_rate * 1e-4);
                     }
                     if kept.len() < 2 {
                         continue;
@@ -384,8 +381,7 @@ mod tests {
                         if a == b {
                             continue;
                         }
-                        let (Some(ia), Some(ib)) =
-                            (model.vocab().get(a), model.vocab().get(b))
+                        let (Some(ia), Some(ib)) = (model.vocab().get(a), model.vocab().get(b))
                         else {
                             continue;
                         };
@@ -434,7 +430,10 @@ mod tests {
         };
         let model = SkipGram::train(&corpus, &cfg).unwrap();
         let (intra, inter) = cluster_separation(&model);
-        assert!(intra > inter + 0.2, "hogwild: intra {intra} vs inter {inter}");
+        assert!(
+            intra > inter + 0.2,
+            "hogwild: intra {intra} vs inter {inter}"
+        );
     }
 
     #[test]

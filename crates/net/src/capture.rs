@@ -179,7 +179,11 @@ mod tests {
                 t_ms: i as u64 * 100,
                 src: Endpoint::new(0x0a00_0000 + i, 40_000 + i as u16),
                 dst: Endpoint::new(0x5000_0001, 443),
-                transport: if i % 3 == 0 { Transport::Udp } else { Transport::Tcp },
+                transport: if i % 3 == 0 {
+                    Transport::Udp
+                } else {
+                    Transport::Tcp
+                },
                 payload: Bytes::from(
                     ClientHello::for_hostname(&format!("h{i}.example.com")).encode(),
                 ),

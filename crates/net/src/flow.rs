@@ -218,7 +218,10 @@ mod tests {
     fn empty_segments_defer_inspection() {
         let mut t = FlowTable::default();
         assert_eq!(t.observe(&pkt(0, 5000, b"")), FlowDecision::Skip);
-        assert_eq!(t.observe(&pkt(1, 5000, b"payload")), FlowDecision::InspectNew);
+        assert_eq!(
+            t.observe(&pkt(1, 5000, b"payload")),
+            FlowDecision::InspectNew
+        );
         // Empty mid-flow segments (pure ACKs) are skipped even while
         // inspection is pending.
         assert_eq!(t.observe(&pkt(2, 5000, b"")), FlowDecision::Skip);

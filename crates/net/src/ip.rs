@@ -203,8 +203,8 @@ mod tests {
     fn checksum_matches_rfc_example() {
         // Classic worked example (RFC 1071 style).
         let header: [u8; 20] = [
-            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0,
-            0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
         ];
         assert_eq!(ipv4_checksum(&header), 0xb861);
         // A header with its correct checksum in place sums to zero.
@@ -228,7 +228,7 @@ mod tests {
 
         let mut frame = to_ipv4_frame(&sample(Transport::Udp));
         frame[9] = 1; // ICMP
-        // Re-fix the header checksum after mutating the protocol field.
+                      // Re-fix the header checksum after mutating the protocol field.
         frame[10] = 0;
         frame[11] = 0;
         let csum = ipv4_checksum(&frame[..20]);

@@ -554,12 +554,7 @@ mod tests {
         // The flow idles out of the table: amortized eviction runs every
         // 1024 packets, so push 1100 late, unrelated empty segments.
         for i in 0..1100u64 {
-            let mut tick = tls_packet(
-                10_000_000 + i,
-                99,
-                (1025 + (i % 20_000)) as u16,
-                "x.com",
-            );
+            let mut tick = tls_packet(10_000_000 + i, 99, (1025 + (i % 20_000)) as u16, "x.com");
             tick.payload = Bytes::from_static(b"");
             obs.process(&tick);
         }
@@ -570,7 +565,9 @@ mod tests {
         fresh.payload = Bytes::from(ClientHello::for_hostname("new-flow.example").encode());
         obs.process(&fresh);
         assert!(
-            obs.observations().iter().any(|o| o.hostname == "new-flow.example"),
+            obs.observations()
+                .iter()
+                .any(|o| o.hostname == "new-flow.example"),
             "fresh flow recovered: {:?}",
             obs.observations()
         );

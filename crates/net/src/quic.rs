@@ -253,7 +253,16 @@ mod tests {
 
     #[test]
     fn varint_roundtrips_all_widths() {
-        for &v in &[0u64, 0x3f, 0x40, 0x3fff, 0x4000, 0x3fff_ffff, 0x4000_0000, 0x3fff_ffff_ffff_ffff] {
+        for &v in &[
+            0u64,
+            0x3f,
+            0x40,
+            0x3fff,
+            0x4000,
+            0x3fff_ffff,
+            0x4000_0000,
+            0x3fff_ffff_ffff_ffff,
+        ] {
             let mut buf = Vec::new();
             encode_varint(&mut buf, v);
             let mut r = Reader::new(&buf);
@@ -281,7 +290,10 @@ mod tests {
     fn classify_distinguishes_packet_kinds() {
         let initial = InitialPacket::for_hostname("x.com").encode();
         assert_eq!(classify(&initial), Ok(QuicPacketKind::Initial));
-        assert_eq!(classify(&[0x40u8, 0, 0, 0, 0]), Ok(QuicPacketKind::ShortHeader));
+        assert_eq!(
+            classify(&[0x40u8, 0, 0, 0, 0]),
+            Ok(QuicPacketKind::ShortHeader)
+        );
         // Version Negotiation: long header with version 0.
         assert_eq!(
             classify(&[0b1100_0000, 0, 0, 0, 0]),
@@ -314,7 +326,10 @@ mod tests {
         let pkt = InitialPacket::for_hostname("x.com");
         let mut bytes = pkt.encode();
         bytes[1..5].copy_from_slice(&0xdead_beefu32.to_be_bytes());
-        assert_eq!(InitialPacket::parse(&bytes), Err(ParseError::UnsupportedVersion));
+        assert_eq!(
+            InitialPacket::parse(&bytes),
+            Err(ParseError::UnsupportedVersion)
+        );
     }
 
     #[test]

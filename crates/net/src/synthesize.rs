@@ -84,7 +84,9 @@ pub struct TrafficSynthesizer {
 impl Default for TrafficSynthesizer {
     fn default() -> Self {
         Self {
-            addressing: Addressing::PerClient { base_ip: 0x0a00_0000 },
+            addressing: Addressing::PerClient {
+                base_ip: 0x0a00_0000,
+            },
             quic_fraction: 0.25,
             dns_fraction: 0.0,
             ech_fraction: 0.0,
@@ -121,9 +123,8 @@ impl TrafficSynthesizer {
         let sport = 32_768 + (ehash % 28_000) as u16;
         let server_ip = 0x5000_0000 | (hhash as u32 & 0x00ff_ffff);
 
-        let frac = |salt: u64| -> f64 {
-            (splitmix64(ehash ^ salt) >> 11) as f64 / (1u64 << 53) as f64
-        };
+        let frac =
+            |salt: u64| -> f64 { (splitmix64(ehash ^ salt) >> 11) as f64 / (1u64 << 53) as f64 };
 
         if frac(0xD45) < self.dns_fraction {
             match &self.doh_resolver {
@@ -251,7 +252,13 @@ mod tests {
     fn synthesized_traffic_roundtrips_through_the_observer() {
         let synth = TrafficSynthesizer::default();
         let events: Vec<RequestEvent> = (0..200)
-            .map(|i| ev(i * 10, (i % 7) as u32, &format!("site{}.example.com", i % 23)))
+            .map(|i| {
+                ev(
+                    i * 10,
+                    (i % 7) as u32,
+                    &format!("site{}.example.com", i % 23),
+                )
+            })
             .collect();
         let packets = synth.synthesize(&events);
         let mut obs = SniObserver::new();
@@ -302,8 +309,9 @@ mod tests {
             tcp_fragment_fraction: 1.0,
             ..Default::default()
         };
-        let events: Vec<RequestEvent> =
-            (0..100).map(|i| ev(i * 10, 1, &format!("frag{i}.example.com"))).collect();
+        let events: Vec<RequestEvent> = (0..100)
+            .map(|i| ev(i * 10, 1, &format!("frag{i}.example.com")))
+            .collect();
         let packets = synth.synthesize(&events);
         assert!(packets.len() > events.len(), "records were split");
         let mut obs = SniObserver::new();

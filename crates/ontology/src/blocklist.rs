@@ -196,7 +196,10 @@ mod tests {
         assert!(b.is_blocked("doubleclick.net"));
         assert!(b.is_blocked("stats.g.doubleclick.net"));
         assert!(b.is_blocked("Tracker.Example.ORG"));
-        assert!(!b.is_blocked("example.org"), "parent of a listed host is not blocked");
+        assert!(
+            !b.is_blocked("example.org"),
+            "parent of a listed host is not blocked"
+        );
         assert!(!b.is_blocked("news.example.com"));
     }
 
@@ -228,6 +231,10 @@ mod tests {
     fn empty_blocklist_blocks_nothing() {
         let b = Blocklist::new();
         assert!(!b.is_blocked("doubleclick.net"));
-        assert_eq!(b.filter_stats(["a.com"].iter().copied()).blocked_connections, 0);
+        assert_eq!(
+            b.filter_stats(["a.com"].iter().copied())
+                .blocked_connections,
+            0
+        );
     }
 }

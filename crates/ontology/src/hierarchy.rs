@@ -314,7 +314,10 @@ mod tests {
     #[test]
     fn category_names_are_unique() {
         let h = Hierarchy::adwords_like();
-        let mut names: Vec<_> = h.category_ids().map(|c| h.category_name(c).to_string()).collect();
+        let mut names: Vec<_> = h
+            .category_ids()
+            .map(|c| h.category_name(c).to_string())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), h.num_categories());

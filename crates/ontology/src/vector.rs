@@ -126,11 +126,7 @@ impl CategoryVector {
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f32 {
-        self.entries
-            .iter()
-            .map(|(_, w)| w * w)
-            .sum::<f32>()
-            .sqrt()
+        self.entries.iter().map(|(_, w)| w * w).sum::<f32>().sqrt()
     }
 
     /// Cosine similarity; 0 when either vector is all-zero.
@@ -288,7 +284,10 @@ mod tests {
     fn add_scaled_accumulates_and_clamps() {
         let mut a = v(&[(1, 0.8)]);
         a.add_scaled(&v(&[(1, 0.8), (2, 0.5)]), 0.5);
-        assert!((a.get(CategoryId(1)) - 1.0).abs() < 1e-6, "0.8 + 0.4 clamps to 1");
+        assert!(
+            (a.get(CategoryId(1)) - 1.0).abs() < 1e-6,
+            "0.8 + 0.4 clamps to 1"
+        );
         assert!((a.get(CategoryId(2)) - 0.25).abs() < 1e-6);
     }
 

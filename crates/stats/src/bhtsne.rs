@@ -92,7 +92,10 @@ impl BhTsne {
     fn sparse_affinities(&self, points: &[f32], dim: usize, n: usize) -> SparseAffinities {
         // `clamp(3, n-1)` would panic for n < 5 (min > max); bound by the
         // population first.
-        let k = ((3.0 * self.config.perplexity) as usize).max(3).min(n - 1).max(1);
+        let k = ((3.0 * self.config.perplexity) as usize)
+            .max(3)
+            .min(n - 1)
+            .max(1);
         let target_entropy = self.config.perplexity.max(1.0).ln();
 
         // kNN by exact scan (one-off O(n²) — acceptable versus iterations).
@@ -141,10 +144,18 @@ impl BhTsne {
                 }
                 if diff > 0.0 {
                     lo = beta;
-                    beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+                    beta = if hi.is_finite() {
+                        (beta + hi) / 2.0
+                    } else {
+                        beta * 2.0
+                    };
                 } else {
                     hi = beta;
-                    beta = if lo.is_finite() { (beta + lo) / 2.0 } else { beta / 2.0 };
+                    beta = if lo.is_finite() {
+                        (beta + lo) / 2.0
+                    } else {
+                        beta / 2.0
+                    };
                 }
             }
             let mut sum = 0f64;
@@ -176,7 +187,10 @@ impl BhTsne {
                 if (j as usize) < i && cond_maps[j as usize].contains_key(&(i as u32)) {
                     continue; // handled from j's side
                 }
-                let pji = cond_maps[j as usize].get(&(i as u32)).copied().unwrap_or(0.0);
+                let pji = cond_maps[j as usize]
+                    .get(&(i as u32))
+                    .copied()
+                    .unwrap_or(0.0);
                 let p = ((pij + pji) / (2.0 * n as f64)).max(1e-12);
                 neighbors[i].push((j, p));
                 neighbors[j as usize].push((i as u32, p));
@@ -207,7 +221,11 @@ impl BhTsne {
             } else {
                 1.0
             };
-            let momentum = if iter < self.config.iterations / 2 { 0.5 } else { 0.8 };
+            let momentum = if iter < self.config.iterations / 2 {
+                0.5
+            } else {
+                0.8
+            };
 
             let tree = QuadTree::build(&y);
 
@@ -331,7 +349,10 @@ mod tests {
         .embed(&pts, dim);
         assert_eq!(y.len(), 80);
         let (between, spread) = blob_separation(&y, 40);
-        assert!(between > spread * 2.0, "between {between} vs spread {spread}");
+        assert!(
+            between > spread * 2.0,
+            "between {between} vs spread {spread}"
+        );
         for (a, b) in &y {
             assert!(a.is_finite() && b.is_finite());
         }
@@ -356,7 +377,10 @@ mod tests {
         let (b_exact, s_exact) = blob_separation(&exactish, 30);
         let (b_coarse, s_coarse) = blob_separation(&coarse, 30);
         assert!(b_exact > s_exact * 1.2, "{b_exact} vs {s_exact}");
-        assert!(b_coarse > s_coarse * 1.2, "even coarse theta separates: {b_coarse} vs {s_coarse}");
+        assert!(
+            b_coarse > s_coarse * 1.2,
+            "even coarse theta separates: {b_coarse} vs {s_coarse}"
+        );
     }
 
     #[test]
@@ -367,7 +391,10 @@ mod tests {
         // 2–4 points used to panic in the kNN clamp.
         for n in 2..=4usize {
             let pts: Vec<f32> = (0..n * 2).map(|i| i as f32).collect();
-            let cfg = BhTsneConfig { iterations: 10, ..Default::default() };
+            let cfg = BhTsneConfig {
+                iterations: 10,
+                ..Default::default()
+            };
             assert_eq!(BhTsne::new(cfg).embed(&pts, 2).len(), n);
         }
     }

@@ -108,7 +108,9 @@ mod tests {
         assert!(shifted.lo > 0.9 && shifted.hi < 1.1);
 
         // Alternating ±1 differences center on zero.
-        let c: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let c: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let zeros = vec![0.0; 100];
         let noisy = bootstrap_paired_diff_ci(&c, &zeros, 0.95, 1000, 3).unwrap();
         assert!(!noisy.excludes_zero(), "{noisy:?}");

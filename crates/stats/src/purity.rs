@@ -46,7 +46,10 @@ pub fn neighbor_purity(points: &[f32], dim: usize, labels: &[usize], k: usize) -
             .map(|j| (cosine(vi, &points[j * dim..(j + 1) * dim]), j))
             .collect();
         sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        let same = sims[..k].iter().filter(|(_, j)| labels[*j] == labels[i]).count();
+        let same = sims[..k]
+            .iter()
+            .filter(|(_, j)| labels[*j] == labels[i])
+            .count();
         total += same as f64 / k as f64;
     }
     total / n as f64
@@ -79,8 +82,16 @@ pub fn similarity_gap(points: &[f32], dim: usize, labels: &[usize]) -> (f64, f64
         }
     }
     (
-        if n_intra > 0 { intra / n_intra as f64 } else { 0.0 },
-        if n_inter > 0 { inter / n_inter as f64 } else { 0.0 },
+        if n_intra > 0 {
+            intra / n_intra as f64
+        } else {
+            0.0
+        },
+        if n_inter > 0 {
+            inter / n_inter as f64
+        } else {
+            0.0
+        },
     )
 }
 

@@ -223,9 +223,7 @@ mod tests {
         assert!((student_t_two_tailed_p(0.0, 7.0) - 1.0).abs() < 1e-12);
         // Large |t| → p → 0, monotone.
         assert!(student_t_two_tailed_p(8.0, 20.0) < 1e-6);
-        assert!(
-            student_t_two_tailed_p(1.0, 9.0) > student_t_two_tailed_p(2.0, 9.0)
-        );
+        assert!(student_t_two_tailed_p(1.0, 9.0) > student_t_two_tailed_p(2.0, 9.0));
     }
 
     #[test]
@@ -234,7 +232,11 @@ mod tests {
         let b: Vec<f64> = a.iter().map(|x| x - 2.0 + 0.1 * (x % 3.0)).collect();
         let r = paired_t_test(&a, &b).unwrap();
         assert!(r.mean_diff > 1.0);
-        assert!(r.significant(0.05), "clear shift must be significant, p={}", r.p);
+        assert!(
+            r.significant(0.05),
+            "clear shift must be significant, p={}",
+            r.p
+        );
     }
 
     #[test]
@@ -251,7 +253,10 @@ mod tests {
     #[test]
     fn degenerate_inputs_return_none() {
         assert!(paired_t_test(&[1.0], &[2.0]).is_none());
-        assert!(paired_t_test(&[1.0, 2.0], &[0.0, 1.0]).is_none(), "constant diff");
+        assert!(
+            paired_t_test(&[1.0, 2.0], &[0.0, 1.0]).is_none(),
+            "constant diff"
+        );
         assert!(paired_t_test(&[], &[]).is_none());
         assert!(
             paired_t_test(&[f64::NAN, 2.0], &[0.0, 1.0]).is_none(),

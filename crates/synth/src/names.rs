@@ -261,10 +261,8 @@ pub fn second_level_domain(hostname: &str) -> &str {
     if labels.len() <= 2 {
         return hostname;
     }
-    let last_two = &hostname[hostname.len()
-        - labels[labels.len() - 2].len()
-        - labels[labels.len() - 1].len()
-        - 1..];
+    let last_two = &hostname
+        [hostname.len() - labels[labels.len() - 2].len() - labels[labels.len() - 1].len() - 1..];
     let keep = if TWO_LABEL_SUFFIXES.contains(&last_two) {
         3
     } else {
@@ -273,8 +271,12 @@ pub fn second_level_domain(hostname: &str) -> &str {
     if labels.len() <= keep {
         return hostname;
     }
-    let tail_len: usize =
-        labels[labels.len() - keep..].iter().map(|l| l.len()).sum::<usize>() + keep - 1;
+    let tail_len: usize = labels[labels.len() - keep..]
+        .iter()
+        .map(|l| l.len())
+        .sum::<usize>()
+        + keep
+        - 1;
     &hostname[hostname.len() - tail_len..]
 }
 
@@ -327,13 +329,20 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let name = g.api_name(&mut rng);
         assert!(name.starts_with("api."));
-        assert_eq!(name.split('.').count(), 4, "api.<token>.<platform>.com: {name}");
+        assert_eq!(
+            name.split('.').count(),
+            4,
+            "api.<token>.<platform>.com: {name}"
+        );
     }
 
     #[test]
     fn second_level_domain_extraction() {
         assert_eq!(second_level_domain("mail.google.com"), "google.com");
-        assert_eq!(second_level_domain("ds-aksb-a.akamaihd.net"), "akamaihd.net");
+        assert_eq!(
+            second_level_domain("ds-aksb-a.akamaihd.net"),
+            "akamaihd.net"
+        );
         assert_eq!(second_level_domain("google.com"), "google.com");
         assert_eq!(second_level_domain("a.b.store.com.ve"), "store.com.ve");
         assert_eq!(second_level_domain("localhost"), "localhost");

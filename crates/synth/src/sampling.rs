@@ -121,7 +121,9 @@ impl Zipf {
         let u: f64 = rng.gen();
         // `c <= u` (not `c < u`) so a draw of exactly 0.0 cannot select a
         // zero-mass prefix entry.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 
     /// Probability mass of rank `r`.
@@ -173,7 +175,9 @@ impl WeightedIndex {
         let u: f64 = rng.gen();
         // `c <= u` so a draw of exactly 0.0 lands on the first index with
         // positive mass, never on a zero-weight prefix entry.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -223,7 +227,10 @@ mod tests {
         for &shape in &[0.3, 1.0, 4.5] {
             let n = 30_000;
             let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() < 0.08 * shape.max(1.0), "shape {shape} mean {mean}");
+            assert!(
+                (mean - shape).abs() < 0.08 * shape.max(1.0),
+                "shape {shape} mean {mean}"
+            );
         }
     }
 
@@ -250,7 +257,10 @@ mod tests {
         let z = Zipf::new(1000, 1.0);
         let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        assert!(z.pmf(0) > 10.0 * z.pmf(99), "rank 0 much more likely than rank 99");
+        assert!(
+            z.pmf(0) > 10.0 * z.pmf(99),
+            "rank 0 much more likely than rank 99"
+        );
         let mut r = rng();
         let mut head = 0usize;
         let n = 10_000;

@@ -35,8 +35,8 @@ pub struct Request {
 /// Hour-of-day activity weights (Spanish-flavored diurnal curve: quiet
 /// nights, lunch peak, strong evenings).
 const DIURNAL: [f64; 24] = [
-    0.4, 0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 1.0, 1.6, 2.0, 2.2, 2.4, 2.6, 2.2, 1.8, 1.9, 2.2, 2.6,
-    3.0, 3.2, 3.0, 2.4, 1.6, 0.8,
+    0.4, 0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 1.0, 1.6, 2.0, 2.2, 2.4, 2.6, 2.2, 1.8, 1.9, 2.2, 2.6, 3.0,
+    3.2, 3.0, 2.4, 1.6, 0.8,
 ];
 
 /// The generated request stream, time-sorted, with a per-user index.
@@ -73,13 +73,11 @@ impl Trace {
                 let n_sessions = poisson(&mut rng, user.sessions_per_day);
                 for _ in 0..n_sessions {
                     let hour = hour_sampler.sample(&mut rng) as u64;
-                    let mut t = day as u64 * DAY_MS
-                        + hour * 3_600_000
-                        + rng.gen_range(0..3_600_000u64);
+                    let mut t =
+                        day as u64 * DAY_MS + hour * 3_600_000 + rng.gen_range(0..3_600_000u64);
                     let day_end = (day as u64 + 1) * DAY_MS;
-                    let pages =
-                        (1.0 + log_normal(&mut rng, config.pages_mu, config.pages_sigma))
-                            .min(80.0) as usize;
+                    let pages = (1.0 + log_normal(&mut rng, config.pages_mu, config.pages_sigma))
+                        .min(80.0) as usize;
                     let mut topic = user.sample_topic(&mut rng);
                     for _ in 0..pages {
                         if t >= day_end {
@@ -177,9 +175,7 @@ impl Trace {
             // lower bound — include the request stamped exactly 0.
             None => 0,
             Some(0) if duration_ms > 0 => 0,
-            Some(start) => {
-                idx.partition_point(|&i| self.requests[i as usize].t_ms <= start)
-            }
+            Some(start) => idx.partition_point(|&i| self.requests[i as usize].t_ms <= start),
         };
         let hi = idx.partition_point(|&i| self.requests[i as usize].t_ms <= end_ms);
         idx[lo..hi]
@@ -317,7 +313,13 @@ mod tests {
     fn daily_sequences_partition_user_activity() {
         let (_, _, trace) = setup();
         let total: usize = (0..trace.days())
-            .map(|d| trace.daily_sequences(d).iter().map(|(_, s)| s.len()).sum::<usize>())
+            .map(|d| {
+                trace
+                    .daily_sequences(d)
+                    .iter()
+                    .map(|(_, s)| s.len())
+                    .sum::<usize>()
+            })
             .sum();
         // Requests stamped past the last midnight (dependency tails) may
         // fall outside every day bucket; there are at most a handful.

@@ -106,9 +106,7 @@ impl Population {
             // Normalize so the strongest interest is 1.0.
             let max_w = pairs.iter().map(|(_, w)| *w).fold(0.0f32, f32::max);
             let interests = if max_w > 0.0 {
-                CategoryVector::from_pairs(
-                    pairs.into_iter().map(|(c, w)| (c, w / max_w)).collect(),
-                )
+                CategoryVector::from_pairs(pairs.into_iter().map(|(c, w)| (c, w / max_w)).collect())
             } else {
                 CategoryVector::from_pairs(pairs)
             };

@@ -86,17 +86,26 @@ impl World {
         // Every core host gets 2–4 of the "universal" top-level categories;
         // the same small pool is reused so that, like the paper's finding,
         // all users end up sharing a core set of ~14 categories.
-        let universal: Vec<CategoryId> = ["Online Communities", "Arts & Entertainment",
-            "People & Society", "Internet & Telecom", "Computers & Electronics", "News",
-            "Reference", "Shopping", "Jobs & Education", "Games"]
-            .iter()
-            .filter_map(|n| {
-                hierarchy
-                    .top_ids()
-                    .find(|t| hierarchy.top_name(*t) == *n)
-                    .map(|t| hierarchy.top_level_category(t))
-            })
-            .collect();
+        let universal: Vec<CategoryId> = [
+            "Online Communities",
+            "Arts & Entertainment",
+            "People & Society",
+            "Internet & Telecom",
+            "Computers & Electronics",
+            "News",
+            "Reference",
+            "Shopping",
+            "Jobs & Education",
+            "Games",
+        ]
+        .iter()
+        .filter_map(|n| {
+            hierarchy
+                .top_ids()
+                .find(|t| hierarchy.top_name(*t) == *n)
+                .map(|t| hierarchy.top_level_category(t))
+        })
+        .collect();
         for (k, core_name) in CORE_SITE_NAMES.iter().enumerate() {
             let id = HostId(hosts.len() as u32);
             let n_cats = 2 + (k % 3);
@@ -122,8 +131,7 @@ impl World {
             .top_ids()
             .map(|t| 1.0 + hierarchy.children_of_top(t).len() as f64)
             .collect();
-        let topic_sampler =
-            WeightedIndex::new(&topic_weights).expect("topic weights are positive");
+        let topic_sampler = WeightedIndex::new(&topic_weights).expect("topic weights are positive");
         for _ in 0..config.num_sites {
             let id = HostId(hosts.len() as u32);
             let top = TopCategoryId(topic_sampler.sample(&mut rng) as u8);
@@ -259,7 +267,9 @@ impl World {
             if config.num_trackers > 0 && !is_core {
                 let n_trk = rng.gen_range(0..=4);
                 for _ in 0..n_trk {
-                    deps.push(HostId((tracker_start + tracker_zipf.sample(&mut rng)) as u32));
+                    deps.push(HostId(
+                        (tracker_start + tracker_zipf.sample(&mut rng)) as u32,
+                    ));
                 }
             }
             deps.sort();
@@ -297,8 +307,7 @@ impl World {
         // Only content sites and core hosts are crawlable/classifiable —
         // CDN/API/tracker hostnames return error pages (the paper's 67 %).
         // Popular sites are more likely to be in Adwords.
-        let target_labels =
-            ((hosts.len() as f64) * config.ontology_coverage).round() as usize;
+        let target_labels = ((hosts.len() as f64) * config.ontology_coverage).round() as usize;
         let mut ontology = Ontology::new();
         let mut candidates: Vec<usize> = (0..visitable).collect();
         candidates.sort_by(|&a, &b| {
@@ -588,12 +597,19 @@ mod tests {
                     }
                 }
                 HostKind::Site | HostKind::Core => {
-                    assert!(!w.blocklist().is_blocked(&h.name), "site blocked: {}", h.name);
+                    assert!(
+                        !w.blocklist().is_blocked(&h.name),
+                        "site blocked: {}",
+                        h.name
+                    );
                 }
                 _ => {}
             }
         }
-        assert!(blocked as f64 >= total as f64 * 0.7, "{blocked}/{total} blocked");
+        assert!(
+            blocked as f64 >= total as f64 * 0.7,
+            "{blocked}/{total} blocked"
+        );
     }
 
     #[test]
@@ -613,7 +629,10 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         assert!(core_min > 0.0);
         assert!(core_pop > 0.2, "core hosts hold a large share: {core_pop}");
-        assert!(core_min >= site_max * 0.9, "core ranks sit at the Zipf head");
+        assert!(
+            core_min >= site_max * 0.9,
+            "core ranks sit at the Zipf head"
+        );
     }
 
     #[test]
@@ -676,8 +695,8 @@ mod tests {
     fn uncrawlable_fraction_matches_construction() {
         let w = tiny_world();
         let cfg = WorldConfig::tiny();
-        let expected = (cfg.num_cdns + cfg.num_apis + cfg.num_trackers) as f64
-            / cfg.total_hosts() as f64;
+        let expected =
+            (cfg.num_cdns + cfg.num_apis + cfg.num_trackers) as f64 / cfg.total_hosts() as f64;
         assert!((w.uncrawlable_fraction() - expected).abs() < 1e-12);
     }
 }

@@ -73,10 +73,16 @@ fn main() {
         result.replaced,
         result.replaced_fraction() * 100.0
     );
-    println!("  reports / profiles     {} / {}", result.reports, result.profiles);
+    println!(
+        "  reports / profiles     {} / {}",
+        result.reports, result.profiles
+    );
 
     println!("\nclick-through rates:");
-    println!("  Eavesdropper ads       {:.3}%", result.eaves_ctr() * 100.0);
+    println!(
+        "  Eavesdropper ads       {:.3}%",
+        result.eaves_ctr() * 100.0
+    );
     println!("  Original ads           {:.3}%", result.orig_ctr() * 100.0);
     println!("  (paper: 0.217% vs 0.168%)");
 

@@ -41,11 +41,7 @@ fn main() {
         .population
         .users()
         .iter()
-        .max_by(|a, b| {
-            a.sessions_per_day
-                .partial_cmp(&b.sessions_per_day)
-                .unwrap()
-        })
+        .max_by(|a, b| a.sessions_per_day.partial_cmp(&b.sessions_per_day).unwrap())
         .expect("population is non-empty");
     println!(
         "subscriber {} — {:.1} sessions/day, {} ground-truth interest topics\n",
@@ -83,12 +79,9 @@ fn main() {
             let window = s
                 .trace
                 .window(user.id, r.t_ms, pipeline.config().session_window_ms());
-            let hostnames: Vec<&str> =
-                window.iter().map(|h| s.world.hostname(*h)).collect();
-            let session = Session::from_window(
-                hostnames.iter().copied(),
-                Some(pipeline.blocklist()),
-            );
+            let hostnames: Vec<&str> = window.iter().map(|h| s.world.hostname(*h)).collect();
+            let session =
+                Session::from_window(hostnames.iter().copied(), Some(pipeline.blocklist()));
             let Some(profile) = profiler.profile(&session) else {
                 continue;
             };
@@ -126,7 +119,13 @@ fn main() {
     // the same day for a sample of OTHER subscribers and average.
     let mut background = hostprof::ontology::CategoryVector::empty();
     let mut n_bg = 0usize;
-    for other in s.population.users().iter().filter(|u| u.id != user.id).take(15) {
+    for other in s
+        .population
+        .users()
+        .iter()
+        .filter(|u| u.id != user.id)
+        .take(15)
+    {
         let window = s.session_hostnames(other.id, s.trace.days() - 1);
         if window.is_empty() {
             continue;

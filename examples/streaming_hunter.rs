@@ -72,7 +72,11 @@ fn main() {
             .and_then(|h| h.top_topic)
             .map(|t| hierarchy.top_name(t).to_string())
             .unwrap_or_else(|| "-".into());
-        let mark = if topic == "Sports" { "◄ mirror candidate" } else { "" };
+        let mark = if topic == "Sports" {
+            "◄ mirror candidate"
+        } else {
+            ""
+        };
         if topic != "-" {
             judged += 1;
             if topic == "Sports" {

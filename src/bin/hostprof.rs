@@ -114,10 +114,7 @@ fn scenario_config(args: &Args) -> Result<ScenarioConfig, String> {
 
 fn cmd_train(args: &Args) -> Result<(), String> {
     args.expect_keys(&["scale", "days", "users", "out"])?;
-    let out: PathBuf = args
-        .get("out")
-        .ok_or("train requires --out <path>")?
-        .into();
+    let out: PathBuf = args.get("out").ok_or("train requires --out <path>")?.into();
     let cfg = scenario_config(args)?;
     let s = Scenario::generate(&cfg);
     eprintln!(
@@ -309,7 +306,10 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         "hidden / errors       : {} / {} (reassembled: {})",
         st.hidden, st.parse_errors, st.reassembled
     );
-    println!("clients seen          : {}", observer.per_client_sequences().len());
+    println!(
+        "clients seen          : {}",
+        observer.per_client_sequences().len()
+    );
     Ok(())
 }
 

@@ -14,15 +14,13 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How the traffic is put on the wire for observation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct ObserverScenario {
     /// Packet synthesis parameters (protocol mix, ECH, DNS, addressing).
     pub synthesizer: TrafficSynthesizer,
     /// Whether the observer also harvests plaintext DNS queries.
     pub harvest_dns: bool,
 }
-
 
 impl ObserverScenario {
     /// A vantage point where every client has their own IP (WiFi / mobile
@@ -173,7 +171,11 @@ mod tests {
     fn clean_capture_recovers_every_request() {
         let s = small_scenario();
         let obs = ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::per_user());
-        assert!((obs.fidelity() - 1.0).abs() < 1e-9, "fidelity {}", obs.fidelity());
+        assert!(
+            (obs.fidelity() - 1.0).abs() < 1e-9,
+            "fidelity {}",
+            obs.fidelity()
+        );
         assert_eq!(obs.observer_stats.parse_errors, 0);
         // Per-user sequences match ground truth exactly.
         let scenario = ObserverScenario::per_user();
@@ -192,13 +194,9 @@ mod tests {
     #[test]
     fn ech_blinds_the_observer() {
         let s = small_scenario();
-        let obs =
-            ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::with_ech(1.0));
+        let obs = ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::with_ech(1.0));
         assert_eq!(obs.fidelity(), 0.0);
-        assert_eq!(
-            obs.observer_stats.hidden as usize,
-            s.trace.requests().len()
-        );
+        assert_eq!(obs.observer_stats.hidden as usize, s.trace.requests().len());
     }
 
     #[test]
@@ -208,6 +206,9 @@ mod tests {
         let obs = ObservedTrace::capture(&s.world, &s.trace, &scenario);
         // 8 users at 4 per IP → 2 client addresses.
         assert_eq!(obs.sequences.len(), 2);
-        assert!((obs.fidelity() - 1.0).abs() < 1e-9, "NAT loses nothing, it only mixes");
+        assert!(
+            (obs.fidelity() - 1.0).abs() < 1e-9,
+            "NAT loses nothing, it only mixes"
+        );
     }
 }

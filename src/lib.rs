@@ -61,5 +61,5 @@ pub mod scenario;
 pub mod storage;
 
 pub use bridge::{ObservedTrace, ObserverScenario};
-pub use storage::{load_model, save_model, StorageError};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use storage::{load_model, save_model, StorageError};

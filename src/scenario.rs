@@ -66,7 +66,10 @@ impl ScenarioConfig {
                 },
                 // N = 1000 assumes the paper's 470 K-host space; scale it
                 // to the tiny vocabulary (~0.5 K hosts).
-                profiler: hostprof_core::ProfilerConfig { n_neighbors: 50, ..Default::default() },
+                profiler: hostprof_core::ProfilerConfig {
+                    n_neighbors: 50,
+                    ..Default::default()
+                },
                 ..PipelineConfig::default()
             },
             ..Self::default()

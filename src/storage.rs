@@ -118,7 +118,10 @@ mod tests {
         save_model(&path, &model).unwrap();
         let back = load_model(&path).unwrap();
         assert_eq!(back.len(), model.len());
-        assert_eq!(back.cosine("a0.com", "b0.com"), model.cosine("a0.com", "b0.com"));
+        assert_eq!(
+            back.cosine("a0.com", "b0.com"),
+            model.cosine("a0.com", "b0.com")
+        );
         let _ = std::fs::remove_file(path);
     }
 

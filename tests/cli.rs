@@ -40,7 +40,11 @@ fn help_and_unknown_commands() {
 fn train_similar_profile_workflow() {
     let model = temp("model.json");
     let out = hostprof(&["train", "--scale", "tiny", "--out", model.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("trained"));
     assert!(model.exists());
 
@@ -54,7 +58,11 @@ fn train_similar_profile_workflow() {
         "--top",
         "3",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.lines().count() >= 3, "{text}");
 
@@ -78,7 +86,11 @@ fn train_similar_profile_workflow() {
         "--user",
         "0",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("ground-truth cosine"));
 
     // Out-of-range user is a clean error.
@@ -110,13 +122,21 @@ fn observe_save_replay_roundtrip() {
         "--save",
         cap.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let live = stdout(&out);
     assert!(live.contains("hostnames recovered   : 100.0%"), "{live}");
     assert!(cap.exists());
 
     let out = hostprof(&["replay", "--capture", cap.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let replayed = stdout(&out);
     assert!(replayed.contains("clients seen"), "{replayed}");
     // Same packet count live and offline.

@@ -30,8 +30,10 @@ fn profiles_beat_chance_and_cover_more_than_the_ontology_baseline() {
         if window.is_empty() {
             continue;
         }
-        let session =
-            Session::from_window(window.iter().map(String::as_str), Some(pipeline.blocklist()));
+        let session = Session::from_window(
+            window.iter().map(String::as_str),
+            Some(pipeline.blocklist()),
+        );
         if let Some(p) = profiler.profile(&session) {
             emb_profiles += 1;
             emb_acc.push(profile_accuracy(&p.categories, &user.interests) as f64);
@@ -41,7 +43,10 @@ fn profiles_beat_chance_and_cover_more_than_the_ontology_baseline() {
             onto_acc.push(profile_accuracy(&p.categories, &user.interests) as f64);
         }
     }
-    assert!(emb_profiles >= 10, "most users get profiled ({emb_profiles})");
+    assert!(
+        emb_profiles >= 10,
+        "most users get profiled ({emb_profiles})"
+    );
     assert!(
         emb_profiles >= onto_profiles,
         "embedding propagation never covers fewer sessions"

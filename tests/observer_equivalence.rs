@@ -76,8 +76,7 @@ fn observed_sessions_profile_identically_to_ground_truth_sessions() {
 #[test]
 fn a_model_trained_on_observed_data_is_usable() {
     let s = small_scenario();
-    let observed =
-        ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::per_user());
+    let observed = ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::per_user());
     let pipeline = s.pipeline();
     let embeddings = pipeline
         .train_model(&observed.observed_sequences())

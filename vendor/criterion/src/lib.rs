@@ -1,0 +1,271 @@
+//! Offline in-tree replacement for the `criterion` benchmark harness.
+//!
+//! Exposes the API subset this workspace's benches use (`Criterion`,
+//! groups, `Bencher::iter`, `black_box`, `Throughput`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!`) with a simple adaptive timing
+//! loop: each benchmark is warmed up, then run until the sample budget is
+//! spent, and the median per-iteration time is printed.
+//!
+//! Honors `--bench` (ignored filter args are accepted for cargo
+//! compatibility) and `HOSTPROF_BENCH_QUICK=1` for fast smoke runs.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, mirroring criterion's display form.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs the timing loop.
+pub struct Bencher {
+    /// Median seconds per iteration, filled by `iter`.
+    median_s: f64,
+    quick: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-iteration cost.
+        let warmup = Instant::now();
+        let mut iters_done: u64 = 0;
+        let warmup_budget = if self.quick {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(300)
+        };
+        while warmup.elapsed() < warmup_budget {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warmup.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Pick an iteration count per sample so a sample is ~1ms+.
+        let iters_per_sample = ((1e-3 / per_iter).ceil() as u64).max(1);
+        let samples = if self.quick { 5 } else { self.sample_size };
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            times.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.median_s = times[times.len() / 2];
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` plus any user filter strings.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Self {
+            quick: std::env::var("HOSTPROF_BENCH_QUICK").is_ok_and(|v| v == "1"),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn runs(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        if !self.runs(id) {
+            return;
+        }
+        let mut b = Bencher {
+            median_s: f64::NAN,
+            quick: self.quick,
+            sample_size,
+        };
+        f(&mut b);
+        let mut line = format!("{id:<50} time: {}", format_time(b.median_s));
+        match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / b.median_s / (1u64 << 30) as f64;
+                line.push_str(&format!("   thrpt: {gib:.3} GiB/s"));
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / b.median_s;
+                line.push_str(&format!("   thrpt: {eps:.1} elem/s"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, None, 60, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 60,
+        }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Run a parameterized benchmark inside this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("HOSTPROF_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+            b.iter(|| (0..n).product::<u32>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("threads", 4).to_string(), "threads/4");
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline in-tree subset of the `crossbeam` crate.
+//!
+//! Only the scoped-thread API the workspace uses is provided. Since Rust
+//! 1.63, `std::thread::scope` offers the same borrow-the-stack guarantee
+//! crossbeam pioneered, so this shim adapts the crossbeam call shape
+//! (`scope(|s| { s.spawn(|_| …) }) -> Result<R>`) onto the std primitive.
+
+pub mod thread {
+    /// Scope handle passed to the `scope` closure; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// workers can spawn siblings, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            // `&std::thread::Scope` is Copy and valid for the whole
+            // 'scope region, so a fresh wrapper can be rebuilt inside the
+            // spawned thread rather than borrowing this stack frame.
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-stack threads can be
+    /// spawned; every spawned thread is joined before `scope` returns.
+    /// std propagates child panics on the implicit join, so the `Err`
+    /// branch is never actually produced — callers' `.expect(…)` is kept
+    /// satisfied for crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'s, 't> FnOnce(&'t Scope<'s, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_the_stack() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        crate::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    sums.lock().unwrap().push(sum);
+                });
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+}

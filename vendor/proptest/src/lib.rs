@@ -1,0 +1,561 @@
+//! Offline in-tree subset of `proptest`.
+//!
+//! Implements the strategy combinators this workspace's property tests
+//! use — integer/float ranges, regex-pattern string strategies, tuples,
+//! `collection::vec`, `any`, `prop_map` — driven by a deterministic
+//! per-test RNG. The `proptest!` macro runs each body for a fixed number
+//! of cases (`PROPTEST_CASES` overrides the default of 64).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Default number of cases per property (env `PROPTEST_CASES` overrides).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Resolve the case count once per test.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator seeded from the test name, so
+    /// every run explores the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name (FNV-1a hash).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[lo, hi]` (inclusive).
+        pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo <= hi);
+            let span = hi.wrapping_sub(lo).wrapping_add(1);
+            if span == 0 {
+                // Full u64 range.
+                self.next_u64()
+            } else {
+                lo + self.next_u64() % span
+            }
+        }
+
+        /// Uniform in `[lo, hi)`.
+        pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + unit * (hi - lo)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.uniform_u64(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Shift to unsigned space to avoid overflow.
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                let offset = rng.uniform_u64(0, span - 1);
+                (self.start as i64).wrapping_add(offset as i64) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! int_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.uniform_u64(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_f64(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.uniform_f64(f64::from(self.start), f64::from(self.end)) as f32
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_f64(*self.start(), *self.end())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.uniform_f64(f64::from(*self.start()), f64::from(*self.end())) as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a default "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for collection strategies.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    /// Vector of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.uniform_u64(self.size.min as u64, self.size.max as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-pattern string strategy (the subset property tests use: literals,
+// escapes, character classes with ranges, groups, {m,n} / {n} / ? / * / +).
+// ---------------------------------------------------------------------------
+
+enum Node {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Atom>),
+}
+
+struct Atom {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let atoms = parse_seq(&mut chars, false, pattern);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced `)` in pattern `{pattern}`"
+    );
+    atoms
+}
+
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    in_group: bool,
+    pattern: &str,
+) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let node = match c {
+            ')' if in_group => break,
+            '(' => {
+                chars.next();
+                let inner = parse_seq(chars, true, pattern);
+                assert_eq!(chars.next(), Some(')'), "unclosed `(` in `{pattern}`");
+                Node::Group(inner)
+            }
+            '[' => {
+                chars.next();
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') if !ranges.is_empty() => break,
+                        Some('\\') => chars.next().expect("dangling escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("unclosed `[` in `{pattern}`"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = match chars.next() {
+                            Some('\\') => chars.next().expect("dangling escape in class"),
+                            Some(ch) if ch != ']' => ch,
+                            _ => panic!("bad range in class in `{pattern}`"),
+                        };
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Node::Class(ranges)
+            }
+            '\\' => {
+                chars.next();
+                Node::Lit(chars.next().expect("dangling escape"))
+            }
+            '.' => {
+                chars.next();
+                // `.` as any printable ASCII character.
+                Node::Class(vec![(' ', '~')])
+            }
+            _ => {
+                chars.next();
+                Node::Lit(c)
+            }
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad repetition"),
+                        n.trim().parse().expect("bad repetition"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { node, min, max });
+    }
+    atoms
+}
+
+fn sample_atoms(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+    for atom in atoms {
+        let reps = rng.uniform_u64(atom.min as u64, atom.max as u64) as usize;
+        for _ in 0..reps {
+            match &atom.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32 + 1))
+                        .sum();
+                    let mut k = rng.uniform_u64(0, total - 1);
+                    for &(lo, hi) in ranges {
+                        let size = u64::from(hi as u32 - lo as u32 + 1);
+                        if k < size {
+                            out.push(char::from_u32(lo as u32 + k as u32).unwrap());
+                            break;
+                        }
+                        k -= size;
+                    }
+                }
+                Node::Group(inner) => sample_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        sample_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        self.as_str().sample(rng)
+    }
+}
+
+/// Run each property for [`case_count`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::case_count() {
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)*
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("property {} failed on case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("proptest-self-test")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3u16..17).sample(&mut r);
+            assert!((3..17).contains(&v));
+            let f = (-0.5f32..1.5).sample(&mut r);
+            assert!((-0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{2,8}\\.[a-z]{2,4}".sample(&mut r);
+            let parts: Vec<&str> = s.split('.').collect();
+            assert_eq!(parts.len(), 2, "{s}");
+            assert!((2..=8).contains(&parts[0].len()), "{s}");
+            assert!((2..=4).contains(&parts[1].len()), "{s}");
+            assert!(s.chars().all(|c| c == '.' || c.is_ascii_lowercase()));
+
+            let t = "[a-z]{1,8}(\\.[a-z]{1,8}){0,4}".sample(&mut r);
+            assert!(t.split('.').count() <= 5, "{t}");
+            assert!(t.split('.').all(|l| (1..=8).contains(&l.len())), "{t}");
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut r = rng();
+        let strat = collection::vec((0u16..10, 0.0f64..1.0), 1..5)
+            .prop_map(|v| v.into_iter().map(|(a, _)| a).collect::<Vec<_>>());
+        for _ in 0..100 {
+            let v = strat.sample(&mut r);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_runs(x in 0u32..100, y in any::<u64>()) {
+            prop_assert!(x < 100);
+            let _ = y;
+            if x == 1000 { return Ok(()); }
+        }
+    }
+}

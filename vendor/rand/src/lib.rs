@@ -1,0 +1,426 @@
+//! Offline in-tree subset of the `rand` crate (0.8 API).
+//!
+//! The workspace builds in a sealed container without crates.io access, so
+//! the APIs the codebase uses are vendored with **bit-compatible sampling
+//! algorithms** (PCG32-based `seed_from_u64`, widening-multiply integer
+//! ranges, 53-bit float conversion, fixed-point Bernoulli) so that seeded
+//! streams match what the real `rand 0.8` + `rand_chacha 0.3` pair would
+//! produce and the repo's statistically-tuned tests keep their meaning.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of every generator: raw word output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with the PCG32 expander used by
+    /// `rand_core 0.6`, so `seed_from_u64(n)` produces the same generator
+    /// state as the real crates.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types sampleable from raw bits with the `Standard` distribution.
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_u32 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! impl_standard_u64 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_u32!(u8, u16, u32, i8, i16, i32);
+impl_standard_u64!(u64, i64, usize, isize);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // High bit of a u32, like rand's Standard for bool.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit multiply conversion: uniform in [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Widening multiply helper: `(hi, lo)` of `x * y`.
+trait WideningMul: Sized {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+macro_rules! impl_wmul {
+    ($t:ty, $wide:ty, $bits:expr) => {
+        impl WideningMul for $t {
+            #[inline]
+            fn wmul(self, other: Self) -> (Self, Self) {
+                let tmp = (self as $wide) * (other as $wide);
+                ((tmp >> $bits) as $t, tmp as $t)
+            }
+        }
+    };
+}
+impl_wmul!(u32, u64, 32);
+impl_wmul!(u64, u128, 64);
+impl_wmul!(usize, u128, 64);
+
+macro_rules! impl_int_range {
+    ($t:ty, $unsigned:ty, $large:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                sample_inclusive_int::<$t, $unsigned, $large, R>(self.start, self.end - 1, rng)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start() <= self.end(),
+                    "cannot sample empty inclusive range"
+                );
+                sample_inclusive_int::<$t, $unsigned, $large, R>(*self.start(), *self.end(), rng)
+            }
+        }
+
+        impl RangeSampler<$unsigned, $large> for $t {
+            #[inline]
+            fn to_unsigned_offset(self, low: Self) -> $unsigned {
+                self.wrapping_sub(low) as $unsigned
+            }
+            #[inline]
+            fn from_unsigned_offset(low: Self, offset: $large) -> Self {
+                low.wrapping_add(offset as $unsigned as $t)
+            }
+        }
+    };
+}
+
+/// Per-type glue for the shared widening-multiply rejection sampler.
+trait RangeSampler<U, L>: Copy {
+    fn to_unsigned_offset(self, low: Self) -> U;
+    fn from_unsigned_offset(low: Self, offset: L) -> Self;
+}
+
+#[inline]
+fn sample_inclusive_int<T, U, L, R>(low: T, high: T, rng: &mut R) -> T
+where
+    T: RangeSampler<U, L>,
+    U: Copy + Into<L>,
+    L: Copy + StandardSample + WideningMul + PartialOrd + std::ops::Shl<u32, Output = L> + LargeInt,
+    R: RngCore + ?Sized,
+{
+    let range: L = high.to_unsigned_offset(low).into();
+    let range = range.wrapping_add_one();
+    if range.is_zero() {
+        // Full integer range.
+        return T::from_unsigned_offset(low, L::standard_sample(rng));
+    }
+    // Lemire's widening-multiply method with the same zone computation as
+    // rand 0.8 (`(range << lz) - 1`).
+    let zone = (range << range.leading_zeros()).wrapping_sub_one();
+    loop {
+        let v = L::standard_sample(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return T::from_unsigned_offset(low, hi);
+        }
+    }
+}
+
+/// The few integer primitives the generic sampler needs.
+trait LargeInt: Copy {
+    fn wrapping_add_one(self) -> Self;
+    fn wrapping_sub_one(self) -> Self;
+    fn is_zero(self) -> bool;
+    fn leading_zeros(self) -> u32;
+}
+
+macro_rules! impl_large_int {
+    ($($t:ty),*) => {$(
+        impl LargeInt for $t {
+            #[inline]
+            fn wrapping_add_one(self) -> Self { self.wrapping_add(1) }
+            #[inline]
+            fn wrapping_sub_one(self) -> Self { self.wrapping_sub(1) }
+            #[inline]
+            fn is_zero(self) -> bool { self == 0 }
+            #[inline]
+            fn leading_zeros(self) -> u32 { <$t>::leading_zeros(self) }
+        }
+    )*};
+}
+impl_large_int!(u32, u64, usize);
+
+impl_int_range!(u8, u8, u32);
+impl_int_range!(u16, u16, u32);
+impl_int_range!(u32, u32, u32);
+impl_int_range!(u64, u64, u64);
+impl_int_range!(usize, usize, usize);
+impl_int_range!(i8, u8, u32);
+impl_int_range!(i16, u16, u32);
+impl_int_range!(i32, u32, u32);
+impl_int_range!(i64, u64, u64);
+impl_int_range!(isize, usize, usize);
+
+macro_rules! impl_float_range {
+    ($t:ty, $uty:ty, $discard:expr, $bias:expr, $mant:expr) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "cannot sample empty float range");
+                let mut scale = high - low;
+                loop {
+                    // Uniform in [1, 2), then shift to [0, 1): rand 0.8's
+                    // exponent trick, keeping identical rounding.
+                    let bits = <$uty>::standard_raw(rng) >> $discard;
+                    let value1_2 = <$t>::from_bits(($bias << $mant) | bits);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding landed on `high`; tighten the scale by one
+                    // ULP and retry (rand's edge-case handling).
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    };
+}
+
+/// Raw-word helper so float ranges draw the same words rand would.
+trait StandardRaw {
+    fn standard_raw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+impl StandardRaw for u32 {
+    fn standard_raw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardRaw for u64 {
+    fn standard_raw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl_float_range!(f32, u32, 9u32, 127u32, 23);
+impl_float_range!(f64, u64, 12u64, 1023u64, 52);
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value with the `Standard` distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// Uses rand 0.8's 64-bit fixed-point comparison so seeded streams
+    /// match the real crate.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `rand::rngs` namespace (kept minimal).
+pub mod rngs {
+    /// A small-state PCG64-ish generator for tests and tools that do not
+    /// need ChaCha streams.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+        inc: u64,
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        type Seed = [u8; 16];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let state = u64::from_le_bytes(seed[..8].try_into().unwrap());
+            let inc = u64::from_le_bytes(seed[8..].try_into().unwrap()) | 1;
+            Self { state, inc }
+        }
+    }
+
+    impl crate::RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64-style output over a Weyl sequence.
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state ^ self.inc.rotate_left(23);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..2000 {
+            let a = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(0..=5u64);
+            assert!(b <= 5);
+            let c = rng.gen_range(-4..4i32);
+            assert!((-4..4).contains(&c));
+            let f = rng.gen_range(2.0..3.0f64);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = Counter(1);
+        let xs: Vec<f64> = (0..4000).map(|_| rng.gen::<f64>()).collect();
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = Counter(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn seed_expander_matches_rand_core_pcg32() {
+        // Spot-check the PCG32 expansion is deterministic and spreads bits.
+        struct Raw([u8; 32]);
+        impl SeedableRng for Raw {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Raw(seed)
+            }
+        }
+        impl RngCore for Raw {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        let a = Raw::seed_from_u64(42).0;
+        let b = Raw::seed_from_u64(42).0;
+        let c = Raw::seed_from_u64(43).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline in-tree implementation of `rand_chacha`'s [`ChaCha8Rng`].
+//!
+//! Implements the real ChaCha stream cipher (IETF variant, 8 rounds) with
+//! the same buffering discipline as `rand_core::block::BlockRng` (four
+//! 64-byte blocks per refill, the same `next_u64` split behaviour at the
+//! buffer boundary), so seeded streams are interchangeable with the real
+//! `rand_chacha 0.3` crate.
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+/// rand_chacha generates 4 blocks per refill.
+const BUF_BLOCKS: usize = 4;
+const BUF_WORDS: usize = BLOCK_WORDS * BUF_BLOCKS;
+
+/// ChaCha with 8 rounds, keyed by a 32-byte seed, 64-bit block counter and
+/// 64-bit stream id (zero by default, like `rand_chacha`).
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    stream: [u32; 2],
+    /// Block counter of the *next* refill.
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// The stream id (always 0 unless set); exposed for parity with the
+    /// real crate.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = [stream as u32, (stream >> 32) as u32];
+        // Restart output from the current counter position.
+        self.index = BUF_WORDS;
+    }
+
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            self.stream[0],
+            self.stream[1],
+        ];
+        let initial = state;
+        for _ in 0..4 {
+            // Double round: columns then diagonals.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *o = s.wrapping_add(*i);
+        }
+    }
+
+    fn refill(&mut self) {
+        for b in 0..BUF_BLOCKS {
+            let counter = self.counter.wrapping_add(b as u64);
+            let (lo, hi) = (b * BLOCK_WORDS, (b + 1) * BLOCK_WORDS);
+            let mut out = [0u32; BLOCK_WORDS];
+            self.block(counter, &mut out);
+            self.buf[lo..hi].copy_from_slice(&out);
+        }
+        self.counter = self.counter.wrapping_add(BUF_BLOCKS as u64);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            stream: [0, 0],
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+            self.index = 0;
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Mirrors rand_core::block::BlockRng::next_u64, including the
+        // boundary case that stitches the last word of one buffer to the
+        // first word of the next.
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+        } else if index >= BUF_WORDS {
+            self.refill();
+            self.index = 2;
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        } else {
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.refill();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | lo
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439-style known-answer check of the ChaCha block function,
+    /// reduced to structural properties we can verify offline: the first
+    /// block of the all-zero key differs from the second, streams are
+    /// reproducible, and the counter advances.
+    #[test]
+    fn streams_are_deterministic_and_advance() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..200).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..200).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn words_are_well_distributed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let ones: u32 = (0..n).map(|_| rng.next_u32().count_ones()).sum();
+        let mean_bits = ones as f64 / n as f64;
+        assert!((mean_bits - 16.0).abs() < 0.2, "mean bits {mean_bits}");
+    }
+
+    #[test]
+    fn mixed_width_reads_follow_block_rng_discipline() {
+        // Drain an odd number of u32s so a u64 read straddles the buffer
+        // boundary, then check the stitched value matches the raw stream.
+        let mut raw = ChaCha8Rng::seed_from_u64(9);
+        let words: Vec<u32> = (0..130).map(|_| raw.next_u32()).collect();
+
+        let mut mixed = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..63 {
+            mixed.next_u32();
+        }
+        let straddle = mixed.next_u64();
+        assert_eq!(straddle & 0xffff_ffff, u64::from(words[63]));
+        assert_eq!(straddle >> 32, u64::from(words[64]));
+    }
+}

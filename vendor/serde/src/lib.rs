@@ -1,0 +1,511 @@
+//! Offline in-tree subset of `serde`.
+//!
+//! The workspace builds in a sealed container without crates.io access, so
+//! serialization is vendored as a small self-describing value tree: types
+//! convert to and from [`Value`], and `serde_json` renders/parses that
+//! tree. The `#[derive(Serialize, Deserialize)]` macros (feature `derive`)
+//! generate externally-tagged representations compatible with real serde's
+//! JSON output for the shapes this workspace uses (named structs, newtype
+//! ids, unit/struct enum variants).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view widened to f64 (accepts any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view (rejects negatives and non-integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            Value::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Signed view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y" helper used by generated code.
+    pub fn expected(what: &str, context: &str) -> Self {
+        Self {
+            msg: format!("expected {what} while deserializing {context}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// `serde::de` namespace for `DeserializeOwned` imports.
+pub mod de {
+    /// Marker alias: every [`crate::Deserialize`] here is owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Fetch a required struct field from a map (generated-code helper).
+pub fn map_get<'a>(
+    map: &'a [(String, Value)],
+    key: &str,
+    context: &str,
+) -> Result<&'a Value, DeError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{key}` in {context}")))
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v < 0 || v <= i64::MAX as i128 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let out = match *v {
+                    Value::I64(x) => x as i128,
+                    Value::U64(x) => x as i128,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(out)
+                    .map_err(|_| DeError::custom(format!("{out} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // f32 -> f64 -> f32 is exact, so roundtrips preserve bits.
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "tuple length {} != {expected}", seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic across runs.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "HashMap"))?;
+        map.iter()
+            .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        // Sort elements so output is deterministic across runs.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Seq(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("array", "HashSet"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("array", "BTreeSet"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap"))?;
+        map.iter()
+            .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+/// JSON object keys must be strings; render a key's value tree as one.
+fn key_to_string<K: Serialize>(k: &K) -> String {
+    match k.to_value() {
+        Value::Str(s) => s,
+        Value::I64(v) => v.to_string(),
+        Value::U64(v) => v.to_string(),
+        Value::F64(v) => v.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key kind: {}", other.kind()),
+    }
+}
+
+/// Parse a string key back into the key type via the value tree.
+fn key_from_string<K: Deserialize>(k: &str) -> Result<K, DeError> {
+    if let Ok(v) = K::from_value(&Value::Str(k.to_owned())) {
+        return Ok(v);
+    }
+    if let Ok(n) = k.parse::<i64>() {
+        if let Ok(v) = K::from_value(&Value::I64(n)) {
+            return Ok(v);
+        }
+    }
+    if let Ok(n) = k.parse::<u64>() {
+        if let Ok(v) = K::from_value(&Value::U64(n)) {
+            return Ok(v);
+        }
+    }
+    if let Ok(n) = k.parse::<f64>() {
+        if let Ok(v) = K::from_value(&Value::F64(n)) {
+            return Ok(v);
+        }
+    }
+    Err(DeError::custom(format!("cannot parse map key `{k}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f32::from_value(&1.25f32.to_value()).unwrap(), 1.25);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hé\"llo");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn f32_roundtrip_is_exact() {
+        for bits in [0x3f80_0001u32, 0x0000_0001, 0x7f7f_ffff, 0xbf99_999a] {
+            let x = f32::from_bits(bits);
+            let back = f32::from_value(&x.to_value()).unwrap();
+            assert_eq!(back.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 0.5f32), (7, 0.25)];
+        let back: Vec<(u32, f32)> = Vec::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2);
+        let back: HashMap<String, u64> = HashMap::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+        assert_eq!(
+            Option::<u8>::from_value(&Some(3u8).to_value()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(String::from_value(&Value::I64(1)).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Bool(true)).is_err());
+    }
+}

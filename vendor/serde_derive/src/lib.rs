@@ -1,0 +1,476 @@
+//! Derive macros for the in-tree `serde` subset.
+//!
+//! The container has no crates.io access, so this crate parses the derive
+//! input by walking the raw [`TokenStream`] (no `syn`/`quote`) and emits
+//! impls of the value-tree `Serialize`/`Deserialize` traits. Supported
+//! shapes — the only ones this workspace uses — are named-field structs,
+//! tuple structs, and enums with unit / named-field / tuple variants, with
+//! the externally-tagged layout real serde uses for JSON.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    Named {
+        name: String,
+        fields: Vec<String>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Unit {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Skip `#[attr]` sequences and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    other => panic!("expected attribute body, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Advance past one type, stopping after a depth-0 `,` (or at end of input).
+/// Depth tracks `<`/`>` pairs; delimiter groups are single atomic tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Field names of a `{ ... }` body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Number of fields in a `( ... )` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize): generic type `{name}` not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            },
+            _ => Shape::Unit { name },
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_enum_variants(tokens[i].clone().into_token_stream_brace()),
+        },
+        other => panic!("derive(Serialize/Deserialize): unsupported item `{other}`"),
+    }
+}
+
+/// Helper to unwrap the brace group of an enum body.
+trait IntoBraceStream {
+    fn into_token_stream_brace(self) -> TokenStream;
+}
+impl IntoBraceStream for TokenTree {
+    fn into_token_stream_brace(self) -> TokenStream {
+        match self {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let entries: String = (0..arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let pat = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {pat} }} => ::serde::Value::Map(vec![(\
+                                     String::from(\"{vname}\"), \
+                                     ::serde::Value::Map(vec![{entries}])\
+                                 )]),"
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\
+                                 String::from(\"{vname}\"), \
+                                 ::serde::Serialize::to_value(__f0)\
+                             )]),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let pat: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let entries: String = pat
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                                     String::from(\"{vname}\"), \
+                                     ::serde::Value::Seq(vec![{entries}])\
+                                 )]),",
+                                pat.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl should parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::map_get(__map, \"{f}\", \"{name}\")?\
+                         )?,"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __map = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let inits: String = (0..arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&__seq[{k}])?,"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                         if __seq.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\"array of length {arity}\", \"{name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match __v {{\n\
+                         ::serde::Value::Null => ::std::result::Result::Ok(Self),\n\
+                         _ => ::std::result::Result::Err(::serde::DeError::expected(\"null\", \"{name}\")),\n\
+                     }}\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let str_arm = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},"
+                )
+            };
+            let tag_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                             ::serde::map_get(__inner, \"{f}\", \"{name}::{vname}\")?\
+                                         )?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __inner = __payload.as_map().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                                 }}"
+                            ))
+                        }
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                                 {name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let inits: String = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__inner[{k}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __inner = __payload.as_seq().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                                     if __inner.len() != {arity} {{\n\
+                                         return ::std::result::Result::Err(::serde::DeError::expected(\
+                                             \"array of length {arity}\", \"{name}::{vname}\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({inits}))\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let map_arm = if tag_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tag_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},"
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             {str_arm}\n\
+                             {map_arm}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                                 \"externally tagged variant\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl should parse")
+}

@@ -1,0 +1,60 @@
+//! Fault-injection overhead: cost of mutating a stream with `net::chaos`
+//! and of the hardened observer absorbing hostile input. The "line rate"
+//! claim (§4.1) has to hold on a messy tap, not just on pristine traffic —
+//! these benches keep the adversarial path honest alongside `sni_parse`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hostprof_net::{chaos, ChaosConfig, RequestEvent, SniObserver, TrafficSynthesizer};
+
+fn mixed_stream(connections: u64) -> Vec<hostprof_net::Packet> {
+    let synth = TrafficSynthesizer::default();
+    let events: Vec<RequestEvent> = (0..connections)
+        .map(|i| RequestEvent {
+            t_ms: i * 20,
+            client: (i % 50) as u32,
+            hostname: format!("host{}.bench.example.com", i % 97),
+        })
+        .collect();
+    synth.synthesize(&events)
+}
+
+fn bench_chaos_apply(c: &mut Criterion) {
+    let stream = mixed_stream(500);
+    let bytes: u64 = stream.iter().map(|p| p.payload.len() as u64).sum();
+    let mut g = c.benchmark_group("chaos");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("apply_balanced_500_conns", |b| {
+        b.iter(|| chaos::apply(black_box(&ChaosConfig::with_seed(7)), black_box(&stream)))
+    });
+    g.bench_function("apply_aggressive_500_conns", |b| {
+        b.iter(|| chaos::apply(black_box(&ChaosConfig::aggressive(7)), black_box(&stream)))
+    });
+    g.finish();
+}
+
+fn bench_observer_under_chaos(c: &mut Criterion) {
+    let stream = mixed_stream(500);
+    let clean_bytes: u64 = stream.iter().map(|p| p.payload.len() as u64).sum();
+    let mutated = chaos::apply(&ChaosConfig::aggressive(7), &stream);
+    let mut g = c.benchmark_group("observer_chaos");
+    g.throughput(Throughput::Bytes(clean_bytes));
+    // Baseline: the same stream without mutation, for overhead comparison.
+    g.bench_function("clean_stream_500_conns", |b| {
+        b.iter(|| {
+            let mut obs = SniObserver::new();
+            obs.process_stream(black_box(&stream));
+            obs.observations().len()
+        })
+    });
+    g.bench_function("mutated_stream_500_conns", |b| {
+        b.iter(|| {
+            let mut obs = SniObserver::new();
+            obs.process_stream(black_box(&mutated.packets));
+            obs.observations().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chaos_apply, bench_observer_under_chaos);
+criterion_main!(benches);

@@ -239,6 +239,59 @@ mod tests {
     }
 
     #[test]
+    fn every_prefix_of_a_valid_capture_is_absorbed() {
+        let packets = sample_packets();
+        let mut w = CaptureWriter::new(Vec::new()).unwrap();
+        for p in &packets {
+            w.write_packet(p).unwrap();
+        }
+        let full = w.finish().unwrap();
+        // Exhaustive: every possible truncation point of the file. Records
+        // decoded before the cut must be byte-identical to what was
+        // written; the cut itself yields Ok(None) or a typed error, and
+        // never a panic or a phantom packet.
+        for cut in 0..full.len() {
+            match CaptureReader::new(&full[..cut]) {
+                Err(_) => assert!(cut < MAGIC.len() + 4, "magic was intact at {cut}"),
+                Ok(mut r) => {
+                    let mut decoded = 0usize;
+                    while let Ok(Some(pkt)) = r.read_packet() {
+                        assert_eq!(pkt, packets[decoded], "prefix {cut}");
+                        decoded += 1;
+                    }
+                    assert!(decoded <= packets.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_payload_records_roundtrip() {
+        // Regression: a record with payload_len == 0 (a pure-ACK segment)
+        // must round-trip and must not be confused with end-of-file by the
+        // reader, even when it is the last record.
+        let empty = Packet {
+            t_ms: 7,
+            src: Endpoint::new(0x0a00_0001, 40_000),
+            dst: Endpoint::new(0x5000_0001, 443),
+            transport: Transport::Tcp,
+            payload: Bytes::new(),
+        };
+        let follow = Packet {
+            t_ms: 8,
+            payload: Bytes::from_static(b"later"),
+            ..empty.clone()
+        };
+        let mut w = CaptureWriter::new(Vec::new()).unwrap();
+        w.write_packet(&empty).unwrap();
+        w.write_packet(&follow).unwrap();
+        w.write_packet(&empty).unwrap();
+        let bytes = w.finish().unwrap();
+        let back = CaptureReader::new(&bytes[..]).unwrap().read_all().unwrap();
+        assert_eq!(back, vec![empty.clone(), follow, empty]);
+    }
+
+    #[test]
     fn replay_feeds_the_observer_identically() {
         use crate::observer::SniObserver;
         let packets = sample_packets();

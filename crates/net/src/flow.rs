@@ -88,6 +88,10 @@ pub struct FlowTable {
     stats: FlowStats,
     /// Eviction is amortized: run at most once per `evict_every` packets.
     since_evict: u64,
+    /// Keys evicted while still mid-inspection ([`InspectState::Pending`]),
+    /// queued for the caller to reclaim any per-flow reassembly state it
+    /// holds. Drained via [`FlowTable::take_evicted_pending`].
+    evicted_pending: Vec<FlowKey>,
 }
 
 impl FlowTable {
@@ -98,6 +102,7 @@ impl FlowTable {
             idle_timeout_ms,
             stats: FlowStats::default(),
             since_evict: 0,
+            evicted_pending: Vec::new(),
         }
     }
 
@@ -159,11 +164,35 @@ impl FlowTable {
     }
 
     /// Drop flows idle since before `now_ms - idle_timeout_ms`.
+    ///
+    /// Flows evicted while a caller was still reassembling their first
+    /// payload are recorded and surfaced by
+    /// [`FlowTable::take_evicted_pending`], so the caller can release the
+    /// matching reassembly buffers instead of leaking them.
     pub fn evict_idle(&mut self, now_ms: u64) {
         let cutoff = now_ms.saturating_sub(self.idle_timeout_ms);
         let before = self.flows.len();
-        self.flows.retain(|_, s| s.last_seen_ms >= cutoff);
+        let evicted_pending = &mut self.evicted_pending;
+        self.flows.retain(|key, s| {
+            let keep = s.last_seen_ms >= cutoff;
+            if !keep && s.inspect == InspectState::Pending {
+                evicted_pending.push(*key);
+            }
+            keep
+        });
         self.stats.flows_evicted += (before - self.flows.len()) as u64;
+    }
+
+    /// Whether any mid-inspection flows have been evicted since the last
+    /// [`FlowTable::take_evicted_pending`] call. Cheap (a `Vec` emptiness
+    /// check), so callers can poll it per packet.
+    pub fn has_evicted_pending(&self) -> bool {
+        !self.evicted_pending.is_empty()
+    }
+
+    /// Drain the keys of flows evicted mid-inspection.
+    pub fn take_evicted_pending(&mut self) -> Vec<FlowKey> {
+        std::mem::take(&mut self.evicted_pending)
     }
 
     /// Currently tracked flows.
@@ -255,6 +284,26 @@ mod tests {
         assert_eq!(t.stats().flows_evicted, 1);
         // Same 5-tuple later is a fresh flow (port reuse).
         assert_eq!(t.observe(&pkt(6000, 5000, b"b")), FlowDecision::InspectNew);
+    }
+
+    #[test]
+    fn mid_inspection_evictions_are_surfaced_for_cleanup() {
+        let mut t = FlowTable::new(1000);
+        // Flow A: inspection concluded before idling out → not surfaced.
+        let done = pkt(0, 5000, b"a");
+        t.observe(&done);
+        t.finish(&FlowKey::of(&done));
+        // Flow B: still mid-reassembly when it idles out → surfaced.
+        let pending = pkt(0, 5001, b"partial");
+        t.observe(&pending);
+        // Flow C: never saw a payload (empty segments only) → not surfaced.
+        t.observe(&pkt(0, 5002, b""));
+        assert!(!t.has_evicted_pending());
+        t.evict_idle(10_000);
+        assert_eq!(t.active_flows(), 0);
+        assert!(t.has_evicted_pending());
+        assert_eq!(t.take_evicted_pending(), vec![FlowKey::of(&pending)]);
+        assert!(!t.has_evicted_pending(), "drain empties the queue");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! input), backing the paper's claim that profiling can run at line rate.
 
 pub mod capture;
+pub mod chaos;
 pub mod dns;
 pub mod error;
 pub mod flow;
@@ -50,8 +51,9 @@ pub mod tls;
 mod wire;
 
 pub use capture::{CaptureError, CaptureReader, CaptureWriter};
+pub use chaos::{ChaosConfig, ChaosOutcome, ChaosStats};
 pub use error::ParseError;
 pub use flow::{FlowKey, FlowStats, FlowTable};
-pub use observer::{Observation, ObserverStats, SniObserver};
+pub use observer::{Observation, ObserverConfig, ObserverStats, SniObserver};
 pub use packet::{Endpoint, Packet, Transport};
 pub use synthesize::{Addressing, RequestEvent, TrafficSynthesizer};

@@ -6,6 +6,28 @@
 //! assembles per-client hostname sequences — the input format of the
 //! profiling algorithm (Section 4.1: "hostname request sequences across
 //! users in the network").
+//!
+//! ## Adversarial ingest
+//!
+//! A production tap sees truncated records, re-segmented and duplicated TCP,
+//! coalesced QUIC datagrams and outright garbage (DESIGN.md §8). The
+//! observer is hardened so that *every* input degrades to a counted skip,
+//! never a panic and never unbounded memory:
+//!
+//! * each failure mode lands in a dedicated [`ObserverStats`] taxonomy
+//!   counter (`truncated_records`, `bad_lengths`, `reassembly_overflow`,
+//!   `evicted_mid_handshake`, `garbage`, `reassembly_invariant`), with
+//!   `parse_errors` kept as their running total;
+//! * reassembly buffers are bounded per flow (bytes and segments), in
+//!   count (concurrent flows) and in aggregate (total buffered bytes) by a
+//!   tunable [`ObserverConfig`], with FIFO eviction at every cap;
+//! * flows the [`FlowTable`] evicts mid-handshake surface through
+//!   [`FlowTable::take_evicted_pending`] so their buffers are reclaimed
+//!   immediately instead of leaking until 5-tuple reuse.
+//!
+//! The `net::chaos` fault-injection harness (`tests/chaos_observer.rs`,
+//! `chaosprobe`) property-tests these guarantees against seeded mutation
+//! streams.
 
 use crate::dns;
 use crate::error::ParseError;
@@ -41,6 +63,13 @@ pub struct Observation {
 }
 
 /// Observer counters, reported by the E6-style experiments.
+///
+/// `parse_errors` is the aggregate failure count; the taxonomy fields below
+/// it partition the same failures by cause, so
+/// `parse_errors == truncated_records + bad_lengths + reassembly_overflow +
+/// evicted_mid_handshake + garbage` always holds (asserted by the chaos
+/// conformance suite). `reassembly_invariant` sits outside the sum: it
+/// counts "impossible" internal states and stays zero in any healthy run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ObserverStats {
     /// Packets consumed.
@@ -53,23 +82,60 @@ pub struct ObserverStats {
     pub dns_names: u64,
     /// Well-formed handshakes with no readable name (ECH).
     pub hidden: u64,
-    /// Payloads that failed to parse as anything the observer knows.
+    /// Payloads that failed to parse as anything the observer knows —
+    /// the sum of the taxonomy counters below.
     pub parse_errors: u64,
     /// ClientHellos recovered only after reassembling 2+ TCP segments.
     pub reassembled: u64,
     /// QUIC long/short-header packets that are legitimately not Initials
     /// (Handshake, 0-RTT, Retry, Version Negotiation, 1-RTT).
     pub skipped_non_initial: u64,
+    /// Datagram payloads that ended before a declared length was satisfied
+    /// (a truncated capture of a QUIC Initial or DNS query).
+    pub truncated_records: u64,
+    /// Payloads whose length fields contradict the enclosing structure.
+    pub bad_lengths: u64,
+    /// TCP reassemblies abandoned at the per-flow byte or segment budget.
+    pub reassembly_overflow: u64,
+    /// Reassemblies abandoned because the flow was evicted mid-handshake
+    /// (idle timeout, concurrent-flow cap, or total buffered-bytes cap).
+    pub evicted_mid_handshake: u64,
+    /// Payloads that parse as none of the protocols the observer knows.
+    pub garbage: u64,
+    /// Internal reassembly bookkeeping contradicted itself ("impossible"
+    /// states that previously aborted via `expect`; counted, never fatal).
+    pub reassembly_invariant: u64,
 }
 
-/// Hard caps on the per-flow reassembly buffer: a ClientHello that hasn't
-/// completed within this budget is abandoned as unparseable.
-const MAX_PENDING_BYTES: usize = 8 * 1024;
-const MAX_PENDING_SEGMENTS: u32 = 8;
-/// Cap on concurrently-reassembling flows; beyond it the oldest pending
-/// flow is abandoned (counted as a parse error) so a flood of never-
-/// completing handshakes cannot grow memory without bound.
-const MAX_PENDING_FLOWS: usize = 4096;
+/// Tunable limits of the ingest path: every reassembly buffer the observer
+/// holds is bounded per flow, in flow count and in aggregate, so a hostile
+/// or lossy packet stream cannot grow memory without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserverConfig {
+    /// Per-flow reassembly byte budget: a ClientHello that hasn't completed
+    /// within this many buffered bytes is abandoned as unparseable.
+    pub max_pending_bytes: usize,
+    /// Per-flow segment budget for the same buffer.
+    pub max_pending_segments: u32,
+    /// Cap on concurrently-reassembling flows; beyond it the oldest
+    /// pending flow is abandoned so a flood of never-completing handshakes
+    /// cannot grow memory without bound.
+    pub max_pending_flows: usize,
+    /// Aggregate cap across *all* reassembly buffers; beyond it the oldest
+    /// pending flows are abandoned until the total fits again.
+    pub max_total_pending_bytes: usize,
+}
+
+impl Default for ObserverConfig {
+    fn default() -> Self {
+        Self {
+            max_pending_bytes: 8 * 1024,
+            max_pending_segments: 8,
+            max_pending_flows: 4096,
+            max_total_pending_bytes: 2 * 1024 * 1024,
+        }
+    }
+}
 
 /// A passive network eavesdropper.
 #[derive(Debug)]
@@ -77,11 +143,14 @@ pub struct SniObserver {
     flows: FlowTable,
     observations: Vec<Observation>,
     stats: ObserverStats,
+    config: ObserverConfig,
     /// Partial ClientHello bytes per TCP flow, while a handshake spans
     /// several segments.
     pending: HashMap<FlowKey, (Vec<u8>, u32)>,
-    /// Insertion order of `pending` keys, for FIFO eviction at the cap.
+    /// Insertion order of `pending` keys, for FIFO eviction at the caps.
     pending_order: std::collections::VecDeque<FlowKey>,
+    /// Total bytes across all `pending` buffers (kept incrementally).
+    pending_bytes: usize,
     /// Whether DNS queries are harvested too (off when modeling a pure
     /// TLS-only vantage point, on when modeling a DNS provider, §7.2).
     harvest_dns: bool,
@@ -95,19 +164,28 @@ enum TlsOutcome {
     Incomplete,
     /// Well-formed ClientHello with no readable name (ECH).
     Hidden,
-    /// Not a parseable ClientHello (or budget exceeded).
+    /// Not a parseable ClientHello.
     Garbage,
+    /// The reassembly budget (bytes or segments) ran out.
+    Overflow,
 }
 
 impl SniObserver {
-    /// An observer with the default flow table, ignoring DNS.
+    /// An observer with the default flow table and limits, ignoring DNS.
     pub fn new() -> Self {
+        Self::with_config(ObserverConfig::default())
+    }
+
+    /// An observer with explicit ingest limits.
+    pub fn with_config(config: ObserverConfig) -> Self {
         Self {
             flows: FlowTable::default(),
             observations: Vec::new(),
             stats: ObserverStats::default(),
+            config,
             pending: HashMap::new(),
             pending_order: std::collections::VecDeque::new(),
+            pending_bytes: 0,
             harvest_dns: false,
         }
     }
@@ -118,10 +196,104 @@ impl SniObserver {
         self
     }
 
+    /// The ingest limits in force.
+    pub fn config(&self) -> ObserverConfig {
+        self.config
+    }
+
+    /// Total bytes currently held in reassembly buffers. Bounded by
+    /// [`ObserverConfig::max_total_pending_bytes`] plus one segment's
+    /// worth of slack (the cap is enforced after each append).
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// Number of flows currently mid-reassembly.
+    pub fn pending_flows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Remove a pending entry, keeping the byte total consistent.
+    fn pending_remove(&mut self, key: &FlowKey) -> Option<(Vec<u8>, u32)> {
+        let removed = self.pending.remove(key);
+        if let Some((buf, _)) = &removed {
+            self.pending_bytes = self.pending_bytes.saturating_sub(buf.len());
+        }
+        removed
+    }
+
+    /// Abandon the oldest pending flow (FIFO); returns whether one existed.
+    /// Counted as an eviction mid-handshake.
+    fn abandon_oldest_pending(&mut self) -> bool {
+        while let Some(old) = self.pending_order.pop_front() {
+            if self.pending_remove(&old).is_some() {
+                self.stats.parse_errors += 1;
+                self.stats.evicted_mid_handshake += 1;
+                self.flows.finish(&old);
+                return true;
+            }
+            // Stale order entry for a flow that already completed; skip.
+        }
+        false
+    }
+
+    /// Enforce the flow-count and total-bytes caps after an insert/append.
+    fn enforce_pending_caps(&mut self, protect: &FlowKey) {
+        while self.pending.len() > self.config.max_pending_flows
+            || self.pending_bytes > self.config.max_total_pending_bytes
+        {
+            // Never evict the flow we are actively appending to: its own
+            // growth is bounded by the per-flow budget.
+            if self.pending.len() == 1 && self.pending.contains_key(protect) {
+                break;
+            }
+            if let Some(front) = self.pending_order.front().copied() {
+                if front == *protect && self.pending.contains_key(&front) {
+                    self.pending_order.pop_front();
+                    self.pending_order.push_back(front);
+                    continue;
+                }
+            }
+            if !self.abandon_oldest_pending() {
+                break;
+            }
+        }
+        // `pending_order` accumulates stale entries for flows that finished
+        // reassembly; compact it before it dwarfs the live map.
+        if self.pending_order.len() > 2 * self.config.max_pending_flows.max(16) {
+            let live = &self.pending;
+            self.pending_order.retain(|k| live.contains_key(k));
+        }
+    }
+
+    /// Reclaim reassembly buffers of flows the flow table evicted while
+    /// they were still mid-handshake.
+    fn reap_evicted_flows(&mut self) {
+        for key in self.flows.take_evicted_pending() {
+            if self.pending_remove(&key).is_some() {
+                self.stats.parse_errors += 1;
+                self.stats.evicted_mid_handshake += 1;
+            }
+        }
+    }
+
+    /// Count one parse failure under its taxonomy bucket.
+    fn count_parse_failure(&mut self, err: ParseError) {
+        self.stats.parse_errors += 1;
+        match err {
+            ParseError::Truncated => self.stats.truncated_records += 1,
+            ParseError::BadLength => self.stats.bad_lengths += 1,
+            _ => self.stats.garbage += 1,
+        }
+    }
+
     /// Consume one packet; records an observation when a hostname leaks.
     pub fn process(&mut self, pkt: &Packet) {
         self.stats.packets += 1;
         let decision = self.flows.observe(pkt);
+        if self.flows.has_evicted_pending() {
+            self.reap_evicted_flows();
+        }
         if decision == FlowDecision::Skip {
             return;
         }
@@ -129,8 +301,12 @@ impl SniObserver {
         if decision == FlowDecision::InspectNew {
             // A fresh flow on this 5-tuple: discard any reassembly state a
             // previous (evicted) occupant left behind, or its stale bytes
-            // would corrupt this connection's ClientHello.
-            self.pending.remove(&key);
+            // would corrupt this connection's ClientHello. Eviction reaping
+            // should already have reclaimed it — reaching here with live
+            // bytes means the bookkeeping disagreed with itself.
+            if self.pending_remove(&key).is_some() {
+                self.stats.reassembly_invariant += 1;
+            }
         }
         let recovered: Option<(String, HostnameSource)> = match pkt.transport {
             // TCP: the ClientHello may span several segments — reassemble
@@ -146,6 +322,13 @@ impl SniObserver {
                 }
                 TlsOutcome::Garbage => {
                     self.stats.parse_errors += 1;
+                    self.stats.garbage += 1;
+                    self.flows.finish(&key);
+                    None
+                }
+                TlsOutcome::Overflow => {
+                    self.stats.parse_errors += 1;
+                    self.stats.reassembly_overflow += 1;
                     self.flows.finish(&key);
                     None
                 }
@@ -158,8 +341,8 @@ impl SniObserver {
                 }
                 match dns::extract_qname(&pkt.payload) {
                     Ok(name) => Some((name.to_ascii_lowercase(), HostnameSource::DnsQuery)),
-                    Err(_) => {
-                        self.stats.parse_errors += 1;
+                    Err(e) => {
+                        self.count_parse_failure(e);
                         None
                     }
                 }
@@ -176,8 +359,8 @@ impl SniObserver {
                                 self.stats.hidden += 1;
                                 None
                             }
-                            Err(_) => {
-                                self.stats.parse_errors += 1;
+                            Err(e) => {
+                                self.count_parse_failure(e);
                                 None
                             }
                         }
@@ -188,8 +371,8 @@ impl SniObserver {
                         self.stats.skipped_non_initial += 1;
                         None
                     }
-                    Err(_) => {
-                        self.stats.parse_errors += 1;
+                    Err(e) => {
+                        self.count_parse_failure(e);
                         None
                     }
                 }
@@ -218,15 +401,28 @@ impl SniObserver {
             Truncated,
             Garbage,
         }
-        let buffered = self.pending.contains_key(key);
+        let mut buffered = self.pending.contains_key(key);
         // Parse against either the lone segment (fast path) or the
         // accumulated flow buffer; the borrow ends before we mutate state.
+        let mut appended = 0usize;
         let parsed = {
             let attempt: &[u8] = if buffered {
-                let (buf, segments) = self.pending.get_mut(key).expect("checked above");
-                buf.extend_from_slice(&pkt.payload);
-                *segments += 1;
-                buf
+                match self.pending.get_mut(key) {
+                    Some((buf, segments)) => {
+                        buf.extend_from_slice(&pkt.payload);
+                        *segments += 1;
+                        appended = pkt.payload.len();
+                        buf
+                    }
+                    None => {
+                        // `contains_key` just said yes: unreachable in any
+                        // execution we know of, but a counted fallback to
+                        // the lone-segment path beats aborting the tap.
+                        self.stats.reassembly_invariant += 1;
+                        buffered = false;
+                        &pkt.payload
+                    }
+                }
             } else {
                 &pkt.payload
             };
@@ -237,49 +433,53 @@ impl SniObserver {
                 Err(_) => Parsed::Garbage,
             }
         };
+        self.pending_bytes += appended;
         match parsed {
             Parsed::Name(name) => {
                 if buffered {
                     self.stats.reassembled += 1;
-                    self.pending.remove(key);
+                    self.pending_remove(key);
                 }
                 self.flows.finish(key);
                 TlsOutcome::Hostname(name)
             }
             Parsed::Hidden => {
-                self.pending.remove(key);
+                self.pending_remove(key);
                 TlsOutcome::Hidden
             }
             Parsed::Truncated => {
                 if buffered {
-                    let (buf, segments) = self.pending.get(key).expect("checked above");
-                    if buf.len() > MAX_PENDING_BYTES || *segments >= MAX_PENDING_SEGMENTS {
-                        self.pending.remove(key);
-                        return TlsOutcome::Garbage;
-                    }
-                } else {
-                    if pkt.payload.len() > MAX_PENDING_BYTES {
-                        return TlsOutcome::Garbage;
-                    }
-                    // Bound concurrent reassemblies: abandon the oldest.
-                    while self.pending.len() >= MAX_PENDING_FLOWS {
-                        match self.pending_order.pop_front() {
-                            Some(old) => {
-                                if self.pending.remove(&old).is_some() {
-                                    self.stats.parse_errors += 1;
-                                    self.flows.finish(&old);
-                                }
+                    match self.pending.get(key) {
+                        Some((buf, segments)) => {
+                            if buf.len() > self.config.max_pending_bytes
+                                || *segments >= self.config.max_pending_segments
+                            {
+                                self.pending_remove(key);
+                                return TlsOutcome::Overflow;
                             }
-                            None => break,
+                        }
+                        None => {
+                            // As above: the entry vanished between the
+                            // append and the budget check. Count it and
+                            // treat the flow as freshly abandoned.
+                            self.stats.reassembly_invariant += 1;
+                            return TlsOutcome::Overflow;
                         }
                     }
+                    self.enforce_pending_caps(key);
+                } else {
+                    if pkt.payload.len() > self.config.max_pending_bytes {
+                        return TlsOutcome::Overflow;
+                    }
                     self.pending.insert(*key, (pkt.payload.to_vec(), 1));
+                    self.pending_bytes += pkt.payload.len();
                     self.pending_order.push_back(*key);
+                    self.enforce_pending_caps(key);
                 }
                 TlsOutcome::Incomplete
             }
             Parsed::Garbage => {
-                self.pending.remove(key);
+                self.pending_remove(key);
                 TlsOutcome::Garbage
             }
         }
@@ -333,6 +533,18 @@ impl SniObserver {
 impl Default for SniObserver {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl ObserverStats {
+    /// Sum of the failure-taxonomy counters; equals `parse_errors` by
+    /// construction (checked by the chaos conformance suite).
+    pub fn taxonomy_total(&self) -> u64 {
+        self.truncated_records
+            + self.bad_lengths
+            + self.reassembly_overflow
+            + self.evicted_mid_handshake
+            + self.garbage
     }
 }
 
@@ -434,6 +646,8 @@ mod tests {
         };
         obs.process(&pkt);
         assert_eq!(obs.stats().parse_errors, 1);
+        assert_eq!(obs.stats().garbage, 1);
+        assert_eq!(obs.stats().taxonomy_total(), obs.stats().parse_errors);
     }
 
     #[test]
@@ -464,6 +678,7 @@ mod tests {
         assert_eq!(obs.observations()[0].hostname, "segmented.example");
         assert_eq!(obs.stats().reassembled, 1);
         assert_eq!(obs.stats().parse_errors, 0);
+        assert_eq!(obs.pending_bytes(), 0, "buffer reclaimed on completion");
         // A later data segment on the same flow is skipped.
         let mut follow = tls_packet(10, 9, 7000, "ignored");
         follow.payload = Bytes::from_static(&[23, 3, 3, 0, 1, 0]);
@@ -488,7 +703,50 @@ mod tests {
             obs.process(&pkt);
         }
         assert_eq!(obs.stats().parse_errors, 1, "abandoned exactly once");
+        assert_eq!(obs.stats().reassembly_overflow, 1);
+        assert_eq!(obs.pending_bytes(), 0, "abandoned buffer reclaimed");
         assert!(obs.observations().is_empty());
+    }
+
+    #[test]
+    fn pending_flow_cap_evicts_oldest_first() {
+        let mut obs = SniObserver::with_config(ObserverConfig {
+            max_pending_flows: 4,
+            ..ObserverConfig::default()
+        });
+        // Five flows, each stuck mid-reassembly (record promises more).
+        let header: &[u8] = &[22, 3, 1, 0x0f, 0xff, 1, 0x00, 0x0f, 0xf0];
+        for sport in 0..5u16 {
+            let mut pkt = tls_packet(sport as u64, 8, 9000 + sport, "ignored");
+            pkt.payload = Bytes::from(header.to_vec());
+            obs.process(&pkt);
+        }
+        assert_eq!(obs.pending_flows(), 4);
+        assert_eq!(obs.stats().evicted_mid_handshake, 1);
+        assert_eq!(obs.stats().parse_errors, 1);
+        assert_eq!(obs.stats().taxonomy_total(), obs.stats().parse_errors);
+    }
+
+    #[test]
+    fn total_pending_bytes_cap_is_enforced() {
+        let mut obs = SniObserver::with_config(ObserverConfig {
+            max_pending_bytes: 4096,
+            max_total_pending_bytes: 8192,
+            ..ObserverConfig::default()
+        });
+        let mut header = vec![22u8, 3, 1, 0x0f, 0xff, 1, 0x00, 0x0f, 0xf0];
+        header.extend_from_slice(&vec![0u8; 2000]);
+        for sport in 0..10u16 {
+            let mut pkt = tls_packet(sport as u64, 8, 9100 + sport, "ignored");
+            pkt.payload = Bytes::from(header.clone());
+            obs.process(&pkt);
+            assert!(
+                obs.pending_bytes() <= 8192,
+                "cap respected: {}",
+                obs.pending_bytes()
+            );
+        }
+        assert!(obs.stats().evicted_mid_handshake > 0);
     }
 
     #[test]
@@ -544,6 +802,44 @@ mod tests {
     }
 
     #[test]
+    fn truncated_quic_initial_lands_in_truncated_bucket() {
+        let mut obs = SniObserver::new();
+        let full = crate::quic::InitialPacket::for_hostname("cutoff.example").encode();
+        let pkt = Packet {
+            t_ms: 0,
+            src: Endpoint::new(1, 6100),
+            dst: Endpoint::new(2, 443),
+            transport: Transport::Udp,
+            payload: Bytes::from(full[..full.len() / 2].to_vec()),
+        };
+        obs.process(&pkt);
+        assert_eq!(obs.stats().parse_errors, 1);
+        assert_eq!(obs.stats().truncated_records, 1);
+        assert_eq!(obs.stats().taxonomy_total(), obs.stats().parse_errors);
+    }
+
+    #[test]
+    fn idle_eviction_mid_handshake_reclaims_pending_bytes() {
+        let mut obs = SniObserver::new();
+        // One truncated segment, then the flow goes silent forever.
+        let record = ClientHello::for_hostname("silent.example").encode();
+        let mut stale = tls_packet(0, 5, 7300, "ignored");
+        stale.payload = Bytes::from(record[..10].to_vec());
+        obs.process(&stale);
+        assert_eq!(obs.pending_bytes(), 10);
+        // Push enough unrelated late traffic for amortized idle eviction
+        // (every 1024 packets) to fire well past the 5-minute timeout.
+        for i in 0..1100u64 {
+            let mut tick = tls_packet(10_000_000 + i, 99, (1025 + (i % 20_000)) as u16, "x.com");
+            tick.payload = Bytes::from_static(b"");
+            obs.process(&tick);
+        }
+        assert_eq!(obs.pending_bytes(), 0, "evicted buffer reclaimed");
+        assert_eq!(obs.stats().evicted_mid_handshake, 1);
+        assert_eq!(obs.stats().taxonomy_total(), obs.stats().parse_errors);
+    }
+
+    #[test]
     fn port_reuse_does_not_inherit_stale_reassembly_bytes() {
         let mut obs = SniObserver::new();
         // First occupant of the 5-tuple: one truncated segment, then gone.
@@ -571,6 +867,7 @@ mod tests {
             "fresh flow recovered: {:?}",
             obs.observations()
         );
+        assert_eq!(obs.stats().reassembly_invariant, 0);
     }
 
     #[test]

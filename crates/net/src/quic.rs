@@ -49,6 +49,15 @@ pub fn encode_varint(w: &mut Vec<u8>, v: u64) {
     }
 }
 
+/// Decode a QUIC variable-length integer from the front of a buffer;
+/// returns the value and the number of bytes consumed. Non-minimal
+/// encodings are accepted, as RFC 9000 §16 requires of receivers.
+pub fn decode_varint(bytes: &[u8]) -> Result<(u64, usize), ParseError> {
+    let mut r = Reader::new(bytes);
+    let v = read_varint(&mut r)?;
+    Ok((v, bytes.len() - r.remaining()))
+}
+
 /// Decode a QUIC variable-length integer.
 pub(crate) fn read_varint(r: &mut Reader<'_>) -> Result<u64, ParseError> {
     let first = r.u8()?;

@@ -214,8 +214,23 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One-line error-taxonomy breakdown shared by `observe` and `replay`.
+fn print_taxonomy(st: &hostprof::net::ObserverStats) {
+    println!(
+        "error taxonomy        : {} truncated, {} bad-length, {} overflow, {} evicted, {} garbage (invariant breaches: {})",
+        st.truncated_records,
+        st.bad_lengths,
+        st.reassembly_overflow,
+        st.evicted_mid_handshake,
+        st.garbage,
+        st.reassembly_invariant,
+    );
+}
+
 fn cmd_observe(args: &Args) -> Result<(), String> {
-    args.expect_keys(&["scale", "days", "users", "ech", "nat", "dns", "save"])?;
+    args.expect_keys(&[
+        "scale", "days", "users", "ech", "nat", "dns", "save", "chaos",
+    ])?;
     let cfg = scenario_config(args)?;
     let s = Scenario::generate(&cfg);
     // Optional capture recording: lower the whole trace to packets and
@@ -241,6 +256,9 @@ fn cmd_observe(args: &Args) -> Result<(), String> {
     if args.flag("dns") {
         scenario.synthesizer.dns_fraction = 1.0;
         scenario.harvest_dns = true;
+    }
+    if let Some(seed) = args.get_parsed::<u64>("chaos")? {
+        scenario.chaos = Some(hostprof::net::ChaosConfig::with_seed(seed));
     }
     if let Some(path) = save {
         let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
@@ -273,10 +291,17 @@ fn cmd_observe(args: &Args) -> Result<(), String> {
         "hidden / errors       : {} / {} (reassembled: {})",
         st.hidden, st.parse_errors, st.reassembled
     );
+    print_taxonomy(&st);
     println!(
         "flows                 : {} created, {} packets",
         obs.flow_stats.flows_created, obs.flow_stats.packets
     );
+    if let Some(cs) = obs.chaos_stats {
+        println!(
+            "chaos                 : {} -> {} packets; {} clean / {} mutated / {} garbage flows",
+            cs.packets_in, cs.packets_out, cs.clean_flows, cs.mutated_flows, cs.garbage_flows
+        );
+    }
     Ok(())
 }
 
@@ -306,6 +331,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         "hidden / errors       : {} / {} (reassembled: {})",
         st.hidden, st.parse_errors, st.reassembled
     );
+    print_taxonomy(&st);
     println!(
         "clients seen          : {}",
         observer.per_client_sequences().len()

@@ -8,7 +8,7 @@
 //! run off *observed* data and we can quantify the observer's fidelity
 //! (and how ECH or NAT degrade it, §7.2/§7.4 of the paper).
 
-use hostprof_net::{Addressing, RequestEvent, SniObserver, TrafficSynthesizer};
+use hostprof_net::{chaos, Addressing, ChaosConfig, RequestEvent, SniObserver, TrafficSynthesizer};
 use hostprof_synth::{Trace, UserId, World};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -20,6 +20,10 @@ pub struct ObserverScenario {
     pub synthesizer: TrafficSynthesizer,
     /// Whether the observer also harvests plaintext DNS queries.
     pub harvest_dns: bool,
+    /// Optional seeded fault injection applied to the wire traffic before
+    /// the observer sees it — models a lossy/hostile tap instead of the
+    /// synthesizer's pristine output.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl ObserverScenario {
@@ -54,6 +58,13 @@ impl ObserverScenario {
             ..Self::default()
         }
     }
+
+    /// The same vantage point behind a faulty tap: seeded chaos mutates the
+    /// packet stream before observation.
+    pub fn with_chaos(mut self, cfg: ChaosConfig) -> Self {
+        self.chaos = Some(cfg);
+        self
+    }
 }
 
 /// What the eavesdropper reconstructed from the wire.
@@ -67,28 +78,46 @@ pub struct ObservedTrace {
     pub observer_stats: hostprof_net::ObserverStats,
     /// Flow-table counters.
     pub flow_stats: hostprof_net::FlowStats,
+    /// Mutation counters when the scenario injected chaos, `None` on a
+    /// clean tap.
+    pub chaos_stats: Option<hostprof_net::ChaosStats>,
     /// Ground-truth request count, for fidelity computation.
     pub ground_truth_requests: usize,
 }
 
 impl ObservedTrace {
     /// Replay a trace through packet synthesis and the observer.
-    /// Packets are synthesized and consumed request-by-request, so memory
-    /// stays flat regardless of trace size.
+    /// On a clean tap packets are synthesized and consumed
+    /// request-by-request, so memory stays flat regardless of trace size;
+    /// chaos injection needs the whole stream at once (mutations are
+    /// per-flow), so that path buffers it.
     pub fn capture(world: &World, trace: &Trace, scenario: &ObserverScenario) -> Self {
         let mut observer = if scenario.harvest_dns {
             SniObserver::new().with_dns_harvesting()
         } else {
             SniObserver::new()
         };
-        for r in trace.requests() {
-            let ev = RequestEvent {
-                t_ms: r.t_ms,
-                client: r.user.0,
-                hostname: world.hostname(r.host).to_string(),
-            };
-            for pkt in scenario.synthesizer.packets_for(&ev) {
-                observer.process(&pkt);
+        let mut chaos_stats = None;
+        let events = trace.requests().iter().map(|r| RequestEvent {
+            t_ms: r.t_ms,
+            client: r.user.0,
+            hostname: world.hostname(r.host).to_string(),
+        });
+        match scenario.chaos {
+            None => {
+                for ev in events {
+                    for pkt in scenario.synthesizer.packets_for(&ev) {
+                        observer.process(&pkt);
+                    }
+                }
+            }
+            Some(cfg) => {
+                let packets: Vec<_> = events
+                    .flat_map(|ev| scenario.synthesizer.packets_for(&ev))
+                    .collect();
+                let mutated = chaos::apply(&cfg, &packets);
+                observer.process_stream(&mutated.packets);
+                chaos_stats = Some(mutated.stats);
             }
         }
         let sequences: BTreeMap<u32, Vec<(u64, String)>> =
@@ -97,6 +126,7 @@ impl ObservedTrace {
             sequences,
             observer_stats: observer.stats(),
             flow_stats: observer.flow_stats(),
+            chaos_stats,
             ground_truth_requests: trace.requests().len(),
         }
     }
@@ -197,6 +227,32 @@ mod tests {
         let obs = ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::with_ech(1.0));
         assert_eq!(obs.fidelity(), 0.0);
         assert_eq!(obs.observer_stats.hidden as usize, s.trace.requests().len());
+    }
+
+    #[test]
+    fn chaotic_tap_degrades_gracefully_and_deterministically() {
+        let s = small_scenario();
+        let scenario = ObserverScenario::per_user().with_chaos(ChaosConfig::with_seed(11));
+        let a = ObservedTrace::capture(&s.world, &s.trace, &scenario);
+        let b = ObservedTrace::capture(&s.world, &s.trace, &scenario);
+        // Same seed ⇒ the whole observed trace replays identically.
+        assert_eq!(a.sequences, b.sequences);
+        assert_eq!(a.observer_stats, b.observer_stats);
+        assert_eq!(a.chaos_stats, b.chaos_stats);
+        // Chaos may lose observations but never invents ground truth it
+        // should not have, and every parse error lands in a taxonomy
+        // bucket.
+        let stats = a.observer_stats;
+        assert!(a.fidelity() <= 1.0 + 1e-9);
+        assert_eq!(stats.parse_errors, stats.taxonomy_total());
+        assert_eq!(stats.reassembly_invariant, 0);
+        let cs = a.chaos_stats.expect("chaos ran");
+        assert!(cs.mutated_flows + cs.clean_flows == cs.flows_in);
+        // A quiescent chaos config is a no-op on fidelity.
+        let calm = ObserverScenario::per_user().with_chaos(ChaosConfig::quiescent(0));
+        let c = ObservedTrace::capture(&s.world, &s.trace, &calm);
+        let clean = ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::per_user());
+        assert!((c.fidelity() - clean.fidelity()).abs() < 1e-9);
     }
 
     #[test]

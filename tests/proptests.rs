@@ -134,8 +134,7 @@ proptest! {
     fn varint_roundtrips(v in 0u64..=0x3fff_ffff_ffff_ffff) {
         let mut buf = Vec::new();
         hostprof::net::quic::encode_varint(&mut buf, v);
-        // Round-trip through a QUIC packet parse is covered elsewhere;
-        // here check the length classes.
+        // Minimal-length classes per RFC 9000 §16.
         let expect_len = match v {
             0..=0x3f => 1,
             0x40..=0x3fff => 2,
@@ -143,5 +142,113 @@ proptest! {
             _ => 8,
         };
         prop_assert_eq!(buf.len(), expect_len);
+        // Decode inverts encode and consumes exactly the encoding.
+        let (back, used) = hostprof::net::quic::decode_varint(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, buf.len());
+        // Trailing bytes are left untouched.
+        buf.extend_from_slice(&[0xaa, 0xbb]);
+        let (again, used2) = hostprof::net::quic::decode_varint(&buf).unwrap();
+        prop_assert_eq!(again, v);
+        prop_assert_eq!(used2, buf.len() - 2);
     }
+
+    #[test]
+    fn varint_non_minimal_encodings_decode_to_the_same_value(v in 0u64..=0x3fff_ffff) {
+        // RFC 9000 §16 requires receivers to accept non-minimal encodings:
+        // widen each value into every larger length class by hand.
+        let widened: Vec<Vec<u8>> = [
+            (v <= 0x3f).then(|| (0x4000u16 | v as u16).to_be_bytes().to_vec()),
+            (v <= 0x3fff).then(|| (0x8000_0000u32 | v as u32).to_be_bytes().to_vec()),
+            Some((0xc000_0000_0000_0000u64 | v).to_be_bytes().to_vec()),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        for enc in widened {
+            let (back, used) = hostprof::net::quic::decode_varint(&enc).unwrap();
+            prop_assert_eq!(back, v, "non-minimal {}-byte form", enc.len());
+            prop_assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn sni_extension_roundtrips(host in hostname_strategy()) {
+        let body = tls::encode_sni_extension(&host);
+        let back = tls::parse_sni_extension(&body).unwrap();
+        prop_assert_eq!(back, Some(host.as_str()));
+        // Any strict prefix is a typed error or a hostname actually present
+        // in the bytes — never a panic.
+        for cut in 0..body.len() {
+            let _ = tls::parse_sni_extension(&body[..cut]);
+        }
+    }
+
+    #[test]
+    fn sni_extension_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = tls::parse_sni_extension(&bytes);
+    }
+
+    #[test]
+    fn capture_prefixes_never_panic(
+        hosts in proptest::collection::vec(hostname_strategy(), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use hostprof::net::{CaptureReader, CaptureWriter, TrafficSynthesizer, RequestEvent};
+        let events: Vec<RequestEvent> = hosts.iter().enumerate().map(|(i, h)| RequestEvent {
+            t_ms: i as u64 * 100,
+            client: i as u32 % 3,
+            hostname: h.clone(),
+        }).collect();
+        let packets = TrafficSynthesizer::default().synthesize(&events);
+        let mut w = CaptureWriter::new(Vec::new()).unwrap();
+        for p in &packets {
+            w.write_packet(p).unwrap();
+        }
+        let full = w.finish().unwrap();
+        let cut = (full.len() as f64 * cut_frac) as usize;
+        // Any prefix of a valid capture: packets up to the cut decode
+        // byte-identically, then one Ok(None) (clean EOF) or typed error —
+        // never a panic.
+        match CaptureReader::new(&full[..cut]) {
+            Err(_) => {} // header itself truncated: typed error
+            Ok(mut r) => {
+                let mut decoded = 0usize;
+                while let Ok(Some(pkt)) = r.read_packet() {
+                    prop_assert_eq!(&pkt, &packets[decoded]);
+                    decoded += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The varint length-class boundaries, 2^62 − 1 (the largest encodable
+/// value) included, pinned exactly.
+#[test]
+fn varint_boundaries_are_exact() {
+    use hostprof::net::quic::{decode_varint, encode_varint};
+    for (v, len) in [
+        (0u64, 1usize),
+        (0x3f, 1),
+        (0x40, 2),
+        (0x3fff, 2),
+        (0x4000, 4),
+        (0x3fff_ffff, 4),
+        (0x4000_0000, 8),
+        ((1u64 << 62) - 1, 8),
+    ] {
+        let mut buf = Vec::new();
+        encode_varint(&mut buf, v);
+        assert_eq!(buf.len(), len, "encoding width of {v:#x}");
+        assert_eq!(
+            decode_varint(&buf).unwrap(),
+            (v, len),
+            "round-trip of {v:#x}"
+        );
+    }
+    // Decoding an empty or cut-off encoding is a typed error.
+    assert!(decode_varint(&[]).is_err());
+    assert!(decode_varint(&[0x80, 0x01]).is_err());
+    assert!(decode_varint(&[0xc0]).is_err());
 }

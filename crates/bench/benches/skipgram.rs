@@ -2,7 +2,7 @@
 //! backing the paper's "fully parallelizable, scales to line rate" claim.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hostprof_embed::{SkipGram, SkipGramConfig, Vocab};
+use hostprof_embed::{KernelChoice, SkipGram, SkipGramConfig, Vocab};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -26,21 +26,27 @@ fn bench_training(c: &mut Criterion) {
     let mut g = c.benchmark_group("skipgram_train");
     g.sample_size(10);
     g.throughput(Throughput::Elements(tokens));
-    for threads in [1usize, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                let cfg = SkipGramConfig {
-                    dim: 100,
-                    epochs: 1,
-                    threads,
-                    subsample: 0.0,
-                    ..SkipGramConfig::default()
-                };
-                b.iter(|| SkipGram::train(&data, &cfg).unwrap().dim())
-            },
-        );
+    for threads in [1usize, 4, 8] {
+        for (kname, kernel) in [
+            ("scalar", KernelChoice::Scalar),
+            ("simd", KernelChoice::Simd),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{kname}_threads"), threads),
+                &threads,
+                |b, &threads| {
+                    let cfg = SkipGramConfig {
+                        dim: 100,
+                        epochs: 1,
+                        threads,
+                        subsample: 0.0,
+                        kernel,
+                        ..SkipGramConfig::default()
+                    };
+                    b.iter(|| SkipGram::train(&data, &cfg).unwrap().dim())
+                },
+            );
+        }
     }
     g.finish();
 }

@@ -13,7 +13,7 @@
 
 use crate::batch::BatchProfiler;
 use crate::profiler::{Profiler, ProfilerConfig};
-use hostprof_embed::{EmbeddingSet, SkipGram, SkipGramConfig};
+use hostprof_embed::{EmbeddingSet, SkipGram, SkipGramConfig, TrainStats};
 use hostprof_ontology::{Blocklist, Ontology};
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +86,16 @@ impl Pipeline {
     /// Train one day's model from the previous day's per-user hostname
     /// sequences. Tracker hostnames are filtered out first.
     pub fn train_model<S: AsRef<str>>(&self, sequences: &[Vec<S>]) -> Result<EmbeddingSet, String> {
+        self.train_model_with_stats(sequences).map(|(emb, _)| emb)
+    }
+
+    /// Like [`Self::train_model`], but also returns the trainer's
+    /// throughput/coverage stats for callers that report them (CLI,
+    /// benches).
+    pub fn train_model_with_stats<S: AsRef<str>>(
+        &self,
+        sequences: &[Vec<S>],
+    ) -> Result<(EmbeddingSet, TrainStats), String> {
         let filtered: Vec<Vec<&str>> = sequences
             .iter()
             .map(|seq| {
@@ -97,12 +107,14 @@ impl Pipeline {
             .filter(|seq: &Vec<&str>| seq.len() >= 2)
             .collect();
         let model = SkipGram::train(&filtered, &self.config.skipgram)?;
+        let stats = *model.train_stats();
         let embeddings = model.into_embeddings();
-        Ok(if self.config.center_embeddings {
+        let embeddings = if self.config.center_embeddings {
             embeddings.centered()
         } else {
             embeddings
-        })
+        };
+        Ok((embeddings, stats))
     }
 
     /// A profiler bound to a trained model and an ontology.

@@ -2,6 +2,49 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which inner-loop kernel [`crate::SkipGram`] trains with.
+///
+/// `Auto` (the default) takes the fused SIMD path — AVX2+FMA when the CPU
+/// has it, the portable unrolled fallback otherwise. `Scalar` forces the
+/// reference loop with strict sequential float order; paired with
+/// `threads = 1` it is the bit-determinism contract the test-suite pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum KernelChoice {
+    /// Pick the best available kernel.
+    #[default]
+    Auto,
+    /// The reference scalar loop.
+    Scalar,
+    /// The fused SIMD kernels (portable fallback off AVX2 hardware).
+    Simd,
+}
+
+impl std::str::FromStr for KernelChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "scalar" => Ok(Self::Scalar),
+            "simd" => Ok(Self::Simd),
+            other => Err(format!("unknown kernel '{other}' (auto|scalar|simd)")),
+        }
+    }
+}
+
+/// How sequences are scheduled across Hogwild workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Sharding {
+    /// Worker `tid` owns every n-th sequence. Skewed sequence lengths
+    /// idle workers; kept for A/B measurement.
+    Static,
+    /// Token-count-balanced contiguous chunks claimed through an atomic
+    /// work-stealing cursor (the default).
+    #[default]
+    Balanced,
+}
+
 /// SKIPGRAM hyperparameters. [`SkipGramConfig::default`] matches the
 /// paper's Section 5.4 choice of "the default hyperparameter values of the
 /// popular implementation GENSIM": `d = 100`, window `2m+1 = 5`, `K = 5`.
@@ -25,6 +68,12 @@ pub struct SkipGramConfig {
     pub threads: usize,
     /// RNG seed (initialization and sampling).
     pub seed: u64,
+    /// Inner-loop kernel (`auto` | `scalar` | `simd`).
+    #[serde(default)]
+    pub kernel: KernelChoice,
+    /// Worker scheduling strategy (`static` | `balanced`).
+    #[serde(default)]
+    pub sharding: Sharding,
 }
 
 impl Default for SkipGramConfig {
@@ -39,6 +88,8 @@ impl Default for SkipGramConfig {
             subsample: 1e-3,
             threads: 1,
             seed: 0x5eed_e4be,
+            kernel: KernelChoice::Auto,
+            sharding: Sharding::Balanced,
         }
     }
 }
@@ -90,6 +141,17 @@ mod tests {
         assert_eq!(c.window, 2, "2m+1 = 5 → m = 2");
         assert_eq!(c.negatives, 5);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn kernel_and_sharding_parse_and_default() {
+        assert_eq!("auto".parse::<KernelChoice>(), Ok(KernelChoice::Auto));
+        assert_eq!("scalar".parse::<KernelChoice>(), Ok(KernelChoice::Scalar));
+        assert_eq!("simd".parse::<KernelChoice>(), Ok(KernelChoice::Simd));
+        assert!("avx512".parse::<KernelChoice>().is_err());
+        let c = SkipGramConfig::default();
+        assert_eq!(c.kernel, KernelChoice::Auto);
+        assert_eq!(c.sharding, Sharding::Balanced);
     }
 
     #[test]

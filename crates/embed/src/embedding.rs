@@ -200,7 +200,7 @@ impl EmbeddingSet {
         scratch: &mut KnnScratch,
     ) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        let qn = knn::dot_unrolled(query, query).sqrt();
+        let qn = crate::simd::dot(query, query).sqrt();
         if qn <= f32::EPSILON || n == 0 {
             return Vec::new();
         }
@@ -239,7 +239,7 @@ impl EmbeddingSet {
         let mut slots = 0usize;
         for query in queries {
             assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-            let qn = knn::dot_unrolled(query, query).sqrt();
+            let qn = crate::simd::dot(query, query).sqrt();
             if qn <= f32::EPSILON || n == 0 {
                 slot_of.push(None);
                 continue;

@@ -12,6 +12,13 @@
 //! entry points in `embedding.rs` both route through [`tiled_scan`], so a
 //! batched result is bit-for-bit identical to the one-query-at-a-time
 //! result by construction.
+//!
+//! The dot-product kernel lives in [`crate::simd`] (runtime AVX2+FMA
+//! dispatch with a portable unrolled fallback), shared with the SKIPGRAM
+//! training engine. The dispatch is process-wide and constant, so every
+//! caller in a run sees one consistent summation order.
+
+use crate::simd;
 
 /// Tile footprint to aim for; 32 KiB of rows fits typical L1 caches.
 const TILE_BYTES: usize = 32 * 1024;
@@ -153,106 +160,6 @@ impl TopK {
     }
 }
 
-/// Dot product entry point: AVX2+FMA kernel when the CPU has it, the
-/// portable unrolled version otherwise. The choice is process-wide and
-/// constant, so every caller in a run sees one consistent summation order
-/// — the single-query and batched paths stay bit-identical either way.
-#[inline]
-pub(crate) fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
-    #[cfg(target_arch = "x86_64")]
-    if avx2_fma_available() {
-        // SAFETY: the feature check above gates the target_feature fn.
-        return unsafe { dot_avx2_fma(a, b) };
-    }
-    dot_portable(a, b)
-}
-
-#[cfg(target_arch = "x86_64")]
-fn avx2_fma_available() -> bool {
-    use std::sync::OnceLock;
-    static AVAILABLE: OnceLock<bool> = OnceLock::new();
-    *AVAILABLE.get_or_init(|| {
-        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
-    })
-}
-
-/// 8-lane FMA dot with four independent vector accumulators (32 floats in
-/// flight), horizontal-summed in a fixed order; the scalar tail folds in
-/// last. The default x86-64 target is SSE2-only, so this has to be an
-/// explicit `target_feature` kernel rather than autovectorization.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn dot_avx2_fma(a: &[f32], b: &[f32]) -> f32 {
-    use std::arch::x86_64::*;
-    debug_assert_eq!(a.len(), b.len());
-    let n = a.len();
-    let pa = a.as_ptr();
-    let pb = b.as_ptr();
-    let mut acc0 = _mm256_setzero_ps();
-    let mut acc1 = _mm256_setzero_ps();
-    let mut acc2 = _mm256_setzero_ps();
-    let mut acc3 = _mm256_setzero_ps();
-    let mut i = 0;
-    while i + 32 <= n {
-        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
-        acc1 = _mm256_fmadd_ps(
-            _mm256_loadu_ps(pa.add(i + 8)),
-            _mm256_loadu_ps(pb.add(i + 8)),
-            acc1,
-        );
-        acc2 = _mm256_fmadd_ps(
-            _mm256_loadu_ps(pa.add(i + 16)),
-            _mm256_loadu_ps(pb.add(i + 16)),
-            acc2,
-        );
-        acc3 = _mm256_fmadd_ps(
-            _mm256_loadu_ps(pa.add(i + 24)),
-            _mm256_loadu_ps(pb.add(i + 24)),
-            acc3,
-        );
-        i += 32;
-    }
-    while i + 8 <= n {
-        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
-        i += 8;
-    }
-    let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
-    let quad = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
-    let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
-    let single = _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, 0b01));
-    let mut out = _mm_cvtss_f32(single);
-    while i < n {
-        out += a[i] * b[i];
-        i += 1;
-    }
-    out
-}
-
-/// Unrolled dot product with four independent accumulators, giving the
-/// compiler room to vectorize while keeping a fixed, deterministic
-/// floating-point summation order.
-#[inline]
-fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc0 = 0f32;
-    let mut acc1 = 0f32;
-    let mut acc2 = 0f32;
-    let mut acc3 = 0f32;
-    let chunks_a = a.chunks_exact(4);
-    let chunks_b = b.chunks_exact(4);
-    let mut tail = 0f32;
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        tail += x * y;
-    }
-    for (x, y) in chunks_a.zip(chunks_b) {
-        acc0 += x[0] * y[0];
-        acc1 += x[1] * y[1];
-        acc2 += x[2] * y[2];
-        acc3 += x[3] * y[3];
-    }
-    ((acc0 + acc1) + (acc2 + acc3)) + tail
-}
-
 /// Reusable per-caller scratch: the normalized-query buffer and the
 /// per-query top-k heaps survive across calls, so steady-state scans
 /// allocate only their result vectors.
@@ -306,7 +213,7 @@ pub(crate) fn tiled_scan(
                 if norms[row] <= f32::EPSILON {
                     continue;
                 }
-                let sim = dot_unrolled(qhat, &unit[row * dim..(row + 1) * dim]);
+                let sim = simd::dot(qhat, &unit[row * dim..(row + 1) * dim]);
                 heap.consider(row as u32, sim);
             }
         }
@@ -318,17 +225,6 @@ pub(crate) fn tiled_scan(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn dot_unrolled_matches_naive_order_free_cases() {
-        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
-        let b: Vec<f32> = (0..13).map(|i| 1.0 - i as f32 * 0.25).collect();
-        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        let fast = dot_unrolled(&a, &b);
-        assert!((naive - fast).abs() < 1e-4, "{naive} vs {fast}");
-        // Exactly deterministic: same inputs, same bits.
-        assert_eq!(fast.to_bits(), dot_unrolled(&a, &b).to_bits());
-    }
 
     #[test]
     fn packed_keys_roundtrip_and_order_like_total_cmp() {

@@ -29,12 +29,13 @@ pub mod embedding;
 pub mod knn;
 pub mod model;
 pub mod sigmoid;
+pub mod simd;
 pub mod table;
 pub mod vocab;
 
-pub use config::SkipGramConfig;
+pub use config::{KernelChoice, Sharding, SkipGramConfig};
 pub use embedding::EmbeddingSet;
 pub use knn::KnnScratch;
-pub use model::SkipGram;
+pub use model::{balanced_chunk_ranges, SkipGram, TrainStats};
 pub use table::NegativeTable;
 pub use vocab::Vocab;

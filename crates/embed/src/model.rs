@@ -16,12 +16,83 @@
 //! is what lets the paper claim line-rate scalability. The `unsafe` is
 //! confined to the `SharedWeights` accessor.
 
-use crate::config::SkipGramConfig;
+use crate::config::{Sharding, SkipGramConfig};
 use crate::embedding::EmbeddingSet;
 use crate::sigmoid::SigmoidTable;
+use crate::simd::{self, Kernel};
 use crate::table::NegativeTable;
 use crate::vocab::Vocab;
-use std::sync::atomic::{AtomicU64, Ordering};
+use serde::Serialize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Throughput and schedule-coverage record of the last training run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TrainStats {
+    /// Tokens the LR schedule was planned over (`corpus tokens × epochs`).
+    pub planned_tokens: u64,
+    /// Tokens actually flushed into the decay schedule. Equal to
+    /// `planned_tokens` — the trainer flushes every worker's trailing
+    /// remainder — and asserted so by the test-suite.
+    pub processed_tokens: u64,
+    /// Wall-clock training time.
+    pub elapsed_secs: f64,
+    /// Workers actually used.
+    pub threads: usize,
+    /// Whether the AVX2+FMA fused kernels ran (false: scalar or the
+    /// portable SIMD fallback).
+    pub simd_accelerated: bool,
+}
+
+impl TrainStats {
+    /// Training throughput in tokens/second.
+    pub fn tokens_per_sec(&self) -> f64 {
+        self.processed_tokens as f64 / self.elapsed_secs.max(1e-12)
+    }
+
+    /// Fraction of planned tokens the LR decay schedule saw (1.0 when the
+    /// trailing remainders were flushed correctly).
+    pub fn lr_coverage(&self) -> f64 {
+        self.processed_tokens as f64 / self.planned_tokens.max(1) as f64
+    }
+}
+
+/// Contiguous, token-count-balanced chunk boundaries over per-sequence
+/// token counts: greedy accumulation toward ~8 chunks per worker, so the
+/// work-stealing cursor has enough granularity to absorb skewed sequence
+/// lengths without the chunk-claim overhead dominating.
+///
+/// Public so the bench harness can reproduce the schedule when comparing
+/// static and balanced sharding.
+pub fn balanced_chunk_ranges(token_counts: &[usize], threads: usize) -> Vec<Range<usize>> {
+    let n = token_counts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: usize = token_counts.iter().sum();
+    // Size chunks off the mass *excluding* the single largest sequence: a
+    // dominant sequence gets a chunk of its own no matter what, and must
+    // not inflate the target so far that the remaining sequences collapse
+    // into too few chunks for stealing to balance.
+    let largest = token_counts.iter().copied().max().unwrap_or(0);
+    let target = ((total - largest) / (threads.max(1) * 8)).max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut acc = 0usize;
+    for (i, &t) in token_counts.iter().enumerate() {
+        acc += t;
+        if acc >= target {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
 
 /// A trained (or in-training) skip-gram model.
 #[derive(Debug)]
@@ -32,6 +103,8 @@ pub struct SkipGram {
     input: Vec<f32>,
     /// Context (output) matrix, row-major `|V| × d`.
     context: Vec<f32>,
+    /// Stats of the most recent [`SkipGram::run_sgd`] pass.
+    stats: TrainStats,
 }
 
 /// Raw-pointer view of the two weight matrices for Hogwild workers.
@@ -81,6 +154,204 @@ fn next_random(state: &mut u64) -> u64 {
     x ^= x >> 27;
     *state = x;
     x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Run `worker(tid)` on `n_threads` scoped threads (inline when 1, which
+/// keeps the single-thread path free of spawn overhead and deterministic).
+fn run_workers<F: Fn(usize) + Sync>(n_threads: usize, worker: F) {
+    if n_threads == 1 {
+        worker(0);
+    } else {
+        crossbeam::thread::scope(|s| {
+            for tid in 0..n_threads {
+                let worker_ref = &worker;
+                s.spawn(move |_| worker_ref(tid));
+            }
+        })
+        .expect("hogwild worker panicked");
+    }
+}
+
+/// Per-worker mutable training state: RNG stream, learning rate, the
+/// un-flushed token count, and the reusable hot-loop buffers.
+struct WorkerState {
+    rng: u64,
+    lr: f32,
+    since_lr_update: u64,
+    neu1e: Vec<f32>,
+    kept: Vec<u32>,
+    /// SIMD-path staging: (context-row pointer, label) for one pair's
+    /// positive + negatives, handed to [`simd::train_pair`] as a batch.
+    /// Raw pointers are safe to hold here because each `WorkerState` is
+    /// built and dropped inside its own worker thread.
+    samples: Vec<(*mut f32, f32)>,
+}
+
+impl WorkerState {
+    fn new(config: &SkipGramConfig, tid: usize) -> Self {
+        Self {
+            rng: config.seed ^ (0x9e37_79b9u64.wrapping_mul(tid as u64 + 1)) | 1,
+            lr: config.learning_rate,
+            since_lr_update: 0,
+            neu1e: vec![0f32; config.dim],
+            kept: Vec::new(),
+            samples: Vec::with_capacity(config.negatives + 1),
+        }
+    }
+}
+
+/// Everything the workers share read-only (plus the Hogwild weight view
+/// and the atomic progress counter). One instance per `run_sgd` call.
+struct TrainCtx<'a> {
+    shared: SharedWeights,
+    table: &'a NegativeTable,
+    sigmoid: &'a SigmoidTable,
+    keep_probs: &'a [f64],
+    config: &'a SkipGramConfig,
+    kernel: Kernel,
+    planned: u64,
+    processed: AtomicU64,
+}
+
+impl TrainCtx<'_> {
+    /// Train on one encoded sequence: subsample, walk the dynamic windows,
+    /// and apply the positive + K-negative updates with the configured
+    /// kernel.
+    fn train_sequence(&self, st: &mut WorkerState, seq: &[u32]) {
+        let config = self.config;
+        let WorkerState {
+            rng,
+            lr,
+            since_lr_update,
+            neu1e,
+            kept,
+            samples,
+        } = st;
+        // Frequent-token subsampling (reusing one buffer keeps the hot
+        // loop allocation-free). Disabled subsampling makes the filter the
+        // identity — and draws no RNG — so the per-token copy is skipped
+        // without perturbing the random stream.
+        let toks: &[u32] = if config.subsample > 0.0 {
+            kept.clear();
+            kept.extend(seq.iter().copied().filter(|&w| {
+                let p = self.keep_probs[w as usize];
+                p >= 1.0 || {
+                    let u = (next_random(rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    u < p
+                }
+            }));
+            kept
+        } else {
+            seq
+        };
+        *since_lr_update += seq.len() as u64;
+        if *since_lr_update >= 10_000 {
+            let done = self
+                .processed
+                .fetch_add(*since_lr_update, Ordering::Relaxed)
+                + *since_lr_update;
+            *since_lr_update = 0;
+            let frac = done as f32 / self.planned as f32;
+            *lr = (config.learning_rate * (1.0 - frac)).max(config.learning_rate * 1e-4);
+        }
+        if toks.len() < 2 {
+            return;
+        }
+        for c in 0..toks.len() {
+            // Dynamic (reduced) window, as in word2vec.
+            let b = (next_random(rng) % config.window as u64) as usize;
+            let lo = c.saturating_sub(config.window - b);
+            let hi = (c + config.window - b).min(toks.len() - 1);
+            for j in lo..=hi {
+                if j == c {
+                    continue;
+                }
+                let center = toks[c] as usize;
+                let ctx_word = toks[j];
+                // SAFETY: indices come from the vocabulary; the matrices
+                // outlive this scope; Hogwild races accepted.
+                // Positive sample + K negatives (redrawn on collision with
+                // the context word, never silently dropped). Both branches
+                // draw targets in the same order, so the RNG stream — and
+                // therefore the sample choice — is kernel-independent.
+                //
+                // SAFETY: indices come from the vocabulary; the matrices
+                // outlive this scope; Hogwild races accepted.
+                match self.kernel {
+                    Kernel::Scalar => unsafe {
+                        // Slicing to `dim` up front lets the compiler drop
+                        // the per-element bounds checks; the loops below are
+                        // the plain word2vec reference (the dot stays a
+                        // strictly sequential reduction).
+                        let dim = config.dim;
+                        let h_c = &mut self.shared.input_row(center)[..dim];
+                        let neu1e = &mut neu1e[..dim];
+                        neu1e.iter_mut().for_each(|v| *v = 0.0);
+                        for k in 0..=config.negatives {
+                            let (target, label) = if k == 0 {
+                                (ctx_word as usize, 1.0f32)
+                            } else {
+                                match self.table.sample_excluding(|| next_random(rng), ctx_word) {
+                                    Some(neg) => (neg as usize, 0.0f32),
+                                    None => continue,
+                                }
+                            };
+                            let h_o = &mut self.shared.context_row(target)[..dim];
+                            let mut f = 0f32;
+                            for d in 0..dim {
+                                f += h_c[d] * h_o[d];
+                            }
+                            let g = (label - self.sigmoid.get(f)) * *lr;
+                            for d in 0..dim {
+                                neu1e[d] += g * h_o[d];
+                                h_o[d] += g * h_c[d];
+                            }
+                        }
+                        for d in 0..dim {
+                            h_c[d] += neu1e[d];
+                        }
+                    },
+                    Kernel::Simd => unsafe {
+                        // Stage the pair's row pointers, then hand the whole
+                        // batch — dots, sigmoid lookups, fused updates and
+                        // the `h_c += neu1e` flush — to one kernel call.
+                        // `train_pair` initializes `neu1e` from the first
+                        // sample, so the buffer is never zeroed here.
+                        samples.clear();
+                        for k in 0..=config.negatives {
+                            let (target, label) = if k == 0 {
+                                (ctx_word as usize, 1.0f32)
+                            } else {
+                                match self.table.sample_excluding(|| next_random(rng), ctx_word) {
+                                    Some(neg) => (neg as usize, 0.0f32),
+                                    None => continue,
+                                }
+                            };
+                            samples.push((self.shared.context_row(target).as_mut_ptr(), label));
+                        }
+                        simd::train_pair(
+                            self.shared.input_row(center).as_mut_ptr(),
+                            samples,
+                            neu1e,
+                            *lr,
+                            self.sigmoid,
+                        );
+                    },
+                }
+            }
+        }
+    }
+
+    /// Flush the trailing `since_lr_update` remainder into the shared
+    /// progress counter so the decay schedule accounts for every token
+    /// (workers used to drop up to 10k tokens each here).
+    fn flush_progress(&self, st: &mut WorkerState) {
+        if st.since_lr_update > 0 {
+            self.processed
+                .fetch_add(st.since_lr_update, Ordering::Relaxed);
+            st.since_lr_update = 0;
+        }
+    }
 }
 
 impl SkipGram {
@@ -166,16 +437,34 @@ impl SkipGram {
             vocab,
             input,
             context,
+            stats: TrainStats {
+                planned_tokens: 0,
+                processed_tokens: 0,
+                elapsed_secs: 0.0,
+                threads: 0,
+                simd_accelerated: false,
+            },
         };
-        model.run_sgd(sequences);
+        model.stats = model.run_sgd(sequences);
         Ok(model)
     }
 
-    fn run_sgd(&mut self, sequences: &[Vec<u32>]) {
+    fn run_sgd(&mut self, sequences: &[Vec<u32>]) -> TrainStats {
         let config = self.config.clone();
+        let kernel = Kernel::resolve(config.kernel);
+        let total_tokens: u64 = sequences.iter().map(|s| s.len() as u64).sum();
+        let planned = (total_tokens * config.epochs as u64).max(1);
+        let n_threads = config.threads.min(sequences.len()).max(1);
+        let mut stats = TrainStats {
+            planned_tokens: planned,
+            processed_tokens: 0,
+            elapsed_secs: 0.0,
+            threads: n_threads,
+            simd_accelerated: kernel.is_accelerated(),
+        };
         let table = NegativeTable::from_vocab(&self.vocab);
         if table.is_empty() {
-            return;
+            return stats;
         }
         let sigmoid = SigmoidTable::new();
         // Snapshot the keep-probabilities so the worker closures don't
@@ -183,111 +472,67 @@ impl SkipGram {
         let keep_probs: Vec<f64> = (0..self.vocab.len())
             .map(|i| self.vocab.keep_prob(i as u32))
             .collect();
-        let total_tokens: u64 = sequences.iter().map(|s| s.len() as u64).sum();
-        let planned = (total_tokens * config.epochs as u64).max(1);
-        let processed = AtomicU64::new(0);
 
-        let shared = SharedWeights {
-            input: self.input.as_mut_ptr(),
-            context: self.context.as_mut_ptr(),
-            rows: self.vocab.len(),
-            dim: config.dim,
+        let ctx = TrainCtx {
+            shared: SharedWeights {
+                input: self.input.as_mut_ptr(),
+                context: self.context.as_mut_ptr(),
+                rows: self.vocab.len(),
+                dim: config.dim,
+            },
+            table: &table,
+            sigmoid: &sigmoid,
+            keep_probs: &keep_probs,
+            config: &config,
+            kernel,
+            planned,
+            processed: AtomicU64::new(0),
         };
 
-        let n_threads = config.threads.min(sequences.len()).max(1);
-        let worker = |tid: usize| {
-            let mut rng_state = config.seed ^ (0x9e37_79b9u64.wrapping_mul(tid as u64 + 1)) | 1;
-            let mut neu1e = vec![0f32; config.dim];
-            let mut kept: Vec<u32> = Vec::new();
-            let mut lr = config.learning_rate;
-            let mut since_lr_update = 0u64;
-            for epoch in 0..config.epochs {
-                // Static sharding: worker `tid` owns every n-th sequence.
-                for seq in sequences.iter().skip(tid).step_by(n_threads) {
-                    // Frequent-token subsampling (reusing one buffer keeps
-                    // the hot loop allocation-free).
-                    kept.clear();
-                    kept.extend(seq.iter().copied().filter(|&w| {
-                        let p = keep_probs[w as usize];
-                        p >= 1.0 || {
-                            let u =
-                                (next_random(&mut rng_state) >> 11) as f64 / (1u64 << 53) as f64;
-                            u < p
+        let start = Instant::now();
+        match config.sharding {
+            Sharding::Balanced => {
+                // Token-balanced chunks claimed through one atomic cursor:
+                // a worker stuck on a giant sequence simply claims fewer
+                // chunks, so skewed lengths no longer idle the others. The
+                // cursor runs over `epochs` laps of the chunk list — with
+                // one thread that is exactly the sequential epoch order.
+                let lens: Vec<usize> = sequences.iter().map(Vec::len).collect();
+                let chunks = balanced_chunk_ranges(&lens, n_threads);
+                let n_chunks = chunks.len();
+                let total_items = n_chunks * config.epochs;
+                let cursor = AtomicUsize::new(0);
+                run_workers(n_threads, |tid| {
+                    let mut st = WorkerState::new(&config, tid);
+                    loop {
+                        let item = cursor.fetch_add(1, Ordering::Relaxed);
+                        if item >= total_items {
+                            break;
                         }
-                    }));
-                    since_lr_update += seq.len() as u64;
-                    if since_lr_update >= 10_000 {
-                        let done = processed.fetch_add(since_lr_update, Ordering::Relaxed)
-                            + since_lr_update;
-                        since_lr_update = 0;
-                        let frac = done as f32 / planned as f32;
-                        lr = (config.learning_rate * (1.0 - frac)).max(config.learning_rate * 1e-4);
-                    }
-                    if kept.len() < 2 {
-                        continue;
-                    }
-                    for c in 0..kept.len() {
-                        // Dynamic (reduced) window, as in word2vec.
-                        let b = (next_random(&mut rng_state) % config.window as u64) as usize;
-                        let lo = c.saturating_sub(config.window - b);
-                        let hi = (c + config.window - b).min(kept.len() - 1);
-                        for j in lo..=hi {
-                            if j == c {
-                                continue;
-                            }
-                            let center = kept[c] as usize;
-                            let ctx_word = kept[j] as usize;
-                            // SAFETY: indices come from the vocabulary; the
-                            // matrices outlive this scope; Hogwild races
-                            // accepted.
-                            unsafe {
-                                let h_c = shared.input_row(center);
-                                neu1e.iter_mut().for_each(|v| *v = 0.0);
-                                // Positive sample + K negatives.
-                                for k in 0..=config.negatives {
-                                    let (target, label) = if k == 0 {
-                                        (ctx_word, 1.0f32)
-                                    } else {
-                                        let neg =
-                                            table.sample(next_random(&mut rng_state)) as usize;
-                                        if neg == ctx_word {
-                                            continue;
-                                        }
-                                        (neg, 0.0f32)
-                                    };
-                                    let h_o = shared.context_row(target);
-                                    let mut f = 0f32;
-                                    for d in 0..config.dim {
-                                        f += h_c[d] * h_o[d];
-                                    }
-                                    let g = (label - sigmoid.get(f)) * lr;
-                                    for d in 0..config.dim {
-                                        neu1e[d] += g * h_o[d];
-                                        h_o[d] += g * h_c[d];
-                                    }
-                                }
-                                for d in 0..config.dim {
-                                    h_c[d] += neu1e[d];
-                                }
-                            }
+                        for seq in &sequences[chunks[item % n_chunks].clone()] {
+                            ctx.train_sequence(&mut st, seq);
                         }
                     }
-                }
-                let _ = epoch;
+                    ctx.flush_progress(&mut st);
+                });
             }
-        };
-
-        if n_threads == 1 {
-            worker(0);
-        } else {
-            crossbeam::thread::scope(|s| {
-                for tid in 0..n_threads {
-                    let worker_ref = &worker;
-                    s.spawn(move |_| worker_ref(tid));
-                }
-            })
-            .expect("hogwild worker panicked");
+            Sharding::Static => {
+                run_workers(n_threads, |tid| {
+                    let mut st = WorkerState::new(&config, tid);
+                    for _epoch in 0..config.epochs {
+                        // Static sharding: worker `tid` owns every n-th
+                        // sequence.
+                        for seq in sequences.iter().skip(tid).step_by(n_threads) {
+                            ctx.train_sequence(&mut st, seq);
+                        }
+                    }
+                    ctx.flush_progress(&mut st);
+                });
+            }
         }
+        stats.elapsed_secs = start.elapsed().as_secs_f64();
+        stats.processed_tokens = ctx.processed.load(Ordering::Relaxed);
+        stats
     }
 
     /// Fine-tune the model on additional sequences without rebuilding the
@@ -305,8 +550,14 @@ impl SkipGram {
         if encoded.is_empty() {
             return 0;
         }
-        self.run_sgd(&encoded);
+        self.stats = self.run_sgd(&encoded);
         encoded.len()
+    }
+
+    /// Throughput/coverage statistics of the most recent training pass
+    /// (initial training or [`Self::continue_training`]).
+    pub fn train_stats(&self) -> &TrainStats {
+        &self.stats
     }
 
     /// The vocabulary.
@@ -323,6 +574,14 @@ impl SkipGram {
     pub fn vector(&self, idx: u32) -> &[f32] {
         let d = self.config.dim;
         &self.input[idx as usize * d..(idx as usize + 1) * d]
+    }
+
+    /// Context (output-matrix) vector of a token index. The context matrix
+    /// is discarded at serving time, but exposing it lets tests compare
+    /// *every* weight the kernels touch, not just the input rows.
+    pub fn context_vector(&self, idx: u32) -> &[f32] {
+        let d = self.config.dim;
+        &self.context[idx as usize * d..(idx as usize + 1) * d]
     }
 
     /// Extract the final embeddings (input matrix), consuming the model.
@@ -412,12 +671,87 @@ mod tests {
 
     #[test]
     fn single_thread_training_is_deterministic() {
+        use crate::config::KernelChoice;
         let corpus = clustered_corpus(30);
-        let cfg = SkipGramConfig::tiny();
-        let a = SkipGram::train(&corpus, &cfg).unwrap();
-        let b = SkipGram::train(&corpus, &cfg).unwrap();
-        for i in 0..a.vocab().len() as u32 {
-            assert_eq!(a.vector(i), b.vector(i), "token {i}");
+        // `threads = 1, kernel = Scalar` is the pinned bit-determinism
+        // contract; Simd and Auto must also be run-to-run deterministic
+        // (the dispatch is process-wide constant).
+        for kernel in [KernelChoice::Scalar, KernelChoice::Simd, KernelChoice::Auto] {
+            let cfg = SkipGramConfig {
+                kernel,
+                ..SkipGramConfig::tiny()
+            };
+            let a = SkipGram::train(&corpus, &cfg).unwrap();
+            let b = SkipGram::train(&corpus, &cfg).unwrap();
+            for i in 0..a.vocab().len() as u32 {
+                assert_eq!(a.vector(i), b.vector(i), "token {i} ({kernel:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn lr_schedule_sees_every_token() {
+        let corpus = clustered_corpus(30);
+        for (threads, sharding) in [
+            (1, Sharding::Balanced),
+            (1, Sharding::Static),
+            (3, Sharding::Static),
+            (4, Sharding::Balanced),
+        ] {
+            let cfg = SkipGramConfig {
+                threads,
+                sharding,
+                ..SkipGramConfig::tiny()
+            };
+            let model = SkipGram::train(&corpus, &cfg).unwrap();
+            let st = model.train_stats();
+            // The trailing per-worker remainders must be flushed: the
+            // decay schedule accounts for exactly the planned token count.
+            assert_eq!(
+                st.processed_tokens, st.planned_tokens,
+                "threads={threads} sharding={sharding:?}"
+            );
+            assert!((st.lr_coverage() - 1.0).abs() < 1e-12);
+            assert!(st.tokens_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn balanced_chunks_cover_all_sequences_exactly_once() {
+        // Skewed lengths: one giant sequence among many small ones.
+        let mut lens = vec![5usize; 100];
+        lens[17] = 10_000;
+        for threads in [1, 2, 4, 8] {
+            let chunks = balanced_chunk_ranges(&lens, threads);
+            let mut next = 0;
+            for r in &chunks {
+                assert_eq!(r.start, next, "chunks are contiguous and ordered");
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, lens.len(), "chunks cover every sequence");
+            // The giant sequence cannot trap the small ones in its chunk:
+            // enough chunks exist for stealing to balance the rest.
+            assert!(chunks.len() > threads, "threads={threads}");
+        }
+        assert!(balanced_chunk_ranges(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn hogwild_balanced_and_static_both_learn() {
+        let corpus = clustered_corpus(120);
+        for sharding in [Sharding::Static, Sharding::Balanced] {
+            let cfg = SkipGramConfig {
+                threads: 4,
+                sharding,
+                ..SkipGramConfig::tiny()
+            };
+            let model = SkipGram::train(&corpus, &cfg).unwrap();
+            let (intra, inter) = cluster_separation(&model);
+            assert!(
+                intra > inter + 0.2,
+                "{sharding:?}: intra {intra} vs inter {inter}"
+            );
         }
     }
 

@@ -1,0 +1,515 @@
+//! Runtime-dispatched SIMD kernels shared by the kNN scan and the
+//! SKIPGRAM trainer.
+//!
+//! One process-wide feature probe (AVX2 + FMA on x86-64) selects between
+//! the vector kernels and portable unrolled fallbacks; the choice is
+//! constant for the life of the process, so every caller sees one
+//! consistent floating-point summation order and repeated runs are
+//! reproducible on the same machine.
+//!
+//! The training-side kernels are *fused* around the SGD sample shape
+//! (word2vec's negative-sampling update): for each (center, target) pair
+//! the trainer computes `f = h_c · h_o`, looks up `σ(f)`, and then applies
+//! `neu1e += g·h_o; h_o += g·h_c` in a single pass over the rows
+//! ([`fused_row_update`]) — both destination rows are loaded once and
+//! written once, instead of the scalar path's two dependent sweeps.
+
+/// Which inner-loop implementation the trainer runs. Resolved once per
+/// training run from [`crate::config::KernelChoice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// The reference scalar loop — strict sequential float order, the
+    /// bit-determinism baseline the test-suite pins.
+    Scalar,
+    /// The fused kernels in this module (AVX2+FMA when the CPU has it,
+    /// portable unrolled otherwise).
+    Simd,
+}
+
+impl Kernel {
+    /// Resolve a config choice to a concrete kernel.
+    pub fn resolve(choice: crate::config::KernelChoice) -> Self {
+        match choice {
+            crate::config::KernelChoice::Scalar => Kernel::Scalar,
+            crate::config::KernelChoice::Simd | crate::config::KernelChoice::Auto => Kernel::Simd,
+        }
+    }
+
+    /// Whether this kernel runs the hand-vectorized AVX2+FMA path (false
+    /// for [`Kernel::Scalar`] and for [`Kernel::Simd`] on the portable
+    /// fallback).
+    pub fn is_accelerated(self) -> bool {
+        self == Kernel::Simd && simd_accelerated()
+    }
+}
+
+/// Whether the process-wide dispatch selected the AVX2+FMA kernels.
+pub fn simd_accelerated() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2_fma_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_fma_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Dot product: AVX2+FMA kernel when the CPU has it, the portable
+/// unrolled version otherwise.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: the feature check above gates the target_feature fn.
+        return unsafe { dot_avx2_fma(a, b) };
+    }
+    dot_portable(a, b)
+}
+
+/// `y += a · x`.
+#[inline]
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: feature-gated as above.
+        return unsafe { axpy_avx2_fma(y, a, x) };
+    }
+    axpy_portable(y, a, x);
+}
+
+/// `y += x` (the end-of-sample `h_c += neu1e` flush).
+#[inline]
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    axpy(y, 1.0, x);
+}
+
+/// The fused negative-sampling row update: with `g` already computed from
+/// the dot product and the sigmoid table,
+///
+/// ```text
+/// neu1e += g · h_o      (gradient accumulated for the center row)
+/// h_o   += g · h_c      (context row updated in place)
+/// ```
+///
+/// Both updates read `h_o`'s *pre-update* value, exactly like the scalar
+/// reference loop, and each row is loaded and stored once per sample.
+#[inline]
+pub fn fused_row_update(h_o: &mut [f32], h_c: &[f32], neu1e: &mut [f32], g: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: feature-gated as above.
+        return unsafe { fused_row_update_avx2_fma(h_o, h_c, neu1e, g) };
+    }
+    fused_row_update_portable(h_o, h_c, neu1e, g);
+}
+
+/// One whole (center, context) training pair — the positive sample and
+/// every negative, then the `h_c += neu1e` flush — behind a *single*
+/// dispatch boundary. Each `samples` entry is a context-matrix row pointer
+/// plus its label; for each one this computes `f = h_c·h_o`,
+/// `g = (label − σ(f))·lr` and applies the fused row update (the first
+/// sample *initializes* `neu1e`, so the buffer is never zeroed — see
+/// [`fused_row_update_init`]).
+///
+/// Why a batched entry point: `#[target_feature]` kernels cannot inline
+/// into their callers, so with per-primitive dispatch a pair with K
+/// negatives pays 2(K+1)+1 real calls. Folding the whole pair into one
+/// call drops that to 1 and keeps `h_c` pinned in registers/L1 across all
+/// samples.
+///
+/// # Safety
+/// `h_c` and every row pointer in `samples` must be valid for
+/// `neu1e.len()` reads and writes for the duration of the call, and must
+/// not overlap `neu1e`. Row pointers may repeat and may be raced by other
+/// Hogwild workers (the trainer's accepted data race).
+#[inline]
+pub unsafe fn train_pair(
+    h_c: *mut f32,
+    samples: &[(*mut f32, f32)],
+    neu1e: &mut [f32],
+    lr: f32,
+    sigmoid: &crate::sigmoid::SigmoidTable,
+) {
+    if samples.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: feature-gated as above; pointer contract forwarded.
+        return train_pair_avx2_fma(h_c, samples, neu1e, lr, sigmoid);
+    }
+    train_pair_body(h_c, samples, neu1e, lr, sigmoid);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn train_pair_avx2_fma(
+    h_c: *mut f32,
+    samples: &[(*mut f32, f32)],
+    neu1e: &mut [f32],
+    lr: f32,
+    sigmoid: &crate::sigmoid::SigmoidTable,
+) {
+    // The *_avx2_fma helpers share this function's target features, so the
+    // compiler inlines them here: one real call per pair, not per sample.
+    let dim = neu1e.len();
+    let hc = std::slice::from_raw_parts_mut(h_c, dim);
+    for (i, &(row, label)) in samples.iter().enumerate() {
+        let h_o = std::slice::from_raw_parts_mut(row, dim);
+        let f = dot_avx2_fma(hc, h_o);
+        let g = (label - sigmoid.get(f)) * lr;
+        if i == 0 {
+            fused_row_update_init_avx2_fma(h_o, hc, neu1e, g);
+        } else {
+            fused_row_update_avx2_fma(h_o, hc, neu1e, g);
+        }
+    }
+    axpy_avx2_fma(hc, 1.0, neu1e);
+}
+
+/// Portable [`train_pair`] body (also the non-x86 path).
+#[inline]
+unsafe fn train_pair_body(
+    h_c: *mut f32,
+    samples: &[(*mut f32, f32)],
+    neu1e: &mut [f32],
+    lr: f32,
+    sigmoid: &crate::sigmoid::SigmoidTable,
+) {
+    let dim = neu1e.len();
+    let hc = std::slice::from_raw_parts_mut(h_c, dim);
+    for (i, &(row, label)) in samples.iter().enumerate() {
+        let h_o = std::slice::from_raw_parts_mut(row, dim);
+        let f = dot_portable(hc, h_o);
+        let g = (label - sigmoid.get(f)) * lr;
+        if i == 0 {
+            fused_row_update_init_portable(h_o, hc, neu1e, g);
+        } else {
+            fused_row_update_portable(h_o, hc, neu1e, g);
+        }
+    }
+    axpy_portable(hc, 1.0, neu1e);
+}
+
+/// [`fused_row_update`] for the *first* sample of a pair: writes
+/// `neu1e = g · h_o` instead of accumulating, so the caller never has to
+/// zero the buffer — one full store sweep and one load sweep saved per
+/// (center, context) pair. `0 + g·h_o` and a direct `g·h_o` store round
+/// identically, so this matches the accumulate-into-zeros path bit for
+/// bit.
+#[inline]
+pub fn fused_row_update_init(h_o: &mut [f32], h_c: &[f32], neu1e: &mut [f32], g: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: feature-gated as above.
+        return unsafe { fused_row_update_init_avx2_fma(h_o, h_c, neu1e, g) };
+    }
+    fused_row_update_init_portable(h_o, h_c, neu1e, g);
+}
+
+/// 8-lane FMA dot with four independent vector accumulators (32 floats in
+/// flight), horizontal-summed in a fixed order; the scalar tail folds in
+/// last. The default x86-64 target is SSE2-only, so this has to be an
+/// explicit `target_feature` kernel rather than autovectorization.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2_fma(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 32 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 8)),
+            _mm256_loadu_ps(pb.add(i + 8)),
+            acc1,
+        );
+        acc2 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 16)),
+            _mm256_loadu_ps(pb.add(i + 16)),
+            acc2,
+        );
+        acc3 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 24)),
+            _mm256_loadu_ps(pb.add(i + 24)),
+            acc3,
+        );
+        i += 32;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        i += 8;
+    }
+    let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+    let quad = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+    let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+    let single = _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, 0b01));
+    let mut out = _mm_cvtss_f32(single);
+    while i < n {
+        out += a[i] * b[i];
+        i += 1;
+    }
+    out
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2_fma(y: &mut [f32], a: f32, x: &[f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    let py = y.as_mut_ptr();
+    let px = x.as_ptr();
+    let va = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i + 8 <= n {
+        let vy = _mm256_loadu_ps(py.add(i));
+        let vx = _mm256_loadu_ps(px.add(i));
+        _mm256_storeu_ps(py.add(i), _mm256_fmadd_ps(va, vx, vy));
+        i += 8;
+    }
+    while i < n {
+        y[i] += a * x[i];
+        i += 1;
+    }
+}
+
+/// One 8-lane pass: load `h_o` and `h_c` once, produce both the `neu1e`
+/// accumulation and the in-place `h_o` update from the same registers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fused_row_update_avx2_fma(h_o: &mut [f32], h_c: &[f32], neu1e: &mut [f32], g: f32) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(h_o.len(), h_c.len());
+    debug_assert_eq!(h_o.len(), neu1e.len());
+    let n = h_o.len();
+    let po = h_o.as_mut_ptr();
+    let pc = h_c.as_ptr();
+    let pe = neu1e.as_mut_ptr();
+    let vg = _mm256_set1_ps(g);
+    let mut i = 0;
+    while i + 8 <= n {
+        let vo = _mm256_loadu_ps(po.add(i));
+        let vc = _mm256_loadu_ps(pc.add(i));
+        let ve = _mm256_loadu_ps(pe.add(i));
+        _mm256_storeu_ps(pe.add(i), _mm256_fmadd_ps(vg, vo, ve));
+        _mm256_storeu_ps(po.add(i), _mm256_fmadd_ps(vg, vc, vo));
+        i += 8;
+    }
+    while i < n {
+        let o = h_o[i];
+        neu1e[i] += g * o;
+        h_o[i] = o + g * h_c[i];
+        i += 1;
+    }
+}
+
+/// [`fused_row_update_init`]'s AVX2 body: identical to the accumulating
+/// kernel except `neu1e` is written with a plain multiply (no load).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fused_row_update_init_avx2_fma(h_o: &mut [f32], h_c: &[f32], neu1e: &mut [f32], g: f32) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(h_o.len(), h_c.len());
+    debug_assert_eq!(h_o.len(), neu1e.len());
+    let n = h_o.len();
+    let po = h_o.as_mut_ptr();
+    let pc = h_c.as_ptr();
+    let pe = neu1e.as_mut_ptr();
+    let vg = _mm256_set1_ps(g);
+    let mut i = 0;
+    while i + 8 <= n {
+        let vo = _mm256_loadu_ps(po.add(i));
+        let vc = _mm256_loadu_ps(pc.add(i));
+        _mm256_storeu_ps(pe.add(i), _mm256_mul_ps(vg, vo));
+        _mm256_storeu_ps(po.add(i), _mm256_fmadd_ps(vg, vc, vo));
+        i += 8;
+    }
+    while i < n {
+        let o = h_o[i];
+        neu1e[i] = g * o;
+        h_o[i] = o + g * h_c[i];
+        i += 1;
+    }
+}
+
+/// Unrolled dot product with four independent accumulators, giving the
+/// compiler room to vectorize while keeping a fixed, deterministic
+/// floating-point summation order.
+#[inline]
+fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = 0f32;
+    let mut acc1 = 0f32;
+    let mut acc2 = 0f32;
+    let mut acc3 = 0f32;
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let mut tail = 0f32;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    for (x, y) in chunks_a.zip(chunks_b) {
+        acc0 += x[0] * y[0];
+        acc1 += x[1] * y[1];
+        acc2 += x[2] * y[2];
+        acc3 += x[3] * y[3];
+    }
+    ((acc0 + acc1) + (acc2 + acc3)) + tail
+}
+
+#[inline]
+fn axpy_portable(y: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        y[i] += a * x[i];
+        y[i + 1] += a * x[i + 1];
+        y[i + 2] += a * x[i + 2];
+        y[i + 3] += a * x[i + 3];
+        i += 4;
+    }
+    while i < n {
+        y[i] += a * x[i];
+        i += 1;
+    }
+}
+
+#[inline]
+fn fused_row_update_portable(h_o: &mut [f32], h_c: &[f32], neu1e: &mut [f32], g: f32) {
+    debug_assert_eq!(h_o.len(), h_c.len());
+    debug_assert_eq!(h_o.len(), neu1e.len());
+    for i in 0..h_o.len() {
+        let o = h_o[i];
+        neu1e[i] += g * o;
+        h_o[i] = o + g * h_c[i];
+    }
+}
+
+#[inline]
+fn fused_row_update_init_portable(h_o: &mut [f32], h_c: &[f32], neu1e: &mut [f32], g: f32) {
+    debug_assert_eq!(h_o.len(), h_c.len());
+    debug_assert_eq!(h_o.len(), neu1e.len());
+    for i in 0..h_o.len() {
+        let o = h_o[i];
+        neu1e[i] = g * o;
+        h_o[i] = o + g * h_c[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..n).map(|i| 1.0 - i as f32 * 0.013).collect();
+        let e: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos() * 0.5).collect();
+        (a, b, e)
+    }
+
+    #[test]
+    fn dot_matches_naive_order_free_cases() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| 1.0 - i as f32 * 0.25).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let fast = dot(&a, &b);
+        assert!((naive - fast).abs() < 1e-4, "{naive} vs {fast}");
+        // Exactly deterministic: same inputs, same bits.
+        assert_eq!(fast.to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn dot_handles_all_tail_lengths() {
+        for n in 0..70 {
+            let (a, b, _) = vecs(n);
+            let naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            assert!((dot(&a, &b) as f64 - naive).abs() < 1e-3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_reference() {
+        for n in [0, 1, 7, 8, 9, 31, 32, 100] {
+            let (x, y0, _) = vecs(n);
+            let mut fast = y0.clone();
+            axpy(&mut fast, 0.3, &x);
+            let mut slow = y0.clone();
+            for i in 0..n {
+                slow[i] += 0.3 * x[i];
+            }
+            for i in 0..n {
+                assert!((fast[i] - slow[i]).abs() < 1e-5, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_row_update_matches_scalar_reference() {
+        for n in [0, 1, 5, 8, 16, 17, 100] {
+            let (c, o0, e0) = vecs(n);
+            let g = -0.125f32;
+            let mut o_fast = o0.clone();
+            let mut e_fast = e0.clone();
+            fused_row_update(&mut o_fast, &c, &mut e_fast, g);
+            // Scalar reference: both updates read h_o's pre-update value.
+            let mut o_slow = o0.clone();
+            let mut e_slow = e0.clone();
+            for i in 0..n {
+                let o = o_slow[i];
+                e_slow[i] += g * o;
+                o_slow[i] = o + g * c[i];
+            }
+            for i in 0..n {
+                assert!((o_fast[i] - o_slow[i]).abs() < 1e-5, "h_o n={n} i={i}");
+                assert!((e_fast[i] - e_slow[i]).abs() < 1e-5, "neu1e n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_init_equals_accumulate_into_zeros() {
+        for n in [0, 1, 5, 8, 16, 17, 100] {
+            let (c, o0, _) = vecs(n);
+            let g = 0.375f32;
+            let mut o_init = o0.clone();
+            let mut e_init = vec![f32::NAN; n]; // must be fully overwritten
+            fused_row_update_init(&mut o_init, &c, &mut e_init, g);
+            let mut o_acc = o0.clone();
+            let mut e_acc = vec![0f32; n];
+            fused_row_update(&mut o_acc, &c, &mut e_acc, g);
+            for i in 0..n {
+                assert_eq!(o_init[i].to_bits(), o_acc[i].to_bits(), "h_o n={n} i={i}");
+                assert_eq!(e_init[i].to_bits(), e_acc[i].to_bits(), "neu1e n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_resolution_honors_the_knob() {
+        use crate::config::KernelChoice;
+        assert_eq!(Kernel::resolve(KernelChoice::Scalar), Kernel::Scalar);
+        assert_eq!(Kernel::resolve(KernelChoice::Simd), Kernel::Simd);
+        assert_eq!(Kernel::resolve(KernelChoice::Auto), Kernel::Simd);
+        assert!(!Kernel::Scalar.is_accelerated());
+        assert_eq!(Kernel::Simd.is_accelerated(), simd_accelerated());
+    }
+}

@@ -19,13 +19,20 @@ pub struct NegativeTable {
 }
 
 impl NegativeTable {
-    /// Default table size (word2vec uses 1e8; our vocabularies are far
-    /// smaller, so 1M gives the same resolution at 1 % of the memory).
+    /// Upper bound on the adaptive table size (word2vec uses 1e8; our
+    /// vocabularies are far smaller).
     pub const DEFAULT_SIZE: usize = 1 << 20;
 
-    /// Build from a vocabulary with the default size.
+    /// Build from a vocabulary, sizing the table adaptively: ~128 slots
+    /// per token (64× finer than word2vec's 100-slots-per-token default at
+    /// 1e8 / 1e6-word vocabularies), clamped to [2^16, 2^20]. Every draw
+    /// is a random index into the table, so on the paper's few-thousand
+    /// host vocabularies a fixed 4 MB table turns each negative into a
+    /// cache miss in the SGD hot loop; the adaptive size keeps the table
+    /// L2-resident without losing sampling resolution.
     pub fn from_vocab(vocab: &Vocab) -> Self {
-        Self::with_size(vocab, Self::DEFAULT_SIZE)
+        let size = (vocab.len().saturating_mul(128)).clamp(1 << 16, Self::DEFAULT_SIZE);
+        Self::with_size(vocab, size)
     }
 
     /// Build with an explicit table size (≥ vocabulary size recommended).
@@ -68,6 +75,28 @@ impl NegativeTable {
     pub fn sample(&self, random: u64) -> u32 {
         self.table[(random % self.table.len() as u64) as usize]
     }
+
+    /// Bounded redraw budget for [`Self::sample_excluding`].
+    pub const MAX_REDRAWS: usize = 32;
+
+    /// Draw a negative that differs from `exclude`, redrawing on collision
+    /// (word2vec-style, bounded) instead of dropping the sample — a skip
+    /// would silently lose one of the K negatives whenever the drawn
+    /// negative equals the context word, which is frequent in small or
+    /// highly skewed vocabularies.
+    ///
+    /// Returns `None` only when every redraw collided, e.g. a one-token
+    /// vocabulary whose table contains nothing but `exclude`.
+    #[inline]
+    pub fn sample_excluding(&self, mut draw: impl FnMut() -> u64, exclude: u32) -> Option<u32> {
+        for _ in 0..Self::MAX_REDRAWS {
+            let idx = self.sample(draw());
+            if idx != exclude {
+                return Some(idx);
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +138,47 @@ mod tests {
         let v = Vocab::build(Vec::<Vec<&str>>::new(), 1, 0.0);
         let t = NegativeTable::from_vocab(&v);
         assert!(t.is_empty());
+    }
+
+    /// xorshift64* matching the trainer's per-worker RNG.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    #[test]
+    fn sample_excluding_redraws_instead_of_dropping() {
+        // Two-token vocabulary, heavily skewed: ~84% of the table is 'a',
+        // so excluding 'a' collides on most draws. A skip-on-collision
+        // policy would lose the negative ~84% of the time; the redraw must
+        // recover 'b' essentially always.
+        let seqs: Vec<Vec<&str>> = vec![vec!["a"; 9], vec!["b"]];
+        let v = Vocab::build(seqs, 1, 0.0);
+        let t = NegativeTable::with_size(&v, 1024);
+        let a = v.get("a").unwrap();
+        let b = v.get("b").unwrap();
+        let mut state = 0x5eed_1234u64;
+        let mut hits = 0usize;
+        for _ in 0..1000 {
+            if let Some(idx) = t.sample_excluding(|| xorshift(&mut state), a) {
+                assert_eq!(idx, b, "redraw may only return the other token");
+                hits += 1;
+            }
+        }
+        assert!(hits >= 950, "redraw recovered only {hits}/1000 negatives");
+    }
+
+    #[test]
+    fn sample_excluding_gives_up_on_one_token_vocab() {
+        let seqs: Vec<Vec<&str>> = vec![vec!["solo"; 5]];
+        let v = Vocab::build(seqs, 1, 0.0);
+        let t = NegativeTable::with_size(&v, 64);
+        let mut state = 7u64;
+        assert_eq!(t.sample_excluding(|| xorshift(&mut state), 0), None);
     }
 
     #[test]

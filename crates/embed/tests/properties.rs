@@ -1,6 +1,6 @@
 //! Property tests for the embedding engine's data structures.
 
-use hostprof_embed::{EmbeddingSet, NegativeTable, SkipGram, SkipGramConfig, Vocab};
+use hostprof_embed::{EmbeddingSet, KernelChoice, NegativeTable, SkipGram, SkipGramConfig, Vocab};
 use proptest::prelude::*;
 
 fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
@@ -82,6 +82,51 @@ proptest! {
                     prop_assert!(v.is_finite());
                 }
             }
+        }
+    }
+
+    /// The scalar reference loop and the fused SIMD kernels must land on
+    /// the same weights. Both paths consume identical RNG streams (window
+    /// draws, subsampling and negative sampling never depend on the
+    /// kernel), so the only divergence is float summation order — bounded
+    /// here to 1e-4 per weight, across *both* matrices. `dim = 17`
+    /// deliberately exercises the 8-lane SIMD body plus a ragged tail.
+    #[test]
+    fn scalar_and_simd_kernels_agree_per_weight(
+        corpus in proptest::collection::vec(
+            proptest::collection::vec("[a-f]{1,3}", 2..16)
+                .prop_map(|toks| toks.into_iter().map(|t| format!("{t}.com")).collect::<Vec<_>>()),
+            1..8,
+        ),
+        seed in 1u64..1_000_000,
+    ) {
+        let cfg = |kernel| SkipGramConfig {
+            dim: 17,
+            epochs: 1,
+            subsample: 0.0,
+            threads: 1,
+            seed,
+            kernel,
+            ..SkipGramConfig::default()
+        };
+        let scalar = SkipGram::train(&corpus, &cfg(KernelChoice::Scalar));
+        let simd = SkipGram::train(&corpus, &cfg(KernelChoice::Simd));
+        match (scalar, simd) {
+            (Ok(s), Ok(v)) => {
+                prop_assert_eq!(s.vocab().len(), v.vocab().len());
+                for i in 0..s.vocab().len() as u32 {
+                    for (a, b) in s.vector(i).iter().zip(v.vector(i)) {
+                        prop_assert!((a - b).abs() < 1e-4, "input[{}]: {} vs {}", i, a, b);
+                    }
+                    for (a, b) in s.context_vector(i).iter().zip(v.context_vector(i)) {
+                        prop_assert!((a - b).abs() < 1e-4, "context[{}]: {} vs {}", i, a, b);
+                    }
+                }
+            }
+            // Degenerate corpora fail identically regardless of kernel.
+            (Err(_), Err(_)) => {}
+            (s, v) => prop_assert!(false, "kernels disagree on trainability: {:?} vs {:?}",
+                                   s.is_ok(), v.is_ok()),
         }
     }
 

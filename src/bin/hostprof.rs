@@ -19,6 +19,7 @@
 
 use hostprof::ads::{CtrExperiment, ExperimentConfig};
 use hostprof::bridge::{ObservedTrace, ObserverScenario};
+use hostprof::embed::KernelChoice;
 use hostprof::profiling::{profile_accuracy, Session};
 use hostprof::scenario::{Scenario, ScenarioConfig};
 use hostprof::stats::paired_t_test;
@@ -113,9 +114,15 @@ fn scenario_config(args: &Args) -> Result<ScenarioConfig, String> {
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
-    args.expect_keys(&["scale", "days", "users", "out"])?;
+    args.expect_keys(&["scale", "days", "users", "out", "threads", "kernel"])?;
     let out: PathBuf = args.get("out").ok_or("train requires --out <path>")?.into();
-    let cfg = scenario_config(args)?;
+    let mut cfg = scenario_config(args)?;
+    if let Some(threads) = args.get_parsed::<usize>("threads")? {
+        cfg.pipeline.skipgram.threads = threads;
+    }
+    if let Some(kernel) = args.get_parsed::<KernelChoice>("kernel")? {
+        cfg.pipeline.skipgram.kernel = kernel;
+    }
     let s = Scenario::generate(&cfg);
     eprintln!(
         "generated scenario: {} hosts, {} users, {} days",
@@ -128,13 +135,27 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     for day in 0..s.trace.days() {
         corpus.extend(s.daily_hostname_sequences(day));
     }
-    let model = pipeline.train_model(&corpus)?;
+    let (model, stats) = pipeline.train_model_with_stats(&corpus)?;
     storage::save_model(&out, &model).map_err(|e| e.to_string())?;
     println!(
         "trained {}-d embeddings for {} hostnames → {}",
         model.dim(),
         model.len(),
         out.display()
+    );
+    println!(
+        "  {} tokens in {:.2}s on {} thread(s) ({} kernel) → {:.0} tokens/s, \
+         LR schedule coverage {:.4}",
+        stats.processed_tokens,
+        stats.elapsed_secs,
+        stats.threads,
+        if stats.simd_accelerated {
+            "simd"
+        } else {
+            "scalar"
+        },
+        stats.tokens_per_sec(),
+        stats.lr_coverage(),
     );
     Ok(())
 }
@@ -374,7 +395,8 @@ const USAGE: &str = "\
 hostprof — user profiling by network observers (CoNEXT '21 reproduction)
 
 USAGE:
-  hostprof train      [--scale tiny|small|default] [--days N] --out model.json
+  hostprof train      [--scale tiny|small|default] [--days N] [--threads N]
+                      [--kernel auto|scalar|simd] --out model.json
   hostprof similar    --model model.json --host <hostname> [--top N]
   hostprof profile    [--scale S] --model model.json --user N [--day D]
   hostprof observe    [--scale S] [--ech FRACTION] [--nat USERS_PER_IP] [--dns]

@@ -108,15 +108,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        // Cargo passes `--bench` plus any user filter strings.
-        let filter = std::env::args()
-            .skip(1)
+        // Cargo passes `--bench` plus any user filter strings. Real
+        // criterion's `--test` (run each bench once to check it works) and
+        // `--quick` map onto the same fast smoke mode as
+        // `HOSTPROF_BENCH_QUICK=1`.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let filter = args
+            .iter()
             .find(|a| !a.starts_with('-'))
-            .filter(|a| !a.is_empty());
-        Self {
-            quick: std::env::var("HOSTPROF_BENCH_QUICK").is_ok_and(|v| v == "1"),
-            filter,
-        }
+            .filter(|a| !a.is_empty())
+            .cloned();
+        let quick = std::env::var("HOSTPROF_BENCH_QUICK").is_ok_and(|v| v == "1")
+            || args.iter().any(|a| a == "--test" || a == "--quick");
+        Self { quick, filter }
     }
 }
 

@@ -13,7 +13,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     Named {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Tuple {
         name: String,
@@ -25,7 +25,15 @@ enum Shape {
     Enum {
         name: String,
         variants: Vec<Variant>,
+        /// `#[serde(rename_all = "lowercase")]` on the container.
+        lowercase: bool,
     },
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing map entry becomes `Default::default()`.
+    default: bool,
 }
 
 struct Variant {
@@ -35,18 +43,29 @@ struct Variant {
 
 enum VariantKind {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
-/// Skip `#[attr]` sequences and a `pub` / `pub(...)` visibility prefix.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// Collect `#[attr]` bodies (whitespace-stripped) and skip a `pub` /
+/// `pub(...)` visibility prefix.
+fn collect_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut attrs = Vec::new();
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1;
                 match tokens.get(*i) {
-                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        attrs.push(
+                            g.stream()
+                                .to_string()
+                                .chars()
+                                .filter(|c| !c.is_whitespace())
+                                .collect(),
+                        );
+                        *i += 1;
+                    }
                     other => panic!("expected attribute body, found {other:?}"),
                 }
             }
@@ -58,9 +77,24 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     }
                 }
             }
-            _ => return,
+            _ => return attrs,
         }
     }
+}
+
+/// Skip `#[attr]` sequences and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    let _ = collect_attrs_and_vis(tokens, i);
+}
+
+/// Whether a whitespace-stripped `serde(...)` attribute carries `flag`
+/// (e.g. `default` or `rename_all="lowercase"`) in its comma list.
+fn has_serde_flag(attrs: &[String], flag: &str) -> bool {
+    attrs.iter().any(|a| {
+        a.strip_prefix("serde(")
+            .and_then(|rest| rest.strip_suffix(')'))
+            .is_some_and(|body| body.split(',').any(|part| part == flag))
+    })
 }
 
 fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
@@ -93,13 +127,13 @@ fn skip_type(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Field names of a `{ ... }` body.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Fields of a `{ ... }` body, with their `#[serde(default)]` flags.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let attrs = collect_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -109,7 +143,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("expected `:` after field `{name}`, found {other:?}"),
         }
         skip_type(&tokens, &mut i);
-        fields.push(name);
+        fields.push(Field {
+            name,
+            default: has_serde_flag(&attrs, "default"),
+        });
     }
     fields
 }
@@ -164,7 +201,7 @@ fn parse_enum_variants(stream: TokenStream) -> Vec<Variant> {
 fn parse_shape(input: TokenStream) -> Shape {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs_and_vis(&tokens, &mut i);
+    let container_attrs = collect_attrs_and_vis(&tokens, &mut i);
     let keyword = expect_ident(&tokens, &mut i);
     let name = expect_ident(&tokens, &mut i);
     if let Some(TokenTree::Punct(p)) = tokens.get(i) {
@@ -187,6 +224,7 @@ fn parse_shape(input: TokenStream) -> Shape {
         "enum" => Shape::Enum {
             name,
             variants: parse_enum_variants(tokens[i].clone().into_token_stream_brace()),
+            lowercase: has_serde_flag(&container_attrs, "rename_all=\"lowercase\""),
         },
         other => panic!("derive(Serialize/Deserialize): unsupported item `{other}`"),
     }
@@ -205,13 +243,14 @@ impl IntoBraceStream for TokenTree {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let code = match parse_shape(input) {
         Shape::Named { name, fields } => {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),")
                 })
                 .collect();
@@ -251,20 +290,34 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                  fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
              }}"
         ),
-        Shape::Enum { name, variants } => {
+        Shape::Enum {
+            name,
+            variants,
+            lowercase,
+        } => {
             let arms: String = variants
                 .iter()
                 .map(|v| {
                     let vname = &v.name;
+                    let tag = if lowercase {
+                        vname.to_lowercase()
+                    } else {
+                        vname.clone()
+                    };
                     match &v.kind {
                         VariantKind::Unit => format!(
-                            "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),"
+                            "{name}::{vname} => ::serde::Value::Str(String::from(\"{tag}\")),"
                         ),
                         VariantKind::Named(fields) => {
-                            let pat = fields.join(", ");
+                            let pat = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
                                     )
@@ -272,14 +325,14 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                                 .collect();
                             format!(
                                 "{name}::{vname} {{ {pat} }} => ::serde::Value::Map(vec![(\
-                                     String::from(\"{vname}\"), \
+                                     String::from(\"{tag}\"), \
                                      ::serde::Value::Map(vec![{entries}])\
                                  )]),"
                             )
                         }
                         VariantKind::Tuple(1) => format!(
                             "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\
-                                 String::from(\"{vname}\"), \
+                                 String::from(\"{tag}\"), \
                                  ::serde::Serialize::to_value(__f0)\
                              )]),"
                         ),
@@ -291,7 +344,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                                 .collect();
                             format!(
                                 "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
-                                     String::from(\"{vname}\"), \
+                                     String::from(\"{tag}\"), \
                                      ::serde::Value::Seq(vec![{entries}])\
                                  )]),",
                                 pat.join(", ")
@@ -313,20 +366,37 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("derived Serialize impl should parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+/// Field initializers for a named-field body deserialized from `{map}`:
+/// plain fields hard-error when missing, `#[serde(default)]` fields fall
+/// back to `Default::default()`.
+fn named_field_inits(fields: &[Field], map: &str, context: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            if f.default {
+                format!(
+                    "{fname}: match ::serde::map_get({map}, \"{fname}\", \"{context}\") {{\
+                         ::std::result::Result::Ok(__fv) => ::serde::Deserialize::from_value(__fv)?,\
+                         ::std::result::Result::Err(_) => ::std::default::Default::default(),\
+                     }},"
+                )
+            } else {
+                format!(
+                    "{fname}: ::serde::Deserialize::from_value(\
+                         ::serde::map_get({map}, \"{fname}\", \"{context}\")?\
+                     )?,"
+                )
+            }
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match parse_shape(input) {
         Shape::Named { name, fields } => {
-            let inits: String = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                             ::serde::map_get(__map, \"{f}\", \"{name}\")?\
-                         )?,"
-                    )
-                })
-                .collect();
+            let inits = named_field_inits(&fields, "__map", &name);
             format!(
                 "#[automatically_derived]\n\
                  impl ::serde::Deserialize for {name} {{\n\
@@ -373,13 +443,25 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  }}\n\
              }}"
         ),
-        Shape::Enum { name, variants } => {
+        Shape::Enum {
+            name,
+            variants,
+            lowercase,
+        } => {
+            let tag_of = |vname: &str| {
+                if lowercase {
+                    vname.to_lowercase()
+                } else {
+                    vname.to_string()
+                }
+            };
             let unit_arms: String = variants
                 .iter()
                 .filter(|v| matches!(v.kind, VariantKind::Unit))
                 .map(|v| {
                     format!(
-                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        tag = tag_of(&v.name),
                         vname = v.name
                     )
                 })
@@ -399,21 +481,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .filter_map(|v| {
                     let vname = &v.name;
+                    let tag = tag_of(vname);
                     match &v.kind {
                         VariantKind::Unit => None,
                         VariantKind::Named(fields) => {
-                            let inits: String = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(\
-                                             ::serde::map_get(__inner, \"{f}\", \"{name}::{vname}\")?\
-                                         )?,"
-                                    )
-                                })
-                                .collect();
+                            let inits =
+                                named_field_inits(fields, "__inner", &format!("{name}::{vname}"));
                             Some(format!(
-                                "\"{vname}\" => {{\n\
+                                "\"{tag}\" => {{\n\
                                      let __inner = __payload.as_map().ok_or_else(|| \
                                          ::serde::DeError::expected(\"object\", \"{name}::{vname}\"))?;\n\
                                      ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
@@ -421,7 +496,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             ))
                         }
                         VariantKind::Tuple(1) => Some(format!(
-                            "\"{vname}\" => ::std::result::Result::Ok(\
+                            "\"{tag}\" => ::std::result::Result::Ok(\
                                  {name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
                         )),
                         VariantKind::Tuple(arity) => {
@@ -429,7 +504,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                                 .map(|k| format!("::serde::Deserialize::from_value(&__inner[{k}])?,"))
                                 .collect();
                             Some(format!(
-                                "\"{vname}\" => {{\n\
+                                "\"{tag}\" => {{\n\
                                      let __inner = __payload.as_seq().ok_or_else(|| \
                                          ::serde::DeError::expected(\"array\", \"{name}::{vname}\"))?;\n\
                                      if __inner.len() != {arity} {{\n\

@@ -71,14 +71,17 @@ impl<'a> BatchProfiler<'a> {
             return out;
         }
         let chunk = sessions.len().div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        if let Err(payload) = crossbeam::thread::scope(|scope| {
             for (sess, slots) in sessions.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 scope.spawn(move |_| {
                     profile_chunk(&self.profiler, sess, slots, &mut ProfileScratch::new());
                 });
             }
-        })
-        .expect("profiling worker panicked");
+        }) {
+            // Re-raise the worker's own panic payload rather than masking
+            // it behind a generic message.
+            std::panic::resume_unwind(payload);
+        }
         out
     }
 }
@@ -92,8 +95,10 @@ fn profile_chunk(
     scratch: &mut ProfileScratch,
 ) {
     debug_assert_eq!(sessions.len(), out.len());
-    // (labels, has-session-vector) per non-empty session; `None` marks an
-    // empty session, which profiles to `None` without touching the kernel.
+    // (labels, query slot) per non-empty session; `None` marks an empty
+    // session, which profiles to `None` without touching the kernel. The
+    // slot indexes straight into `queries`/`results`, so sessions without
+    // a vector can never desynchronize the answer stream.
     let mut staged = Vec::with_capacity(sessions.len());
     let mut queries: Vec<Vec<f32>> = Vec::new();
     for session in sessions {
@@ -102,32 +107,28 @@ fn profile_chunk(
             continue;
         }
         let labels = profiler.session_labels(session);
-        let sv = profiler.aggregate(session);
-        let has_sv = match sv {
-            Some(v) => {
-                queries.push(v);
-                true
-            }
-            None => false,
-        };
-        staged.push(Some((labels, has_sv)));
+        let slot = profiler.aggregate(session).map(|v| {
+            queries.push(v);
+            queries.len() - 1
+        });
+        staged.push(Some((labels, slot)));
     }
-    let results = profiler.embeddings().nearest_to_vectors_with(
+    let mut results = profiler.embeddings().nearest_to_vectors_with(
         &queries,
         profiler.config().n_neighbors,
         &mut scratch.knn,
     );
-    // Queries and results line up in session order, so drain them in step.
-    let mut answered = queries.into_iter().zip(results);
+    debug_assert_eq!(results.len(), queries.len(), "one kNN result per query");
     for (slot, entry) in out.iter_mut().zip(staged) {
-        let Some((labels, has_sv)) = entry else {
+        let Some((labels, qslot)) = entry else {
             continue;
         };
-        let (sv, neighbors) = if has_sv {
-            let (q, r) = answered.next().expect("one kNN result per query");
-            (Some(q), r)
-        } else {
-            (None, Vec::new())
+        let (sv, neighbors) = match qslot {
+            Some(qi) => (
+                Some(std::mem::take(&mut queries[qi])),
+                std::mem::take(&mut results[qi]),
+            ),
+            None => (None, Vec::new()),
         };
         *slot = profiler.assemble(&labels, sv, &neighbors, scratch);
     }
@@ -197,6 +198,40 @@ mod tests {
             sessions.iter().map(|s| p.profile(s)).collect()
         };
         for threads in [1, 2, 3, 8, 64] {
+            let batch = BatchProfiler::new(Profiler::new(&e, &o, config.clone()), threads);
+            assert_eq!(
+                batch.profile_sessions(&sessions),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_no_vector_sessions_keep_slots_aligned() {
+        // Regression: the batch path used to pair queries with kNN
+        // results through a shared iterator; a session with labels but no
+        // session vector could desynchronize the stream. Alternate
+        // no-vector, empty, and vector sessions aggressively.
+        let (e, o) = setup();
+        let mut sessions = Vec::new();
+        for i in 0..12 {
+            sessions.push(match i % 4 {
+                0 => Session::from_window(["off-vocab.example"], None), // label, no vector
+                1 => Session::from_window(["travel.com"], None),
+                2 => Session::default(),
+                _ => Session::from_window(["sport.com", "neutral.org"], None),
+            });
+        }
+        let config = ProfilerConfig {
+            n_neighbors: 5,
+            ..Default::default()
+        };
+        let reference: Vec<Option<SessionProfile>> = {
+            let p = Profiler::new(&e, &o, config.clone());
+            sessions.iter().map(|s| p.profile(s)).collect()
+        };
+        for threads in [1, 2, 5] {
             let batch = BatchProfiler::new(Profiler::new(&e, &o, config.clone()), threads);
             assert_eq!(
                 batch.profile_sessions(&sessions),

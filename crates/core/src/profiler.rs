@@ -130,6 +130,14 @@ impl ProfileScratch {
     fn add(&mut self, cats: &CategoryVector, alpha: f32) {
         for (c, w) in cats.iter() {
             let i = c.index();
+            if i >= self.acc.len() {
+                // A category beyond the bound declared to `begin` (e.g. a
+                // scratch reused across profilers over different
+                // ontologies) grows the accumulator instead of indexing
+                // out of bounds.
+                self.acc.resize(i + 1, 0.0);
+                self.stamp.resize(i + 1, 0);
+            }
             if self.stamp[i] != self.epoch {
                 self.stamp[i] = self.epoch;
                 self.acc[i] = 0.0;
@@ -650,6 +658,17 @@ mod tests {
             let reused = p.profile_with_scratch(session, &mut scratch);
             assert_eq!(fresh, reused);
         }
+    }
+
+    #[test]
+    fn scratch_add_grows_beyond_declared_bound() {
+        // Regression: `add` used to index `stamp[i]` directly and panic
+        // when a category id exceeded the bound handed to `begin`.
+        let mut s = ProfileScratch::new();
+        s.begin(2);
+        s.add(&CategoryVector::singleton(CategoryId(500)), 1.0);
+        let v = s.take(1.0);
+        assert!(v.get(CategoryId(500)) > 0.99);
     }
 
     #[test]

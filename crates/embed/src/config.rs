@@ -32,6 +32,17 @@ impl std::str::FromStr for KernelChoice {
     }
 }
 
+impl std::str::FromStr for Sharding {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "static" => Ok(Self::Static),
+            "balanced" => Ok(Self::Balanced),
+            other => Err(format!("unknown sharding '{other}' (static|balanced)")),
+        }
+    }
+}
+
 /// How sequences are scheduled across Hogwild workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[serde(rename_all = "lowercase")]
@@ -149,6 +160,9 @@ mod tests {
         assert_eq!("scalar".parse::<KernelChoice>(), Ok(KernelChoice::Scalar));
         assert_eq!("simd".parse::<KernelChoice>(), Ok(KernelChoice::Simd));
         assert!("avx512".parse::<KernelChoice>().is_err());
+        assert_eq!("static".parse::<Sharding>(), Ok(Sharding::Static));
+        assert_eq!("balanced".parse::<Sharding>(), Ok(Sharding::Balanced));
+        assert!("dynamic".parse::<Sharding>().is_err());
         let c = SkipGramConfig::default();
         assert_eq!(c.kernel, KernelChoice::Auto);
         assert_eq!(c.sharding, Sharding::Balanced);

@@ -162,13 +162,16 @@ fn run_workers<F: Fn(usize) + Sync>(n_threads: usize, worker: F) {
     if n_threads == 1 {
         worker(0);
     } else {
-        crossbeam::thread::scope(|s| {
+        if let Err(payload) = crossbeam::thread::scope(|s| {
             for tid in 0..n_threads {
                 let worker_ref = &worker;
                 s.spawn(move |_| worker_ref(tid));
             }
-        })
-        .expect("hogwild worker panicked");
+        }) {
+            // Re-raise the worker's own panic payload rather than masking
+            // it behind a generic message.
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -768,6 +771,22 @@ mod tests {
             intra > inter + 0.2,
             "hogwild: intra {intra} vs inter {inter}"
         );
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_payload() {
+        // Regression: the scope result used to go through `.expect`, which
+        // replaced the worker's panic message with a generic one.
+        let result = std::panic::catch_unwind(|| {
+            run_workers(2, |tid| {
+                if tid == 1 {
+                    panic!("worker exploded: tid 1");
+                }
+            });
+        });
+        let payload = result.expect_err("the worker panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("worker exploded"), "payload lost: {msg:?}");
     }
 
     #[test]

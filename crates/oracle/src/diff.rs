@@ -1,0 +1,141 @@
+//! Numeric comparison helpers: ulp distances and max-delta slice diffs.
+//!
+//! "Bit-identical" claims are asserted as `max_ulp == 0`; tolerance-based
+//! claims (Eq. 4 importances ≤ 1e-5) as `max_abs <= tol`. The ulp metric
+//! maps float bit patterns onto a monotone integer line so that adjacent
+//! representable floats are distance 1 apart regardless of magnitude.
+
+/// Distance in units-in-the-last-place between two f32 values.
+///
+/// `0` iff the bit patterns are identical (so `-0.0` vs `0.0` is 1, and
+/// two NaNs with the same payload are 0). Returns `u64::MAX` when exactly
+/// one side is NaN — the values are not on the same number line.
+pub fn ulp_distance_f32(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return if a.to_bits() == b.to_bits() {
+            0
+        } else {
+            u64::MAX
+        };
+    }
+    let key = |x: f32| -> u64 {
+        let bits = x.to_bits();
+        // Negative floats sort descending by raw bits; flip them below
+        // the positives so the whole line is monotone.
+        if bits & 0x8000_0000 != 0 {
+            (!bits) as u64
+        } else {
+            (bits | 0x8000_0000) as u64
+        }
+    };
+    key(a).abs_diff(key(b))
+}
+
+/// f64 analogue of [`ulp_distance_f32`].
+pub fn ulp_distance_f64(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return if a.to_bits() == b.to_bits() {
+            0
+        } else {
+            u64::MAX
+        };
+    }
+    let key = |x: f64| -> u64 {
+        let bits = x.to_bits();
+        if bits & 0x8000_0000_0000_0000 != 0 {
+            !bits
+        } else {
+            bits | 0x8000_0000_0000_0000
+        }
+    };
+    key(a).abs_diff(key(b))
+}
+
+/// Worst-case deltas between two equal-length f32 slices.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SliceDelta {
+    /// Largest `|a[i] - b[i]|` (`f64::INFINITY` on length mismatch).
+    pub max_abs: f64,
+    /// Largest elementwise ulp distance (`u64::MAX` on length mismatch).
+    pub max_ulp: u64,
+    /// Index where the worst absolute delta occurred.
+    pub worst_index: usize,
+}
+
+impl SliceDelta {
+    /// True when the slices were bitwise identical.
+    pub fn identical(&self) -> bool {
+        self.max_ulp == 0
+    }
+}
+
+/// Compare two f32 slices elementwise.
+pub fn compare_f32_slices(a: &[f32], b: &[f32]) -> SliceDelta {
+    if a.len() != b.len() {
+        return SliceDelta {
+            max_abs: f64::INFINITY,
+            max_ulp: u64::MAX,
+            worst_index: 0,
+        };
+    }
+    let mut out = SliceDelta::default();
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let abs = ((x as f64) - (y as f64)).abs();
+        let ulp = ulp_distance_f32(x, y);
+        if abs > out.max_abs || (abs == out.max_abs && ulp > out.max_ulp) {
+            out.worst_index = i;
+        }
+        out.max_abs = out.max_abs.max(abs);
+        out.max_ulp = out.max_ulp.max(ulp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_zero_iff_same_bits() {
+        assert_eq!(ulp_distance_f32(1.5, 1.5), 0);
+        assert_eq!(ulp_distance_f32(0.0, -0.0), 1);
+        assert_eq!(ulp_distance_f64(2.25, 2.25), 0);
+    }
+
+    #[test]
+    fn ulp_counts_adjacent_floats() {
+        let a = 1.0f32;
+        let b = f32::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_distance_f32(a, b), 1);
+        // Symmetric across zero.
+        assert_eq!(ulp_distance_f32(-a, -b), 1);
+        // Straddling zero: distance via both denormal ranges.
+        let tiny = f32::from_bits(1);
+        assert_eq!(ulp_distance_f32(tiny, -tiny), 3);
+    }
+
+    #[test]
+    fn nan_is_incomparable_unless_same_payload() {
+        assert_eq!(ulp_distance_f32(f32::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance_f32(f32::NAN, f32::NAN), 0);
+        assert_eq!(ulp_distance_f64(f64::NAN, 0.0), u64::MAX);
+    }
+
+    #[test]
+    fn slice_compare_finds_worst_index() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 2.5, 3.0];
+        let d = compare_f32_slices(&a, &b);
+        assert_eq!(d.worst_index, 1);
+        assert!((d.max_abs - 0.5).abs() < 1e-12);
+        assert!(!d.identical());
+        assert!(compare_f32_slices(&a, &a).identical());
+    }
+
+    #[test]
+    fn slice_compare_rejects_length_mismatch() {
+        let d = compare_f32_slices(&[1.0], &[1.0, 2.0]);
+        assert_eq!(d.max_ulp, u64::MAX);
+        assert!(d.max_abs.is_infinite());
+    }
+}

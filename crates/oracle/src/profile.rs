@@ -1,0 +1,209 @@
+//! Naive Eq. 3/4 category aggregation (§4.3).
+//!
+//! Eq. 3: a session's interest profile is the α-weighted average of the
+//! category vectors of labeled hosts — the labeled neighbors of the
+//! session embedding (α = cosine similarity, clamped at 0) plus the
+//! labeled hosts visited in the session itself (α = 1).
+//!
+//! Eq. 4: per-category importances are normalized by the total α mass,
+//! clamped to `[0, 1]`, zero-weight categories dropped.
+//!
+//! The oracle mirrors the production `Profiler` contribution order
+//! exactly (neighbors in kNN order, then in-session hosts in visit
+//! order; within a host, categories in id order) so f32 accumulation is
+//! bit-comparable, but stores the accumulator as a first-touch-ordered
+//! `Vec` with linear search instead of an epoch-stamped dense scratch.
+
+use crate::knn;
+
+/// One session host, pre-resolved against vocabulary and ontology.
+#[derive(Debug, Clone)]
+pub struct SessionHost {
+    /// Embedding row of this host, when in vocabulary.
+    pub vocab_idx: Option<u32>,
+    /// `(category, weight)` pairs in id order, when in the ontology.
+    pub categories: Option<Vec<(u16, f32)>>,
+}
+
+/// Oracle twin of `SessionProfile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleProfile {
+    /// `(category, importance)` in category-id order (Eq. 4).
+    pub categories: Vec<(u16, f32)>,
+    /// Mean of in-vocabulary session host embeddings (empty if none).
+    pub session_vector: Vec<f32>,
+    /// Labeled hosts visited in the session itself.
+    pub labeled_in_session: usize,
+    /// Labeled hosts contributing as embedding-space neighbors.
+    pub labeled_neighbors: usize,
+}
+
+/// Mean session vector over in-vocabulary hosts, in visit order.
+/// `None` when no session host is in vocabulary.
+pub fn mean_session_vector(hosts: &[SessionHost], rows: &[f32], dim: usize) -> Option<Vec<f32>> {
+    let mut acc = vec![0.0f32; dim];
+    let mut weight_sum = 0.0f32;
+    for h in hosts {
+        if let Some(idx) = h.vocab_idx {
+            let row = &rows[idx as usize * dim..(idx as usize + 1) * dim];
+            for (a, &r) in acc.iter_mut().zip(row) {
+                *a += 1.0 * r;
+            }
+            weight_sum += 1.0;
+        }
+    }
+    if weight_sum <= 0.0 {
+        return None;
+    }
+    for a in &mut acc {
+        *a /= weight_sum;
+    }
+    Some(acc)
+}
+
+/// Profile one session (mean aggregation): Eq. 3 accumulation over the
+/// `n_neighbors` nearest labeled rows plus in-session labeled hosts,
+/// then Eq. 4 normalization. `labeled[idx]` carries the category vector
+/// of vocabulary row `idx` when that host is in the ontology.
+///
+/// `None` when nothing contributes — no session vector *and* no labeled
+/// session host.
+pub fn profile(
+    hosts: &[SessionHost],
+    rows: &[f32],
+    dim: usize,
+    labeled: &[Option<Vec<(u16, f32)>>],
+    n_neighbors: usize,
+) -> Option<OracleProfile> {
+    if hosts.is_empty() {
+        return None;
+    }
+
+    // Labeled session hosts by vocabulary row, for the "don't count a
+    // visited host again as its own neighbor" rule.
+    let mut in_session: Vec<u32> = hosts
+        .iter()
+        .filter(|h| h.categories.is_some())
+        .filter_map(|h| h.vocab_idx)
+        .collect();
+    in_session.sort_unstable();
+
+    let session_vector = mean_session_vector(hosts, rows, dim);
+    let neighbors = match &session_vector {
+        Some(sv) => knn::nearest(rows, dim, sv, n_neighbors),
+        None => Vec::new(),
+    };
+
+    // First-touch-ordered accumulator: matches the production scratch's
+    // per-category f32 accumulation order exactly.
+    let mut touched: Vec<(u16, f32)> = Vec::new();
+    let add = |touched: &mut Vec<(u16, f32)>, cats: &[(u16, f32)], alpha: f32| {
+        for &(c, w) in cats {
+            match touched.iter_mut().find(|(id, _)| *id == c) {
+                Some((_, acc)) => *acc += alpha * w,
+                None => touched.push((c, alpha * w)),
+            }
+        }
+    };
+
+    let mut alpha_sum = 0.0f32;
+    let mut labeled_neighbors = 0usize;
+    let mut contributions = 0usize;
+
+    for &(idx, sim) in &neighbors {
+        if in_session.binary_search(&idx).is_ok() {
+            continue;
+        }
+        let Some(cats) = labeled.get(idx as usize).and_then(|c| c.as_ref()) else {
+            continue;
+        };
+        let alpha = sim.max(0.0);
+        if alpha > 0.0 {
+            alpha_sum += alpha;
+            add(&mut touched, cats, alpha);
+            labeled_neighbors += 1;
+            contributions += 1;
+        }
+    }
+    for h in hosts {
+        if let Some(cats) = &h.categories {
+            alpha_sum += 1.0;
+            add(&mut touched, cats, 1.0);
+            contributions += 1;
+        }
+    }
+    if contributions == 0 {
+        return None;
+    }
+
+    // Eq. 4: normalize by total α mass, clamp to [0, 1], drop zeros,
+    // order by category id (the production CategoryVector invariants).
+    let mut categories: Vec<(u16, f32)> = touched
+        .into_iter()
+        .map(|(c, acc)| (c, (acc / alpha_sum).clamp(0.0, 1.0)))
+        .filter(|&(_, w)| w > 0.0)
+        .collect();
+    categories.sort_unstable_by_key(|&(c, _)| c);
+
+    let labeled_in_session = hosts.iter().filter(|h| h.categories.is_some()).count();
+    Some(OracleProfile {
+        categories,
+        session_vector: session_vector.unwrap_or_default(),
+        labeled_in_session,
+        labeled_neighbors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(idx: Option<u32>, cats: Option<&[(u16, f32)]>) -> SessionHost {
+        SessionHost {
+            vocab_idx: idx,
+            categories: cats.map(|c| c.to_vec()),
+        }
+    }
+
+    #[test]
+    fn in_session_labels_dominate_without_embeddings() {
+        // No vocabulary rows at all: Eq. 3 degenerates to averaging the
+        // visited labeled hosts with α = 1.
+        let hosts = vec![
+            host(None, Some(&[(2, 1.0)])),
+            host(None, Some(&[(2, 0.5), (7, 1.0)])),
+            host(None, None),
+        ];
+        let p = profile(&hosts, &[], 0, &[], 10).expect("profile");
+        assert_eq!(p.labeled_in_session, 2);
+        assert_eq!(p.labeled_neighbors, 0);
+        assert!(p.session_vector.is_empty());
+        // alpha_sum = 2: cat 2 → (1.0 + 0.5)/2, cat 7 → 1.0/2.
+        assert_eq!(p.categories.len(), 2);
+        assert!((p.categories[0].1 - 0.75).abs() < 1e-6);
+        assert!((p.categories[1].1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn visited_hosts_are_not_double_counted_as_neighbors() {
+        // Two rows pointing the same way; row 0 is visited and labeled,
+        // row 1 is its labeled neighbor.
+        let rows = [1.0f32, 0.0, 1.0, 0.0];
+        let labeled = vec![Some(vec![(1u16, 1.0f32)]), Some(vec![(3u16, 1.0f32)])];
+        let hosts = vec![host(Some(0), Some(&[(1, 1.0)]))];
+        let p = profile(&hosts, &rows, 2, &labeled, 5).expect("profile");
+        // Row 0 contributes only as in-session (α=1); row 1 as neighbor
+        // (α=1.0 cosine).
+        assert_eq!(p.labeled_in_session, 1);
+        assert_eq!(p.labeled_neighbors, 1);
+        assert_eq!(p.categories.len(), 2);
+    }
+
+    #[test]
+    fn empty_session_profiles_to_none() {
+        assert!(profile(&[], &[], 2, &[], 5).is_none());
+        // Unlabeled, out-of-vocab host: nothing contributes.
+        let hosts = vec![host(None, None)];
+        assert!(profile(&hosts, &[], 2, &[], 5).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! Reference statistics (§5): Welford running moments and a paired
+//! t-test whose p-value is computed by a *different method* than
+//! production.
+//!
+//! The production `paired_t_test` uses a two-pass variance and evaluates
+//! the Student-t tail through the regularized incomplete beta function
+//! (Lentz continued fraction). The oracle accumulates moments with
+//! Welford's online update and integrates the t-density numerically with
+//! Simpson's rule, using a Stirling-series log-gamma. Agreement to ~1e-9
+//! therefore cross-checks two fully independent derivations.
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Absorb one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n − 1); 0 for fewer than two points.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+}
+
+/// Oracle twin of the production `TTestResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleTTest {
+    pub t: f64,
+    pub df: f64,
+    pub p: f64,
+    pub mean_diff: f64,
+}
+
+/// Paired two-tailed t-test over equal-length samples.
+///
+/// `None` mirrors production: fewer than two pairs, zero/NaN variance,
+/// or a non-finite mean difference.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<OracleTTest> {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    if a.len() < 2 {
+        return None;
+    }
+    let mut w = Welford::default();
+    for (&x, &y) in a.iter().zip(b) {
+        w.push(x - y);
+    }
+    let n = w.count() as f64;
+    let mean_diff = w.mean();
+    let var = w.sample_variance();
+    if var.is_nan() || var <= 0.0 || !mean_diff.is_finite() {
+        return None;
+    }
+    let se = (var / n).sqrt();
+    let t = mean_diff / se;
+    let df = n - 1.0;
+    Some(OracleTTest {
+        t,
+        df,
+        p: student_t_two_tailed_p(t, df),
+        mean_diff,
+    })
+}
+
+/// Two-tailed p-value for Student's t by direct numeric integration of
+/// the density: `p = 1 − 2·∫₀^|t| f(x) dx` (0 for non-finite t).
+pub fn student_t_two_tailed_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let limit = t.abs();
+    if limit == 0.0 {
+        return 1.0;
+    }
+    // Normalization constant Γ((ν+1)/2) / (√(νπ) Γ(ν/2)).
+    let ln_c =
+        ln_gamma((df + 1.0) / 2.0) - 0.5 * (df * std::f64::consts::PI).ln() - ln_gamma(df / 2.0);
+    let pdf = |x: f64| (ln_c - (df + 1.0) / 2.0 * (1.0 + x * x / df).ln()).exp();
+
+    // Composite Simpson over [0, |t|]. The density is smooth and
+    // bounded, so 20k panels give far more accuracy than the 1e-9
+    // agreement we assert against production.
+    let steps = 20_000usize;
+    let h = limit / steps as f64;
+    let mut integral = pdf(0.0) + pdf(limit);
+    for i in 1..steps {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        integral += w * pdf(i as f64 * h);
+    }
+    integral *= h / 3.0;
+    (1.0 - 2.0 * integral).clamp(0.0, 1.0)
+}
+
+/// log Γ(x) for x > 0: Stirling's series after shifting x above 10 with
+/// the recurrence Γ(x) = Γ(x+1)/x.
+pub fn ln_gamma(mut x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain");
+    let mut shift = 0.0;
+    while x < 10.0 {
+        shift -= x.ln();
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    // Stirling series: (x-1/2)ln x − x + ln(2π)/2 + Σ B₂ₙ/(2n(2n−1)x^{2n−1}).
+    let series = inv / 12.0 - inv * inv2 / 360.0 + inv * inv2 * inv2 / 1260.0
+        - inv * inv2 * inv2 * inv2 / 1680.0;
+    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + series + shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_descriptive() {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0)
+            .collect();
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = hostprof_stats::descriptive::mean(&xs);
+        let var = hostprof_stats::descriptive::variance(&xs);
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_hits_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_test_matches_production_on_fixed_samples() {
+        let a: Vec<f64> = (0..30).map(|i| 0.5 + 0.01 * (i as f64).cos()).collect();
+        let b: Vec<f64> = (0..30)
+            .map(|i| 0.47 + 0.012 * (i as f64 * 1.7).sin())
+            .collect();
+        let prod = hostprof_stats::paired_t_test(&a, &b).expect("production t-test");
+        let oracle = paired_t_test(&a, &b).expect("oracle t-test");
+        assert!((prod.t - oracle.t).abs() <= 1e-12 * prod.t.abs().max(1.0));
+        assert_eq!(prod.df, oracle.df);
+        assert!(
+            (prod.p - oracle.p).abs() < 1e-9,
+            "p: {} vs {}",
+            prod.p,
+            oracle.p
+        );
+        assert!((prod.mean_diff - oracle.mean_diff).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_samples_mirror_production_none() {
+        // Identical pairs → zero variance → no test.
+        let a = vec![1.0, 1.0, 1.0];
+        assert!(paired_t_test(&a, &a).is_none());
+        assert!(hostprof_stats::paired_t_test(&a, &a).is_none());
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn zero_t_means_p_one() {
+        assert_eq!(student_t_two_tailed_p(0.0, 10.0), 1.0);
+        assert_eq!(student_t_two_tailed_p(f64::INFINITY, 10.0), 0.0);
+    }
+}

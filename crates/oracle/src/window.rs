@@ -1,0 +1,86 @@
+//! Naive session extraction (§4.1): "the sequence of hosts visited by
+//! user u in the last window of length T", first visit only, with
+//! blocklisted trackers removed.
+//!
+//! The production path composes `Trace::window` (binary search over a
+//! sorted per-user timeline) with `Session::from_window` (HashSet dedup).
+//! The oracle is a single linear scan over `(t_ms, hostname)` pairs with
+//! an O(n²) `Vec::contains` dedup — obviously correct, order-preserving.
+
+/// Hosts visited by one user in the half-open window `(end - T, end]`,
+/// lowercased, blocklist-filtered, first visit only.
+///
+/// Boundary semantics match the paper's "last window of length T"
+/// anchored at the final observed request: the window *includes* its end
+/// instant and *excludes* its start instant, except that a window whose
+/// start would fall at or before the epoch keeps everything from t = 0.
+pub fn session_window(
+    requests: &[(u64, String)],
+    end_ms: u64,
+    duration_ms: u64,
+    blocked: &dyn Fn(&str) -> bool,
+) -> Vec<String> {
+    let mut session: Vec<String> = Vec::new();
+    for (t, host) in requests {
+        let after_start = match end_ms.checked_sub(duration_ms) {
+            // Window reaches past the epoch: nothing to cut on the left.
+            None => true,
+            // Start exactly at the epoch: the first request (t = 0)
+            // still belongs to the window.
+            Some(0) if duration_ms > 0 => true,
+            Some(start) => *t > start,
+        };
+        if !(after_start && *t <= end_ms) {
+            continue;
+        }
+        let lower = host.to_ascii_lowercase();
+        if blocked(&lower) {
+            continue;
+        }
+        if !session.contains(&lower) {
+            session.push(lower);
+        }
+    }
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reqs(ts: &[(u64, &str)]) -> Vec<(u64, String)> {
+        ts.iter().map(|&(t, h)| (t, h.to_string())).collect()
+    }
+
+    #[test]
+    fn window_is_half_open_and_deduped() {
+        let r = reqs(&[
+            (100, "A.example"),
+            (500, "b.example"),
+            (900, "a.example"),
+            (1000, "c.example"),
+            (1001, "d.example"),
+        ]);
+        // Window (100, 1000]: excludes t=100, includes t=1000.
+        let s = session_window(&r, 1000, 900, &|_| false);
+        assert_eq!(s, ["b.example", "a.example", "c.example"]);
+    }
+
+    #[test]
+    fn epoch_touching_window_keeps_t_zero() {
+        let r = reqs(&[(0, "first.example"), (5, "next.example")]);
+        assert_eq!(
+            session_window(&r, 10, 10, &|_| false),
+            ["first.example", "next.example"]
+        );
+        // Duration larger than end: same, everything kept.
+        assert_eq!(session_window(&r, 10, 99, &|_| false).len(), 2);
+    }
+
+    #[test]
+    fn blocklist_filters_before_dedup() {
+        let r = reqs(&[(1, "ads.example"), (2, "site.example"), (3, "ads.example")]);
+        let s = session_window(&r, 3, 10, &|h| h.starts_with("ads."));
+        assert_eq!(s, ["site.example"]);
+    }
+}

@@ -1,0 +1,66 @@
+//! The differential conformance suite: oracle vs production across
+//! multiple seeded worlds. CI runs this in both debug and `--release`
+//! to catch debug_assert-only and codegen-dependent divergences.
+
+use hostprof_oracle::driver::{differential_run, DriverConfig};
+use hostprof_oracle::Stage;
+
+#[test]
+fn differential_suite_is_clean_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let report = differential_run(&DriverConfig {
+            seed,
+            perturb_embedding: None,
+        });
+        assert!(
+            report.items_checked > 100,
+            "seed {seed}: only {} comparisons ran",
+            report.items_checked
+        );
+        assert!(report.is_clean(), "seed {seed}:\n{}", report.summary());
+    }
+}
+
+#[test]
+fn every_stage_actually_runs() {
+    // A clean report proves nothing if a stage silently produced no
+    // comparisons; count per-stage coverage on one seed by breaking the
+    // run down. The driver doesn't expose per-stage counts for clean
+    // items, so instead assert the perturbed run reports mismatches in
+    // downstream stages (proof kNN/profile comparisons execute) while
+    // the clean run has none.
+    let clean = differential_run(&DriverConfig::default());
+    assert!(clean.is_clean(), "{}", clean.summary());
+
+    let sabotaged = differential_run(&DriverConfig {
+        seed: 1,
+        perturb_embedding: Some((4, 1e-3)),
+    });
+    assert!(!sabotaged.is_clean());
+    assert_eq!(sabotaged.mismatches_in(Stage::Sni), 0);
+    assert_eq!(sabotaged.mismatches_in(Stage::Window), 0);
+    assert_eq!(sabotaged.mismatches_in(Stage::Train), 0);
+    assert!(sabotaged.mismatches_in(Stage::Knn) + sabotaged.mismatches_in(Stage::Profile) > 0);
+}
+
+#[test]
+fn mismatch_reports_carry_stage_item_and_deltas() {
+    let sabotaged = differential_run(&DriverConfig {
+        seed: 2,
+        perturb_embedding: Some((0, 1e-3)),
+    });
+    assert!(!sabotaged.is_clean());
+    let m = &sabotaged.mismatches[0];
+    assert!(!m.item.is_empty());
+    assert!(!m.detail.is_empty());
+    // The 1e-3 nudge must be visible in the reported numeric deltas of
+    // at least one mismatch.
+    assert!(
+        sabotaged
+            .mismatches
+            .iter()
+            .any(|m| m.max_abs > 0.0 || m.max_ulp > 0),
+        "{}",
+        sabotaged.summary()
+    );
+}

@@ -19,7 +19,7 @@
 
 use hostprof::ads::{CtrExperiment, ExperimentConfig};
 use hostprof::bridge::{ObservedTrace, ObserverScenario};
-use hostprof::embed::KernelChoice;
+use hostprof::embed::{KernelChoice, Sharding};
 use hostprof::profiling::{profile_accuracy, Session};
 use hostprof::scenario::{Scenario, ScenarioConfig};
 use hostprof::stats::paired_t_test;
@@ -326,7 +326,75 @@ fn cmd_observe(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Dispatch between the two replay modes: `--capture` re-reads a saved
+/// packet capture through the observer; `--golden` runs the pinned
+/// end-to-end conformance replay against committed snapshots.
 fn cmd_replay(args: &Args) -> Result<(), String> {
+    if args.get("capture").is_some() || args.flag("capture") {
+        cmd_replay_capture(args)
+    } else {
+        cmd_replay_conformance(args)
+    }
+}
+
+fn cmd_replay_conformance(args: &Args) -> Result<(), String> {
+    args.expect_keys(&["seed", "golden", "bless", "threads", "kernel", "sharding"])?;
+    let golden_dir: PathBuf = args
+        .get("golden")
+        .ok_or(
+            "replay requires --capture <path> (capture mode) or --golden <dir> (conformance mode)",
+        )?
+        .into();
+    let seed = args.get_parsed::<u64>("seed")?.unwrap_or(1);
+    let mut opts = hostprof::replay::ReplayOptions::for_seed(seed);
+    if let Some(threads) = args.get_parsed::<usize>("threads")? {
+        opts.profile_threads = threads;
+    }
+    if let Some(kernel) = args.get_parsed::<KernelChoice>("kernel")? {
+        opts.kernel = kernel;
+    }
+    if let Some(sharding) = args.get_parsed::<Sharding>("sharding")? {
+        opts.sharding = sharding;
+    }
+
+    let snapshot = hostprof::replay::run_replay(&opts)?;
+    let path = hostprof::replay::golden_path(&golden_dir, seed);
+    if args.flag("bless") {
+        std::fs::create_dir_all(&golden_dir).map_err(|e| e.to_string())?;
+        std::fs::write(&path, hostprof::replay::to_golden_json(&snapshot)?)
+            .map_err(|e| e.to_string())?;
+        println!("blessed {}", path.display());
+        return Ok(());
+    }
+    let contents = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "read golden {}: {e} (run with --bless to create it)",
+            path.display()
+        )
+    })?;
+    let expected = hostprof::replay::from_golden_json(&contents)?;
+    let diffs = hostprof::replay::compare_snapshots(&expected, &snapshot);
+    if diffs.is_empty() {
+        println!(
+            "replay seed {seed}: OK — {} profiles, {} CTR rows, all stage digests match {}",
+            snapshot.profiles.len(),
+            snapshot.ctr.len(),
+            path.display()
+        );
+        Ok(())
+    } else {
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        Err(format!(
+            "replay seed {seed}: {} divergence(s) from {}",
+            diffs.len(),
+            path.display()
+        ))
+    }
+}
+
+fn cmd_replay_capture(args: &Args) -> Result<(), String> {
     args.expect_keys(&["capture", "dns"])?;
     let path: PathBuf = args
         .get("capture")
@@ -402,6 +470,8 @@ USAGE:
   hostprof observe    [--scale S] [--ech FRACTION] [--nat USERS_PER_IP] [--dns]
                       [--save capture.hpcap]
   hostprof replay     --capture capture.hpcap [--dns]
+  hostprof replay     --golden tests/golden [--seed S] [--bless] [--threads N]
+                      [--kernel auto|scalar|simd] [--sharding static|balanced]
   hostprof experiment [--scale S] [--days N] [--users N]
 ";
 

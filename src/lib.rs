@@ -57,9 +57,11 @@ pub use hostprof_stats as stats;
 pub use hostprof_synth as synth;
 
 pub mod bridge;
+pub mod replay;
 pub mod scenario;
 pub mod storage;
 
 pub use bridge::{ObservedTrace, ObserverScenario};
+pub use replay::{ReplayOptions, ReplaySnapshot};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use storage::{load_model, save_model, StorageError};

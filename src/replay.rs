@@ -1,0 +1,526 @@
+//! Deterministic end-to-end replay: one seed in, one byte-stable
+//! snapshot out.
+//!
+//! `hostprof replay --seed S --golden tests/golden/` re-runs a pinned
+//! miniature of the full paper pipeline — synthetic world → passive
+//! observation → session windows → skipgram embeddings → Eq. 3/4
+//! profiles → CTR experiment → paired t-test — and either compares the
+//! resulting [`ReplaySnapshot`] against the committed golden JSON or
+//! (with `--bless`) rewrites it.
+//!
+//! ## The determinism contract
+//!
+//! The snapshot must be **byte-identical** across every execution knob
+//! that is not supposed to change observable results:
+//!
+//! * `{1, 4}` profiling threads — profiling consumes no randomness and
+//!   the batch profiler is pinned bit-equal to the sequential path;
+//! * `{scalar, simd}` skipgram kernels — the replay trains at `dim = 3`,
+//!   where every SIMD kernel takes its scalar tail path from element 0,
+//!   making the two kernels the *same* sequence of f32 operations;
+//! * `{static, balanced}` sharding — the replay trains with one Hogwild
+//!   worker, where both schedules visit sequences in identical order.
+//!
+//! The knobs deliberately *not* varied are the ones that legitimately
+//! change results (dim ≥ 4 re-associates the portable dot product's
+//! 4-accumulator reduction; `threads ≥ 2` makes Hogwild racy by design).
+//! The conformance suite (`tests/replay_conformance.rs`) runs the full
+//! 2×2×2 matrix and asserts byte equality; per-stage FNV digests give a
+//! stage-attributed diff the moment any future optimization drifts.
+
+use crate::bridge::{ObservedTrace, ObserverScenario};
+use crate::scenario::{Scenario, ScenarioConfig};
+use hostprof_ads::{CtrExperiment, ExperimentConfig, ExperimentResult};
+use hostprof_core::{Session, SessionProfile};
+use hostprof_embed::{KernelChoice, Sharding, SkipGramConfig};
+use hostprof_stats::paired_t_test;
+use hostprof_synth::UserId;
+use serde::{Deserialize, Serialize};
+
+/// Execution knobs for one replay. Everything here is REQUIRED to leave
+/// the snapshot byte-identical; the seed alone decides the output.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Master seed, mixed into every generator.
+    pub seed: u64,
+    /// Worker threads for batched profiling ({1, 4} in CI).
+    pub profile_threads: usize,
+    /// Skipgram kernel choice.
+    pub kernel: KernelChoice,
+    /// Skipgram work-sharding strategy.
+    pub sharding: Sharding,
+    /// Test hook: add `delta` to flat embedding weight `index` after
+    /// training, to prove the suite fails with a model-stage diff.
+    pub perturb_embedding: Option<(usize, f32)>,
+}
+
+impl ReplayOptions {
+    /// Default knobs for a seed: 1 thread, auto kernel, balanced
+    /// sharding (the production defaults).
+    pub fn for_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            profile_threads: 1,
+            kernel: KernelChoice::Auto,
+            sharding: Sharding::Balanced,
+            perturb_embedding: None,
+        }
+    }
+}
+
+/// One category weight of a final profile (id order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryWeight {
+    pub id: u16,
+    pub weight: f32,
+}
+
+/// Final-day profile of one user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfileSnapshot {
+    pub user: u32,
+    pub categories: Vec<CategoryWeight>,
+    pub labeled_in_session: u64,
+    pub labeled_neighbors: u64,
+}
+
+/// One row of the CTR table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserCtrSnapshot {
+    pub user: u32,
+    pub eaves_impressions: u64,
+    pub eaves_clicks: u64,
+    pub orig_impressions: u64,
+    pub orig_clicks: u64,
+}
+
+/// Paired t-test over the per-user CTR pairs (`valid = false` when the
+/// test is undefined, e.g. degenerate variance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TTestSnapshot {
+    pub valid: bool,
+    pub t: f64,
+    pub df: f64,
+    pub p: f64,
+    pub mean_diff: f64,
+}
+
+/// FNV-1a-64 digests of every intermediate stage, hex-encoded (JSON
+/// numbers cannot carry u64 losslessly). Stage order is pipeline order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDigests {
+    /// Synthetic browsing trace (t_ms, user, host) stream.
+    pub trace: String,
+    /// Hostname sequences recovered by the passive observer.
+    pub observed: String,
+    /// Per-(user, day) session windows after dedup + blocklist.
+    pub sessions: String,
+    /// Trained embedding matrix (token order + weight bits).
+    pub model: String,
+    /// Final-day profiles (category ids + weight bits).
+    pub profiles: String,
+    /// CTR experiment outcome (impression/click table + totals).
+    pub ctr: String,
+}
+
+/// The golden snapshot: everything `hostprof replay` promises to keep
+/// byte-stable for a given seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplaySnapshot {
+    pub seed: u64,
+    pub users: u64,
+    pub days: u64,
+    pub hosts: u64,
+    pub stages: StageDigests,
+    pub profiles: Vec<UserProfileSnapshot>,
+    pub ctr: Vec<UserCtrSnapshot>,
+    pub ctr_test: TTestSnapshot,
+}
+
+/// Streaming FNV-1a 64-bit digest with length-prefixed framing.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f32(&mut self, v: f32) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// The pinned replay scenario: tiny world, 12 users, 3 days, `dim = 3`
+/// single-thread training (see the determinism contract above).
+pub fn replay_scenario_config(opts: &ReplayOptions) -> ScenarioConfig {
+    let mix = |salt: u64| -> u64 {
+        let mut x = opts
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        x ^= x >> 31;
+        x
+    };
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.world.seed = mix(1);
+    cfg.population.num_users = 12;
+    cfg.population.seed = mix(2);
+    cfg.trace.days = 3;
+    cfg.trace.seed = mix(3);
+    cfg.ads_seed = mix(4);
+    cfg.pipeline.skipgram = SkipGramConfig {
+        dim: 3,
+        window: 2,
+        negatives: 3,
+        epochs: 2,
+        learning_rate: 0.025,
+        min_count: 1,
+        subsample: 0.0,
+        threads: 1,
+        seed: mix(5),
+        kernel: opts.kernel,
+        sharding: opts.sharding,
+    };
+    cfg.pipeline.profiler.n_neighbors = 20;
+    cfg
+}
+
+/// Run the full pipeline for one seed and snapshot every stage.
+pub fn run_replay(opts: &ReplayOptions) -> Result<ReplaySnapshot, String> {
+    let cfg = replay_scenario_config(opts);
+    let s = Scenario::generate(&cfg);
+
+    // Stage 1: the ground-truth trace.
+    let mut d = Digest::new();
+    for r in s.trace.requests() {
+        d.write_u64(r.t_ms);
+        d.write_u64(r.user.0 as u64);
+        d.write_u64(r.host.0 as u64);
+    }
+    let trace_digest = d.hex();
+
+    // Stage 2: passive observation (per-user addressing, no chaos).
+    let observed = ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::per_user());
+    let mut d = Digest::new();
+    for seq in observed.observed_sequences() {
+        d.write_u64(seq.len() as u64);
+        for h in &seq {
+            d.write_str(h);
+        }
+    }
+    let observed_digest = d.hex();
+
+    // Stage 3: per-(user, day) session windows.
+    let blocklist = s.world.blocklist();
+    let mut sessions: Vec<(u32, u32, Session)> = Vec::new();
+    let mut d = Digest::new();
+    for u in 0..s.population.len() as u32 {
+        for day in 0..s.trace.days() {
+            let names = s.session_hostnames(UserId(u), day);
+            if names.is_empty() {
+                continue;
+            }
+            let session = Session::from_window(names.iter().map(|h| h.as_str()), Some(blocklist));
+            d.write_u64(u as u64);
+            d.write_u64(day as u64);
+            d.write_u64(session.hostnames().len() as u64);
+            for h in session.hostnames() {
+                d.write_str(h);
+            }
+            sessions.push((u, day, session));
+        }
+    }
+    let sessions_digest = d.hex();
+
+    // Stage 4: train the embedding space on the whole trace.
+    let pipeline = s.pipeline();
+    let corpus: Vec<Vec<String>> = (0..s.trace.days())
+        .flat_map(|day| s.daily_hostname_sequences(day))
+        .collect();
+    let mut embeddings = pipeline.train_model(&corpus)?;
+    if let Some((index, delta)) = opts.perturb_embedding {
+        let dim = embeddings.dim();
+        let mut flat = Vec::with_capacity(embeddings.len() * dim);
+        for idx in 0..embeddings.len() as u32 {
+            flat.extend_from_slice(embeddings.vector_by_index(idx));
+        }
+        if let Some(x) = flat.get_mut(index) {
+            *x += delta;
+        }
+        embeddings = hostprof_embed::EmbeddingSet::new(dim, embeddings.vocab().clone(), flat);
+    }
+    let mut d = Digest::new();
+    d.write_u64(embeddings.dim() as u64);
+    d.write_u64(embeddings.len() as u64);
+    for idx in 0..embeddings.len() as u32 {
+        d.write_str(embeddings.vocab().token(idx));
+        for &x in embeddings.vector_by_index(idx) {
+            d.write_f32(x);
+        }
+    }
+    let model_digest = d.hex();
+
+    // Stage 5: batch-profile the final day's sessions.
+    let final_day = s.trace.days().saturating_sub(1);
+    let day_sessions: Vec<(u32, &Session)> = sessions
+        .iter()
+        .filter(|&&(_, day, _)| day == final_day)
+        .map(|(u, _, sess)| (*u, sess))
+        .collect();
+    let profiler = pipeline.batch_profiler(&embeddings, s.world.ontology(), opts.profile_threads);
+    let session_refs: Vec<Session> = day_sessions.iter().map(|(_, s)| (*s).clone()).collect();
+    let profiled: Vec<Option<SessionProfile>> = profiler.profile_sessions(&session_refs);
+
+    let mut profiles = Vec::new();
+    let mut d = Digest::new();
+    for ((u, _), profile) in day_sessions.iter().zip(&profiled) {
+        let Some(p) = profile else {
+            continue;
+        };
+        let categories: Vec<CategoryWeight> = p
+            .categories
+            .iter()
+            .map(|(c, w)| CategoryWeight { id: c.0, weight: w })
+            .collect();
+        d.write_u64(*u as u64);
+        d.write_u64(categories.len() as u64);
+        for cw in &categories {
+            d.write_u64(cw.id as u64);
+            d.write_f32(cw.weight);
+        }
+        for &x in &p.session_vector {
+            d.write_f32(x);
+        }
+        profiles.push(UserProfileSnapshot {
+            user: *u,
+            categories,
+            labeled_in_session: p.labeled_in_session as u64,
+            labeled_neighbors: p.labeled_neighbors as u64,
+        });
+    }
+    let profiles_digest = d.hex();
+
+    // Stage 6: the CTR experiment + paired t-test.
+    let experiment = CtrExperiment::new(
+        &s.world,
+        &s.population,
+        &s.trace,
+        &s.ads,
+        ExperimentConfig {
+            pipeline: cfg.pipeline.clone(),
+            profile_threads: opts.profile_threads,
+            seed: cfg.ads_seed ^ 0x00ad_5eed,
+            ..ExperimentConfig::default()
+        },
+    );
+    let result = experiment.run();
+    let (ctr, ctr_test) = snapshot_ctr(&result);
+    let mut d = Digest::new();
+    for row in &ctr {
+        d.write_u64(row.user as u64);
+        d.write_u64(row.eaves_impressions);
+        d.write_u64(row.eaves_clicks);
+        d.write_u64(row.orig_impressions);
+        d.write_u64(row.orig_clicks);
+    }
+    d.write_u64(result.replaced);
+    d.write_u64(result.impressions);
+    d.write_u64(result.reports);
+    d.write_u64(result.profiles);
+    d.write_u64(result.models_trained);
+    d.write_f64(ctr_test.t);
+    d.write_f64(ctr_test.p);
+    let ctr_digest = d.hex();
+
+    Ok(ReplaySnapshot {
+        seed: opts.seed,
+        users: s.population.len() as u64,
+        days: s.trace.days() as u64,
+        hosts: s.world.num_hosts() as u64,
+        stages: StageDigests {
+            trace: trace_digest,
+            observed: observed_digest,
+            sessions: sessions_digest,
+            model: model_digest,
+            profiles: profiles_digest,
+            ctr: ctr_digest,
+        },
+        profiles,
+        ctr,
+        ctr_test,
+    })
+}
+
+fn snapshot_ctr(result: &ExperimentResult) -> (Vec<UserCtrSnapshot>, TTestSnapshot) {
+    let ctr = result
+        .per_user
+        .iter()
+        .enumerate()
+        .map(|(u, c)| UserCtrSnapshot {
+            user: u as u32,
+            eaves_impressions: c.eaves_impressions,
+            eaves_clicks: c.eaves_clicks,
+            orig_impressions: c.orig_impressions,
+            orig_clicks: c.orig_clicks,
+        })
+        .collect();
+    let (a, b) = result.ctr_pairs();
+    let test = if a.len() >= 2 {
+        match paired_t_test(&a, &b) {
+            Some(t) => TTestSnapshot {
+                valid: true,
+                t: t.t,
+                df: t.df,
+                p: t.p,
+                mean_diff: t.mean_diff,
+            },
+            None => TTestSnapshot::default(),
+        }
+    } else {
+        TTestSnapshot::default()
+    };
+    (ctr, test)
+}
+
+/// Stage-attributed differences between two snapshots, in pipeline
+/// order. Empty means byte-equivalent content.
+pub fn compare_snapshots(expected: &ReplaySnapshot, actual: &ReplaySnapshot) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if expected.seed != actual.seed {
+        diffs.push(format!("config: seed {} vs {}", expected.seed, actual.seed));
+    }
+    for (stage, e, a) in [
+        ("trace", &expected.stages.trace, &actual.stages.trace),
+        (
+            "observed",
+            &expected.stages.observed,
+            &actual.stages.observed,
+        ),
+        (
+            "sessions",
+            &expected.stages.sessions,
+            &actual.stages.sessions,
+        ),
+        ("model", &expected.stages.model, &actual.stages.model),
+        (
+            "profiles",
+            &expected.stages.profiles,
+            &actual.stages.profiles,
+        ),
+        ("ctr", &expected.stages.ctr, &actual.stages.ctr),
+    ] {
+        if e != a {
+            diffs.push(format!("stage {stage}: digest {e} vs {a}"));
+        }
+    }
+    if expected.profiles != actual.profiles {
+        for (e, a) in expected.profiles.iter().zip(&actual.profiles) {
+            if e != a {
+                diffs.push(format!("profiles: user{} differs", e.user));
+            }
+        }
+        if expected.profiles.len() != actual.profiles.len() {
+            diffs.push(format!(
+                "profiles: {} users vs {}",
+                expected.profiles.len(),
+                actual.profiles.len()
+            ));
+        }
+    }
+    if expected.ctr != actual.ctr {
+        diffs.push("ctr: per-user table differs".into());
+    }
+    if expected.ctr_test != actual.ctr_test {
+        diffs.push("ctr: t-test differs".into());
+    }
+    diffs
+}
+
+/// Serialize a snapshot to the canonical golden JSON form (pretty, with
+/// a trailing newline — byte-stable for byte-stable content).
+pub fn to_golden_json(snapshot: &ReplaySnapshot) -> Result<String, String> {
+    serde_json::to_string_pretty(snapshot)
+        .map(|s| s + "\n")
+        .map_err(|e| format!("serialize snapshot: {e:?}"))
+}
+
+/// Parse a golden JSON file's contents.
+pub fn from_golden_json(contents: &str) -> Result<ReplaySnapshot, String> {
+    serde_json::from_str(contents).map_err(|e| format!("parse golden snapshot: {e:?}"))
+}
+
+/// `DIR/replay_seed_S.json`.
+pub fn golden_path(dir: &std::path::Path, seed: u64) -> std::path::PathBuf {
+    dir.join(format!("replay_seed_{seed}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_through_golden_json() {
+        let snap = run_replay(&ReplayOptions::for_seed(7)).expect("replay");
+        let json = to_golden_json(&snap).expect("serialize");
+        let back = from_golden_json(&json).expect("parse");
+        assert_eq!(snap, back);
+        assert!(compare_snapshots(&snap, &back).is_empty());
+    }
+
+    #[test]
+    fn replay_has_signal_in_every_stage() {
+        let snap = run_replay(&ReplayOptions::for_seed(1)).expect("replay");
+        assert!(snap.users > 0 && snap.days > 0 && snap.hosts > 0);
+        assert!(!snap.profiles.is_empty(), "no user got a final profile");
+        assert!(snap.ctr.iter().any(|c| c.orig_impressions > 0));
+    }
+
+    #[test]
+    fn different_seeds_change_every_stage_digest() {
+        let a = run_replay(&ReplayOptions::for_seed(1)).expect("replay");
+        let b = run_replay(&ReplayOptions::for_seed(2)).expect("replay");
+        assert_ne!(a.stages.trace, b.stages.trace);
+        assert_ne!(a.stages.observed, b.stages.observed);
+        assert_ne!(a.stages.sessions, b.stages.sessions);
+        assert_ne!(a.stages.model, b.stages.model);
+    }
+
+    #[test]
+    fn perturbation_is_attributed_to_the_model_stage() {
+        let clean = run_replay(&ReplayOptions::for_seed(1)).expect("replay");
+        let mut opts = ReplayOptions::for_seed(1);
+        opts.perturb_embedding = Some((5, 1e-3));
+        let bad = run_replay(&opts).expect("replay");
+        let diffs = compare_snapshots(&clean, &bad);
+        assert!(!diffs.is_empty());
+        // Upstream of the model: identical. The model stage itself: the
+        // first reported diff.
+        assert!(diffs[0].starts_with("stage model:"), "{diffs:?}");
+        assert_eq!(clean.stages.trace, bad.stages.trace);
+        assert_eq!(clean.stages.sessions, bad.stages.sessions);
+    }
+}

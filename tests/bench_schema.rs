@@ -1,0 +1,139 @@
+//! Schema validation for the committed benchmark artifacts under
+//! `results/`. The bench binaries serialize these by hand-rolled struct;
+//! this test pins the contract so a field rename or unit change in the
+//! bench code can't silently rot the committed numbers (or the plots
+//! and README claims derived from them).
+
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct ProfilingBench {
+    scale: String,
+    hardware_threads: usize,
+    sessions: usize,
+    vocabulary: usize,
+    dim: usize,
+    n_neighbors: usize,
+    seed_loop_sessions_per_sec: f64,
+    single_query_sessions_per_sec: f64,
+    throughput: Vec<ProfilingRow>,
+    best_speedup_at_4_threads: f64,
+}
+
+#[derive(Deserialize)]
+struct ProfilingRow {
+    threads: usize,
+    batch_size: usize,
+    sessions_per_sec: f64,
+    speedup_vs_seed: f64,
+}
+
+#[derive(Deserialize)]
+struct SkipgramBench {
+    scale: String,
+    hardware_threads: usize,
+    // Presence and type are the contract; the value is machine-dependent.
+    #[allow(dead_code)]
+    avx2_fma: bool,
+    sequences: usize,
+    tokens: usize,
+    dim: usize,
+    throughput: Vec<SkipgramRow>,
+    single_thread_kernel_speedup: f64,
+    sharding: ShardingBench,
+}
+
+#[derive(Deserialize)]
+struct SkipgramRow {
+    threads: usize,
+    kernel: String,
+    tokens_per_sec: f64,
+    speedup_vs_scalar_1t: f64,
+}
+
+#[derive(Deserialize)]
+struct ShardingBench {
+    skewed_sequences: usize,
+    skewed_tokens: usize,
+    threads: usize,
+    static_makespan_tokens: u64,
+    balanced_makespan_tokens: u64,
+    simulated_balance_ratio: f64,
+    measured_static_tokens_per_sec: f64,
+    measured_balanced_tokens_per_sec: f64,
+}
+
+fn read(name: &str) -> String {
+    let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn bench_profiling_json_matches_schema() {
+    let b: ProfilingBench =
+        serde_json::from_str(&read("bench_profiling.json")).expect("schema drifted");
+    assert!(!b.scale.is_empty());
+    assert!(b.hardware_threads >= 1);
+    assert!(b.sessions > 0 && b.vocabulary > 0 && b.dim > 0 && b.n_neighbors > 0);
+    assert!(b.seed_loop_sessions_per_sec > 0.0);
+    assert!(b.single_query_sessions_per_sec > 0.0);
+    assert!(!b.throughput.is_empty());
+    for row in &b.throughput {
+        assert!(row.threads >= 1);
+        assert!(row.batch_size >= 1);
+        assert!(row.sessions_per_sec > 0.0, "non-positive throughput");
+        assert!(row.speedup_vs_seed > 0.0);
+    }
+    assert!(b.best_speedup_at_4_threads > 0.0);
+    // The headline number must actually come from the 4-thread rows.
+    let best4 = b
+        .throughput
+        .iter()
+        .filter(|r| r.threads == 4)
+        .map(|r| r.speedup_vs_seed)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        (b.best_speedup_at_4_threads - best4).abs() < 1e-9,
+        "best_speedup_at_4_threads {} != max over 4-thread rows {best4}",
+        b.best_speedup_at_4_threads
+    );
+}
+
+#[test]
+fn bench_skipgram_json_matches_schema() {
+    let b: SkipgramBench =
+        serde_json::from_str(&read("bench_skipgram.json")).expect("schema drifted");
+    assert!(!b.scale.is_empty());
+    assert!(b.hardware_threads >= 1);
+    assert!(b.sequences > 0 && b.tokens > 0 && b.dim > 0);
+    assert!(!b.throughput.is_empty());
+    for row in &b.throughput {
+        assert!(row.threads >= 1);
+        assert!(
+            row.kernel == "scalar" || row.kernel == "simd",
+            "unknown kernel {:?}",
+            row.kernel
+        );
+        assert!(row.tokens_per_sec > 0.0);
+        assert!(row.speedup_vs_scalar_1t > 0.0);
+    }
+    // The scalar 1-thread row is the speedup baseline by definition.
+    let baseline = b
+        .throughput
+        .iter()
+        .find(|r| r.threads == 1 && r.kernel == "scalar")
+        .expect("scalar 1-thread baseline row missing");
+    assert!((baseline.speedup_vs_scalar_1t - 1.0).abs() < 1e-9);
+    assert!(b.single_thread_kernel_speedup > 0.0);
+
+    let s = &b.sharding;
+    assert!(s.skewed_sequences > 0 && s.skewed_tokens > 0 && s.threads >= 1);
+    assert!(s.static_makespan_tokens > 0 && s.balanced_makespan_tokens > 0);
+    assert!(
+        s.balanced_makespan_tokens <= s.static_makespan_tokens,
+        "balanced sharding must not worsen the simulated makespan"
+    );
+    assert!(s.simulated_balance_ratio >= 1.0);
+    assert!(s.measured_static_tokens_per_sec > 0.0);
+    assert!(s.measured_balanced_tokens_per_sec > 0.0);
+}

@@ -1,0 +1,104 @@
+//! End-to-end replay conformance: the committed golden snapshots under
+//! `tests/golden/` must be reproduced **byte-identically** across the
+//! full execution matrix — {1, 4} profiling threads × {scalar, simd}
+//! kernels × {static, balanced} sharding — on each seed.
+//!
+//! The determinism contract making this possible is spelled out in
+//! `src/replay.rs` (and DESIGN.md §10): the replay pins skipgram to
+//! `dim = 3, threads = 1`, where the SIMD kernels take their scalar
+//! tail path from element 0 and sharding degenerates to sequential
+//! epoch order, while batch profiling consumes no randomness so the
+//! thread count cannot reorder float accumulation.
+//!
+//! Regenerate goldens after an *intentional* pipeline change with:
+//! `cargo run --release --bin hostprof -- replay --golden tests/golden --seed S --bless`
+
+use hostprof::embed::{KernelChoice, Sharding};
+use hostprof::replay::{
+    compare_snapshots, from_golden_json, golden_path, run_replay, to_golden_json, ReplayOptions,
+};
+use std::path::Path;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+fn golden_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+fn read_golden(seed: u64) -> String {
+    let path = golden_path(golden_dir(), seed);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} — bless with `hostprof replay --golden tests/golden --seed {seed} --bless`",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn replay_matches_committed_goldens_across_the_full_matrix() {
+    for seed in SEEDS {
+        let golden = read_golden(seed);
+        let expected = from_golden_json(&golden).expect("golden parses");
+        for threads in [1usize, 4] {
+            for kernel in [KernelChoice::Scalar, KernelChoice::Simd] {
+                for sharding in [Sharding::Static, Sharding::Balanced] {
+                    let opts = ReplayOptions {
+                        seed,
+                        profile_threads: threads,
+                        kernel,
+                        sharding,
+                        perturb_embedding: None,
+                    };
+                    let snapshot = run_replay(&opts).expect("replay runs");
+                    let diffs = compare_snapshots(&expected, &snapshot);
+                    assert!(
+                        diffs.is_empty(),
+                        "seed {seed}, threads {threads}, {kernel:?}/{sharding:?} diverged:\n{}",
+                        diffs.join("\n")
+                    );
+                    // Byte-identity is stronger than structural equality:
+                    // the serialized form must match the committed file
+                    // exactly, proving float formatting is stable too.
+                    assert_eq!(
+                        to_golden_json(&snapshot).expect("serializes"),
+                        golden,
+                        "seed {seed}, threads {threads}, {kernel:?}/{sharding:?}: \
+                         snapshot JSON differs from committed golden bytes"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_snapshots_are_seed_sensitive() {
+    let golden_1 = from_golden_json(&read_golden(1)).expect("golden parses");
+    let golden_2 = from_golden_json(&read_golden(2)).expect("golden parses");
+    assert_ne!(golden_1.stages.trace, golden_2.stages.trace);
+    assert_ne!(golden_1.stages.model, golden_2.stages.model);
+    assert_ne!(golden_1.stages.ctr, golden_2.stages.ctr);
+}
+
+#[test]
+fn single_weight_perturbation_fails_with_model_stage_attribution() {
+    // ISSUE acceptance: nudging one embedding weight by 1e-3 must fail
+    // conformance, and the first reported diff must finger the model
+    // stage (upstream digests stay clean).
+    let expected = from_golden_json(&read_golden(1)).expect("golden parses");
+    let mut opts = ReplayOptions::for_seed(1);
+    opts.perturb_embedding = Some((5, 1e-3));
+    let snapshot = run_replay(&opts).expect("replay runs");
+    let diffs = compare_snapshots(&expected, &snapshot);
+    assert!(!diffs.is_empty(), "perturbation went undetected");
+    assert!(
+        diffs[0].starts_with("stage model:"),
+        "first diff should attribute the model stage, got: {}",
+        diffs[0]
+    );
+    assert_eq!(expected.stages.trace, snapshot.stages.trace);
+    assert_eq!(expected.stages.observed, snapshot.stages.observed);
+    assert_eq!(expected.stages.sessions, snapshot.stages.sessions);
+    assert_ne!(expected.stages.model, snapshot.stages.model);
+}

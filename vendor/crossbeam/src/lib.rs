@@ -6,10 +6,19 @@
 //! (`scope(|s| { s.spawn(|_| …) }) -> Result<R>`) onto the std primitive.
 
 pub mod thread {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type Payload = Box<dyn std::any::Any + Send + 'static>;
+
     /// Scope handle passed to the `scope` closure; mirrors
     /// `crossbeam::thread::Scope`.
     pub struct Scope<'scope, 'env: 'scope> {
         inner: &'scope std::thread::Scope<'scope, 'env>,
+        /// First child panic payload. std's implicit join discards child
+        /// payloads (it panics with a generic message), so the shim
+        /// captures them here to surface through `scope`'s `Err`.
+        first_panic: Arc<Mutex<Option<Payload>>>,
     }
 
     /// Join handle for a scoped thread.
@@ -36,22 +45,60 @@ pub mod thread {
             // 'scope region, so a fresh wrapper can be rebuilt inside the
             // spawned thread rather than borrowing this stack frame.
             let inner = self.inner;
+            let first_panic = Arc::clone(&self.first_panic);
             ScopedJoinHandle {
-                inner: inner.spawn(move || f(&Scope { inner })),
+                inner: inner.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        f(&Scope {
+                            inner,
+                            first_panic: Arc::clone(&first_panic),
+                        })
+                    }));
+                    match result {
+                        Ok(v) => v,
+                        Err(payload) => {
+                            let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                            let repanic = if slot.is_none() {
+                                *slot = Some(payload);
+                                Box::new("scoped thread panicked; payload captured by scope")
+                                    as Payload
+                            } else {
+                                payload
+                            };
+                            drop(slot);
+                            resume_unwind(repanic)
+                        }
+                    }
+                }),
             }
         }
     }
 
     /// Run `f` with a scope in which borrowed-stack threads can be
     /// spawned; every spawned thread is joined before `scope` returns.
-    /// std propagates child panics on the implicit join, so the `Err`
-    /// branch is never actually produced — callers' `.expect(…)` is kept
-    /// satisfied for crossbeam API compatibility.
+    /// If any spawned thread panicked, returns `Err` carrying the *first*
+    /// child's panic payload (crossbeam semantics); a panic in `f` itself
+    /// propagates normally.
     pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
     where
         F: for<'s, 't> FnOnce(&'t Scope<'s, 'env>) -> R,
     {
-        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+        let first_panic: Arc<Mutex<Option<Payload>>> = Arc::new(Mutex::new(None));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    first_panic: Arc::clone(&first_panic),
+                })
+            })
+        }));
+        match result {
+            Ok(r) => Ok(r),
+            Err(outer) => {
+                let captured = first_panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+                Err(captured.unwrap_or(outer))
+            }
+        }
     }
 }
 
@@ -73,5 +120,15 @@ mod tests {
         let mut got = sums.into_inner().unwrap();
         got.sort_unstable();
         assert_eq!(got, vec![3, 7]);
+    }
+
+    #[test]
+    fn child_panic_payload_comes_back_through_err() {
+        let result = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("child payload 42"));
+        });
+        let payload = result.expect_err("child panic must surface as Err");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("child payload 42"), "payload lost: {msg:?}");
     }
 }

@@ -1,0 +1,292 @@
+//! ANN recall-vs-latency sweep: IVF-flat against the exact tiled scan on
+//! a synthetic million-hostname vocabulary.
+//!
+//! The paper's profiler runs an exact O(V) cosine scan per session
+//! (Eq. 3's N nearest labeled neighbors). That is fine at the paper's
+//! ~100k-hostname vocabulary but not at a deployment-scale one, so
+//! `hostprof-embed` grows an IVF-flat index behind the same `NnIndex`
+//! trait. This bench quantifies the trade the index makes: for each
+//! `nprobe` in a power-of-two sweep up to `nlists`, measure recall@k
+//! against exact ground truth and the per-query latency distribution.
+//! At `nprobe == nlists` the index is exhaustive and bit-identical to
+//! the exact scan, so the last sweep row doubles as a conformance check
+//! (`--smoke` runs the tiny scale for CI regardless of `HOSTPROF_SCALE`).
+//!
+//! The vocabulary is a seeded mixture model: rows are drawn around
+//! `3 * nlists` jittered centers so the coarse quantizer has real
+//! structure to find but cluster boundaries overlap (as hostname
+//! embeddings do), keeping recall at small `nprobe` honestly below 1.
+//!
+//! Writes `results/bench_knn.json`.
+
+use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_embed::{EmbeddingSet, ExactScan, IvfFlat, IvfParams, KnnScratch, Vocab};
+use serde::Serialize;
+use std::time::Instant;
+
+const K: usize = 1000;
+const RECALL_TARGET: f64 = 0.95;
+const SPEEDUP_TARGET: f64 = 10.0;
+
+#[derive(Serialize)]
+struct SweepRow {
+    nprobe: usize,
+    recall_at_k: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    mean_ms: f64,
+    queries_per_sec: f64,
+    speedup_vs_exact: f64,
+}
+
+#[derive(Serialize)]
+struct LatencySummary {
+    p50_ms: f64,
+    p95_ms: f64,
+    mean_ms: f64,
+    queries_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchKnnResults {
+    scale: String,
+    rows: usize,
+    dim: usize,
+    k: usize,
+    nlists: usize,
+    queries: usize,
+    build_seconds: f64,
+    recall_target: f64,
+    speedup_target: f64,
+    /// True when some swept nprobe met both targets simultaneously.
+    target_met: bool,
+    exact: LatencySummary,
+    sweep: Vec<SweepRow>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f32(state: &mut u64) -> f32 {
+    (splitmix64(state) >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+}
+
+/// Seeded mixture-model vocabulary: `rows` vectors around `clusters`
+/// jittered centers. Noise is large enough that clusters overlap.
+fn synthetic_set(rows: usize, dim: usize, clusters: usize, seed: u64) -> EmbeddingSet {
+    let mut rng = seed;
+    let mut centers = Vec::with_capacity(clusters * dim);
+    for _ in 0..clusters * dim {
+        centers.push(unit_f32(&mut rng));
+    }
+    let mut vectors = Vec::with_capacity(rows * dim);
+    for _ in 0..rows {
+        let c = (splitmix64(&mut rng) as usize) % clusters;
+        for d in 0..dim {
+            vectors.push(centers[c * dim + d] + unit_f32(&mut rng) * 0.45);
+        }
+    }
+    let names: Vec<String> = (0..rows).map(|i| format!("h{i}.example")).collect();
+    let vocab = Vocab::build([names.iter().map(String::as_str)], 1, 0.0);
+    EmbeddingSet::new(dim, vocab, vectors)
+}
+
+/// In-distribution queries: perturbed copies of random vocabulary rows
+/// (session vectors are means of rows, so they live near the data).
+fn queries(set: &EmbeddingSet, n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = seed;
+    (0..n)
+        .map(|_| {
+            let r = (splitmix64(&mut rng) as usize) % set.len();
+            set.vector_by_index(r as u32)
+                .iter()
+                .map(|&x| x + unit_f32(&mut rng) * 0.2)
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-query best-of-`reps` latencies (seconds) plus the final results.
+fn measure<F: FnMut(&[f32]) -> Vec<(u32, f32)>>(
+    qs: &[Vec<f32>],
+    reps: usize,
+    mut search: F,
+) -> (Vec<f64>, Vec<Vec<(u32, f32)>>) {
+    let mut lat = Vec::with_capacity(qs.len());
+    let mut out = Vec::with_capacity(qs.len());
+    for q in qs {
+        let mut best = f64::INFINITY;
+        let mut res = Vec::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            res = search(q);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        lat.push(best);
+        out.push(res);
+    }
+    (lat, out)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let i = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[i]
+}
+
+fn summarize(lat: &[f64]) -> LatencySummary {
+    let mut sorted = lat.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+    LatencySummary {
+        p50_ms: percentile(&sorted, 0.50) * 1e3,
+        p95_ms: percentile(&sorted, 0.95) * 1e3,
+        mean_ms: mean * 1e3,
+        queries_per_sec: 1.0 / mean,
+    }
+}
+
+fn recall(truth: &[Vec<u32>], got: &[Vec<(u32, f32)>]) -> f64 {
+    let mut sum = 0.0;
+    for (t, g) in truth.iter().zip(got) {
+        let hits = g
+            .iter()
+            .filter(|(id, _)| t.binary_search(id).is_ok())
+            .count();
+        sum += hits as f64 / t.len().max(1) as f64;
+    }
+    sum / truth.len().max(1) as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Tiny
+    } else {
+        Scale::from_env()
+    };
+    // rows/dim/nlists per scale; default is the million-hostname case.
+    let (rows, dim, nlists, nq, reps) = match scale {
+        Scale::Tiny => (20_000, 32, 64, 32, 3),
+        Scale::Small => (200_000, 48, 256, 64, 2),
+        Scale::Default => (1_000_000, 64, 512, 64, 2),
+    };
+
+    header("IVF-flat recall vs latency (exact tiled scan baseline)");
+    row("scale", scale.label());
+    row("rows x dim", format!("{rows} x {dim}"));
+    row("k / nlists / queries", format!("{K} / {nlists} / {nq}"));
+
+    let set = synthetic_set(rows, dim, 3 * nlists, 0xb0b5_1ed5 ^ rows as u64);
+    let qs = queries(&set, nq, 0x5e55_10f5 ^ rows as u64);
+
+    let mut scratch = KnnScratch::new();
+    let (exact_lat, exact_res) = measure(&qs, reps, |q| {
+        set.nearest_to_vector_with_index(q, K, &ExactScan, &mut scratch)
+    });
+    let exact = summarize(&exact_lat);
+    row(
+        "exact scan",
+        format!(
+            "p50 {:.2}ms  p95 {:.2}ms  {:.1} q/s",
+            exact.p50_ms, exact.p95_ms, exact.queries_per_sec
+        ),
+    );
+    let truth: Vec<Vec<u32>> = exact_res
+        .iter()
+        .map(|r| {
+            let mut ids: Vec<u32> = r.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    let t = Instant::now();
+    let ivf = IvfFlat::build(
+        &set,
+        IvfParams {
+            nlists,
+            nprobe: 1,
+            seed: hostprof_embed::DEFAULT_IVF_SEED,
+        },
+    );
+    let build_seconds = t.elapsed().as_secs_f64();
+    row(
+        "ivf build",
+        format!("{build_seconds:.2}s ({} lists)", ivf.nlists()),
+    );
+
+    let mut sweep = Vec::new();
+    let mut target_met = false;
+    let mut nprobe = 1usize;
+    loop {
+        let probed = ivf.with_nprobe(nprobe);
+        let (lat, res) = measure(&qs, reps, |q| {
+            set.nearest_to_vector_with_index(q, K, &probed, &mut scratch)
+        });
+        let s = summarize(&lat);
+        let r = recall(&truth, &res);
+        let speedup = exact.mean_ms / s.mean_ms;
+        if r >= RECALL_TARGET && speedup >= SPEEDUP_TARGET {
+            target_met = true;
+        }
+        row(
+            format!("nprobe={nprobe}").as_str(),
+            format!(
+                "recall@{K} {r:.4}  p50 {:.2}ms  p95 {:.2}ms  ({speedup:.1}x)",
+                s.p50_ms, s.p95_ms
+            ),
+        );
+        sweep.push(SweepRow {
+            nprobe,
+            recall_at_k: r,
+            p50_ms: s.p50_ms,
+            p95_ms: s.p95_ms,
+            mean_ms: s.mean_ms,
+            queries_per_sec: s.queries_per_sec,
+            speedup_vs_exact: speedup,
+        });
+        if nprobe >= ivf.nlists() {
+            break;
+        }
+        nprobe = (nprobe * 2).min(ivf.nlists());
+    }
+
+    // The exhaustive row is the conformance anchor: identical candidate
+    // set, identical kernel, scan-order-independent selection.
+    let last = sweep.last().expect("sweep is non-empty");
+    assert!(
+        (last.recall_at_k - 1.0).abs() < 1e-12,
+        "exhaustive probing must reproduce exact ground truth (got recall {})",
+        last.recall_at_k
+    );
+    row(
+        "target",
+        format!(
+            "recall>={RECALL_TARGET} at >={SPEEDUP_TARGET}x: {}",
+            if target_met { "met" } else { "NOT met" }
+        ),
+    );
+
+    write_results(
+        "bench_knn",
+        &BenchKnnResults {
+            scale: scale.label().to_string(),
+            rows,
+            dim,
+            k: K,
+            nlists: ivf.nlists(),
+            queries: nq,
+            build_seconds,
+            recall_target: RECALL_TARGET,
+            speedup_target: SPEEDUP_TARGET,
+            target_met,
+            exact,
+            sweep,
+        },
+    );
+}

@@ -113,9 +113,10 @@ fn profile_chunk(
         });
         staged.push(Some((labels, slot)));
     }
-    let mut results = profiler.embeddings().nearest_to_vectors_with(
+    let mut results = profiler.embeddings().nearest_to_vectors_with_index(
         &queries,
         profiler.config().n_neighbors,
+        profiler.index(),
         &mut scratch.knn,
     );
     debug_assert_eq!(results.len(), queries.len(), "one kNN result per query");

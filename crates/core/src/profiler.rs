@@ -21,7 +21,7 @@
 //! [`crate::batch`] drives the same code with one scratch per worker.
 
 use crate::session::Session;
-use hostprof_embed::{EmbeddingSet, KnnScratch};
+use hostprof_embed::{EmbeddingSet, IndexConfig, KnnScratch, NnIndex};
 use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +35,12 @@ pub struct ProfilerConfig {
     /// session vector. The paper only requires *an* aggregation and uses a
     /// simple one; these variants back the E8 ablations.
     pub aggregation: Aggregation,
+    /// Which nearest-neighbor index answers the `H_s` retrieval. Defaults
+    /// to the exact scan, so existing configs (and golden replays) are
+    /// untouched; IVF trades bounded recall loss for throughput at large
+    /// vocabularies.
+    #[serde(default)]
+    pub index: IndexConfig,
 }
 
 impl Default for ProfilerConfig {
@@ -42,6 +48,7 @@ impl Default for ProfilerConfig {
         Self {
             n_neighbors: 1000,
             aggregation: Aggregation::Mean,
+            index: IndexConfig::Exact,
         }
     }
 }
@@ -179,6 +186,9 @@ pub struct Profiler<'a> {
     /// One past the largest `CategoryId` any ontology entry carries —
     /// sizes the dense Eq. 4 accumulator.
     category_bound: usize,
+    /// The kNN index answering `H_s` retrievals, built per
+    /// `config.index` over this profiler's embeddings.
+    index: Box<dyn NnIndex>,
 }
 
 impl<'a> Profiler<'a> {
@@ -205,6 +215,7 @@ impl<'a> Profiler<'a> {
         for (slot, &(idx, _)) in labeled_by_idx.iter().enumerate() {
             labeled_slot[idx as usize] = slot as u32;
         }
+        let index = config.index.build(embeddings);
         Self {
             embeddings,
             ontology,
@@ -212,6 +223,7 @@ impl<'a> Profiler<'a> {
             labeled_by_idx,
             labeled_slot,
             category_bound,
+            index,
         }
     }
 
@@ -223,6 +235,11 @@ impl<'a> Profiler<'a> {
     /// The configuration this profiler runs with.
     pub fn config(&self) -> &ProfilerConfig {
         &self.config
+    }
+
+    /// The nearest-neighbor index answering this profiler's retrievals.
+    pub fn index(&self) -> &dyn NnIndex {
+        self.index.as_ref()
     }
 
     /// Number of labeled hosts that are also in vocabulary.
@@ -260,9 +277,10 @@ impl<'a> Profiler<'a> {
         let session_vector = self.aggregate(session);
         let neighbors = match &session_vector {
             // H_s: the N nearest hostnames to the session vector.
-            Some(sv) => self.embeddings.nearest_to_vector_with(
+            Some(sv) => self.embeddings.nearest_to_vector_with_index(
                 sv,
                 self.config.n_neighbors,
+                self.index.as_ref(),
                 &mut scratch.knn,
             ),
             None => Vec::new(),
@@ -552,10 +570,12 @@ mod tests {
         let cfg_mean = ProfilerConfig {
             n_neighbors: 5,
             aggregation: Aggregation::Mean,
+            ..Default::default()
         };
         let cfg_recent = ProfilerConfig {
             n_neighbors: 5,
             aggregation: Aggregation::Recency { half_life: 1 },
+            ..Default::default()
         };
         // travel.com is visited FIRST, sport.com most recently.
         let session = Session::from_window(["travel.com", "sport.com"], None);
@@ -594,6 +614,7 @@ mod tests {
             ProfilerConfig {
                 n_neighbors: 5,
                 aggregation: Aggregation::Mean,
+                ..Default::default()
             },
         )
         .profile(&session)
@@ -604,6 +625,7 @@ mod tests {
             ProfilerConfig {
                 n_neighbors: 5,
                 aggregation: Aggregation::InverseFrequency,
+                ..Default::default()
             },
         )
         .profile(&session)
@@ -669,6 +691,63 @@ mod tests {
         s.add(&CategoryVector::singleton(CategoryId(500)), 1.0);
         let v = s.take(1.0);
         assert!(v.get(CategoryId(500)) > 0.99);
+    }
+
+    #[test]
+    fn ivf_exhaustive_index_profiles_identically() {
+        let (e, o) = setup();
+        let base = ProfilerConfig {
+            n_neighbors: 5,
+            ..Default::default()
+        };
+        let exact = Profiler::new(&e, &o, base.clone());
+        assert_eq!(exact.index().name(), "exact");
+        let ivf = Profiler::new(
+            &e,
+            &o,
+            ProfilerConfig {
+                index: IndexConfig::Ivf {
+                    nlists: 3,
+                    nprobe: 3,
+                    seed: 1,
+                },
+                ..base
+            },
+        );
+        assert_eq!(ivf.index().name(), "ivf");
+        let sessions = [
+            Session::from_window(["travel.com"], None),
+            Session::from_window(["travel-api.net", "neutral.org"], None),
+            Session::from_window(["sport.com", "sport-cdn.net"], None),
+            Session::from_window(["never-seen.example"], None),
+        ];
+        // Exhaustive probing scans every non-zero row with the same kernel
+        // as the exact path, so the profiles must be equal — including
+        // their float bits, via PartialEq on the category vectors.
+        for session in &sessions {
+            assert_eq!(exact.profile(session), ivf.profile(session));
+        }
+    }
+
+    #[test]
+    fn index_config_survives_profiler_config_serde() {
+        let config = ProfilerConfig {
+            n_neighbors: 7,
+            index: IndexConfig::Ivf {
+                nlists: 32,
+                nprobe: 4,
+                seed: 99,
+            },
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: ProfilerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.index, config.index);
+        // A config serialized before the field existed still deserializes,
+        // defaulting to the exact scan.
+        let legacy: ProfilerConfig =
+            serde_json::from_str(r#"{"n_neighbors":3,"aggregation":"Mean"}"#).unwrap();
+        assert_eq!(legacy.index, IndexConfig::Exact);
     }
 
     #[test]

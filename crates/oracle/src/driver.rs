@@ -55,7 +55,7 @@ impl Default for DriverConfig {
 }
 
 /// Mix the run seed into a sub-generator seed without colliding streams.
-fn mix(seed: u64, salt: u64) -> u64 {
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
     let mut x = seed
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));

@@ -20,12 +20,15 @@
 //!   independently computed p-value (§5)
 //! * [`driver`] — replays one seeded synthetic world through oracle and
 //!   production paths and diffs them stage by stage
+//! * [`ann`] — exact-vs-IVF differential: recall@N per session, the
+//!   induced Eq. 3/4 importance divergence, and the end-to-end CTR gap
 //! * [`diff`] — ulp/abs-delta helpers and the typed mismatch report
 //!
 //! The crate intentionally has no optimized dependencies of its own: it
 //! links the production crates only to *call* them from the driver and
 //! to share plain data types.
 
+pub mod ann;
 pub mod diff;
 pub mod driver;
 pub mod knn;
@@ -52,6 +55,8 @@ pub enum Stage {
     Profile,
     /// Welford moments and paired t-test.
     Stats,
+    /// End-to-end CTR of the ad-replacement experiment.
+    Ctr,
 }
 
 impl fmt::Display for Stage {
@@ -63,6 +68,7 @@ impl fmt::Display for Stage {
             Stage::Knn => "knn",
             Stage::Profile => "profile",
             Stage::Stats => "stats",
+            Stage::Ctr => "ctr",
         };
         f.write_str(name)
     }

@@ -9,6 +9,7 @@
 //! hostprof train   [--scale S] [--days N] --out model.json
 //! hostprof similar --model model.json --host <hostname> [--top N]
 //! hostprof profile [--scale S] --model model.json --user N [--day D]
+//!                  [--index exact|ivf] [--nprobe N]
 //! hostprof observe [--scale S] [--ech F] [--nat N] [--dns] [--save cap.hpcap]
 //! hostprof replay  --capture cap.hpcap [--dns]
 //! hostprof experiment [--scale S]
@@ -19,7 +20,7 @@
 
 use hostprof::ads::{CtrExperiment, ExperimentConfig};
 use hostprof::bridge::{ObservedTrace, ObserverScenario};
-use hostprof::embed::{KernelChoice, Sharding};
+use hostprof::embed::{IndexConfig, KernelChoice, Sharding};
 use hostprof::profiling::{profile_accuracy, Session};
 use hostprof::scenario::{Scenario, ScenarioConfig};
 use hostprof::stats::paired_t_test;
@@ -181,7 +182,9 @@ fn cmd_similar(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_profile(args: &Args) -> Result<(), String> {
-    args.expect_keys(&["scale", "days", "users", "model", "user", "day"])?;
+    args.expect_keys(&[
+        "scale", "days", "users", "model", "user", "day", "index", "nprobe",
+    ])?;
     let model_path: PathBuf = args
         .get("model")
         .ok_or("profile requires --model <path>")?
@@ -190,7 +193,19 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         args.get_parsed::<u32>("user")?
             .ok_or("profile requires --user <index>")?,
     );
-    let cfg = scenario_config(args)?;
+    let mut cfg = scenario_config(args)?;
+    let nprobe = args.get_parsed::<usize>("nprobe")?;
+    match args.get("index").unwrap_or("exact") {
+        "exact" => {
+            if nprobe.is_some() {
+                return Err("--nprobe only applies to --index ivf".into());
+            }
+        }
+        "ivf" => {
+            cfg.pipeline.profiler.index = IndexConfig::ivf(nprobe.unwrap_or(8).max(1));
+        }
+        other => return Err(format!("unknown index '{other}' (expected exact or ivf)")),
+    }
     let s = Scenario::generate(&cfg);
     let day = args
         .get_parsed::<u32>("day")?
@@ -217,9 +232,10 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         .profile(&session)
         .ok_or("session carries no profiling signal")?;
     println!(
-        "user {} day {day}: session of {} hostnames",
+        "user {} day {day}: session of {} hostnames ({} knn)",
         user.0,
-        session.len()
+        session.len(),
+        profiler.index().name()
     );
     let hierarchy = s.world.hierarchy();
     let mut pairs: Vec<_> = profile.categories.iter().collect();
@@ -467,6 +483,7 @@ USAGE:
                       [--kernel auto|scalar|simd] --out model.json
   hostprof similar    --model model.json --host <hostname> [--top N]
   hostprof profile    [--scale S] --model model.json --user N [--day D]
+                      [--index exact|ivf] [--nprobe N]
   hostprof observe    [--scale S] [--ech FRACTION] [--nat USERS_PER_IP] [--dns]
                       [--save capture.hpcap]
   hostprof replay     --capture capture.hpcap [--dns]

@@ -63,6 +63,41 @@ struct ShardingBench {
     measured_balanced_tokens_per_sec: f64,
 }
 
+#[derive(Deserialize)]
+struct KnnBench {
+    scale: String,
+    rows: usize,
+    dim: usize,
+    k: usize,
+    nlists: usize,
+    queries: usize,
+    build_seconds: f64,
+    recall_target: f64,
+    speedup_target: f64,
+    target_met: bool,
+    exact: KnnLatency,
+    sweep: Vec<KnnSweepRow>,
+}
+
+#[derive(Deserialize)]
+struct KnnLatency {
+    p50_ms: f64,
+    p95_ms: f64,
+    mean_ms: f64,
+    queries_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct KnnSweepRow {
+    nprobe: usize,
+    recall_at_k: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    mean_ms: f64,
+    queries_per_sec: f64,
+    speedup_vs_exact: f64,
+}
+
 fn read(name: &str) -> String {
     let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
@@ -97,6 +132,53 @@ fn bench_profiling_json_matches_schema() {
         "best_speedup_at_4_threads {} != max over 4-thread rows {best4}",
         b.best_speedup_at_4_threads
     );
+}
+
+#[test]
+fn bench_knn_json_matches_schema() {
+    let b: KnnBench = serde_json::from_str(&read("bench_knn.json")).expect("schema drifted");
+    assert!(!b.scale.is_empty());
+    assert!(b.rows > 0 && b.dim > 0 && b.k > 0 && b.nlists > 0 && b.queries > 0);
+    assert!(b.build_seconds > 0.0);
+    assert!(b.recall_target > 0.0 && b.recall_target <= 1.0);
+    assert!(b.speedup_target >= 1.0);
+    let e = &b.exact;
+    assert!(e.p50_ms > 0.0 && e.p95_ms > 0.0 && e.mean_ms > 0.0);
+    assert!(e.p50_ms <= e.p95_ms, "p50 must not exceed p95");
+    assert!(e.queries_per_sec > 0.0);
+    assert!(!b.sweep.is_empty());
+    let mut met = false;
+    for (i, r) in b.sweep.iter().enumerate() {
+        assert!(r.nprobe >= 1 && r.nprobe <= b.nlists);
+        if i > 0 {
+            assert!(r.nprobe > b.sweep[i - 1].nprobe, "sweep must ascend");
+        }
+        assert!((0.0..=1.0).contains(&r.recall_at_k), "recall out of range");
+        assert!(r.p50_ms > 0.0 && r.p95_ms > 0.0 && r.mean_ms > 0.0);
+        assert!(r.p50_ms <= r.p95_ms);
+        assert!(r.queries_per_sec > 0.0 && r.speedup_vs_exact > 0.0);
+        met |= r.recall_at_k >= b.recall_target && r.speedup_vs_exact >= b.speedup_target;
+    }
+    assert_eq!(b.target_met, met, "target_met must match the sweep rows");
+    // The sweep always ends exhaustive, where IVF is bit-identical to the
+    // exact scan — recall below 1.0 there means the index is broken.
+    let last = b.sweep.last().unwrap();
+    assert_eq!(last.nprobe, b.nlists, "sweep must end at nprobe == nlists");
+    assert!(
+        (last.recall_at_k - 1.0).abs() < 1e-12,
+        "exhaustive probing must have recall 1.0, got {}",
+        last.recall_at_k
+    );
+    // The committed artifact is the paper-scale run and must back the
+    // README's headline claim: >= 0.95 recall@1000 at >= 10x throughput
+    // on a million-hostname vocabulary.
+    if b.scale == "default" {
+        assert!(b.rows >= 1_000_000, "default scale is the 1M-row ablation");
+        assert!(
+            b.target_met,
+            "committed default-scale run must meet the recall/speedup target"
+        );
+    }
 }
 
 #[test]

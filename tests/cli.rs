@@ -105,6 +105,57 @@ fn train_similar_profile_workflow() {
     ]);
     assert!(!out.status.success());
 
+    // The same profile through the IVF index: must run and say so.
+    let out = hostprof(&[
+        "profile",
+        "--scale",
+        "tiny",
+        "--model",
+        model.to_str().unwrap(),
+        "--user",
+        "0",
+        "--index",
+        "ivf",
+        "--nprobe",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("(ivf knn)"), "{text}");
+    assert!(text.contains("ground-truth cosine"), "{text}");
+
+    // --nprobe without --index ivf, and a bogus index name, fail cleanly.
+    let out = hostprof(&[
+        "profile",
+        "--scale",
+        "tiny",
+        "--model",
+        model.to_str().unwrap(),
+        "--user",
+        "0",
+        "--nprobe",
+        "4",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--index ivf"));
+    let out = hostprof(&[
+        "profile",
+        "--scale",
+        "tiny",
+        "--model",
+        model.to_str().unwrap(),
+        "--user",
+        "0",
+        "--index",
+        "annoy",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown index"));
+
     let _ = std::fs::remove_file(model);
 }
 

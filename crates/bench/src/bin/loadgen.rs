@@ -1,0 +1,292 @@
+//! Serving-loop load generator: sustained synthetic traffic for N users at
+//! a target packet rate, driven through the full `ServeEngine` ingest →
+//! window → profile path (DESIGN.md §12).
+//!
+//! Unlike the figure benches, which replay a finite materialized trace,
+//! this binary draws from the lazy `TraceStream` emitter via
+//! [`hostprof::serving::run_live`] — the exact driver behind `hostprof
+//! serve` — and records what a deployment would care about: sustained
+//! ingest throughput, report-tick compute-latency percentiles, peak RSS,
+//! and whether the merged lane taxonomy invariant held under load.
+//!
+//! Writes `results/bench_serving.json` (override with `--out`).
+//!
+//! ```text
+//! loadgen [--users N] [--pps F] [--duration SIM_SECONDS] [--lanes N]
+//!         [--threads N] [--scale tiny|small|default] [--seed N]
+//!         [--out PATH] [--smoke]
+//! ```
+//!
+//! `--pps` targets *packets* per second of simulated time; the request
+//! inter-arrival gap is calibrated against a warmup segment of the stream
+//! (requests/sec and packets/request are both measured, not assumed).
+//! `--smoke` is the CI preset: tiny scale, few users, short horizon.
+
+use hostprof::serving::{run_live, LiveRunConfig};
+use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_synth::{Population, PopulationConfig, World};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LatencySummary {
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ServingBenchResults {
+    scale: String,
+    users: usize,
+    lanes: usize,
+    profiler_threads: usize,
+    target_pps: f64,
+    sim_duration_s: u64,
+    /// Calibrated per-user think time that hits the target rate.
+    mean_gap_ms: u64,
+    packets: u64,
+    observations: u64,
+    ticks: u64,
+    reports: u64,
+    sessions_profiled: u64,
+    profiles_emitted: u64,
+    late_dropped: u64,
+    peak_resident_events: usize,
+    /// Packets per wall-second through `ingest_packet` (tick compute
+    /// included — it runs inline on the ingest thread).
+    sustained_pps: f64,
+    ingest_seconds: f64,
+    wall_seconds: f64,
+    report_latency_ms: LatencySummary,
+    peak_rss_kb: u64,
+    taxonomy_invariant_ok: bool,
+}
+
+struct Args {
+    users: usize,
+    pps: f64,
+    duration_s: u64,
+    lanes: usize,
+    threads: usize,
+    scale: Scale,
+    seed: u64,
+    out: Option<String>,
+}
+
+const USAGE: &str = "usage: loadgen [--users N] [--pps F] [--duration SIM_SECONDS] \
+[--lanes N] [--threads N] [--scale tiny|small|default] [--seed N] [--out PATH] [--smoke]";
+
+fn parse_args() -> Result<Args, String> {
+    // Scale defaults mirror the other bench binaries (HOSTPROF_SCALE,
+    // default small); flags override.
+    let mut args = Args {
+        users: 200,
+        pps: 2_000.0,
+        duration_s: 7_200,
+        lanes: 4,
+        threads: 2,
+        scale: Scale::from_env(),
+        seed: 0x010a_d4e4,
+        out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--users" => args.users = value(&mut i, "--users")?.parse().map_err(bad("--users"))?,
+            "--pps" => args.pps = value(&mut i, "--pps")?.parse().map_err(bad("--pps"))?,
+            "--duration" => {
+                args.duration_s = value(&mut i, "--duration")?
+                    .parse()
+                    .map_err(bad("--duration"))?
+            }
+            "--lanes" => args.lanes = value(&mut i, "--lanes")?.parse().map_err(bad("--lanes"))?,
+            "--threads" => {
+                args.threads = value(&mut i, "--threads")?
+                    .parse()
+                    .map_err(bad("--threads"))?
+            }
+            "--seed" => args.seed = value(&mut i, "--seed")?.parse().map_err(bad("--seed"))?,
+            "--scale" => {
+                args.scale = match value(&mut i, "--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "default" | "full" => Scale::Default,
+                    other => return Err(format!("unknown scale {other:?}\n{USAGE}")),
+                }
+            }
+            "--out" => args.out = Some(value(&mut i, "--out")?),
+            "--smoke" => {
+                args.scale = Scale::Tiny;
+                args.users = 24;
+                args.pps = 400.0;
+                args.duration_s = 1_800;
+                args.lanes = 2;
+                args.threads = 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if args.users == 0 || args.pps <= 0.0 || args.duration_s == 0 || args.lanes == 0 {
+        return Err(format!(
+            "--users/--pps/--duration/--lanes must be positive\n{USAGE}"
+        ));
+    }
+    Ok(args)
+}
+
+fn bad<E: std::fmt::Display>(flag: &'static str) -> impl Fn(E) -> String {
+    move |e| format!("{flag}: {e}\n{USAGE}")
+}
+
+/// High-water mark of this process's resident set, from the kernel's
+/// accounting (`VmHWM`); 0 where /proc is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let config = args.scale.scenario();
+    let world = World::generate(&config.world);
+    let population = Population::generate(
+        &world,
+        &PopulationConfig {
+            num_users: args.users,
+            ..config.population
+        },
+    );
+
+    header("serving load generator");
+    row("scale", args.scale.label());
+    row("users", args.users);
+    row("lanes", args.lanes);
+    row("target packets/sec (sim)", format!("{:.0}", args.pps));
+    row("sim duration", format!("{} s", args.duration_s));
+
+    let report = run_live(
+        &world,
+        &population,
+        &config.pipeline,
+        &LiveRunConfig {
+            seed: args.seed,
+            target_pps: args.pps,
+            duration_s: args.duration_s,
+            lanes: args.lanes,
+            threads: args.threads,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("loadgen: {e}");
+        std::process::exit(1);
+    });
+
+    let stats = report.stats;
+    let taxonomy_ok = report.taxonomy_invariant_ok();
+    let sustained_pps = report.sustained_pps();
+    let latency = LatencySummary {
+        p50_ms: report.latency_percentile_ms(0.50),
+        p95_ms: report.latency_percentile_ms(0.95),
+        p99_ms: report.latency_percentile_ms(0.99),
+        mean_ms: if report.latencies_ms.is_empty() {
+            0.0
+        } else {
+            report.latencies_ms.iter().sum::<f64>() / report.latencies_ms.len() as f64
+        },
+        max_ms: report.latencies_ms.last().copied().unwrap_or(0.0),
+    };
+
+    row(
+        "calibrated mean think time",
+        format!("{} ms", report.mean_gap_ms),
+    );
+    row(
+        "warmup packets/request",
+        format!("{:.2}", report.packets_per_request),
+    );
+    row("packets ingested", stats.packets);
+    row("observations", stats.observations);
+    row("report ticks fired", stats.ticks);
+    row("reports with profiles", report.latencies_ms.len());
+    row("sessions profiled", stats.sessions_profiled);
+    row("late-dropped events", report.late_dropped);
+    row("sustained ingest rate", format!("{sustained_pps:.0} pkt/s"));
+    row(
+        "report latency p50/p95/p99",
+        format!(
+            "{:.2} / {:.2} / {:.2} ms",
+            latency.p50_ms, latency.p95_ms, latency.p99_ms
+        ),
+    );
+    row("peak RSS", format!("{} kB", peak_rss_kb()));
+    row(
+        "taxonomy invariant",
+        if taxonomy_ok { "ok" } else { "VIOLATED" },
+    );
+
+    let results = ServingBenchResults {
+        scale: args.scale.label().to_string(),
+        users: args.users,
+        lanes: args.lanes,
+        profiler_threads: args.threads,
+        target_pps: args.pps,
+        sim_duration_s: args.duration_s,
+        mean_gap_ms: report.mean_gap_ms,
+        packets: stats.packets,
+        observations: stats.observations,
+        ticks: stats.ticks,
+        reports: report.latencies_ms.len() as u64,
+        sessions_profiled: stats.sessions_profiled,
+        profiles_emitted: stats.profiles_emitted,
+        late_dropped: report.late_dropped,
+        peak_resident_events: report.peak_resident_events,
+        sustained_pps,
+        ingest_seconds: report.ingest_seconds,
+        wall_seconds: report.wall_seconds,
+        report_latency_ms: latency,
+        peak_rss_kb: peak_rss_kb(),
+        taxonomy_invariant_ok: taxonomy_ok,
+    };
+    match &args.out {
+        Some(path) => {
+            let json = serde_json::to_string_pretty(&results).expect("serializable results");
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("loadgen: could not write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("\n[results written to {path}]");
+        }
+        None => write_results("bench_serving", &results),
+    }
+    if !taxonomy_ok {
+        std::process::exit(1);
+    }
+}

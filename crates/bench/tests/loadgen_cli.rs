@@ -1,0 +1,89 @@
+//! CLI contract of the `loadgen` serving load generator: flag parsing
+//! fails loudly with exit 2, `--help` exits clean, and a smoke run
+//! drives the full ingest → window → profile loop and writes a results
+//! JSON the schema test can pin.
+
+use serde::Deserialize;
+use std::process::{Command, Output};
+
+/// The handful of fields the smoke assertions need; the full schema is
+/// pinned by the root crate's `tests/bench_schema.rs`.
+#[derive(Deserialize)]
+struct SmokeResults {
+    scale: String,
+    packets: u64,
+    ticks: u64,
+    profiles_emitted: u64,
+    taxonomy_invariant_ok: bool,
+    report_latency_ms: SmokeLatency,
+}
+
+#[derive(Deserialize)]
+struct SmokeLatency {
+    p50_ms: f64,
+}
+
+fn loadgen(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = loadgen(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: loadgen"));
+}
+
+#[test]
+fn flag_errors_exit_two() {
+    for bad in [
+        vec!["--bogus"],
+        vec!["--users"],             // missing value
+        vec!["--users", "many"],     // unparsable value
+        vec!["--pps", "-3"],         // non-positive rate
+        vec!["--scale", "galactic"], // unknown scale
+    ] {
+        let out = loadgen(&bad);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{bad:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: loadgen"),
+            "{bad:?} error must include usage"
+        );
+    }
+}
+
+#[test]
+fn smoke_run_writes_results_json() {
+    let path = std::env::temp_dir().join(format!(
+        "hostprof-loadgen-smoke-{}.json",
+        std::process::id()
+    ));
+    let out = loadgen(&["--smoke", "--out", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("serving load generator"), "{text}");
+    assert!(text.contains("taxonomy invariant"), "{text}");
+
+    let json: SmokeResults =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("results written"))
+            .expect("valid JSON");
+    assert_eq!(json.scale, "tiny");
+    assert!(json.packets > 0);
+    assert!(json.ticks > 0);
+    assert!(json.profiles_emitted > 0);
+    assert!(json.taxonomy_invariant_ok);
+    assert!(json.report_latency_ms.p50_ms > 0.0);
+    let _ = std::fs::remove_file(path);
+}

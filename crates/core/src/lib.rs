@@ -38,6 +38,7 @@ pub mod batch;
 pub mod cores;
 pub mod pipeline;
 pub mod profiler;
+pub mod serve;
 pub mod session;
 
 pub use accumulator::ProfileAccumulator;
@@ -47,4 +48,5 @@ pub use pipeline::{Pipeline, PipelineConfig};
 pub use profiler::{
     profile_accuracy, Aggregation, ProfileScratch, Profiler, ProfilerConfig, SessionProfile,
 };
+pub use serve::{IncrementalWindower, ServeConfig, ServeEngine, ServeStats, TickReport};
 pub use session::Session;

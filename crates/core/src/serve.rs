@@ -1,0 +1,915 @@
+//! The always-on serving loop: ingest → window → profile.
+//!
+//! The paper's deployment is a *service*, not a batch job: an on-path
+//! observer watches traffic continuously and re-profiles every active user
+//! on a 10-minute report cadence (Section 5.4). This module restructures
+//! the batch pipeline into that shape (DESIGN.md §12):
+//!
+//! * **Sharded ingest lanes** — N independent [`SniObserver`]s, one per
+//!   lane, with every packet routed by a hash of its client IP so all
+//!   traffic of one client lands on the same lane. Per-client packet order
+//!   is therefore preserved regardless of the lane count, which is what
+//!   makes profiles bit-identical across `lanes ∈ {1, 4, …}`.
+//! * **Incremental windowing** ([`IncrementalWindower`]) — per-user event
+//!   timelines kept sorted under out-of-order arrival, with eviction
+//!   bounded to one session window behind the last closed tick.
+//! * **Bounded-lateness watermarking** — the watermark trails the maximum
+//!   packet timestamp by `lateness_ms`; a report tick at boundary `W`
+//!   fires only once the watermark passes `W`, so any event with `t ≤ W`
+//!   that arrives at most `lateness_ms` after the stream reached `W` still
+//!   lands in the right window. Events arriving *beyond* the bound are
+//!   dropped and counted ([`IncrementalWindower::late_dropped`]), never
+//!   silently misfiled.
+//! * **Tick scheduler** — boundaries at every multiple of
+//!   `report_interval_ms`; each tick profiles exactly the users whose
+//!   latest activity falls in `(W_prev, W]`, through the existing
+//!   [`BatchProfiler`] (and therefore whatever [`NnIndex`] the profiler
+//!   was configured with), so a tick's cost is one batched kNN pass.
+//!
+//! ## Equivalence contract
+//!
+//! Feeding a finite packet stream through [`ServeEngine`] and flushing
+//! produces, for every user, the same sequence of `(anchor, profile)`
+//! pairs a batch run would compute by anchoring a session at the user's
+//! last request before each tick boundary — bit-identical, for any lane
+//! count and any arrival interleaving whose disorder stays within the
+//! lateness bound. `tests/streaming_equivalence.rs` proves this against
+//! the batch pipeline with chaos-generated reorderings; golden replay
+//! (`hostprof serve --golden`) pins the streaming path to the same
+//! committed snapshots as the batch path.
+//!
+//! [`NnIndex`]: hostprof_embed::index::NnIndex
+
+use crate::batch::BatchProfiler;
+use crate::profiler::SessionProfile;
+use crate::session::Session;
+use hostprof_net::{FlowStats, ObserverConfig, ObserverStats, Packet, SniObserver};
+use hostprof_ontology::Blocklist;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Instant;
+
+/// Knobs of the serving loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Ingest lanes (per-lane observers). Packets shard by client IP.
+    pub lanes: usize,
+    /// Session window length `T` (paper: 20 minutes).
+    pub session_window_ms: u64,
+    /// Report tick cadence (paper: 10 minutes).
+    pub report_interval_ms: u64,
+    /// Watermark lag: how far behind the newest packet timestamp the
+    /// event-time clock runs. Out-of-order arrivals within this bound are
+    /// windowed exactly; beyond it they are dropped and counted.
+    pub lateness_ms: u64,
+    /// Ingest limits for every lane observer.
+    pub observer: ObserverConfig,
+    /// Whether lane observers harvest plaintext DNS names too.
+    pub harvest_dns: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 1,
+            session_window_ms: 20 * 60 * 1000,
+            report_interval_ms: 10 * 60 * 1000,
+            lateness_ms: 2000,
+            observer: ObserverConfig::default(),
+            harvest_dns: false,
+        }
+    }
+}
+
+/// One user's window close at a tick: the raw (pre-dedup) hostname window
+/// behind the anchor, in event-time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowClose {
+    /// Client key (IP).
+    pub user: u32,
+    /// The user's last event time at or before the tick boundary; the
+    /// session window is `(anchor - T, anchor]`.
+    pub anchor: u64,
+    /// Hostnames in the window, duplicates intact, time-ordered.
+    pub window: Vec<String>,
+}
+
+/// Per-user incremental session windowing under out-of-order arrival.
+///
+/// Each user's events are kept time-sorted with *stable* insertion (an
+/// event inserts after all existing events of equal time), so an in-order
+/// feed reproduces arrival order exactly and a bounded-disorder feed
+/// converges to the same timeline a global sort would produce. Closing a
+/// tick at boundary `W` yields, for every user whose latest `t ≤ W` event
+/// is newer than the previous boundary, the window `(anchor - T, anchor]`
+/// — precisely the batch pipeline's session for that user at that tick.
+///
+/// Memory is bounded: closing a tick evicts every event that can no
+/// longer appear in any future window (anything at or before
+/// `(W + 1) - T`), so a user retains at most one window plus the events
+/// that arrived past the last closed boundary.
+#[derive(Debug)]
+pub struct IncrementalWindower {
+    window_ms: u64,
+    users: BTreeMap<u32, VecDeque<(u64, String)>>,
+    /// Users with activity not yet covered by a closed tick. `BTreeSet`
+    /// so every tick visits users in ascending key order — determinism
+    /// across runs and lane counts.
+    dirty: BTreeSet<u32>,
+    /// Boundary of the last closed tick; events at or before it arrive
+    /// too late to be windowed correctly and are dropped, counted.
+    closed_through: Option<u64>,
+    late_dropped: u64,
+    resident_events: usize,
+    peak_resident_events: usize,
+}
+
+impl IncrementalWindower {
+    /// A windower for session length `window_ms`.
+    pub fn new(window_ms: u64) -> Self {
+        Self {
+            window_ms,
+            users: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            closed_through: None,
+            late_dropped: 0,
+            resident_events: 0,
+            peak_resident_events: 0,
+        }
+    }
+
+    /// Insert one event. Returns `false` (and counts the drop) when the
+    /// event lands at or before an already-closed tick boundary — the
+    /// window it belonged to has been reported and cannot be reopened.
+    pub fn insert(&mut self, user: u32, t: u64, hostname: String) -> bool {
+        if let Some(closed) = self.closed_through {
+            if t <= closed {
+                self.late_dropped += 1;
+                return false;
+            }
+        }
+        let events = self.users.entry(user).or_default();
+        // Stable sorted insert: after every existing event with time ≤ t.
+        let pos = events.partition_point(|(et, _)| *et <= t);
+        if pos == events.len() {
+            events.push_back((t, hostname));
+        } else {
+            events.insert(pos, (t, hostname));
+        }
+        self.dirty.insert(user);
+        self.resident_events += 1;
+        self.peak_resident_events = self.peak_resident_events.max(self.resident_events);
+        true
+    }
+
+    /// Close the tick at boundary `w` (must be past any previously closed
+    /// boundary): report a [`WindowClose`] for every user whose latest
+    /// event at or before `w` is fresh (newer than the previous boundary),
+    /// evict events no future window can contain, and advance the
+    /// late-arrival floor to `w`. Users are reported in ascending key
+    /// order.
+    pub fn close_tick(&mut self, w: u64) -> Vec<WindowClose> {
+        debug_assert!(self.closed_through.is_none_or(|p| w > p));
+        let prev = self.closed_through;
+        let mut closes = Vec::new();
+        let mut still_dirty: Vec<u32> = Vec::new();
+        let mut emptied: Vec<u32> = Vec::new();
+        // Events at or before this can never appear in a future window:
+        // every future anchor is > w, so every future window starts after
+        // (w + 1) - T. A zero threshold means windows still reach the
+        // epoch, where the boundary is inclusive — evict nothing.
+        let evict_through = (w + 1).saturating_sub(self.window_ms);
+        for &user in &self.dirty {
+            let Some(events) = self.users.get_mut(&user) else {
+                continue;
+            };
+            let upto = events.partition_point(|(t, _)| *t <= w);
+            if upto > 0 {
+                let anchor = events[upto - 1].0;
+                if prev.is_none_or(|p| anchor > p) {
+                    let start_idx = match anchor.checked_sub(self.window_ms) {
+                        // Window reaches (or starts exactly at) the epoch:
+                        // inclusive from t = 0.
+                        None | Some(0) => 0,
+                        Some(start) => events.partition_point(|(t, _)| *t <= start),
+                    };
+                    let window: Vec<String> = events
+                        .iter()
+                        .skip(start_idx)
+                        .take(upto - start_idx)
+                        .map(|(_, h)| h.clone())
+                        .collect();
+                    closes.push(WindowClose {
+                        user,
+                        anchor,
+                        window,
+                    });
+                }
+            }
+            if evict_through > 0 {
+                while events.front().is_some_and(|(t, _)| *t <= evict_through) {
+                    events.pop_front();
+                    self.resident_events -= 1;
+                }
+            }
+            if events.is_empty() {
+                emptied.push(user);
+            } else if events.back().is_some_and(|(t, _)| *t > w) {
+                // Activity past this boundary: the next tick must look at
+                // this user again.
+                still_dirty.push(user);
+            }
+        }
+        for user in emptied {
+            self.users.remove(&user);
+        }
+        self.dirty = still_dirty.into_iter().collect();
+        self.closed_through = Some(w);
+        closes
+    }
+
+    /// Events dropped for arriving beyond the lateness bound.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Events currently buffered across all users.
+    pub fn resident_events(&self) -> usize {
+        self.resident_events
+    }
+
+    /// High-water mark of [`resident_events`](Self::resident_events).
+    pub fn peak_resident_events(&self) -> usize {
+        self.peak_resident_events
+    }
+
+    /// Users currently tracked.
+    pub fn tracked_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Users with activity not yet covered by a closed tick.
+    pub fn dirty_users(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Boundary of the last closed tick, if any.
+    pub fn closed_through(&self) -> Option<u64> {
+        self.closed_through
+    }
+
+    /// Earliest event not yet covered by a closed tick, across all dirty
+    /// users — the next tick boundary at or past it is the first boundary
+    /// that can report anything. `None` when no such event exists, which
+    /// lets the scheduler fast-forward across idle stretches.
+    pub fn min_pending_event(&self) -> Option<u64> {
+        self.dirty
+            .iter()
+            .filter_map(|u| {
+                let events = self.users.get(u)?;
+                match self.closed_through {
+                    None => events.front().map(|(t, _)| *t),
+                    Some(floor) => {
+                        let i = events.partition_point(|(t, _)| *t <= floor);
+                        events.get(i).map(|(t, _)| *t)
+                    }
+                }
+            })
+            .min()
+    }
+}
+
+/// One profiled user at a tick.
+#[derive(Debug, Clone)]
+pub struct TickEntry {
+    /// Client key (IP).
+    pub user: u32,
+    /// Session anchor: the user's last event at or before the boundary.
+    pub anchor: u64,
+    /// The profile, or `None` when the session emptied out (pure-tracker
+    /// window) or carried no profilable signal.
+    pub profile: Option<SessionProfile>,
+}
+
+/// A fired report tick.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// The tick boundary (a multiple of `report_interval_ms`, except the
+    /// final flush tick which is the first boundary past the stream end).
+    pub boundary: u64,
+    /// Profiled users, ascending by key.
+    pub entries: Vec<TickEntry>,
+    /// Wall-clock time spent closing windows and profiling this tick.
+    pub compute_micros: u64,
+}
+
+/// Aggregate serving-loop counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Packets ingested.
+    pub packets: u64,
+    /// Observations recovered across all lanes.
+    pub observations: u64,
+    /// Ticks fired (including empty ones).
+    pub ticks: u64,
+    /// Sessions sent to the profiler.
+    pub sessions_profiled: u64,
+    /// Sessions that produced a profile.
+    pub profiles_emitted: u64,
+}
+
+/// The serving loop: lanes of [`SniObserver`]s feeding an
+/// [`IncrementalWindower`], with a watermark-driven tick scheduler
+/// profiling through a [`BatchProfiler`].
+pub struct ServeEngine<'a> {
+    config: ServeConfig,
+    lanes: Vec<SniObserver>,
+    windower: IncrementalWindower,
+    profiler: BatchProfiler<'a>,
+    blocklist: Option<&'a Blocklist>,
+    /// Next tick boundary to fire.
+    next_tick: u64,
+    /// Maximum packet/event timestamp seen; the watermark trails it.
+    max_t: u64,
+    stats: ServeStats,
+}
+
+/// splitmix64 — the repo's standard cheap seeded mix, used here to shard
+/// clients over lanes.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Build an engine. The profiler carries the embeddings/ontology
+    /// borrows and the worker-thread count; `blocklist` filters tracker
+    /// hostnames out of sessions exactly as the batch pipeline does.
+    pub fn new(
+        config: ServeConfig,
+        profiler: BatchProfiler<'a>,
+        blocklist: Option<&'a Blocklist>,
+    ) -> Self {
+        let lanes = (0..config.lanes.max(1))
+            .map(|_| {
+                let o = SniObserver::with_config(config.observer);
+                if config.harvest_dns {
+                    o.with_dns_harvesting()
+                } else {
+                    o
+                }
+            })
+            .collect();
+        Self {
+            next_tick: config.report_interval_ms.max(1),
+            windower: IncrementalWindower::new(config.session_window_ms),
+            lanes,
+            config,
+            profiler,
+            blocklist,
+            max_t: 0,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Which lane a client's packets land on. Pure in the client IP, so
+    /// one client's traffic is never split across lanes — the property
+    /// that makes results independent of the lane count.
+    pub fn lane_of(&self, client_ip: u32) -> usize {
+        (splitmix64(client_ip as u64) % self.lanes.len() as u64) as usize
+    }
+
+    /// Ingest one packet; returns any ticks the watermark released.
+    pub fn ingest_packet(&mut self, pkt: &Packet) -> Vec<TickReport> {
+        self.stats.packets += 1;
+        let lane = self.lane_of(pkt.src.ip);
+        self.lanes[lane].process(pkt);
+        if !self.lanes[lane].observations().is_empty() {
+            for obs in self.lanes[lane].take_observations() {
+                self.stats.observations += 1;
+                self.windower.insert(obs.client_ip, obs.t_ms, obs.hostname);
+            }
+        }
+        self.advance(pkt.t_ms)
+    }
+
+    /// Ingest a pre-extracted observation (bypassing the observers) —
+    /// the entry point for sources that already speak `(t, client, host)`.
+    pub fn ingest_observation(
+        &mut self,
+        client: u32,
+        t_ms: u64,
+        hostname: &str,
+    ) -> Vec<TickReport> {
+        self.stats.observations += 1;
+        self.windower.insert(client, t_ms, hostname.to_string());
+        self.advance(t_ms)
+    }
+
+    /// Advance the event-time clock and fire every tick whose boundary
+    /// the watermark has passed.
+    fn advance(&mut self, t: u64) -> Vec<TickReport> {
+        if t > self.max_t {
+            self.max_t = t;
+        }
+        self.fire_due(self.max_t.saturating_sub(self.config.lateness_ms))
+    }
+
+    /// Fire every due tick with boundary ≤ `through`. Boundaries that
+    /// cannot report anything (no uncovered event at or before them) are
+    /// skipped in one step, so an idle gap in the stream costs O(1) ticks
+    /// instead of one per elapsed interval.
+    fn fire_due(&mut self, through: u64) -> Vec<TickReport> {
+        let interval = self.config.report_interval_ms;
+        let mut out = Vec::new();
+        while self.next_tick <= through {
+            let last_due = self.next_tick + ((through - self.next_tick) / interval) * interval;
+            // The first boundary that can have a fresh anchor covers the
+            // earliest not-yet-reported event.
+            self.next_tick = match self.windower.min_pending_event() {
+                Some(t) => (t.div_ceil(interval) * interval).clamp(self.next_tick, last_due),
+                None => last_due,
+            };
+            if let Some(tick) = self.fire_tick() {
+                out.push(tick);
+            }
+        }
+        out
+    }
+
+    /// Fire the tick at `next_tick`; `None` when no user had fresh
+    /// activity (the boundary still advances).
+    fn fire_tick(&mut self) -> Option<TickReport> {
+        let boundary = self.next_tick;
+        self.next_tick += self.config.report_interval_ms;
+        self.stats.ticks += 1;
+        let started = Instant::now();
+        let closes = self.windower.close_tick(boundary);
+        if closes.is_empty() {
+            return None;
+        }
+        let sessions: Vec<Session> = closes
+            .iter()
+            .map(|c| Session::from_window(c.window.iter().map(String::as_str), self.blocklist))
+            .collect();
+        self.stats.sessions_profiled += sessions.len() as u64;
+        let profiles = self.profiler.profile_sessions(&sessions);
+        let entries: Vec<TickEntry> = closes
+            .into_iter()
+            .zip(profiles)
+            .map(|(c, profile)| {
+                if profile.is_some() {
+                    self.stats.profiles_emitted += 1;
+                }
+                TickEntry {
+                    user: c.user,
+                    anchor: c.anchor,
+                    profile,
+                }
+            })
+            .collect();
+        Some(TickReport {
+            boundary,
+            entries,
+            compute_micros: started.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// End of stream: fire every boundary the stream reached regardless
+    /// of the lateness margin, then one closing tick past the last event
+    /// so tail activity is profiled too.
+    pub fn flush(&mut self) -> Vec<TickReport> {
+        let mut out = self.fire_due(self.max_t);
+        if let Some(tick) = self.fire_tick() {
+            out.push(tick);
+        }
+        out
+    }
+
+    /// Serving-loop counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// The windower, for inspection (late drops, resident events).
+    pub fn windower(&self) -> &IncrementalWindower {
+        &self.windower
+    }
+
+    /// Lane count.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Observer counters merged across every lane; the taxonomy invariant
+    /// `parse_errors == taxonomy_total()` survives the merge.
+    pub fn observer_stats(&self) -> ObserverStats {
+        let mut total = ObserverStats::default();
+        for lane in &self.lanes {
+            total.merge(&lane.stats());
+        }
+        total
+    }
+
+    /// Flow-table counters merged across every lane.
+    pub fn flow_stats(&self) -> FlowStats {
+        let mut total = FlowStats::default();
+        for lane in &self.lanes {
+            total.merge(&lane.flow_stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use hostprof_embed::{EmbeddingSet, Vocab};
+    use hostprof_net::tls::ClientHello;
+    use hostprof_net::{Endpoint, Transport};
+    use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
+
+    const MIN10: u64 = 600_000;
+
+    fn windower() -> IncrementalWindower {
+        IncrementalWindower::new(1_200_000) // T = 20 min
+    }
+
+    fn win(c: &WindowClose) -> Vec<&str> {
+        c.window.iter().map(String::as_str).collect()
+    }
+
+    #[test]
+    fn in_order_feed_windows_like_batch() {
+        let mut w = windower();
+        w.insert(1, 100, "a.com".into());
+        w.insert(1, 200_000, "b.com".into());
+        w.insert(2, 599_999, "c.com".into());
+        let closes = w.close_tick(MIN10);
+        assert_eq!(closes.len(), 2);
+        assert_eq!(closes[0].user, 1);
+        assert_eq!(closes[0].anchor, 200_000);
+        assert_eq!(win(&closes[0]), ["a.com", "b.com"]);
+        assert_eq!(closes[1].user, 2);
+        assert_eq!(closes[1].anchor, 599_999);
+    }
+
+    #[test]
+    fn out_of_order_within_bound_lands_in_the_right_window() {
+        let mut sorted = windower();
+        let mut shuffled = windower();
+        let events: [(u64, &str); 5] = [
+            (100, "a.com"),
+            (5_000, "b.com"),
+            (5_000, "c.com"),
+            (9_000, "d.com"),
+            (200_000, "e.com"),
+        ];
+        for (t, h) in events {
+            sorted.insert(7, t, h.into());
+        }
+        // Deliver out of order (but no tick has closed, so all in bound).
+        for i in [4usize, 1, 0, 2, 3] {
+            let (t, h) = events[i];
+            shuffled.insert(7, t, h.into());
+        }
+        let a = sorted.close_tick(MIN10);
+        let b = shuffled.close_tick(MIN10);
+        assert_eq!(a.len(), 1);
+        assert_eq!(win(&a[0]), ["a.com", "b.com", "c.com", "d.com", "e.com"]);
+        // Equal-time events keep arrival order *within* each feed; the two
+        // feeds delivered b/c in the same relative order here, so the
+        // timelines agree exactly.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn late_event_beyond_closed_boundary_is_dropped_and_counted() {
+        let mut w = windower();
+        w.insert(1, 100, "a.com".into());
+        w.close_tick(MIN10);
+        assert!(!w.insert(1, MIN10, "late.com".into()));
+        assert!(!w.insert(1, 3, "very-late.com".into()));
+        assert_eq!(w.late_dropped(), 2);
+        // Just past the boundary is fine.
+        assert!(w.insert(1, MIN10 + 1, "ok.com".into()));
+    }
+
+    #[test]
+    fn tick_reports_only_fresh_anchors() {
+        let mut w = windower();
+        w.insert(1, 50_000, "a.com".into());
+        assert_eq!(w.close_tick(MIN10).len(), 1);
+        // No new activity: the next tick reports nothing for user 1.
+        assert!(w.close_tick(2 * MIN10).is_empty());
+        // Activity in the third interval reports again, window spanning
+        // back over the quiet interval (T = 20 min > 2 intervals).
+        w.insert(1, 2 * MIN10 + 5, "b.com".into());
+        let closes = w.close_tick(3 * MIN10);
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].anchor, 2 * MIN10 + 5);
+        assert_eq!(win(&closes[0]), ["a.com", "b.com"]);
+    }
+
+    #[test]
+    fn eviction_keeps_exactly_what_future_windows_can_contain() {
+        let mut w = IncrementalWindower::new(1000);
+        w.insert(1, 100, "a.com".into());
+        w.insert(1, 600, "b.com".into());
+        w.insert(1, 1500, "c.com".into());
+        let closes = w.close_tick(600);
+        assert_eq!(win(&closes[0]), ["a.com", "b.com"]);
+        // Eviction threshold is (600 + 1) - 1000 < 0: nothing evicted yet.
+        assert_eq!(w.resident_events(), 3);
+        let closes = w.close_tick(1200);
+        // Anchor 1500 is past the boundary; anchor ≤ 1200 is 600 = prev →
+        // nothing fresh.
+        assert!(closes.is_empty());
+        // Threshold (1200 + 1) - 1000 = 201: "a.com"@100 can no longer
+        // appear in any window (future anchors > 1200 ⇒ windows > 200).
+        assert_eq!(w.resident_events(), 2);
+        let closes = w.close_tick(1800);
+        assert_eq!(closes[0].anchor, 1500);
+        assert_eq!(win(&closes[0]), ["b.com", "c.com"]);
+    }
+
+    #[test]
+    fn epoch_touching_windows_keep_t_zero() {
+        let mut w = IncrementalWindower::new(1000);
+        w.insert(1, 0, "zero.com".into());
+        w.insert(1, 1000, "t.com".into());
+        let closes = w.close_tick(1000);
+        // Window (0, 1000] with an epoch-touching start keeps t = 0.
+        assert_eq!(win(&closes[0]), ["zero.com", "t.com"]);
+    }
+
+    /// Differential test: for random event streams and every 10-minute
+    /// boundary, the windower's raw window (passed through `Session`
+    /// dedup) must equal the oracle's naive `session_window` over the
+    /// user's sorted timeline.
+    #[test]
+    fn windower_matches_oracle_naive_windowing_at_every_tick() {
+        let t_window = 1_200_000u64;
+        for seed in 0..20u64 {
+            let mut state = splitmix64(seed.wrapping_add(0xfeed));
+            let mut next = || {
+                state = splitmix64(state);
+                state
+            };
+            // Random in-order events for a handful of users over ~5 ticks.
+            let mut events: Vec<(u64, u32, String)> = Vec::new();
+            let mut t = 0u64;
+            for _ in 0..200 {
+                t += next() % 40_000;
+                let user = (next() % 4) as u32;
+                let host = format!("h{}.example", next() % 12);
+                events.push((t, user, host));
+            }
+            let mut w = IncrementalWindower::new(t_window);
+            let mut cursor = 0usize;
+            let mut prev: Option<u64> = None;
+            let last_t = events.last().unwrap().0;
+            let mut boundary = MIN10;
+            while boundary <= last_t + MIN10 {
+                while cursor < events.len() && events[cursor].0 <= boundary {
+                    let (t, u, h) = events[cursor].clone();
+                    w.insert(u, t, h);
+                    cursor += 1;
+                }
+                let closes = w.close_tick(boundary);
+                for c in &closes {
+                    // Oracle: the user's full sorted timeline, naively
+                    // windowed at the same anchor.
+                    let timeline: Vec<(u64, String)> = events
+                        .iter()
+                        .filter(|(_, u, _)| *u == c.user)
+                        .map(|(t, _, h)| (*t, h.clone()))
+                        .collect();
+                    let expect = hostprof_oracle_window(&timeline, c.anchor, t_window);
+                    let got = Session::from_window(c.window.iter().map(String::as_str), None);
+                    assert_eq!(
+                        got.hostnames(),
+                        expect.as_slice(),
+                        "seed {seed} boundary {boundary} user {} anchor {}",
+                        c.user,
+                        c.anchor
+                    );
+                    // Anchor freshness: within (prev, boundary].
+                    assert!(c.anchor <= boundary);
+                    if let Some(p) = prev {
+                        assert!(c.anchor > p);
+                    }
+                }
+                prev = Some(boundary);
+                boundary += MIN10;
+            }
+        }
+    }
+
+    /// A local re-statement of `oracle::window::session_window` (the oracle
+    /// crate is a dev-only sibling; depending on it here would be a cycle).
+    /// The root-level `tests/streaming_equivalence.rs` suite runs the real
+    /// oracle against the full engine.
+    fn hostprof_oracle_window(requests: &[(u64, String)], end: u64, dur: u64) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for (t, h) in requests {
+            let after_start = match end.checked_sub(dur) {
+                None => true,
+                Some(0) if dur > 0 => true,
+                Some(start) => *t > start,
+            };
+            if after_start && *t <= end && !out.contains(h) {
+                out.push(h.clone());
+            }
+        }
+        out
+    }
+
+    // ---- engine-level tests (tiny synthetic embeddings) ----
+
+    fn tiny_model() -> (EmbeddingSet, Ontology) {
+        let hosts: Vec<String> = (0..8).map(|i| format!("h{i}.example")).collect();
+        let vocab = Vocab::build(std::iter::once(hosts.iter().map(String::as_str)), 1, 0.0);
+        let dim = 4usize;
+        let mut state = 42u64;
+        let vectors: Vec<f32> = (0..vocab.len() * dim)
+            .map(|_| {
+                state = splitmix64(state);
+                ((state >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
+            })
+            .collect();
+        let embeddings = EmbeddingSet::new(dim, vocab, vectors);
+        let mut ontology = Ontology::new();
+        for i in 0..4 {
+            ontology.insert(
+                &format!("h{i}.example"),
+                CategoryVector::from_pairs(vec![(CategoryId(i as u16), 1.0)]),
+            );
+        }
+        (embeddings, ontology)
+    }
+
+    fn tls_packet(t: u64, client_ip: u32, sport: u16, host: &str) -> Packet {
+        Packet {
+            t_ms: t,
+            src: Endpoint::new(client_ip, sport),
+            dst: Endpoint::new(0x0808_0808, 443),
+            transport: Transport::Tcp,
+            payload: bytes::Bytes::from(ClientHello::for_hostname(host).encode()),
+        }
+    }
+
+    #[test]
+    fn watermark_holds_ticks_until_lateness_passes() {
+        let (embeddings, ontology) = tiny_model();
+        let profiler = Profiler::new(&embeddings, &ontology, ProfilerConfig::default());
+        let mut engine = ServeEngine::new(
+            ServeConfig {
+                lateness_ms: 5_000,
+                ..ServeConfig::default()
+            },
+            BatchProfiler::new(profiler, 1),
+            None,
+        );
+        let mut ticks = Vec::new();
+        ticks.extend(engine.ingest_packet(&tls_packet(1_000, 1, 5000, "h1.example")));
+        // The stream has reached the boundary but the watermark (t - 5s)
+        // has not: the tick must hold.
+        ticks.extend(engine.ingest_packet(&tls_packet(MIN10 + 100, 1, 5001, "h2.example")));
+        assert!(ticks.is_empty(), "tick released before watermark passed");
+        // An out-of-order arrival inside the margin still lands.
+        ticks.extend(engine.ingest_packet(&tls_packet(MIN10 - 50, 1, 5002, "h3.example")));
+        assert!(ticks.is_empty());
+        // Watermark passes the boundary: the tick fires and contains the
+        // late arrival.
+        ticks.extend(engine.ingest_packet(&tls_packet(MIN10 + 5_001, 1, 5003, "h4.example")));
+        assert_eq!(ticks.len(), 1);
+        assert_eq!(ticks[0].boundary, MIN10);
+        assert_eq!(ticks[0].entries.len(), 1);
+        assert_eq!(ticks[0].entries[0].anchor, MIN10 - 50);
+        assert!(ticks[0].entries[0].profile.is_some());
+        // Flush covers the tail.
+        let rest = engine.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].entries[0].anchor, MIN10 + 5_001);
+    }
+
+    #[test]
+    fn lane_count_does_not_change_results() {
+        let (embeddings, ontology) = tiny_model();
+        let packets: Vec<Packet> = (0..300u64)
+            .map(|i| {
+                tls_packet(
+                    i * 7_001,
+                    1 + (i % 5) as u32,
+                    (4000 + i) as u16,
+                    &format!("h{}.example", i % 8),
+                )
+            })
+            .collect();
+        let run = |lanes: usize| {
+            let profiler = Profiler::new(&embeddings, &ontology, ProfilerConfig::default());
+            let mut engine = ServeEngine::new(
+                ServeConfig {
+                    lanes,
+                    ..ServeConfig::default()
+                },
+                BatchProfiler::new(profiler, 1),
+                None,
+            );
+            let mut ticks = Vec::new();
+            for p in &packets {
+                ticks.extend(engine.ingest_packet(p));
+            }
+            ticks.extend(engine.flush());
+            ticks
+                .iter()
+                .flat_map(|t| {
+                    t.entries.iter().map(move |e| {
+                        let bits: Vec<Vec<u32>> = e
+                            .profile
+                            .as_ref()
+                            .map(|p| vec![p.session_vector.iter().map(|v| v.to_bits()).collect()])
+                            .unwrap_or_default();
+                        (t.boundary, e.user, e.anchor, bits)
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let one = run(1);
+        assert!(!one.is_empty());
+        assert_eq!(one, run(4));
+        assert_eq!(one, run(3));
+    }
+
+    #[test]
+    fn merged_lane_taxonomy_invariant_holds_in_the_serving_loop() {
+        let (embeddings, ontology) = tiny_model();
+        let profiler = Profiler::new(&embeddings, &ontology, ProfilerConfig::default());
+        let mut engine = ServeEngine::new(
+            ServeConfig {
+                lanes: 4,
+                ..ServeConfig::default()
+            },
+            BatchProfiler::new(profiler, 1),
+            None,
+        );
+        // Mix of valid handshakes and garbage across many clients, so
+        // several lanes accumulate *different* error taxonomies.
+        for i in 0..64u64 {
+            let ip = 1 + (i % 16) as u32;
+            if i % 3 == 0 {
+                let mut pkt = tls_packet(i * 10, ip, (6000 + i) as u16, "ignored");
+                pkt.payload = bytes::Bytes::from_static(b"GET / HTTP/1.1\r\n");
+                engine.ingest_packet(&pkt);
+            } else {
+                engine.ingest_packet(&tls_packet(
+                    i * 10,
+                    ip,
+                    (6000 + i) as u16,
+                    &format!("h{}.example", i % 8),
+                ));
+            }
+        }
+        let merged = engine.observer_stats();
+        assert!(merged.parse_errors > 0, "garbage must register");
+        assert_eq!(
+            merged.taxonomy_total(),
+            merged.parse_errors,
+            "taxonomy invariant must survive the per-lane merge"
+        );
+        assert_eq!(merged.packets, 64);
+        assert_eq!(engine.flow_stats().packets, 64);
+        // At least two lanes actually saw traffic (the merge is real).
+        let active = (0..16u32)
+            .map(|ip| engine.lane_of(1 + ip))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(active.len() > 1);
+    }
+
+    #[test]
+    fn idle_gap_fast_forwards_the_scheduler() {
+        let (embeddings, ontology) = tiny_model();
+        let profiler = Profiler::new(&embeddings, &ontology, ProfilerConfig::default());
+        let mut engine = ServeEngine::new(
+            ServeConfig::default(),
+            BatchProfiler::new(profiler, 1),
+            None,
+        );
+        engine.ingest_packet(&tls_packet(100, 1, 5000, "h0.example"));
+        // A huge time gap: the scheduler must not spin one tick at a time.
+        let ticks = engine.ingest_packet(&tls_packet(3_000_000_000, 1, 5001, "h1.example"));
+        // The first interval's activity is reported; the empty boundaries
+        // in the gap are skipped.
+        assert_eq!(ticks.len(), 1);
+        assert_eq!(ticks[0].entries[0].anchor, 100);
+        let stats = engine.stats();
+        assert!(
+            stats.ticks < 100,
+            "scheduler fired {} ticks across the gap",
+            stats.ticks
+        );
+    }
+}

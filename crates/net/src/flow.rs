@@ -80,6 +80,27 @@ pub struct FlowStats {
     pub bytes: u64,
 }
 
+impl FlowStats {
+    /// Fold another table's counters into this one: all fields are plain
+    /// sums, so N per-lane flow tables merge into one aggregate view (the
+    /// serving loop's taxonomy report depends on this).
+    pub fn merge(&mut self, other: &FlowStats) {
+        self.flows_created += other.flows_created;
+        self.flows_evicted += other.flows_evicted;
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+    }
+
+    /// [`merge`](Self::merge) over any number of per-lane stats.
+    pub fn merged<'a, I: IntoIterator<Item = &'a FlowStats>>(lanes: I) -> FlowStats {
+        let mut total = FlowStats::default();
+        for s in lanes {
+            total.merge(s);
+        }
+        total
+    }
+}
+
 /// The observer's flow table.
 #[derive(Debug)]
 pub struct FlowTable {
@@ -304,6 +325,21 @@ mod tests {
         assert!(t.has_evicted_pending());
         assert_eq!(t.take_evicted_pending(), vec![FlowKey::of(&pending)]);
         assert!(!t.has_evicted_pending(), "drain empties the queue");
+    }
+
+    #[test]
+    fn flow_stats_merge_sums_every_field() {
+        let mut a = FlowTable::new(1000);
+        a.observe(&pkt(0, 5000, b"abc"));
+        a.observe(&pkt(1, 5001, b"de"));
+        a.evict_idle(10_000);
+        let mut b = FlowTable::default();
+        b.observe(&pkt(0, 5002, b"fgh"));
+        let merged = FlowStats::merged([&a.stats(), &b.stats()]);
+        assert_eq!(merged.packets, 3);
+        assert_eq!(merged.bytes, 8);
+        assert_eq!(merged.flows_created, 3);
+        assert_eq!(merged.flows_evicted, 2);
     }
 
     #[test]

@@ -52,7 +52,12 @@ pub enum HostnameSource {
 /// One recovered `(time, client, hostname)` fact.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Observation {
-    /// Packet timestamp, milliseconds.
+    /// Connection start time, milliseconds: the timestamp of the flow's
+    /// *first* payload segment, not of the segment that completed parsing.
+    /// A ClientHello reassembled from several TCP segments is stamped with
+    /// the time the handshake began — the instant the ground-truth request
+    /// happened — so downstream session windows see the same timeline an
+    /// oracle with the original trace would.
     pub t_ms: u64,
     /// Client IPv4 address — the observer's only notion of "user".
     pub client_ip: u32,
@@ -144,9 +149,11 @@ pub struct SniObserver {
     observations: Vec<Observation>,
     stats: ObserverStats,
     config: ObserverConfig,
-    /// Partial ClientHello bytes per TCP flow, while a handshake spans
-    /// several segments.
-    pending: HashMap<FlowKey, (Vec<u8>, u32)>,
+    /// Partial ClientHello state per TCP flow, while a handshake spans
+    /// several segments: accumulated bytes, segment count, and the
+    /// timestamp of the first segment (the flow's start time, which stamps
+    /// the eventual observation).
+    pending: HashMap<FlowKey, (Vec<u8>, u32, u64)>,
     /// Insertion order of `pending` keys, for FIFO eviction at the caps.
     pending_order: std::collections::VecDeque<FlowKey>,
     /// Total bytes across all `pending` buffers (kept incrementally).
@@ -158,8 +165,9 @@ pub struct SniObserver {
 
 /// Outcome of feeding one TCP segment to the TLS reassembler.
 enum TlsOutcome {
-    /// A hostname was recovered.
-    Hostname(String),
+    /// A hostname was recovered, stamped with the flow's first-segment
+    /// timestamp.
+    Hostname(String, u64),
     /// More segments are needed; the flow stays pending.
     Incomplete,
     /// Well-formed ClientHello with no readable name (ECH).
@@ -214,9 +222,9 @@ impl SniObserver {
     }
 
     /// Remove a pending entry, keeping the byte total consistent.
-    fn pending_remove(&mut self, key: &FlowKey) -> Option<(Vec<u8>, u32)> {
+    fn pending_remove(&mut self, key: &FlowKey) -> Option<(Vec<u8>, u32, u64)> {
         let removed = self.pending.remove(key);
-        if let Some((buf, _)) = &removed {
+        if let Some((buf, _, _)) = &removed {
             self.pending_bytes = self.pending_bytes.saturating_sub(buf.len());
         }
         removed
@@ -308,12 +316,14 @@ impl SniObserver {
                 self.stats.reassembly_invariant += 1;
             }
         }
-        let recovered: Option<(String, HostnameSource)> = match pkt.transport {
+        let recovered: Option<(String, HostnameSource, u64)> = match pkt.transport {
             // TCP: the ClientHello may span several segments — reassemble
             // per flow until it parses, it is provably hidden/garbage, or
             // the buffer budget runs out.
             Transport::Tcp => match self.try_tls(&key, pkt) {
-                TlsOutcome::Hostname(name) => Some((name, HostnameSource::TlsSni)),
+                TlsOutcome::Hostname(name, start_t) => {
+                    Some((name, HostnameSource::TlsSni, start_t))
+                }
                 TlsOutcome::Incomplete => return, // flow stays pending
                 TlsOutcome::Hidden => {
                     self.stats.hidden += 1;
@@ -340,7 +350,11 @@ impl SniObserver {
                     return;
                 }
                 match dns::extract_qname(&pkt.payload) {
-                    Ok(name) => Some((name.to_ascii_lowercase(), HostnameSource::DnsQuery)),
+                    Ok(name) => Some((
+                        name.to_ascii_lowercase(),
+                        HostnameSource::DnsQuery,
+                        pkt.t_ms,
+                    )),
                     Err(e) => {
                         self.count_parse_failure(e);
                         None
@@ -353,7 +367,7 @@ impl SniObserver {
                     Ok(quic::QuicPacketKind::Initial) => {
                         match quic::extract_sni_from_quic(&pkt.payload) {
                             Ok(Some(name)) => {
-                                Some((name.to_ascii_lowercase(), HostnameSource::QuicSni))
+                                Some((name.to_ascii_lowercase(), HostnameSource::QuicSni, pkt.t_ms))
                             }
                             Ok(None) => {
                                 self.stats.hidden += 1;
@@ -378,14 +392,14 @@ impl SniObserver {
                 }
             }
         };
-        if let Some((hostname, source)) = recovered {
+        if let Some((hostname, source, t_ms)) = recovered {
             match source {
                 HostnameSource::TlsSni => self.stats.tls_sni += 1,
                 HostnameSource::QuicSni => self.stats.quic_sni += 1,
                 HostnameSource::DnsQuery => self.stats.dns_names += 1,
             }
             self.observations.push(Observation {
-                t_ms: pkt.t_ms,
+                t_ms,
                 client_ip: pkt.src.ip,
                 hostname,
                 source,
@@ -405,13 +419,17 @@ impl SniObserver {
         // Parse against either the lone segment (fast path) or the
         // accumulated flow buffer; the borrow ends before we mutate state.
         let mut appended = 0usize;
+        // The observation timestamp: the flow's first segment, not the
+        // segment that completes the parse.
+        let mut start_t = pkt.t_ms;
         let parsed = {
             let attempt: &[u8] = if buffered {
                 match self.pending.get_mut(key) {
-                    Some((buf, segments)) => {
+                    Some((buf, segments, first_t)) => {
                         buf.extend_from_slice(&pkt.payload);
                         *segments += 1;
                         appended = pkt.payload.len();
+                        start_t = *first_t;
                         buf
                     }
                     None => {
@@ -441,7 +459,7 @@ impl SniObserver {
                     self.pending_remove(key);
                 }
                 self.flows.finish(key);
-                TlsOutcome::Hostname(name)
+                TlsOutcome::Hostname(name, start_t)
             }
             Parsed::Hidden => {
                 self.pending_remove(key);
@@ -450,7 +468,7 @@ impl SniObserver {
             Parsed::Truncated => {
                 if buffered {
                     match self.pending.get(key) {
-                        Some((buf, segments)) => {
+                        Some((buf, segments, _)) => {
                             if buf.len() > self.config.max_pending_bytes
                                 || *segments >= self.config.max_pending_segments
                             {
@@ -471,7 +489,8 @@ impl SniObserver {
                     if pkt.payload.len() > self.config.max_pending_bytes {
                         return TlsOutcome::Overflow;
                     }
-                    self.pending.insert(*key, (pkt.payload.to_vec(), 1));
+                    self.pending
+                        .insert(*key, (pkt.payload.to_vec(), 1, pkt.t_ms));
                     self.pending_bytes += pkt.payload.len();
                     self.pending_order.push_back(*key);
                     self.enforce_pending_caps(key);
@@ -545,6 +564,37 @@ impl ObserverStats {
             + self.reassembly_overflow
             + self.evicted_mid_handshake
             + self.garbage
+    }
+
+    /// Fold another observer's counters into this one. Every field is a
+    /// plain sum, so merging preserves the taxonomy invariant: if
+    /// `parse_errors == taxonomy_total()` holds for both inputs it holds
+    /// for the merge. The serving loop uses this to report one aggregate
+    /// taxonomy across N per-lane observers.
+    pub fn merge(&mut self, other: &ObserverStats) {
+        self.packets += other.packets;
+        self.tls_sni += other.tls_sni;
+        self.quic_sni += other.quic_sni;
+        self.dns_names += other.dns_names;
+        self.hidden += other.hidden;
+        self.parse_errors += other.parse_errors;
+        self.reassembled += other.reassembled;
+        self.skipped_non_initial += other.skipped_non_initial;
+        self.truncated_records += other.truncated_records;
+        self.bad_lengths += other.bad_lengths;
+        self.reassembly_overflow += other.reassembly_overflow;
+        self.evicted_mid_handshake += other.evicted_mid_handshake;
+        self.garbage += other.garbage;
+        self.reassembly_invariant += other.reassembly_invariant;
+    }
+
+    /// [`merge`](Self::merge) over any number of per-lane stats.
+    pub fn merged<'a, I: IntoIterator<Item = &'a ObserverStats>>(lanes: I) -> ObserverStats {
+        let mut total = ObserverStats::default();
+        for s in lanes {
+            total.merge(s);
+        }
+        total
     }
 }
 
@@ -868,6 +918,62 @@ mod tests {
             obs.observations()
         );
         assert_eq!(obs.stats().reassembly_invariant, 0);
+    }
+
+    #[test]
+    fn reassembled_observation_keeps_flow_start_time() {
+        let mut obs = SniObserver::new();
+        let record = ClientHello::for_hostname("slowstart.example").encode();
+        let cuts = [record.len() / 3, 2 * record.len() / 3, record.len()];
+        let mut prev = 0usize;
+        // Segments at t = 100, 101, 102: the observation must be stamped
+        // with the handshake's start (100), not its completion (102).
+        for (i, &cut) in cuts.iter().enumerate() {
+            let mut pkt = tls_packet(100 + i as u64, 9, 7400, "ignored");
+            pkt.payload = Bytes::from(record[prev..cut].to_vec());
+            obs.process(&pkt);
+            prev = cut;
+        }
+        assert_eq!(obs.observations().len(), 1);
+        assert_eq!(obs.observations()[0].t_ms, 100);
+        assert_eq!(obs.observations()[0].hostname, "slowstart.example");
+    }
+
+    #[test]
+    fn lane_stats_merge_preserves_taxonomy_invariant() {
+        // Two observers accumulating *different* failure mixes, as two
+        // ingest lanes of the serving loop would.
+        let mut lane_a = SniObserver::new();
+        let mut garbage = tls_packet(0, 1, 5100, "ignored");
+        garbage.payload = Bytes::from_static(b"GET / HTTP/1.1\r\n");
+        lane_a.process(&garbage);
+        lane_a.process(&tls_packet(1, 1, 5101, "a.example"));
+
+        let mut lane_b = SniObserver::new();
+        let full = crate::quic::InitialPacket::for_hostname("cutoff.example").encode();
+        let truncated = Packet {
+            t_ms: 0,
+            src: Endpoint::new(2, 6100),
+            dst: Endpoint::new(9, 443),
+            transport: Transport::Udp,
+            payload: Bytes::from(full[..full.len() / 2].to_vec()),
+        };
+        lane_b.process(&truncated);
+
+        for lane in [&lane_a, &lane_b] {
+            assert_eq!(lane.stats().taxonomy_total(), lane.stats().parse_errors);
+        }
+        let merged = ObserverStats::merged([&lane_a.stats(), &lane_b.stats()]);
+        assert_eq!(merged.parse_errors, 2);
+        assert_eq!(merged.garbage, 1);
+        assert_eq!(merged.truncated_records, 1);
+        assert_eq!(
+            merged.taxonomy_total(),
+            merged.parse_errors,
+            "invariant survives the lane merge"
+        );
+        assert_eq!(merged.packets, 3);
+        assert_eq!(merged.tls_sni, 1);
     }
 
     #[test]

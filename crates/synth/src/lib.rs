@@ -30,12 +30,14 @@ pub mod config;
 pub mod ids;
 pub mod names;
 pub mod sampling;
+pub mod stream;
 pub mod trace;
 pub mod user;
 pub mod world;
 
 pub use config::{PopulationConfig, TraceConfig, WorldConfig};
 pub use ids::{HostId, UserId};
+pub use stream::{StreamConfig, TraceStream};
 pub use trace::{Request, Trace, TraceStats};
 pub use user::{Population, UserProfile};
 pub use world::{Host, HostKind, World};

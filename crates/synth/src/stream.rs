@@ -1,0 +1,282 @@
+//! Streaming trace emission.
+//!
+//! [`Trace::generate`] materializes a whole world's request history before
+//! anything can consume it — fine for replay, wrong for a serving loop
+//! that should run forever against millions of users. [`TraceStream`] is
+//! the lazy counterpart: an infinite, time-ordered iterator of [`Request`]s
+//! driven by per-user generators and a priority queue, holding only
+//! O(users + in-flight dependencies) state no matter how long it runs.
+//!
+//! The emitted stream has the same statistical shape the profiler exploits
+//! in the batch trace — topic-persistent page visits, core-host background
+//! noise, CDN/API/tracker dependencies firing within ~1.5 s of each page —
+//! but it is *not* request-identical to [`Trace::generate`] (different
+//! sampling order by construction). Load generation and the `hostprof
+//! serve` live mode use this; golden replay keeps using the materialized
+//! trace.
+//!
+//! [`Trace::generate`]: crate::trace::Trace::generate
+
+use crate::ids::{HostId, UserId};
+use crate::trace::Request;
+use crate::user::Population;
+use crate::world::World;
+use hostprof_ontology::TopCategoryId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Knobs of the streaming emitter. Page-structure probabilities default to
+/// the batch [`TraceConfig`](crate::config::TraceConfig) values; the pace
+/// is set directly by `mean_gap_ms` (think time between page visits)
+/// instead of diurnal session sampling, so a load generator can dial a
+/// target request rate.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// RNG seed; each user derives an independent stream from it.
+    pub seed: u64,
+    /// Mean think time between one user's consecutive page visits,
+    /// exponentially distributed.
+    pub mean_gap_ms: u64,
+    /// Probability of staying on the current interest topic.
+    pub topic_persistence: f64,
+    /// Probability that a page visit goes to a core host.
+    pub core_visit_prob: f64,
+    /// Probability that each dependency of a visited site fires.
+    pub dependency_fire_prob: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed_0005,
+            mean_gap_ms: 60_000,
+            topic_persistence: 0.62,
+            core_visit_prob: 0.22,
+            dependency_fire_prob: 0.8,
+        }
+    }
+}
+
+/// What a scheduled heap entry does when its time comes. `Page` drives the
+/// user's generator forward; `Visit` is an already-chosen dependency hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    Page,
+    Visit(HostId),
+}
+
+struct UserState {
+    rng: ChaCha8Rng,
+    topic: TopCategoryId,
+}
+
+/// Infinite, time-ordered request stream over a world + population.
+///
+/// Deterministic per `(world, population, config)`: each user's generator
+/// is seeded by `splitmix64(seed, user)` and the heap breaks timestamp
+/// ties by a global insertion sequence, so two identically-configured
+/// streams emit identical requests forever.
+pub struct TraceStream<'a> {
+    world: &'a World,
+    population: &'a Population,
+    users: Vec<UserState>,
+    /// Min-heap of `(t_ms, tie-break seq, user, action)`.
+    heap: BinaryHeap<Reverse<(u64, u64, u32, Action)>>,
+    seq: u64,
+    config: StreamConfig,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl<'a> TraceStream<'a> {
+    /// Start a stream. Every user's first page visit lands within one mean
+    /// gap of t = 0, so load ramps immediately instead of idling.
+    pub fn new(world: &'a World, population: &'a Population, config: StreamConfig) -> Self {
+        let mut users = Vec::with_capacity(population.len());
+        let mut heap = BinaryHeap::with_capacity(population.len());
+        let mut seq = 0u64;
+        for user in population.users() {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(splitmix64(config.seed ^ (user.id.0 as u64) << 17));
+            let topic = user.sample_topic(&mut rng);
+            let first = rng.gen_range(0..config.mean_gap_ms.max(1));
+            heap.push(Reverse((first, seq, user.id.0, Action::Page)));
+            seq += 1;
+            users.push(UserState { rng, topic });
+        }
+        Self {
+            world,
+            population,
+            users,
+            heap,
+            seq,
+            config,
+        }
+    }
+
+    /// Events currently scheduled (users + in-flight dependencies) — the
+    /// whole memory footprint of the generator.
+    pub fn scheduled(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Exponential think time with mean `mean_gap_ms`, at least 1 ms.
+    fn gap(rng: &mut ChaCha8Rng, mean_gap_ms: u64) -> u64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        ((-u.ln() * mean_gap_ms as f64) as u64).max(1)
+    }
+}
+
+impl Iterator for TraceStream<'_> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        let Reverse((t, _, user_raw, action)) = self.heap.pop()?;
+        let user = UserId(user_raw);
+        let host = match action {
+            Action::Visit(host) => host,
+            Action::Page => {
+                // Sample topics/hosts and reschedule *before* returning, so
+                // the stream never stalls.
+                let state = &mut self.users[user.index()];
+                if !state.rng.gen_bool(self.config.topic_persistence) {
+                    state.topic = self.population.user(user).sample_topic(&mut state.rng);
+                }
+                let host = if state.rng.gen_bool(self.config.core_visit_prob) {
+                    self.world.sample_core(&mut state.rng)
+                } else {
+                    self.world.sample_site(&mut state.rng, state.topic)
+                };
+                // Dependencies fire within ~1.5 s of the page load.
+                let deps: Vec<HostId> = self.world.host(host).deps.clone();
+                for dep in deps {
+                    if state.rng.gen_bool(self.config.dependency_fire_prob) {
+                        let dt = state.rng.gen_range(50..1500u64);
+                        self.heap
+                            .push(Reverse((t + dt, self.seq, user_raw, Action::Visit(dep))));
+                        self.seq += 1;
+                    }
+                }
+                let gap = Self::gap(&mut state.rng, self.config.mean_gap_ms);
+                self.heap
+                    .push(Reverse((t + gap, self.seq, user_raw, Action::Page)));
+                self.seq += 1;
+                host
+            }
+        };
+        Some(Request {
+            t_ms: t,
+            user,
+            host,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PopulationConfig, WorldConfig};
+    use crate::world::HostKind;
+
+    fn setup() -> (World, Population) {
+        let world = World::generate(&WorldConfig::tiny());
+        let pop = Population::generate(&world, &PopulationConfig::tiny());
+        (world, pop)
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_deterministic() {
+        let (world, pop) = setup();
+        let take = 2_000usize;
+        let a: Vec<Request> = TraceStream::new(&world, &pop, StreamConfig::default())
+            .take(take)
+            .collect();
+        let b: Vec<Request> = TraceStream::new(&world, &pop, StreamConfig::default())
+            .take(take)
+            .collect();
+        assert_eq!(a, b, "same config ⇒ identical stream");
+        for w in a.windows(2) {
+            assert!(w[0].t_ms <= w[1].t_ms, "time-ordered");
+        }
+        let c: Vec<Request> = TraceStream::new(
+            &world,
+            &pop,
+            StreamConfig {
+                seed: 99,
+                ..StreamConfig::default()
+            },
+        )
+        .take(take)
+        .collect();
+        assert_ne!(a, c, "different seed ⇒ different stream");
+    }
+
+    #[test]
+    fn all_users_participate_and_dependencies_fire() {
+        let (world, pop) = setup();
+        let reqs: Vec<Request> = TraceStream::new(&world, &pop, StreamConfig::default())
+            .take(5_000)
+            .collect();
+        let active: std::collections::HashSet<UserId> = reqs.iter().map(|r| r.user).collect();
+        assert_eq!(active.len(), pop.len(), "every user browses");
+        let infra = reqs
+            .iter()
+            .filter(|r| {
+                matches!(
+                    world.host(r.host).kind,
+                    HostKind::Cdn | HostKind::Api | HostKind::Tracker
+                )
+            })
+            .count();
+        let frac = infra as f64 / reqs.len() as f64;
+        assert!(frac > 0.3, "co-request structure present: {frac}");
+    }
+
+    #[test]
+    fn memory_stays_bounded_no_matter_how_long_it_runs() {
+        let (world, pop) = setup();
+        let mut stream = TraceStream::new(&world, &pop, StreamConfig::default());
+        let mut peak = 0usize;
+        for _ in 0..20_000 {
+            stream.next();
+            peak = peak.max(stream.scheduled());
+        }
+        // One page event per user plus in-flight dependencies.
+        assert!(
+            peak <= pop.len() * 16,
+            "scheduled events bounded: {peak} for {} users",
+            pop.len()
+        );
+    }
+
+    #[test]
+    fn mean_gap_controls_the_request_rate() {
+        let (world, pop) = setup();
+        let span = |gap: u64| {
+            let reqs: Vec<Request> = TraceStream::new(
+                &world,
+                &pop,
+                StreamConfig {
+                    mean_gap_ms: gap,
+                    ..StreamConfig::default()
+                },
+            )
+            .take(3_000)
+            .collect();
+            reqs.last().unwrap().t_ms
+        };
+        let fast = span(1_000);
+        let slow = span(100_000);
+        assert!(
+            slow > fast * 10,
+            "10× the think time stretches the stream: fast={fast} slow={slow}"
+        );
+    }
+}

@@ -444,6 +444,125 @@ fn cmd_replay_capture(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Dispatch between the two serve modes: `--golden` runs the streaming
+/// conformance replay against the committed batch-path snapshots; anything
+/// else is a live calibrated load run through the serving engine.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.get("golden").is_some() || args.flag("golden") {
+        cmd_serve_golden(args)
+    } else {
+        cmd_serve_live(args)
+    }
+}
+
+/// Streaming conformance: re-run the pinned replay with stage 5 computed
+/// by the `ServeEngine` (packets → lanes → windower → watermark ticks)
+/// and require the snapshot to match the committed golden byte for byte.
+/// There is deliberately no `--bless` here — goldens are blessed by the
+/// batch path; the streaming path must *reproduce* them.
+fn cmd_serve_golden(args: &Args) -> Result<(), String> {
+    args.expect_keys(&["golden", "seed", "lanes", "threads"])?;
+    let golden_dir: PathBuf = args
+        .get("golden")
+        .ok_or("serve --golden requires a directory")?
+        .into();
+    let seed = args.get_parsed::<u64>("seed")?.unwrap_or(1);
+    let lanes = args.get_parsed::<usize>("lanes")?.unwrap_or(1).max(1);
+    let mut opts = hostprof::replay::ReplayOptions::for_seed(seed);
+    if let Some(threads) = args.get_parsed::<usize>("threads")? {
+        opts.profile_threads = threads;
+    }
+    let snapshot = hostprof::replay::run_replay_with(
+        &opts,
+        hostprof::replay::ProfilePath::Streaming { lanes },
+    )?;
+    let path = hostprof::replay::golden_path(&golden_dir, seed);
+    let contents = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "read golden {}: {e} (bless it via `hostprof replay --golden ... --bless` first)",
+            path.display()
+        )
+    })?;
+    let expected = hostprof::replay::from_golden_json(&contents)?;
+    let diffs = hostprof::replay::compare_snapshots(&expected, &snapshot);
+    if diffs.is_empty() {
+        println!(
+            "serve --golden seed {seed} lanes {lanes}: OK — streaming profiles bit-identical \
+             to the batch goldens in {}",
+            path.display()
+        );
+        Ok(())
+    } else {
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        Err(format!(
+            "serve --golden seed {seed} lanes {lanes}: {} divergence(s) from {}",
+            diffs.len(),
+            path.display()
+        ))
+    }
+}
+
+/// Live mode: calibrated synthetic load through the serving loop, with a
+/// latency/throughput summary at the end.
+fn cmd_serve_live(args: &Args) -> Result<(), String> {
+    args.expect_keys(&[
+        "scale", "users", "pps", "duration", "lanes", "threads", "seed", "days",
+    ])?;
+    let cfg = scenario_config(args)?;
+    let run = hostprof::serving::LiveRunConfig {
+        seed: args.get_parsed::<u64>("seed")?.unwrap_or(0x0005_e47e),
+        target_pps: args.get_parsed::<f64>("pps")?.unwrap_or(500.0),
+        duration_s: args.get_parsed::<u64>("duration")?.unwrap_or(1_800),
+        lanes: args.get_parsed::<usize>("lanes")?.unwrap_or(2),
+        threads: args.get_parsed::<usize>("threads")?.unwrap_or(1),
+    };
+    let world = hostprof::synth::World::generate(&cfg.world);
+    let population = hostprof::synth::Population::generate(&world, &cfg.population);
+    eprintln!(
+        "serving {} users over {} lanes at ~{:.0} pkt/s for {} simulated seconds",
+        population.len(),
+        run.lanes,
+        run.target_pps,
+        run.duration_s
+    );
+    let report = hostprof::serving::run_live(&world, &population, &cfg.pipeline, &run)?;
+    let stats = report.stats;
+    println!("packets ingested      : {}", stats.packets);
+    println!("observations          : {}", stats.observations);
+    println!(
+        "report ticks          : {} fired, {} with profiles",
+        stats.ticks,
+        report.latencies_ms.len()
+    );
+    println!(
+        "profiles              : {} emitted from {} sessions",
+        stats.profiles_emitted, stats.sessions_profiled
+    );
+    println!(
+        "report latency        : p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        report.latency_percentile_ms(0.50),
+        report.latency_percentile_ms(0.95),
+        report.latency_percentile_ms(0.99),
+    );
+    println!(
+        "sustained ingest      : {:.0} pkt/s over {:.2}s wall",
+        report.sustained_pps(),
+        report.wall_seconds
+    );
+    println!(
+        "late-dropped events   : {} (watermark bound)",
+        report.late_dropped
+    );
+    let st = report.observer;
+    print_taxonomy(&st);
+    if !report.taxonomy_invariant_ok() {
+        return Err("merged lane taxonomy invariant violated".into());
+    }
+    Ok(())
+}
+
 fn cmd_experiment(args: &Args) -> Result<(), String> {
     args.expect_keys(&["scale", "days", "users"])?;
     let cfg = scenario_config(args)?;
@@ -489,6 +608,9 @@ USAGE:
   hostprof replay     --capture capture.hpcap [--dns]
   hostprof replay     --golden tests/golden [--seed S] [--bless] [--threads N]
                       [--kernel auto|scalar|simd] [--sharding static|balanced]
+  hostprof serve      [--scale S] [--users N] [--pps F] [--duration SIM_SECONDS]
+                      [--lanes N] [--threads N] [--seed S]
+  hostprof serve      --golden tests/golden [--seed S] [--lanes N] [--threads N]
   hostprof experiment [--scale S] [--days N] [--users N]
 ";
 
@@ -504,6 +626,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args),
         "observe" => cmd_observe(&args),
         "replay" => cmd_replay(&args),
+        "serve" => cmd_serve(&args),
         "experiment" => cmd_experiment(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

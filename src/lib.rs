@@ -59,9 +59,11 @@ pub use hostprof_synth as synth;
 pub mod bridge;
 pub mod replay;
 pub mod scenario;
+pub mod serving;
 pub mod storage;
 
 pub use bridge::{ObservedTrace, ObserverScenario};
 pub use replay::{ReplayOptions, ReplaySnapshot};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use serving::{run_live, LiveRunConfig, LiveRunReport};
 pub use storage::{load_model, save_model, StorageError};

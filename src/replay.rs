@@ -31,11 +31,14 @@
 use crate::bridge::{ObservedTrace, ObserverScenario};
 use crate::scenario::{Scenario, ScenarioConfig};
 use hostprof_ads::{CtrExperiment, ExperimentConfig, ExperimentResult};
-use hostprof_core::{Session, SessionProfile};
+use hostprof_core::{ServeConfig, ServeEngine, Session, SessionProfile};
 use hostprof_embed::{KernelChoice, Sharding, SkipGramConfig};
+use hostprof_net::RequestEvent;
 use hostprof_stats::paired_t_test;
+use hostprof_synth::trace::DAY_MS;
 use hostprof_synth::UserId;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Execution knobs for one replay. Everything here is REQUIRED to leave
 /// the snapshot byte-identical; the seed alone decides the output.
@@ -209,8 +212,30 @@ pub fn replay_scenario_config(opts: &ReplayOptions) -> ScenarioConfig {
     cfg
 }
 
+/// Which implementation computes the final-day profiles (stage 5).
+///
+/// Both paths are pinned to the SAME golden snapshots: the serving loop is
+/// only correct if feeding the observed packet stream through
+/// [`ServeEngine`] — incremental windowing, watermark ticks, per-lane
+/// observers and all — reproduces the batch path's profiles bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfilePath {
+    /// The batch pipeline: sort, window per (user, day), profile once.
+    Batch,
+    /// The streaming engine with this many ingest lanes.
+    Streaming {
+        /// Ingest lane count ({1, 4} in CI).
+        lanes: usize,
+    },
+}
+
 /// Run the full pipeline for one seed and snapshot every stage.
 pub fn run_replay(opts: &ReplayOptions) -> Result<ReplaySnapshot, String> {
+    run_replay_with(opts, ProfilePath::Batch)
+}
+
+/// [`run_replay`] with an explicit stage-5 implementation.
+pub fn run_replay_with(opts: &ReplayOptions, path: ProfilePath) -> Result<ReplaySnapshot, String> {
     let cfg = replay_scenario_config(opts);
     let s = Scenario::generate(&cfg);
 
@@ -284,20 +309,34 @@ pub fn run_replay(opts: &ReplayOptions) -> Result<ReplaySnapshot, String> {
     }
     let model_digest = d.hex();
 
-    // Stage 5: batch-profile the final day's sessions.
+    // Stage 5: profile the final day's sessions — batch or streaming.
     let final_day = s.trace.days().saturating_sub(1);
-    let day_sessions: Vec<(u32, &Session)> = sessions
-        .iter()
-        .filter(|&&(_, day, _)| day == final_day)
-        .map(|(u, _, sess)| (*u, sess))
-        .collect();
-    let profiler = pipeline.batch_profiler(&embeddings, s.world.ontology(), opts.profile_threads);
-    let session_refs: Vec<Session> = day_sessions.iter().map(|(_, s)| (*s).clone()).collect();
-    let profiled: Vec<Option<SessionProfile>> = profiler.profile_sessions(&session_refs);
+    let per_user: Vec<(u32, Option<SessionProfile>)> = match path {
+        ProfilePath::Batch => {
+            let day_sessions: Vec<(u32, &Session)> = sessions
+                .iter()
+                .filter(|&&(_, day, _)| day == final_day)
+                .map(|(u, _, sess)| (*u, sess))
+                .collect();
+            let profiler =
+                pipeline.batch_profiler(&embeddings, s.world.ontology(), opts.profile_threads);
+            let session_refs: Vec<Session> =
+                day_sessions.iter().map(|(_, s)| (*s).clone()).collect();
+            let profiled = profiler.profile_sessions(&session_refs);
+            day_sessions
+                .iter()
+                .zip(profiled)
+                .map(|((u, _), p)| (*u, p))
+                .collect()
+        }
+        ProfilePath::Streaming { lanes } => {
+            stream_final_day_profiles(&s, &cfg, &pipeline, &embeddings, opts, lanes, final_day)
+        }
+    };
 
     let mut profiles = Vec::new();
     let mut d = Digest::new();
-    for ((u, _), profile) in day_sessions.iter().zip(&profiled) {
+    for (u, profile) in &per_user {
         let Some(p) = profile else {
             continue;
         };
@@ -373,6 +412,74 @@ pub fn run_replay(opts: &ReplayOptions) -> Result<ReplaySnapshot, String> {
         ctr,
         ctr_test,
     })
+}
+
+/// Stage 5, streaming flavor: lower the ground-truth trace to wire
+/// packets (the same clean per-user vantage stage 2 observed) and push
+/// every packet through a [`ServeEngine`]; each user's final-day profile
+/// is the one attached to their *last* tick anchor inside that day.
+///
+/// Packets are delivered request by request in trace order, so each
+/// user's observation order equals their trace order (TCP fragments of a
+/// request complete before the next request's packets arrive) — the
+/// precondition for bit-identical windows. Cross-request timestamp
+/// disorder is at most the 2 ms fragment spread, far inside the default
+/// lateness bound.
+fn stream_final_day_profiles(
+    s: &Scenario,
+    cfg: &ScenarioConfig,
+    pipeline: &hostprof_core::Pipeline,
+    embeddings: &hostprof_embed::EmbeddingSet,
+    opts: &ReplayOptions,
+    lanes: usize,
+    final_day: u32,
+) -> Vec<(u32, Option<SessionProfile>)> {
+    let scenario = ObserverScenario::per_user();
+    let base_ip = match scenario.synthesizer.addressing {
+        hostprof_net::Addressing::PerClient { base_ip } => base_ip,
+        _ => unreachable!("per_user() is per-client addressed"),
+    };
+    let profiler = pipeline.batch_profiler(embeddings, s.world.ontology(), opts.profile_threads);
+    let mut engine = ServeEngine::new(
+        ServeConfig {
+            lanes,
+            session_window_ms: cfg.pipeline.session_window_ms(),
+            report_interval_ms: cfg.pipeline.report_interval_ms(),
+            ..ServeConfig::default()
+        },
+        profiler,
+        Some(pipeline.blocklist()),
+    );
+
+    let day_start = final_day as u64 * DAY_MS;
+    let day_end = day_start + DAY_MS;
+    // Last final-day (anchor, profile) per user; anchors only grow across
+    // ticks, so plain insert keeps the latest.
+    let mut latest: BTreeMap<u32, Option<SessionProfile>> = BTreeMap::new();
+    let collect = |ticks: Vec<hostprof_core::TickReport>,
+                   latest: &mut BTreeMap<u32, Option<SessionProfile>>| {
+        for tick in ticks {
+            for e in tick.entries {
+                if e.anchor >= day_start && e.anchor < day_end {
+                    latest.insert(e.user.wrapping_sub(base_ip), e.profile);
+                }
+            }
+        }
+    };
+    for r in s.trace.requests() {
+        let ev = RequestEvent {
+            t_ms: r.t_ms,
+            client: r.user.0,
+            hostname: s.world.hostname(r.host).to_string(),
+        };
+        for pkt in scenario.synthesizer.packets_for(&ev) {
+            let ticks = engine.ingest_packet(&pkt);
+            collect(ticks, &mut latest);
+        }
+    }
+    let ticks = engine.flush();
+    collect(ticks, &mut latest);
+    latest.into_iter().collect()
 }
 
 fn snapshot_ctr(result: &ExperimentResult) -> (Vec<UserCtrSnapshot>, TTestSnapshot) {
@@ -507,6 +614,22 @@ mod tests {
         assert_ne!(a.stages.observed, b.stages.observed);
         assert_ne!(a.stages.sessions, b.stages.sessions);
         assert_ne!(a.stages.model, b.stages.model);
+    }
+
+    #[test]
+    fn streaming_profile_path_matches_batch_bit_for_bit() {
+        let opts = ReplayOptions::for_seed(1);
+        let batch = run_replay(&opts).expect("replay");
+        for lanes in [1usize, 4] {
+            let streamed =
+                run_replay_with(&opts, ProfilePath::Streaming { lanes }).expect("replay");
+            assert_eq!(
+                batch.stages.profiles, streamed.stages.profiles,
+                "lanes {lanes}: streaming profile digest diverged"
+            );
+            assert_eq!(batch.profiles, streamed.profiles, "lanes {lanes}");
+            assert!(compare_snapshots(&batch, &streamed).is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Live serving-loop driver: calibrated synthetic load through the
+//! [`ServeEngine`].
+//!
+//! `hostprof serve` (live mode) and the `loadgen` bench binary share this
+//! driver so they measure the identical path: draw requests from the lazy
+//! [`TraceStream`], lower them to wire packets, push every packet through
+//! the sharded ingest → window → profile loop, and record per-tick compute
+//! latency. The request rate is *calibrated*, not assumed — a warmup
+//! segment of the stream measures requests per simulated second and
+//! packets per request, and the per-user think time is scaled to hit the
+//! target packet rate. The warmup doubles as the SKIPGRAM training corpus
+//! so the engine profiles against a model of the same traffic it serves.
+
+use hostprof_core::{Pipeline, PipelineConfig, ServeConfig, ServeEngine};
+use hostprof_net::{ObserverStats, RequestEvent, TrafficSynthesizer};
+use hostprof_synth::{Population, StreamConfig, TraceStream, World};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Knobs of one live run.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveRunConfig {
+    /// Stream seed (per-user generators derive from it).
+    pub seed: u64,
+    /// Target packets per *simulated* second.
+    pub target_pps: f64,
+    /// Simulated horizon, seconds.
+    pub duration_s: u64,
+    /// Ingest lanes.
+    pub lanes: usize,
+    /// Profiler worker threads.
+    pub threads: usize,
+}
+
+/// What a live run measured.
+#[derive(Debug, Clone)]
+pub struct LiveRunReport {
+    /// Calibrated per-user think time that hits the target rate.
+    pub mean_gap_ms: u64,
+    /// Measured wire packets per request during warmup.
+    pub packets_per_request: f64,
+    /// Engine counters.
+    pub stats: hostprof_core::ServeStats,
+    /// Observer counters merged across lanes.
+    pub observer: ObserverStats,
+    /// Events dropped beyond the lateness bound.
+    pub late_dropped: u64,
+    /// High-water mark of buffered windower events.
+    pub peak_resident_events: usize,
+    /// Per-report compute latency, milliseconds, ascending.
+    pub latencies_ms: Vec<f64>,
+    /// Wall-seconds inside `ingest_packet` + flush (tick compute runs
+    /// inline on the ingest thread, so it is included).
+    pub ingest_seconds: f64,
+    /// Wall-seconds for the whole measured loop, generation included.
+    pub wall_seconds: f64,
+}
+
+impl LiveRunReport {
+    /// Sustained packets per wall-second through the engine.
+    pub fn sustained_pps(&self) -> f64 {
+        self.stats.packets as f64 / self.ingest_seconds.max(1e-9)
+    }
+
+    /// Latency percentile (nearest rank) in milliseconds; 0 when no
+    /// report fired.
+    pub fn latency_percentile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_ms.len() - 1) as f64 * q).round() as usize;
+        self.latencies_ms[idx.min(self.latencies_ms.len() - 1)]
+    }
+
+    /// Whether the merged lane error taxonomy stayed exhaustive.
+    pub fn taxonomy_invariant_ok(&self) -> bool {
+        self.observer.parse_errors == self.observer.taxonomy_total()
+    }
+}
+
+/// Run a calibrated live load through the full serving loop.
+///
+/// Deterministic in its simulated behavior per `(world, population,
+/// config)`; only the wall-clock measurements vary run to run.
+pub fn run_live(
+    world: &World,
+    population: &Population,
+    pipeline_config: &PipelineConfig,
+    run: &LiveRunConfig,
+) -> Result<LiveRunReport, String> {
+    if run.target_pps <= 0.0 || run.duration_s == 0 || run.lanes == 0 {
+        return Err("target_pps, duration_s and lanes must be positive".into());
+    }
+    let synth = TrafficSynthesizer::default();
+
+    // Warmup segment at a coarse gap: measures the request rate and the
+    // packet multiplier, and collects per-user hostname sequences as the
+    // training corpus.
+    let gap0: u64 = 60_000;
+    let warmup_requests = (population.len() * 60).max(4_000);
+    let stream_cfg = StreamConfig {
+        seed: run.seed,
+        mean_gap_ms: gap0,
+        ..StreamConfig::default()
+    };
+    let mut corpus_by_user: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut warmup_span_ms = 0u64;
+    let mut warmup_packets = 0usize;
+    for r in TraceStream::new(world, population, stream_cfg).take(warmup_requests) {
+        warmup_span_ms = warmup_span_ms.max(r.t_ms);
+        let hostname = world.hostname(r.host).to_string();
+        warmup_packets += synth
+            .packets_for(&RequestEvent {
+                t_ms: r.t_ms,
+                client: r.user.0,
+                hostname: hostname.clone(),
+            })
+            .len();
+        corpus_by_user.entry(r.user.0).or_default().push(hostname);
+    }
+    let corpus: Vec<Vec<String>> = corpus_by_user.into_values().collect();
+    let packets_per_request = warmup_packets as f64 / warmup_requests.max(1) as f64;
+    let req_per_simsec = warmup_requests as f64 / (warmup_span_ms.max(1) as f64 / 1000.0);
+    // Rate scales as 1/gap; clamp so pathological targets stay sane.
+    let mean_gap_ms = ((gap0 as f64 * req_per_simsec * packets_per_request / run.target_pps)
+        as u64)
+        .clamp(2, 3_600_000);
+
+    let pipeline = Pipeline::new(pipeline_config.clone(), world.blocklist().clone());
+    let embeddings = pipeline.train_model(&corpus)?;
+    let ontology = world.ontology();
+    let profiler = pipeline.batch_profiler(&embeddings, ontology, run.threads.max(1));
+    let mut engine = ServeEngine::new(
+        ServeConfig {
+            lanes: run.lanes,
+            session_window_ms: pipeline.config().session_window_ms(),
+            report_interval_ms: pipeline.config().report_interval_ms(),
+            ..ServeConfig::default()
+        },
+        profiler,
+        Some(pipeline.blocklist()),
+    );
+
+    // The measured loop: a fresh stream at the calibrated gap until the
+    // simulated horizon.
+    let duration_ms = run.duration_s * 1000;
+    let run_cfg = StreamConfig {
+        mean_gap_ms,
+        ..stream_cfg
+    };
+    let wall_started = Instant::now();
+    let mut ingest_time = Duration::ZERO;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for r in TraceStream::new(world, population, run_cfg) {
+        if r.t_ms > duration_ms {
+            break;
+        }
+        let packets = synth.packets_for(&RequestEvent {
+            t_ms: r.t_ms,
+            client: r.user.0,
+            hostname: world.hostname(r.host).to_string(),
+        });
+        for pkt in &packets {
+            let t = Instant::now();
+            let ticks = engine.ingest_packet(pkt);
+            ingest_time += t.elapsed();
+            for tick in ticks {
+                latencies_ms.push(tick.compute_micros as f64 / 1000.0);
+            }
+        }
+    }
+    let t = Instant::now();
+    for tick in engine.flush() {
+        latencies_ms.push(tick.compute_micros as f64 / 1000.0);
+    }
+    ingest_time += t.elapsed();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+    Ok(LiveRunReport {
+        mean_gap_ms,
+        packets_per_request,
+        stats: engine.stats(),
+        observer: engine.observer_stats(),
+        late_dropped: engine.windower().late_dropped(),
+        peak_resident_events: engine.windower().peak_resident_events(),
+        latencies_ms,
+        ingest_seconds: ingest_time.as_secs_f64(),
+        wall_seconds: wall_started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostprof_synth::{PopulationConfig, WorldConfig};
+
+    #[test]
+    fn live_run_profiles_users_and_keeps_the_taxonomy_invariant() {
+        let world = World::generate(&WorldConfig::tiny());
+        let population = Population::generate(
+            &world,
+            &PopulationConfig {
+                num_users: 12,
+                ..PopulationConfig::tiny()
+            },
+        );
+        let cfg = crate::scenario::ScenarioConfig::tiny().pipeline;
+        let report = run_live(
+            &world,
+            &population,
+            &cfg,
+            &LiveRunConfig {
+                seed: 7,
+                target_pps: 200.0,
+                duration_s: 1_800,
+                lanes: 2,
+                threads: 1,
+            },
+        )
+        .expect("live run");
+        assert!(report.stats.packets > 0);
+        assert!(report.stats.observations > 0);
+        assert!(report.stats.ticks > 0, "no report tick fired");
+        assert!(report.stats.profiles_emitted > 0, "nobody got profiled");
+        assert!(report.taxonomy_invariant_ok());
+        assert!(!report.latencies_ms.is_empty());
+        assert!(report.latency_percentile_ms(0.5) <= report.latency_percentile_ms(0.95));
+        // The calibrated rate should land within 3x of the target — the
+        // stream is stochastic, the calibration linear.
+        let achieved = report.stats.packets as f64 / report.stats.ticks.max(1) as f64;
+        assert!(achieved > 0.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let world = World::generate(&WorldConfig::tiny());
+        let population = Population::generate(&world, &PopulationConfig::tiny());
+        let cfg = crate::scenario::ScenarioConfig::tiny().pipeline;
+        for bad in [
+            LiveRunConfig {
+                seed: 1,
+                target_pps: 0.0,
+                duration_s: 10,
+                lanes: 1,
+                threads: 1,
+            },
+            LiveRunConfig {
+                seed: 1,
+                target_pps: 100.0,
+                duration_s: 0,
+                lanes: 1,
+                threads: 1,
+            },
+            LiveRunConfig {
+                seed: 1,
+                target_pps: 100.0,
+                duration_s: 10,
+                lanes: 0,
+                threads: 1,
+            },
+        ] {
+            assert!(run_live(&world, &population, &cfg, &bad).is_err());
+        }
+    }
+}

@@ -98,6 +98,40 @@ struct KnnSweepRow {
     speedup_vs_exact: f64,
 }
 
+#[derive(Deserialize)]
+struct ServingBench {
+    scale: String,
+    users: usize,
+    lanes: usize,
+    profiler_threads: usize,
+    target_pps: f64,
+    sim_duration_s: u64,
+    mean_gap_ms: u64,
+    packets: u64,
+    observations: u64,
+    ticks: u64,
+    reports: u64,
+    sessions_profiled: u64,
+    profiles_emitted: u64,
+    late_dropped: u64,
+    peak_resident_events: usize,
+    sustained_pps: f64,
+    ingest_seconds: f64,
+    wall_seconds: f64,
+    report_latency_ms: ServingLatency,
+    peak_rss_kb: u64,
+    taxonomy_invariant_ok: bool,
+}
+
+#[derive(Deserialize)]
+struct ServingLatency {
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    max_ms: f64,
+}
+
 fn read(name: &str) -> String {
     let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
@@ -179,6 +213,42 @@ fn bench_knn_json_matches_schema() {
             "committed default-scale run must meet the recall/speedup target"
         );
     }
+}
+
+#[test]
+fn bench_serving_json_matches_schema() {
+    let b: ServingBench =
+        serde_json::from_str(&read("bench_serving.json")).expect("schema drifted");
+    assert!(!b.scale.is_empty());
+    assert!(b.users > 0 && b.lanes >= 1 && b.profiler_threads >= 1);
+    assert!(b.target_pps > 0.0 && b.sim_duration_s > 0);
+    assert!(b.mean_gap_ms >= 2, "calibration hit the clamp floor");
+    assert!(b.packets > 0);
+    assert!(
+        b.observations > 0 && b.observations <= b.packets,
+        "at most one observation per packet"
+    );
+    assert!(b.ticks > 0);
+    assert!(
+        b.reports <= b.ticks,
+        "reports are the subset of ticks that profiled someone"
+    );
+    assert!(b.sessions_profiled > 0);
+    assert!(
+        b.profiles_emitted <= b.sessions_profiled,
+        "a session profiles at most once per tick"
+    );
+    // The generator delivers in order; an in-order stream can never
+    // outrun the watermark.
+    assert_eq!(b.late_dropped, 0, "in-order ingest late-dropped events");
+    assert!(b.peak_resident_events > 0);
+    assert!(b.sustained_pps > 0.0);
+    assert!(b.ingest_seconds > 0.0 && b.ingest_seconds <= b.wall_seconds);
+    let l = &b.report_latency_ms;
+    assert!(l.p50_ms > 0.0 && l.mean_ms > 0.0);
+    assert!(l.p50_ms <= l.p95_ms && l.p95_ms <= l.p99_ms && l.p99_ms <= l.max_ms);
+    assert!(b.peak_rss_kb > 0, "VmHWM must be readable where this runs");
+    assert!(b.taxonomy_invariant_ok, "merged lane taxonomy broke");
 }
 
 #[test]

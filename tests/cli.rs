@@ -210,6 +210,58 @@ fn unknown_options_fail_loudly() {
 }
 
 #[test]
+fn serve_live_smoke() {
+    let out = hostprof(&[
+        "serve",
+        "--scale",
+        "tiny",
+        "--users",
+        "8",
+        "--pps",
+        "300",
+        "--duration",
+        "1200",
+        "--lanes",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("packets ingested"), "{text}");
+    assert!(text.contains("report latency"), "{text}");
+    assert!(text.contains("sustained ingest"), "{text}");
+
+    // Flag errors are loud, not silent defaults.
+    let out = hostprof(&["serve", "--scale", "tiny", "--bogus", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option --bogus"));
+    let out = hostprof(&["serve", "--scale", "tiny", "--pps", "not-a-number"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn serve_golden_streaming_conformance() {
+    // The streaming path must reproduce the batch-blessed goldens; 4
+    // lanes exercises the sharded ingest merge.
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    let out = hostprof(&["serve", "--golden", golden, "--seed", "1", "--lanes", "4"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("bit-identical"), "{}", stdout(&out));
+
+    // A missing golden is a clean error pointing at the blessing flow.
+    let out = hostprof(&["serve", "--golden", golden, "--seed", "424242"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bless"));
+}
+
+#[test]
 fn observe_with_countermeasures() {
     let out = hostprof(&[
         "observe", "--scale", "tiny", "--days", "1", "--users", "5", "--ech", "1.0",

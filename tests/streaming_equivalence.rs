@@ -1,0 +1,414 @@
+//! Streaming/batch equivalence properties: 500 seeded cases per
+//! property, the [`ServeEngine`] vs a naive batch recomputation.
+//!
+//! The serving loop's contract (DESIGN.md §12, `core::serve`) is that for
+//! *any* packet-arrival interleaving across any lane count, the profiles
+//! it emits are bit-identical to what the batch pipeline would compute at
+//! every report boundary: per user, anchor the session at the last
+//! request ≤ the boundary, window `(anchor - T, anchor]` over the user's
+//! time-sorted timeline, dedup first-visit, profile. The reference here
+//! rebuilds exactly that from a *single* observer fed the same delivered
+//! packet stream, with the window semantics taken from the dev-only
+//! oracle crate (`oracle::window::session_window`) and profiles from the
+//! sequential `Profiler` — no serving-loop code on the reference side.
+//!
+//! Two delivery regimes:
+//!
+//! * **Any interleaving, deferred ticks** — chaos-mutated and even fully
+//!   shuffled streams (`net::chaos` reorderings plus a Fisher–Yates
+//!   pass), with the lateness bound set effectively infinite so every
+//!   tick fires at flush. Equivalence must hold no matter how packets
+//!   were mangled, because both sides consume the *same* delivered
+//!   stream.
+//! * **Bounded-disorder interleaving, live ticks** — delivery order
+//!   perturbed by a per-packet jitter strictly inside the default
+//!   lateness bound, ticks firing live off the watermark. Nothing may be
+//!   late-dropped and every tick must still match the batch reference.
+//!
+//! The vendored proptest crate has no failure persistence, so this suite
+//! uses the same scheme as `differential_proptests.rs`: every case is a
+//! printable 16-hex-digit seed, failures panic with that seed, and
+//! `tests/regressions/streaming_equivalence.txt` holds previously
+//! failing seeds (`cc <seed> # note` lines) replayed first on every run.
+
+use hostprof::embed::{EmbeddingSet, Vocab};
+use hostprof::net::chaos::{self, ChaosConfig};
+use hostprof::net::{Packet, RequestEvent, SniObserver, TrafficSynthesizer};
+use hostprof::ontology::{CategoryId, CategoryVector, Ontology};
+use hostprof::profiling::{
+    BatchProfiler, Profiler, ProfilerConfig, ServeConfig, ServeEngine, Session, SessionProfile,
+};
+use hostprof_oracle::window;
+use std::collections::BTreeMap;
+
+const CASES: usize = 500;
+
+/// splitmix64: the per-case parameter stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Case seed `i` of a property's deterministic 500-seed schedule.
+fn case_seed(property: u64, i: usize) -> u64 {
+    let mut s = property
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(i as u64);
+    splitmix(&mut s)
+}
+
+/// Previously failing seeds, replayed before the fresh schedule.
+/// Line format: `cc 0123456789abcdef # what broke`.
+fn regression_seeds() -> Vec<u64> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/regressions/streaming_equivalence.txt"
+    );
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("regression seed file {path} unreadable: {e}"));
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let hex = rest.split_whitespace().next().unwrap_or("");
+        let seed = u64::from_str_radix(hex, 16)
+            .unwrap_or_else(|e| panic!("bad regression seed {hex:?} in {path}: {e}"));
+        seeds.push(seed);
+    }
+    assert!(
+        !seeds.is_empty(),
+        "no `cc <seed>` entries in {path} — the regression net is gone"
+    );
+    seeds
+}
+
+/// All seeds a property runs: regressions first, then the schedule.
+fn schedule(property: u64) -> Vec<u64> {
+    let mut seeds = regression_seeds();
+    seeds.extend((0..CASES).map(|i| case_seed(property, i)));
+    seeds
+}
+
+// ---------------------------------------------------------------------
+// Shared fixture: a tiny deterministic model over h0..h11.example, and
+// a random multi-user request workload lowered to wire packets.
+// ---------------------------------------------------------------------
+
+fn tiny_model() -> (EmbeddingSet, Ontology) {
+    let hosts: Vec<String> = (0..12).map(|i| format!("h{i}.example")).collect();
+    let vocab = Vocab::build(std::iter::once(hosts.iter().map(String::as_str)), 1, 0.0);
+    let dim = 4usize;
+    let mut state = 0x7e57_0e11u64;
+    let vectors: Vec<f32> = (0..vocab.len() * dim)
+        .map(|_| (splitmix(&mut state) >> 40) as f32 / (1u64 << 23) as f32 - 1.0)
+        .collect();
+    let embeddings = EmbeddingSet::new(dim, vocab, vectors);
+    let mut ontology = Ontology::new();
+    for i in 0..6u16 {
+        ontology.insert(
+            &format!("h{i}.example"),
+            CategoryVector::from_pairs(vec![
+                (CategoryId(i % 4), 1.0),
+                (CategoryId(4 + i % 3), 0.4),
+            ]),
+        );
+    }
+    (embeddings, ontology)
+}
+
+/// One case's workload: in-order requests for a few users over several
+/// report intervals, lowered to packets (TCP with fragmentation, QUIC)
+/// by the standard synthesizer.
+fn workload(rng: &mut u64) -> Vec<Packet> {
+    let synth = TrafficSynthesizer::default();
+    let nusers = 2 + splitmix(rng) % 4;
+    let nreqs = 30 + (splitmix(rng) % 90) as usize;
+    let mut t = 0u64;
+    let mut packets = Vec::new();
+    for _ in 0..nreqs {
+        t += splitmix(rng) % 60_000;
+        let client = (splitmix(rng) % nusers) as u32;
+        // Mostly in-vocabulary hosts, the odd stranger the profiler has
+        // never embedded.
+        let hostname = if splitmix(rng).is_multiple_of(7) {
+            format!("x{}.unknown", splitmix(rng) % 3)
+        } else {
+            format!("h{}.example", splitmix(rng) % 12)
+        };
+        packets.extend(synth.packets_for(&RequestEvent {
+            t_ms: t,
+            client,
+            hostname,
+        }));
+    }
+    packets
+}
+
+/// Bit-exact profile fingerprint: embedding bits, (category, importance
+/// bits), and the two evidence counters.
+type Fp = (Vec<u32>, Vec<(u16, u32)>, usize, usize);
+
+fn fingerprint(p: &SessionProfile) -> Fp {
+    (
+        p.session_vector.iter().map(|v| v.to_bits()).collect(),
+        p.categories
+            .iter()
+            .map(|(c, w)| (c.0, w.to_bits()))
+            .collect(),
+        p.labeled_in_session,
+        p.labeled_neighbors,
+    )
+}
+
+/// One reported (boundary, user, anchor, profile) row.
+type Row = (u64, u32, u64, Option<Fp>);
+
+struct CaseParams {
+    lanes: usize,
+    threads: usize,
+    session_window_ms: u64,
+    report_interval_ms: u64,
+    n_neighbors: usize,
+}
+
+impl CaseParams {
+    fn draw(rng: &mut u64) -> Self {
+        Self {
+            lanes: [1, 2, 4][(splitmix(rng) % 3) as usize],
+            threads: 1 + (splitmix(rng) % 2) as usize,
+            session_window_ms: [150_000, 600_000, 1_200_000, 2_000_000]
+                [(splitmix(rng) % 4) as usize],
+            report_interval_ms: [180_000, 600_000][(splitmix(rng) % 2) as usize],
+            n_neighbors: 1 + (splitmix(rng) % 6) as usize,
+        }
+    }
+}
+
+/// Run the delivered stream through the serving engine and flatten the
+/// reported ticks. Returns the rows plus the late-drop counter.
+fn engine_rows(
+    packets: &[Packet],
+    params: &CaseParams,
+    lateness_ms: u64,
+    embeddings: &EmbeddingSet,
+    ontology: &Ontology,
+) -> (Vec<Row>, u64) {
+    let profiler = Profiler::new(
+        embeddings,
+        ontology,
+        ProfilerConfig {
+            n_neighbors: params.n_neighbors,
+            ..ProfilerConfig::default()
+        },
+    );
+    let mut engine = ServeEngine::new(
+        ServeConfig {
+            lanes: params.lanes,
+            session_window_ms: params.session_window_ms,
+            report_interval_ms: params.report_interval_ms,
+            lateness_ms,
+            ..ServeConfig::default()
+        },
+        BatchProfiler::new(profiler, params.threads),
+        None,
+    );
+    let mut ticks = Vec::new();
+    for pkt in packets {
+        ticks.extend(engine.ingest_packet(pkt));
+    }
+    ticks.extend(engine.flush());
+    let rows = ticks
+        .iter()
+        .flat_map(|t| {
+            t.entries.iter().map(move |e| {
+                (
+                    t.boundary,
+                    e.user,
+                    e.anchor,
+                    e.profile.as_ref().map(fingerprint),
+                )
+            })
+        })
+        .collect();
+    (rows, engine.windower().late_dropped())
+}
+
+/// The batch reference: a single observer consumes the same delivered
+/// stream, each user's observations are time-sorted (stable, so equal
+/// times keep delivery order exactly as the windower does), and every
+/// report boundary up to the flush tick is recomputed naively — oracle
+/// windowing at the user's freshest anchor, sequential profiling.
+fn batch_rows(
+    packets: &[Packet],
+    params: &CaseParams,
+    embeddings: &EmbeddingSet,
+    ontology: &Ontology,
+) -> Vec<Row> {
+    let mut observer = SniObserver::new();
+    for pkt in packets {
+        observer.process(pkt);
+    }
+    let mut timelines: BTreeMap<u32, Vec<(u64, String)>> = BTreeMap::new();
+    for obs in observer.take_observations() {
+        timelines
+            .entry(obs.client_ip)
+            .or_default()
+            .push((obs.t_ms, obs.hostname));
+    }
+    for tl in timelines.values_mut() {
+        tl.sort_by_key(|(t, _)| *t); // stable: ties keep delivery order
+    }
+    let Some(max_t) = packets.iter().map(|p| p.t_ms).max() else {
+        return Vec::new();
+    };
+    let profiler = Profiler::new(
+        embeddings,
+        ontology,
+        ProfilerConfig {
+            n_neighbors: params.n_neighbors,
+            ..ProfilerConfig::default()
+        },
+    );
+    let interval = params.report_interval_ms;
+    let mut rows = Vec::new();
+    let mut prev: Option<u64> = None;
+    let mut boundary = interval;
+    loop {
+        for (&user, tl) in &timelines {
+            let upto = tl.partition_point(|(t, _)| *t <= boundary);
+            if upto == 0 {
+                continue;
+            }
+            let anchor = tl[upto - 1].0;
+            if prev.is_some_and(|p| anchor <= p) {
+                continue; // already reported at an earlier boundary
+            }
+            let names = window::session_window(tl, anchor, params.session_window_ms, &|_| false);
+            let session = Session::from_window(names.iter().map(String::as_str), None);
+            rows.push((
+                boundary,
+                user,
+                anchor,
+                profiler.profile(&session).map(|p| fingerprint(&p)),
+            ));
+        }
+        prev = Some(boundary);
+        if boundary > max_t {
+            break; // this was the flush tick past the last packet
+        }
+        boundary += interval;
+    }
+    rows
+}
+
+fn assert_rows_match(got: &[Row], want: &[Row], seed: u64, what: &str) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{what}: {} streamed rows vs {} batch rows — add `cc {seed:016x}` to \
+         tests/regressions/streaming_equivalence.txt",
+        got.len(),
+        want.len()
+    );
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g, w,
+            "{what}: row {i} diverged — add `cc {seed:016x}` to \
+             tests/regressions/streaming_equivalence.txt"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 1: ANY delivery interleaving — chaos mutations, garbage
+// flows, even a full shuffle — yields profiles bit-identical to the
+// batch recomputation, for every lane count, when ticks defer to flush.
+// Both sides see the same delivered stream, so no mangling excuses a
+// divergence.
+// ---------------------------------------------------------------------
+
+#[test]
+fn any_interleaving_matches_batch_on_500_seeded_cases() {
+    let (embeddings, ontology) = tiny_model();
+    // Far beyond any simulated timestamp: the watermark never advances,
+    // so every tick fires at flush with the complete event set.
+    let deferred = u64::MAX / 4;
+    for seed in schedule(0x57e0_0001) {
+        let mut rng = seed;
+        let params = CaseParams::draw(&mut rng);
+        let mut packets = workload(&mut rng);
+        let chaos_cfg = match splitmix(&mut rng) % 3 {
+            0 => {
+                let mut c = ChaosConfig::quiescent(splitmix(&mut rng));
+                c.interleave = true; // pure flow reordering, no mutation
+                c
+            }
+            1 => ChaosConfig::with_seed(splitmix(&mut rng)),
+            _ => ChaosConfig::aggressive(splitmix(&mut rng)),
+        };
+        packets = chaos::apply(&chaos_cfg, &packets).packets;
+        if splitmix(&mut rng).is_multiple_of(4) {
+            // Fisher–Yates: a completely arbitrary delivery order, far
+            // beyond anything a real network would do.
+            for i in (1..packets.len()).rev() {
+                packets.swap(i, (splitmix(&mut rng) % (i as u64 + 1)) as usize);
+            }
+        }
+        let (got, _) = engine_rows(&packets, &params, deferred, &embeddings, &ontology);
+        let want = batch_rows(&packets, &params, &embeddings, &ontology);
+        assert_rows_match(
+            &got,
+            &want,
+            seed,
+            &format!("deferred ticks, {} lanes", params.lanes),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 2: bounded-disorder delivery with LIVE ticks — per-packet
+// jitter strictly inside the default lateness bound, ticks firing off
+// the watermark as packets arrive. The watermark must hold every tick
+// long enough that nothing is late-dropped, and every released tick
+// must already match the batch reference.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bounded_disorder_live_ticks_match_batch_on_500_seeded_cases() {
+    let (embeddings, ontology) = tiny_model();
+    let lateness = ServeConfig::default().lateness_ms;
+    for seed in schedule(0x57e0_0002) {
+        let mut rng = seed;
+        let params = CaseParams::draw(&mut rng);
+        let packets = workload(&mut rng);
+        // Stable sort by (t + jitter): each packet may be overtaken only
+        // by packets at most `jitter_max` ahead of it in event time, so
+        // every arrival stays inside the watermark's lateness margin.
+        let jitter_max = lateness - 501; // fragment spread eats ≤ 2 ms
+        let mut keyed: Vec<(u64, &Packet)> = packets
+            .iter()
+            .map(|p| (p.t_ms + splitmix(&mut rng) % jitter_max, p))
+            .collect();
+        keyed.sort_by_key(|(k, _)| *k);
+        let delivered: Vec<Packet> = keyed.into_iter().map(|(_, p)| p.clone()).collect();
+        let (got, late_dropped) =
+            engine_rows(&delivered, &params, lateness, &embeddings, &ontology);
+        assert_eq!(
+            late_dropped, 0,
+            "disorder within the lateness bound must never drop — add \
+             `cc {seed:016x}` to tests/regressions/streaming_equivalence.txt"
+        );
+        let want = batch_rows(&delivered, &params, &embeddings, &ontology);
+        assert_rows_match(
+            &got,
+            &want,
+            seed,
+            &format!("live ticks, {} lanes", params.lanes),
+        );
+    }
+}

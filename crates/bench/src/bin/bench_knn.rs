@@ -19,7 +19,7 @@
 //!
 //! Writes `results/bench_knn.json`.
 
-use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_bench::{header, row, write_results_stamped, Scale};
 use hostprof_embed::{EmbeddingSet, ExactScan, IvfFlat, IvfParams, KnnScratch, Vocab};
 use serde::Serialize;
 use std::time::Instant;
@@ -174,6 +174,7 @@ fn main() {
         Scale::Tiny => (20_000, 32, 64, 32, 3),
         Scale::Small => (200_000, 48, 256, 64, 2),
         Scale::Default => (1_000_000, 64, 512, 64, 2),
+        Scale::Large => (1_000_000, 64, 1024, 64, 2),
     };
 
     header("IVF-flat recall vs latency (exact tiled scan baseline)");
@@ -272,7 +273,11 @@ fn main() {
         ),
     );
 
-    write_results(
+    let headline = format!(
+        "{rows} rows, recall/speedup target {}",
+        if target_met { "met" } else { "not met" }
+    );
+    write_results_stamped(
         "bench_knn",
         &BenchKnnResults {
             scale: scale.label().to_string(),
@@ -288,5 +293,6 @@ fn main() {
             exact,
             sweep,
         },
+        &headline,
     );
 }

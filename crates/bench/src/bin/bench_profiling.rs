@@ -11,7 +11,7 @@
 //! Writes `results/bench_profiling.json`.
 
 use hostprof::scenario::Scenario;
-use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_bench::{header, row, write_results_stamped, Scale};
 use hostprof_core::{BatchProfiler, Profiler, ProfilerConfig, Session};
 use hostprof_embed::EmbeddingSet;
 use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
@@ -339,7 +339,11 @@ fn main() {
     }
     row("best speedup at 4 threads", format!("{best_at_4:.2}x"));
 
-    write_results(
+    let headline = format!(
+        "{} sessions, best {best_at_4:.2}x at 4 threads",
+        sessions.len()
+    );
+    write_results_stamped(
         "bench_profiling",
         &BenchProfilingResults {
             scale: scale.label().to_string(),
@@ -353,5 +357,6 @@ fn main() {
             throughput,
             best_speedup_at_4_threads: best_at_4,
         },
+        &headline,
     );
 }

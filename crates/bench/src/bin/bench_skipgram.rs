@@ -11,7 +11,7 @@
 //!
 //! Writes `results/bench_skipgram.json`.
 
-use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_bench::{header, row, write_results_stamped, Scale};
 use hostprof_embed::{balanced_chunk_ranges, KernelChoice, SkipGram, SkipGramConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -142,6 +142,7 @@ fn main() {
         Scale::Tiny => (400, 3),
         Scale::Small => (2000, 7),
         Scale::Default => (8000, 5),
+        Scale::Large => (20_000, 3),
     };
     let data = corpus(sequences, 40, 99);
     let tokens: usize = data.iter().map(Vec::len).sum();
@@ -246,7 +247,8 @@ fn main() {
     row("measured static", format!("{static_rate:.0} tok/s"));
     row("measured balanced", format!("{balanced_rate:.0} tok/s"));
 
-    write_results(
+    let headline = format!("{tokens} tokens, {kernel_speedup:.2}x single-thread kernel speedup");
+    write_results_stamped(
         "bench_skipgram",
         &BenchSkipgramResults {
             scale: scale.label().to_string(),
@@ -268,5 +270,6 @@ fn main() {
                 measured_balanced_tokens_per_sec: balanced_rate,
             },
         },
+        &headline,
     );
 }

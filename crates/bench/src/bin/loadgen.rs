@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! loadgen [--users N] [--pps F] [--duration SIM_SECONDS] [--lanes N]
-//!         [--threads N] [--scale tiny|small|default] [--seed N]
+//!         [--threads N] [--scale tiny|small|default|large] [--seed N]
 //!         [--out PATH] [--smoke]
 //! ```
 //!
@@ -23,7 +23,7 @@
 //! `--smoke` is the CI preset: tiny scale, few users, short horizon.
 
 use hostprof::serving::{run_live, LiveRunConfig};
-use hostprof_bench::{header, row, write_results, Scale};
+use hostprof_bench::{header, peak_rss_kb, row, write_results_stamped, write_stamped_at, Scale};
 use hostprof_synth::{Population, PopulationConfig, World};
 use serde::Serialize;
 
@@ -54,6 +54,11 @@ struct ServingBenchResults {
     profiles_emitted: u64,
     late_dropped: u64,
     peak_resident_events: usize,
+    /// Distinct hostnames interned by the windower — the whole universe a
+    /// network observer saw, held once.
+    interned_hosts: usize,
+    /// Heap bytes of the windower's interned hostname table.
+    interned_table_bytes: usize,
     /// Packets per wall-second through `ingest_packet` (tick compute
     /// included — it runs inline on the ingest thread).
     sustained_pps: f64,
@@ -76,7 +81,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: loadgen [--users N] [--pps F] [--duration SIM_SECONDS] \
-[--lanes N] [--threads N] [--scale tiny|small|default] [--seed N] [--out PATH] [--smoke]";
+[--lanes N] [--threads N] [--scale tiny|small|default|large] [--seed N] [--out PATH] [--smoke]";
 
 fn parse_args() -> Result<Args, String> {
     // Scale defaults mirror the other bench binaries (HOSTPROF_SCALE,
@@ -120,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "default" | "full" => Scale::Default,
+                    "large" => Scale::Large,
                     other => return Err(format!("unknown scale {other:?}\n{USAGE}")),
                 }
             }
@@ -150,20 +156,6 @@ fn parse_args() -> Result<Args, String> {
 
 fn bad<E: std::fmt::Display>(flag: &'static str) -> impl Fn(E) -> String {
     move |e| format!("{flag}: {e}\n{USAGE}")
-}
-
-/// High-water mark of this process's resident set, from the kernel's
-/// accounting (`VmHWM`); 0 where /proc is unavailable.
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-        })
-        .unwrap_or(0)
 }
 
 fn main() {
@@ -246,6 +238,14 @@ fn main() {
             latency.p50_ms, latency.p95_ms, latency.p99_ms
         ),
     );
+    row(
+        "interned hostnames",
+        format!(
+            "{} ({} kB table)",
+            report.interned_hosts,
+            report.interned_table_bytes / 1024
+        ),
+    );
     row("peak RSS", format!("{} kB", peak_rss_kb()));
     row(
         "taxonomy invariant",
@@ -268,6 +268,8 @@ fn main() {
         profiles_emitted: stats.profiles_emitted,
         late_dropped: report.late_dropped,
         peak_resident_events: report.peak_resident_events,
+        interned_hosts: report.interned_hosts,
+        interned_table_bytes: report.interned_table_bytes,
         sustained_pps,
         ingest_seconds: report.ingest_seconds,
         wall_seconds: report.wall_seconds,
@@ -275,16 +277,19 @@ fn main() {
         peak_rss_kb: peak_rss_kb(),
         taxonomy_invariant_ok: taxonomy_ok,
     };
+    let headline = format!(
+        "{} users, {:.0} pkt/s sustained, p99 {:.2} ms",
+        args.users, sustained_pps, results.report_latency_ms.p99_ms
+    );
     match &args.out {
         Some(path) => {
-            let json = serde_json::to_string_pretty(&results).expect("serializable results");
-            std::fs::write(path, json).unwrap_or_else(|e| {
+            write_stamped_at(std::path::Path::new(path), &results, &headline).unwrap_or_else(|e| {
                 eprintln!("loadgen: could not write {path}: {e}");
                 std::process::exit(1);
             });
             println!("\n[results written to {path}]");
         }
-        None => write_results("bench_serving", &results),
+        None => write_results_stamped("bench_serving", &results, &headline),
     }
     if !taxonomy_ok {
         std::process::exit(1);

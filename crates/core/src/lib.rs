@@ -35,6 +35,7 @@
 
 pub mod accumulator;
 pub mod batch;
+pub mod columnar;
 pub mod cores;
 pub mod pipeline;
 pub mod profiler;
@@ -43,6 +44,7 @@ pub mod session;
 
 pub use accumulator::ProfileAccumulator;
 pub use batch::BatchProfiler;
+pub use columnar::SessionSource;
 pub use cores::{core_items, counts_outside_core};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use profiler::{

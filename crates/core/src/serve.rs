@@ -45,6 +45,7 @@ use crate::profiler::SessionProfile;
 use crate::session::Session;
 use hostprof_net::{FlowStats, ObserverConfig, ObserverStats, Packet, SniObserver};
 use hostprof_ontology::Blocklist;
+use hostprof_store::HostInterner;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Instant;
 
@@ -110,7 +111,14 @@ pub struct WindowClose {
 #[derive(Debug)]
 pub struct IncrementalWindower {
     window_ms: u64,
-    users: BTreeMap<u32, VecDeque<(u64, String)>>,
+    /// Buffered events as `(time, interned host id)` — 12 bytes of
+    /// payload per event instead of an owned `String`, with every
+    /// distinct hostname stored once in `interner`.
+    users: BTreeMap<u32, VecDeque<(u64, u32)>>,
+    /// The hostname table the event ids index into. Append-only; ids are
+    /// dense in first-seen order, so replaying the same stream rebuilds
+    /// the same table (pinned by the oracle's interner differential).
+    interner: HostInterner,
     /// Users with activity not yet covered by a closed tick. `BTreeSet`
     /// so every tick visits users in ascending key order — determinism
     /// across runs and lane counts.
@@ -129,6 +137,7 @@ impl IncrementalWindower {
         Self {
             window_ms,
             users: BTreeMap::new(),
+            interner: HostInterner::new(),
             dirty: BTreeSet::new(),
             closed_through: None,
             late_dropped: 0,
@@ -140,20 +149,21 @@ impl IncrementalWindower {
     /// Insert one event. Returns `false` (and counts the drop) when the
     /// event lands at or before an already-closed tick boundary — the
     /// window it belonged to has been reported and cannot be reopened.
-    pub fn insert(&mut self, user: u32, t: u64, hostname: String) -> bool {
+    pub fn insert(&mut self, user: u32, t: u64, hostname: &str) -> bool {
         if let Some(closed) = self.closed_through {
             if t <= closed {
                 self.late_dropped += 1;
                 return false;
             }
         }
+        let host = self.interner.intern(hostname);
         let events = self.users.entry(user).or_default();
         // Stable sorted insert: after every existing event with time ≤ t.
         let pos = events.partition_point(|(et, _)| *et <= t);
         if pos == events.len() {
-            events.push_back((t, hostname));
+            events.push_back((t, host));
         } else {
-            events.insert(pos, (t, hostname));
+            events.insert(pos, (t, host));
         }
         self.dirty.insert(user);
         self.resident_events += 1;
@@ -192,11 +202,13 @@ impl IncrementalWindower {
                         None | Some(0) => 0,
                         Some(start) => events.partition_point(|(t, _)| *t <= start),
                     };
+                    // Materialize hostnames only here, at report time —
+                    // the one place downstream still speaks strings.
                     let window: Vec<String> = events
                         .iter()
                         .skip(start_idx)
                         .take(upto - start_idx)
-                        .map(|(_, h)| h.clone())
+                        .map(|(_, h)| self.interner.name(*h).to_string())
                         .collect();
                     closes.push(WindowClose {
                         user,
@@ -230,6 +242,16 @@ impl IncrementalWindower {
     /// Events dropped for arriving beyond the lateness bound.
     pub fn late_dropped(&self) -> u64 {
         self.late_dropped
+    }
+
+    /// Distinct hostnames interned so far.
+    pub fn interned_hosts(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Heap footprint of the hostname table, in bytes.
+    pub fn interned_table_bytes(&self) -> usize {
+        self.interner.heap_bytes()
     }
 
     /// Events currently buffered across all users.
@@ -388,7 +410,7 @@ impl<'a> ServeEngine<'a> {
         if !self.lanes[lane].observations().is_empty() {
             for obs in self.lanes[lane].take_observations() {
                 self.stats.observations += 1;
-                self.windower.insert(obs.client_ip, obs.t_ms, obs.hostname);
+                self.windower.insert(obs.client_ip, obs.t_ms, &obs.hostname);
             }
         }
         self.advance(pkt.t_ms)
@@ -403,7 +425,7 @@ impl<'a> ServeEngine<'a> {
         hostname: &str,
     ) -> Vec<TickReport> {
         self.stats.observations += 1;
-        self.windower.insert(client, t_ms, hostname.to_string());
+        self.windower.insert(client, t_ms, hostname);
         self.advance(t_ms)
     }
 
@@ -544,9 +566,9 @@ mod tests {
     #[test]
     fn in_order_feed_windows_like_batch() {
         let mut w = windower();
-        w.insert(1, 100, "a.com".into());
-        w.insert(1, 200_000, "b.com".into());
-        w.insert(2, 599_999, "c.com".into());
+        w.insert(1, 100, "a.com");
+        w.insert(1, 200_000, "b.com");
+        w.insert(2, 599_999, "c.com");
         let closes = w.close_tick(MIN10);
         assert_eq!(closes.len(), 2);
         assert_eq!(closes[0].user, 1);
@@ -568,12 +590,12 @@ mod tests {
             (200_000, "e.com"),
         ];
         for (t, h) in events {
-            sorted.insert(7, t, h.into());
+            sorted.insert(7, t, h);
         }
         // Deliver out of order (but no tick has closed, so all in bound).
         for i in [4usize, 1, 0, 2, 3] {
             let (t, h) = events[i];
-            shuffled.insert(7, t, h.into());
+            shuffled.insert(7, t, h);
         }
         let a = sorted.close_tick(MIN10);
         let b = shuffled.close_tick(MIN10);
@@ -588,25 +610,25 @@ mod tests {
     #[test]
     fn late_event_beyond_closed_boundary_is_dropped_and_counted() {
         let mut w = windower();
-        w.insert(1, 100, "a.com".into());
+        w.insert(1, 100, "a.com");
         w.close_tick(MIN10);
-        assert!(!w.insert(1, MIN10, "late.com".into()));
-        assert!(!w.insert(1, 3, "very-late.com".into()));
+        assert!(!w.insert(1, MIN10, "late.com"));
+        assert!(!w.insert(1, 3, "very-late.com"));
         assert_eq!(w.late_dropped(), 2);
         // Just past the boundary is fine.
-        assert!(w.insert(1, MIN10 + 1, "ok.com".into()));
+        assert!(w.insert(1, MIN10 + 1, "ok.com"));
     }
 
     #[test]
     fn tick_reports_only_fresh_anchors() {
         let mut w = windower();
-        w.insert(1, 50_000, "a.com".into());
+        w.insert(1, 50_000, "a.com");
         assert_eq!(w.close_tick(MIN10).len(), 1);
         // No new activity: the next tick reports nothing for user 1.
         assert!(w.close_tick(2 * MIN10).is_empty());
         // Activity in the third interval reports again, window spanning
         // back over the quiet interval (T = 20 min > 2 intervals).
-        w.insert(1, 2 * MIN10 + 5, "b.com".into());
+        w.insert(1, 2 * MIN10 + 5, "b.com");
         let closes = w.close_tick(3 * MIN10);
         assert_eq!(closes.len(), 1);
         assert_eq!(closes[0].anchor, 2 * MIN10 + 5);
@@ -616,9 +638,9 @@ mod tests {
     #[test]
     fn eviction_keeps_exactly_what_future_windows_can_contain() {
         let mut w = IncrementalWindower::new(1000);
-        w.insert(1, 100, "a.com".into());
-        w.insert(1, 600, "b.com".into());
-        w.insert(1, 1500, "c.com".into());
+        w.insert(1, 100, "a.com");
+        w.insert(1, 600, "b.com");
+        w.insert(1, 1500, "c.com");
         let closes = w.close_tick(600);
         assert_eq!(win(&closes[0]), ["a.com", "b.com"]);
         // Eviction threshold is (600 + 1) - 1000 < 0: nothing evicted yet.
@@ -638,8 +660,8 @@ mod tests {
     #[test]
     fn epoch_touching_windows_keep_t_zero() {
         let mut w = IncrementalWindower::new(1000);
-        w.insert(1, 0, "zero.com".into());
-        w.insert(1, 1000, "t.com".into());
+        w.insert(1, 0, "zero.com");
+        w.insert(1, 1000, "t.com");
         let closes = w.close_tick(1000);
         // Window (0, 1000] with an epoch-touching start keeps t = 0.
         assert_eq!(win(&closes[0]), ["zero.com", "t.com"]);
@@ -674,7 +696,7 @@ mod tests {
             let mut boundary = MIN10;
             while boundary <= last_t + MIN10 {
                 while cursor < events.len() && events[cursor].0 <= boundary {
-                    let (t, u, h) = events[cursor].clone();
+                    let (t, u, ref h) = events[cursor];
                     w.insert(u, t, h);
                     cursor += 1;
                 }

@@ -29,6 +29,7 @@ pub mod embedding;
 pub mod index;
 pub mod knn;
 pub mod model;
+pub mod persist;
 pub mod sigmoid;
 pub mod simd;
 pub mod table;
@@ -39,5 +40,6 @@ pub use embedding::EmbeddingSet;
 pub use index::{ExactScan, IndexConfig, IvfFlat, IvfParams, NnIndex, DEFAULT_IVF_SEED};
 pub use knn::KnnScratch;
 pub use model::{balanced_chunk_ranges, SkipGram, TrainStats};
+pub use persist::{from_flat_bytes, to_flat_bytes};
 pub use table::NegativeTable;
 pub use vocab::Vocab;

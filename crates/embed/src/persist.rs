@@ -1,0 +1,145 @@
+//! Flat-container persistence for trained embeddings.
+//!
+//! The JSON serde path is fine for golden snapshots but quadratic-feeling
+//! at a 10⁵-token vocabulary (every f32 printed, reparsed, revalidated).
+//! This module writes an [`EmbeddingSet`] into the same mmap-friendly
+//! flat layout (`hostprof-store::flat`, DESIGN.md §13) the columnar trace
+//! store uses: aligned little-endian sections, vectors as raw f32 bit
+//! patterns, the vocabulary as one concatenated string arena plus an
+//! offsets column. Round-trips are bit-identical — norms and the
+//! unit-norm view are derived state and rebuilt on load, exactly as the
+//! serde path does.
+
+use crate::embedding::EmbeddingSet;
+use crate::vocab::Vocab;
+use hostprof_store::{FlatError, FlatReader, FlatWriter};
+
+mod tag {
+    pub const META: u32 = 0x454d_4254; // dim, vocab len, total_count
+    pub const TOKENS: u32 = 0x544f_4b53; // concatenated token arena
+    pub const TOKEN_OFFS: u32 = 0x544f_4646; // arena offsets, len + 1
+    pub const COUNTS: u32 = 0x434e_5453; // corpus counts, u64
+    pub const KEEP: u32 = 0x4b45_4550; // keep probabilities, f64 bits
+    pub const VECTORS: u32 = 0x5645_4354; // row-major matrix, f32 bits
+}
+
+/// Encode an embedding set into one flat buffer.
+pub fn to_flat_bytes(set: &EmbeddingSet) -> Vec<u8> {
+    let vocab = set.vocab();
+    let mut arena = String::new();
+    let mut offs: Vec<u32> = Vec::with_capacity(vocab.len() + 1);
+    offs.push(0);
+    for (_, tok) in vocab.iter() {
+        arena.push_str(tok);
+        offs.push(arena.len() as u32);
+    }
+    let keep_bits: Vec<u64> = vocab.keep_probs().iter().map(|p| p.to_bits()).collect();
+    let vectors: Vec<f32> = (0..vocab.len() as u32)
+        .flat_map(|i| set.vector_by_index(i).iter().copied())
+        .collect();
+    let mut w = FlatWriter::new();
+    w.section_u64s(
+        tag::META,
+        &[set.dim() as u64, vocab.len() as u64, vocab.total_count()],
+    )
+    .section_str(tag::TOKENS, &arena)
+    .section_u32s(tag::TOKEN_OFFS, &offs)
+    .section_u64s(tag::COUNTS, vocab.counts())
+    .section_u64s(tag::KEEP, &keep_bits)
+    .section_f32s(tag::VECTORS, &vectors);
+    w.finish()
+}
+
+/// Decode a buffer produced by [`to_flat_bytes`].
+pub fn from_flat_bytes(buf: &[u8]) -> Result<EmbeddingSet, FlatError> {
+    let r = FlatReader::new(buf)?;
+    let meta = r.u64s(tag::META)?;
+    if meta.len() != 3 {
+        return Err(FlatError::BadSectionLen {
+            tag: tag::META,
+            len: meta.len(),
+            elem: 3,
+        });
+    }
+    let (dim, vlen, total_count) = (meta[0] as usize, meta[1] as usize, meta[2]);
+    let arena = r.str(tag::TOKENS)?;
+    let offs = r.u32s(tag::TOKEN_OFFS)?;
+    let counts = r.u64s(tag::COUNTS)?;
+    let keep: Vec<f64> = r.u64s(tag::KEEP)?.into_iter().map(f64::from_bits).collect();
+    let vectors = r.f32s(tag::VECTORS)?;
+    if offs.len() != vlen + 1
+        || counts.len() != vlen
+        || keep.len() != vlen
+        || vectors.len() != vlen * dim
+    {
+        return Err(FlatError::Truncated);
+    }
+    let tokens: Vec<String> = offs
+        .windows(2)
+        .map(|w| arena[w[0] as usize..w[1] as usize].to_string())
+        .collect();
+    let vocab = Vocab::from_parts(tokens, counts, keep, total_count);
+    Ok(EmbeddingSet::new(dim, vocab, vectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkipGramConfig;
+    use crate::model::SkipGram;
+
+    fn trained() -> EmbeddingSet {
+        let seqs: Vec<Vec<String>> = (0..30)
+            .map(|i| {
+                (0..8)
+                    .map(|j| format!("h{}.example", (i * 3 + j) % 12))
+                    .collect()
+            })
+            .collect();
+        let cfg = SkipGramConfig {
+            dim: 8,
+            epochs: 2,
+            ..SkipGramConfig::default()
+        };
+        SkipGram::train(&seqs, &cfg).unwrap().into_embeddings()
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let e = trained();
+        let buf = to_flat_bytes(&e);
+        let back = from_flat_bytes(&buf).unwrap();
+        assert_eq!(back.dim(), e.dim());
+        assert_eq!(back.len(), e.len());
+        for i in 0..e.len() as u32 {
+            assert_eq!(back.vocab().token(i), e.vocab().token(i));
+            assert_eq!(back.vocab().count(i), e.vocab().count(i));
+            assert_eq!(back.vocab().keep_prob(i), e.vocab().keep_prob(i));
+            let (a, b) = (e.vector_by_index(i), back.vector_by_index(i));
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Query behavior identical: same kNN bits.
+        let q = e.vector_by_index(0).to_vec();
+        let ra = e.nearest_to_vector(&q, 5);
+        let rb = back.nearest_to_vector(&q, 5);
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+        // Deterministic encoding.
+        assert_eq!(to_flat_bytes(&back), buf);
+    }
+
+    #[test]
+    fn corrupt_buffers_error_cleanly() {
+        let e = trained();
+        let buf = to_flat_bytes(&e);
+        assert!(from_flat_bytes(&buf[..24]).is_err());
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(from_flat_bytes(&bad).is_err());
+    }
+}

@@ -115,6 +115,36 @@ impl Vocab {
     pub fn encode<'a, I: IntoIterator<Item = &'a str>>(&self, seq: I) -> Vec<u32> {
         seq.into_iter().filter_map(|t| self.get(t)).collect()
     }
+
+    /// All keep probabilities, index-aligned (for persistence).
+    pub(crate) fn keep_probs(&self) -> &[f64] {
+        &self.keep_prob
+    }
+
+    /// Reassemble a vocabulary from persisted parts — the flat-container
+    /// counterpart of the serde `Deserialize` path. Token order defines
+    /// the dense indices, exactly as stored.
+    pub(crate) fn from_parts(
+        tokens: Vec<String>,
+        counts: Vec<u64>,
+        keep_prob: Vec<f64>,
+        total_count: u64,
+    ) -> Self {
+        assert_eq!(tokens.len(), counts.len());
+        assert_eq!(tokens.len(), keep_prob.len());
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        Self {
+            tokens,
+            counts,
+            index,
+            keep_prob,
+            total_count,
+        }
+    }
 }
 
 /// word2vec subsampling keep probability:

@@ -112,12 +112,20 @@ impl TrafficSynthesizer {
     /// Lower one event to its packet(s): optionally a DNS query, then the
     /// connection's first payload (TLS record or QUIC Initial).
     pub fn packets_for(&self, ev: &RequestEvent) -> Vec<Packet> {
+        self.packets_for_host(ev.t_ms, ev.client, &ev.hostname)
+    }
+
+    /// [`Self::packets_for`] with the event fields borrowed — the hot-path
+    /// form: callers resolving hostnames out of an interned table lower a
+    /// request without allocating a `RequestEvent` (and its owned
+    /// `String`) per packet burst.
+    pub fn packets_for_host(&self, t_ms: u64, client: u32, hostname: &str) -> Vec<Packet> {
         let mut out = Vec::with_capacity(2);
-        let hhash = hash_hostname(&ev.hostname);
+        let hhash = hash_hostname(hostname);
         let ehash = splitmix64(
-            hhash ^ splitmix64(ev.t_ms) ^ (ev.client as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+            hhash ^ splitmix64(t_ms) ^ (client as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
         );
-        let src_ip = self.addressing.client_ip(ev.client);
+        let src_ip = self.addressing.client_ip(client);
         // Ephemeral port: unique-ish per event so each request is its own
         // flow even from behind a NAT.
         let sport = 32_768 + (ehash % 28_000) as u16;
@@ -131,35 +139,35 @@ impl TrafficSynthesizer {
                 // DoH: the query travels inside TLS to the resolver; only
                 // the resolver's own SNI is visible on the wire.
                 Some(resolver) => out.push(Packet {
-                    t_ms: ev.t_ms.saturating_sub(15),
+                    t_ms: t_ms.saturating_sub(15),
                     src: Endpoint::new(src_ip, sport.wrapping_sub(1).max(1024)),
                     dst: Endpoint::new(0x0808_0808, 443),
                     transport: Transport::Tcp,
                     payload: Bytes::from(ClientHello::for_hostname(resolver).encode()),
                 }),
                 None => out.push(Packet {
-                    t_ms: ev.t_ms.saturating_sub(15),
+                    t_ms: t_ms.saturating_sub(15),
                     src: Endpoint::new(src_ip, sport.wrapping_sub(1).max(1024)),
                     dst: Endpoint::new(0x0808_0808, 53),
                     transport: Transport::Udp,
-                    payload: Bytes::from(DnsQuery::for_hostname(&ev.hostname).encode()),
+                    payload: Bytes::from(DnsQuery::for_hostname(hostname).encode()),
                 }),
             }
         }
 
         if frac(0x901C) < self.quic_fraction {
             out.push(Packet {
-                t_ms: ev.t_ms,
+                t_ms,
                 src: Endpoint::new(src_ip, sport),
                 dst: Endpoint::new(server_ip, 443),
                 transport: Transport::Udp,
-                payload: Bytes::from(InitialPacket::for_hostname(&ev.hostname).encode()),
+                payload: Bytes::from(InitialPacket::for_hostname(hostname).encode()),
             });
         } else {
             let hello = if frac(0xEC4) < self.ech_fraction {
                 ClientHello::with_ech(96)
             } else {
-                ClientHello::for_hostname(&ev.hostname)
+                ClientHello::for_hostname(hostname)
             };
             let record = hello.encode();
             let src_ep = Endpoint::new(src_ip, sport);
@@ -183,7 +191,7 @@ impl TrafficSynthesizer {
                 let mut prev = 0usize;
                 for (i, &cut) in cuts.iter().enumerate() {
                     out.push(Packet {
-                        t_ms: ev.t_ms + i as u64,
+                        t_ms: t_ms + i as u64,
                         src: src_ep,
                         dst: dst_ep,
                         transport: Transport::Tcp,
@@ -193,7 +201,7 @@ impl TrafficSynthesizer {
                 }
             } else {
                 out.push(Packet {
-                    t_ms: ev.t_ms,
+                    t_ms,
                     src: src_ep,
                     dst: dst_ep,
                     transport: Transport::Tcp,

@@ -1,0 +1,137 @@
+//! Naive hostname interning (DESIGN.md §13).
+//!
+//! The production [`HostInterner`] packs names into one string arena and
+//! resolves hash collisions through an FNV-indexed bucket map. The oracle
+//! is the obviously correct version: a `Vec<String>` searched by linear
+//! scan. First-seen order defines the dense ids in both, so on any input
+//! stream the two must assign identical ids and resolve identical names —
+//! including adversarial inputs (duplicates, empty strings, hash-colliding
+//! names) the arena path's bucket logic exists for.
+//!
+//! [`HostInterner`]: hostprof_store::HostInterner
+
+/// First-seen dense interning by linear scan. O(n) per insert and proud
+/// of it.
+#[derive(Debug, Default)]
+pub struct NaiveInterner {
+    names: Vec<String>,
+}
+
+impl NaiveInterner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id of `name`, assigning the next dense id on first sight.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => i as u32,
+            None => {
+                self.names.push(name.to_string());
+                (self.names.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Id of `name` if already interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.names.iter().position(|n| n == name).map(|i| i as u32)
+    }
+
+    /// Name of an id.
+    ///
+    /// # Panics
+    /// Panics when `id` was never assigned.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of distinct names seen.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no name was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostprof_store::HostInterner;
+
+    /// Drive both interners with one stream and assert lockstep equality
+    /// after every single operation.
+    fn differential(stream: &[&str]) {
+        let mut oracle = NaiveInterner::new();
+        let mut prod = HostInterner::new();
+        for (step, name) in stream.iter().enumerate() {
+            assert_eq!(
+                oracle.get(name),
+                prod.get(name),
+                "step {step}: pre-insert lookup of {name:?} diverged"
+            );
+            assert_eq!(
+                oracle.intern(name),
+                prod.intern(name),
+                "step {step}: id assignment for {name:?} diverged"
+            );
+            assert_eq!(oracle.len(), prod.len(), "step {step}: table size diverged");
+        }
+        for id in 0..oracle.len() as u32 {
+            assert_eq!(oracle.name(id), prod.name(id), "name of id {id} diverged");
+        }
+    }
+
+    #[test]
+    fn duplicates_and_empty_strings_agree() {
+        differential(&[
+            "a.example",
+            "b.example",
+            "a.example",
+            "",
+            "b.example",
+            "",
+            "c.example",
+            "a.example",
+        ]);
+    }
+
+    #[test]
+    fn prefix_and_arena_adjacency_confusions_agree() {
+        // Names that are prefixes/suffixes of each other and names equal
+        // to the concatenation of two earlier names — the cases where an
+        // arena + offsets representation could mis-compare.
+        differential(&[
+            "ab", "a", "b", "abab", "ba", "aba", "bab", "ab", "a", "abab",
+        ]);
+    }
+
+    #[test]
+    fn generated_stream_with_many_collision_buckets_agrees() {
+        // 64-bit FNV over short strings won't collide honestly, so force
+        // heavy bucket reuse the statistical way: thousands of names from
+        // a tiny alphabet, every one re-queried later.
+        let names: Vec<String> = (0..4000)
+            .map(|i| {
+                let i = (i * 2_654_435_761u64 as usize) % 700;
+                format!("h{}.{}", i % 97, ["com", "net", "org"][i % 3])
+            })
+            .collect();
+        let stream: Vec<&str> = names.iter().map(String::as_str).collect();
+        differential(&stream);
+    }
+
+    #[test]
+    fn unicode_names_agree() {
+        differential(&[
+            "bücher.example",
+            "bucher.example",
+            "日本語.example",
+            "bücher.example",
+        ]);
+    }
+}

@@ -22,6 +22,8 @@
 //!   production paths and diffs them stage by stage
 //! * [`ann`] — exact-vs-IVF differential: recall@N per session, the
 //!   induced Eq. 3/4 importance divergence, and the end-to-end CTR gap
+//! * [`intern`] — first-seen dense hostname interning by linear scan,
+//!   diffed against the arena-backed `hostprof-store` interner
 //! * [`diff`] — ulp/abs-delta helpers and the typed mismatch report
 //!
 //! The crate intentionally has no optimized dependencies of its own: it
@@ -31,6 +33,7 @@
 pub mod ann;
 pub mod diff;
 pub mod driver;
+pub mod intern;
 pub mod knn;
 pub mod profile;
 pub mod sgd;

@@ -1,0 +1,311 @@
+//! The flat byte layout: aligned little-endian sections behind a small
+//! table of contents.
+//!
+//! Both [`TraceColumns`](crate::TraceColumns) and the embedding store
+//! persist through this container. The design goals are the ones that
+//! matter for memory-mapped use:
+//!
+//! * every section payload starts at an 8-byte-aligned offset from the
+//!   start of the buffer, so a future zero-copy reader can cast typed
+//!   columns straight out of an mmap;
+//! * fixed-width little-endian encoding, no varints, no compression —
+//!   offsets are computable without touching payload bytes;
+//! * a leading magic + section count, then `(tag, byte length)` headers,
+//!   so unknown sections are skippable and truncation is detectable.
+//!
+//! The safe reader here copies values out (`Vec<u32>` etc.) — correctness
+//! first; the layout is what makes the zero-copy upgrade possible without
+//! a format change.
+
+/// Container magic: identifies the format and its version.
+pub const MAGIC: [u8; 8] = *b"HPFLAT1\0";
+
+/// Errors a [`FlatReader`] can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatError {
+    /// Buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// Buffer ends before a declared header or payload.
+    Truncated,
+    /// A section payload length is not a multiple of its element width.
+    BadSectionLen {
+        /// Section tag.
+        tag: u32,
+        /// Payload length found.
+        len: usize,
+        /// Element width expected to divide it.
+        elem: usize,
+    },
+    /// A required section is absent.
+    MissingSection(u32),
+}
+
+impl std::fmt::Display for FlatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlatError::BadMagic => write!(f, "not a flat container (bad magic)"),
+            FlatError::Truncated => write!(f, "flat container truncated"),
+            FlatError::BadSectionLen { tag, len, elem } => {
+                write!(f, "section {tag:#x}: length {len} not a multiple of {elem}")
+            }
+            FlatError::MissingSection(tag) => write!(f, "section {tag:#x} missing"),
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+fn pad8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+/// Serializes tagged sections into one aligned buffer.
+#[derive(Debug, Default)]
+pub struct FlatWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl FlatWriter {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a raw byte section.
+    pub fn section(&mut self, tag: u32, bytes: Vec<u8>) -> &mut Self {
+        self.sections.push((tag, bytes));
+        self
+    }
+
+    /// Append a `u32` column (little-endian).
+    pub fn section_u32s(&mut self, tag: u32, values: &[u32]) -> &mut Self {
+        let mut b = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        self.section(tag, b)
+    }
+
+    /// Append a `u64` column (little-endian).
+    pub fn section_u64s(&mut self, tag: u32, values: &[u64]) -> &mut Self {
+        let mut b = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        self.section(tag, b)
+    }
+
+    /// Append an `f32` column (little-endian bit patterns).
+    pub fn section_f32s(&mut self, tag: u32, values: &[f32]) -> &mut Self {
+        let mut b = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            b.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.section(tag, b)
+    }
+
+    /// Append a UTF-8 string section.
+    pub fn section_str(&mut self, tag: u32, value: &str) -> &mut Self {
+        self.section(tag, value.as_bytes().to_vec())
+    }
+
+    /// Encode: magic, section count, headers, 8-aligned payloads.
+    pub fn finish(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // keep headers 8-aligned
+        for (tag, bytes) in &self.sections {
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        }
+        for (_, bytes) in &self.sections {
+            out.extend_from_slice(bytes);
+            out.resize(pad8(out.len()), 0);
+        }
+        out
+    }
+}
+
+/// Reads sections back out of a flat container.
+#[derive(Debug)]
+pub struct FlatReader<'a> {
+    /// `(tag, payload)` in container order.
+    sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> FlatReader<'a> {
+    /// Parse the table of contents; payloads are borrowed, not copied.
+    pub fn new(buf: &'a [u8]) -> Result<Self, FlatError> {
+        if buf.len() < 16 {
+            return Err(FlatError::Truncated);
+        }
+        if buf[..8] != MAGIC {
+            return Err(FlatError::BadMagic);
+        }
+        let count = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let headers_end = 16 + count * 16;
+        if buf.len() < headers_end {
+            return Err(FlatError::Truncated);
+        }
+        let mut sections = Vec::with_capacity(count);
+        let mut offset = headers_end;
+        for i in 0..count {
+            let h = 16 + i * 16;
+            let tag = u32::from_le_bytes(buf[h..h + 4].try_into().unwrap());
+            let len = u64::from_le_bytes(buf[h + 8..h + 16].try_into().unwrap()) as usize;
+            let end = offset.checked_add(len).ok_or(FlatError::Truncated)?;
+            if buf.len() < end {
+                return Err(FlatError::Truncated);
+            }
+            sections.push((tag, &buf[offset..end]));
+            offset = pad8(end);
+        }
+        Ok(Self { sections })
+    }
+
+    /// Raw payload of the first section with `tag`.
+    pub fn section(&self, tag: u32) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, b)| *b)
+    }
+
+    fn required(&self, tag: u32) -> Result<&'a [u8], FlatError> {
+        self.section(tag).ok_or(FlatError::MissingSection(tag))
+    }
+
+    /// Decode a `u32` column.
+    pub fn u32s(&self, tag: u32) -> Result<Vec<u32>, FlatError> {
+        let b = self.required(tag)?;
+        if b.len() % 4 != 0 {
+            return Err(FlatError::BadSectionLen {
+                tag,
+                len: b.len(),
+                elem: 4,
+            });
+        }
+        Ok(b.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Decode a `u64` column.
+    pub fn u64s(&self, tag: u32) -> Result<Vec<u64>, FlatError> {
+        let b = self.required(tag)?;
+        if b.len() % 8 != 0 {
+            return Err(FlatError::BadSectionLen {
+                tag,
+                len: b.len(),
+                elem: 8,
+            });
+        }
+        Ok(b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Decode an `f32` column (exact bit patterns).
+    pub fn f32s(&self, tag: u32) -> Result<Vec<f32>, FlatError> {
+        let b = self.required(tag)?;
+        if b.len() % 4 != 0 {
+            return Err(FlatError::BadSectionLen {
+                tag,
+                len: b.len(),
+                elem: 4,
+            });
+        }
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    /// Decode a UTF-8 string section.
+    pub fn str(&self, tag: u32) -> Result<&'a str, FlatError> {
+        let b = self.required(tag)?;
+        std::str::from_utf8(b).map_err(|_| FlatError::BadSectionLen {
+            tag,
+            len: b.len(),
+            elem: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_typed_sections() {
+        let mut w = FlatWriter::new();
+        w.section_u32s(1, &[7, 8, 9])
+            .section_u64s(2, &[u64::MAX, 0])
+            .section_f32s(3, &[1.5, -0.0, f32::NAN])
+            .section_str(4, "hello.example");
+        let buf = w.finish();
+        let r = FlatReader::new(&buf).unwrap();
+        assert_eq!(r.u32s(1).unwrap(), [7, 8, 9]);
+        assert_eq!(r.u64s(2).unwrap(), [u64::MAX, 0]);
+        let f = r.f32s(3).unwrap();
+        assert_eq!(f[0].to_bits(), 1.5f32.to_bits());
+        assert_eq!(f[1].to_bits(), (-0.0f32).to_bits());
+        assert!(f[2].is_nan());
+        assert_eq!(r.str(4).unwrap(), "hello.example");
+        assert_eq!(r.section(99), None);
+    }
+
+    #[test]
+    fn payloads_are_eight_aligned() {
+        let mut w = FlatWriter::new();
+        w.section_str(1, "abc") // 3 bytes: forces padding before next
+            .section_u64s(2, &[42]);
+        let buf = w.finish();
+        // Find section 2's payload offset the way the reader does and
+        // check alignment relative to the buffer start.
+        let headers_end = 16 + 2 * 16;
+        let s1_len = 3usize;
+        let s2_off = (headers_end + s1_len).div_ceil(8) * 8;
+        assert_eq!(s2_off % 8, 0);
+        assert_eq!(&buf[s2_off..s2_off + 8], &42u64.to_le_bytes());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(FlatReader::new(b"short").unwrap_err(), FlatError::Truncated);
+        let mut bad = FlatWriter::new().section_u32s(1, &[1]).finish();
+        bad[0] = b'X';
+        assert_eq!(FlatReader::new(&bad).unwrap_err(), FlatError::BadMagic);
+        let good = FlatWriter::new().section_u32s(1, &[1, 2, 3]).finish();
+        assert_eq!(
+            FlatReader::new(&good[..good.len() - 8]).unwrap_err(),
+            FlatError::Truncated
+        );
+    }
+
+    #[test]
+    fn wrong_element_width_is_detected() {
+        let buf = FlatWriter::new().section_str(5, "abc").finish();
+        let r = FlatReader::new(&buf).unwrap();
+        assert!(matches!(
+            r.u32s(5).unwrap_err(),
+            FlatError::BadSectionLen {
+                tag: 5,
+                len: 3,
+                elem: 4
+            }
+        ));
+        assert!(matches!(
+            r.u64s(5).unwrap_err(),
+            FlatError::BadSectionLen { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_required_section_is_an_error() {
+        let buf = FlatWriter::new().section_u32s(1, &[1]).finish();
+        let r = FlatReader::new(&buf).unwrap();
+        assert_eq!(r.u64s(2).unwrap_err(), FlatError::MissingSection(2));
+    }
+}

@@ -70,6 +70,19 @@ impl WorldConfig {
         }
     }
 
+    /// The million-user bench tier's universe: ~10⁵ hostnames (a large
+    /// vocabulary, still trainable in one process). Used only by
+    /// `--scale large`.
+    pub fn large() -> Self {
+        Self {
+            num_sites: 40_000,
+            num_cdns: 25_000,
+            num_apis: 30_000,
+            num_trackers: 8_000,
+            ..Self::default()
+        }
+    }
+
     /// A world whose hostname count approaches the paper's 470 K unique
     /// hostnames. Heavy: only used by the E7 scale experiment.
     pub fn paper_scale() -> Self {
@@ -143,6 +156,17 @@ impl PopulationConfig {
             ..Self::default()
         }
     }
+
+    /// The million-user bench tier. Activity is dialed down (≈1 session
+    /// per day) so total observations stay bounded by memory, the way an
+    /// ISP's long-tail subscriber base mostly idles.
+    pub fn large() -> Self {
+        Self {
+            num_users: 1_000_000,
+            sessions_per_day_median: 1.0,
+            ..Self::default()
+        }
+    }
 }
 
 /// Configuration of browsing-trace generation.
@@ -193,6 +217,17 @@ impl TraceConfig {
     /// The one-month profiling phase of the paper.
     pub fn profiling_month() -> Self {
         Self::default()
+    }
+
+    /// The million-user bench tier: two days (train on day 0, profile
+    /// day 1) with shorter sessions. Two days also keeps every timestamp
+    /// well inside the columnar store's u32-millisecond horizon.
+    pub fn large() -> Self {
+        Self {
+            days: 2,
+            pages_mu: 1.4, // exp(1.4) ≈ 4 pages per session
+            ..Self::default()
+        }
     }
 }
 

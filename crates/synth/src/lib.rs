@@ -28,6 +28,7 @@
 
 pub mod config;
 pub mod ids;
+pub mod lane;
 pub mod names;
 pub mod sampling;
 pub mod stream;
@@ -37,6 +38,7 @@ pub mod world;
 
 pub use config::{PopulationConfig, TraceConfig, WorldConfig};
 pub use ids::{HostId, UserId};
+pub use lane::{for_each_user_lane, generate_columnar, world_interner, MaterializedAccess};
 pub use stream::{StreamConfig, TraceStream};
 pub use trace::{Request, Trace, TraceStats};
 pub use user::{Population, UserProfile};

@@ -34,7 +34,7 @@ pub struct Request {
 
 /// Hour-of-day activity weights (Spanish-flavored diurnal curve: quiet
 /// nights, lunch peak, strong evenings).
-const DIURNAL: [f64; 24] = [
+pub(crate) const DIURNAL: [f64; 24] = [
     0.4, 0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 1.0, 1.6, 2.0, 2.2, 2.4, 2.6, 2.2, 1.8, 1.9, 2.2, 2.6, 3.0,
     3.2, 3.0, 2.4, 1.6, 0.8,
 ];
@@ -46,6 +46,64 @@ pub struct Trace {
     /// `user_index[u]` = indices into `requests`, ascending in time.
     user_index: Vec<Vec<u32>>,
     days: u32,
+}
+
+/// Emit one user's requests for every simulated day, in generation order
+/// (NOT time order). This is the per-user unit `Trace::generate` runs for
+/// each user in turn against one shared RNG; the columnar lane generator
+/// (`crate::lane`) calls it with the same RNG discipline, which is what
+/// keeps the two representations bit-identical — the RNG stream is
+/// consumed strictly per-user, in user-id order, in both paths.
+pub(crate) fn emit_user_requests<R: Rng>(
+    world: &World,
+    user: &crate::user::UserProfile,
+    config: &TraceConfig,
+    hour_sampler: &WeightedIndex,
+    rng: &mut R,
+    mut emit: impl FnMut(u64, HostId),
+) {
+    for day in 0..config.days {
+        let n_sessions = poisson(rng, user.sessions_per_day);
+        for _ in 0..n_sessions {
+            let hour = hour_sampler.sample(rng) as u64;
+            let mut t = day as u64 * DAY_MS + hour * 3_600_000 + rng.gen_range(0..3_600_000u64);
+            let day_end = (day as u64 + 1) * DAY_MS;
+            let pages =
+                (1.0 + log_normal(rng, config.pages_mu, config.pages_sigma)).min(80.0) as usize;
+            let mut topic = user.sample_topic(rng);
+            for _ in 0..pages {
+                if t >= day_end {
+                    break;
+                }
+                if !rng.gen_bool(config.topic_persistence) {
+                    topic = user.sample_topic(rng);
+                }
+                let host = if rng.gen_bool(config.core_visit_prob) {
+                    world.sample_core(rng)
+                } else {
+                    world.sample_site(rng, topic)
+                };
+                emit(t, host);
+                // Dependencies fire within ~1.5 s of the page load.
+                for &dep in &world.host(host).deps {
+                    if rng.gen_bool(config.dependency_fire_prob) {
+                        emit(t + rng.gen_range(50..1500u64), dep);
+                    }
+                }
+                // Dwell on the page; interactive hosts keep opening
+                // connections while the user watches.
+                let dwell_s = log_normal(rng, 30f64.ln(), 0.9).clamp(3.0, 300.0);
+                if world.host(host).interactive {
+                    let extra = rng.gen_range(2..=6u64);
+                    for _ in 0..extra {
+                        let dt = rng.gen_range(1_000..(dwell_s as u64 * 1000).max(2_000));
+                        emit(t + dt, host);
+                    }
+                }
+                t += (dwell_s * 1000.0) as u64;
+            }
+        }
+    }
 }
 
 /// Headline counts for the E6/E7 reports.
@@ -69,61 +127,20 @@ impl Trace {
         let mut requests: Vec<Request> = Vec::new();
 
         for user in population.users() {
-            for day in 0..config.days {
-                let n_sessions = poisson(&mut rng, user.sessions_per_day);
-                for _ in 0..n_sessions {
-                    let hour = hour_sampler.sample(&mut rng) as u64;
-                    let mut t =
-                        day as u64 * DAY_MS + hour * 3_600_000 + rng.gen_range(0..3_600_000u64);
-                    let day_end = (day as u64 + 1) * DAY_MS;
-                    let pages = (1.0 + log_normal(&mut rng, config.pages_mu, config.pages_sigma))
-                        .min(80.0) as usize;
-                    let mut topic = user.sample_topic(&mut rng);
-                    for _ in 0..pages {
-                        if t >= day_end {
-                            break;
-                        }
-                        if !rng.gen_bool(config.topic_persistence) {
-                            topic = user.sample_topic(&mut rng);
-                        }
-                        let host = if rng.gen_bool(config.core_visit_prob) {
-                            world.sample_core(&mut rng)
-                        } else {
-                            world.sample_site(&mut rng, topic)
-                        };
-                        requests.push(Request {
-                            t_ms: t,
-                            user: user.id,
-                            host,
-                        });
-                        // Dependencies fire within ~1.5 s of the page load.
-                        for &dep in &world.host(host).deps {
-                            if rng.gen_bool(config.dependency_fire_prob) {
-                                requests.push(Request {
-                                    t_ms: t + rng.gen_range(50..1500u64),
-                                    user: user.id,
-                                    host: dep,
-                                });
-                            }
-                        }
-                        // Dwell on the page; interactive hosts keep opening
-                        // connections while the user watches.
-                        let dwell_s = log_normal(&mut rng, 30f64.ln(), 0.9).clamp(3.0, 300.0);
-                        if world.host(host).interactive {
-                            let extra = rng.gen_range(2..=6u64);
-                            for _ in 0..extra {
-                                let dt = rng.gen_range(1_000..(dwell_s as u64 * 1000).max(2_000));
-                                requests.push(Request {
-                                    t_ms: t + dt,
-                                    user: user.id,
-                                    host,
-                                });
-                            }
-                        }
-                        t += (dwell_s * 1000.0) as u64;
-                    }
-                }
-            }
+            emit_user_requests(
+                world,
+                user,
+                config,
+                &hour_sampler,
+                &mut rng,
+                |t_ms, host| {
+                    requests.push(Request {
+                        t_ms,
+                        user: user.id,
+                        host,
+                    });
+                },
+            );
         }
 
         requests.sort_by_key(|r| (r.t_ms, r.user, r.host));

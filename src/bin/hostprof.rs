@@ -15,8 +15,9 @@
 //! hostprof experiment [--scale S]
 //! ```
 //!
-//! `--scale` is `tiny` (default), `small` or `default` and selects the
-//! same deterministic scenarios the experiment binaries use.
+//! `--scale` is `tiny` (default), `small`, `default` or `large` and
+//! selects the same deterministic scenarios the experiment binaries use
+//! (`large` is the 10⁶-user columnar tier; expect minutes, not seconds).
 
 use hostprof::ads::{CtrExperiment, ExperimentConfig};
 use hostprof::bridge::{ObservedTrace, ObserverScenario};
@@ -103,6 +104,7 @@ fn scenario_config(args: &Args) -> Result<ScenarioConfig, String> {
         "tiny" => ScenarioConfig::tiny(),
         "small" => ScenarioConfig::small(),
         "default" | "full" => ScenarioConfig::paper_month(),
+        "large" => ScenarioConfig::large(),
         other => return Err(format!("unknown scale '{other}'")),
     };
     if let Some(days) = args.get_parsed::<u32>("days")? {

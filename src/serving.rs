@@ -12,7 +12,7 @@
 //! so the engine profiles against a model of the same traffic it serves.
 
 use hostprof_core::{Pipeline, PipelineConfig, ServeConfig, ServeEngine};
-use hostprof_net::{ObserverStats, RequestEvent, TrafficSynthesizer};
+use hostprof_net::{ObserverStats, TrafficSynthesizer};
 use hostprof_synth::{Population, StreamConfig, TraceStream, World};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -47,6 +47,10 @@ pub struct LiveRunReport {
     pub late_dropped: u64,
     /// High-water mark of buffered windower events.
     pub peak_resident_events: usize,
+    /// Distinct hostnames interned by the windower.
+    pub interned_hosts: usize,
+    /// Heap bytes held by the windower's interned hostname table.
+    pub interned_table_bytes: usize,
     /// Per-report compute latency, milliseconds, ascending.
     pub latencies_ms: Vec<f64>,
     /// Wall-seconds inside `ingest_packet` + flush (tick compute runs
@@ -108,15 +112,12 @@ pub fn run_live(
     let mut warmup_packets = 0usize;
     for r in TraceStream::new(world, population, stream_cfg).take(warmup_requests) {
         warmup_span_ms = warmup_span_ms.max(r.t_ms);
-        let hostname = world.hostname(r.host).to_string();
-        warmup_packets += synth
-            .packets_for(&RequestEvent {
-                t_ms: r.t_ms,
-                client: r.user.0,
-                hostname: hostname.clone(),
-            })
-            .len();
-        corpus_by_user.entry(r.user.0).or_default().push(hostname);
+        let hostname = world.hostname(r.host);
+        warmup_packets += synth.packets_for_host(r.t_ms, r.user.0, hostname).len();
+        corpus_by_user
+            .entry(r.user.0)
+            .or_default()
+            .push(hostname.to_string());
     }
     let corpus: Vec<Vec<String>> = corpus_by_user.into_values().collect();
     let packets_per_request = warmup_packets as f64 / warmup_requests.max(1) as f64;
@@ -155,11 +156,9 @@ pub fn run_live(
         if r.t_ms > duration_ms {
             break;
         }
-        let packets = synth.packets_for(&RequestEvent {
-            t_ms: r.t_ms,
-            client: r.user.0,
-            hostname: world.hostname(r.host).to_string(),
-        });
+        // Borrowed hostname straight from the world table — the measured
+        // loop allocates nothing per request beyond the packets themselves.
+        let packets = synth.packets_for_host(r.t_ms, r.user.0, world.hostname(r.host));
         for pkt in &packets {
             let t = Instant::now();
             let ticks = engine.ingest_packet(pkt);
@@ -183,6 +182,8 @@ pub fn run_live(
         observer: engine.observer_stats(),
         late_dropped: engine.windower().late_dropped(),
         peak_resident_events: engine.windower().peak_resident_events(),
+        interned_hosts: engine.windower().interned_hosts(),
+        interned_table_bytes: engine.windower().interned_table_bytes(),
         latencies_ms,
         ingest_seconds: ingest_time.as_secs_f64(),
         wall_seconds: wall_started.elapsed().as_secs_f64(),
@@ -223,6 +224,8 @@ mod tests {
         assert!(report.stats.ticks > 0, "no report tick fired");
         assert!(report.stats.profiles_emitted > 0, "nobody got profiled");
         assert!(report.taxonomy_invariant_ok());
+        assert!(report.interned_hosts > 0, "windower interned no hostnames");
+        assert!(report.interned_table_bytes > 0);
         assert!(!report.latencies_ms.is_empty());
         assert!(report.latency_percentile_ms(0.5) <= report.latency_percentile_ms(0.95));
         // The calibrated rate should land within 3x of the target — the

@@ -6,6 +6,38 @@
 
 use serde::Deserialize;
 
+/// One entry of the append-only `generations` provenance array every
+/// `bench_*.json` carries (written by `write_results_stamped`).
+#[derive(Deserialize)]
+struct Generation {
+    seq: u64,
+    unix_time_s: u64,
+    headline: String,
+}
+
+/// The generations contract: 1-based, strictly sequential, stamped and
+/// described. Append-only-ness across regenerations is pinned by
+/// `hostprof-bench`'s `restamping_appends_and_never_rewrites_history`
+/// unit test; here we pin what the committed artifacts must carry.
+fn check_generations(gens: &[Generation]) {
+    assert!(!gens.is_empty(), "missing generations provenance");
+    for (i, g) in gens.iter().enumerate() {
+        assert_eq!(
+            g.seq,
+            i as u64 + 1,
+            "generation seq must be 1-based and dense"
+        );
+        assert!(g.unix_time_s > 0, "generation timestamp missing");
+        assert!(!g.headline.is_empty(), "generation headline missing");
+    }
+    for w in gens.windows(2) {
+        assert!(
+            w[1].unix_time_s >= w[0].unix_time_s,
+            "generation timestamps must not go backwards"
+        );
+    }
+}
+
 #[derive(Deserialize)]
 struct ProfilingBench {
     scale: String,
@@ -18,6 +50,7 @@ struct ProfilingBench {
     single_query_sessions_per_sec: f64,
     throughput: Vec<ProfilingRow>,
     best_speedup_at_4_threads: f64,
+    generations: Vec<Generation>,
 }
 
 #[derive(Deserialize)]
@@ -41,6 +74,7 @@ struct SkipgramBench {
     throughput: Vec<SkipgramRow>,
     single_thread_kernel_speedup: f64,
     sharding: ShardingBench,
+    generations: Vec<Generation>,
 }
 
 #[derive(Deserialize)]
@@ -77,6 +111,7 @@ struct KnnBench {
     target_met: bool,
     exact: KnnLatency,
     sweep: Vec<KnnSweepRow>,
+    generations: Vec<Generation>,
 }
 
 #[derive(Deserialize)]
@@ -115,12 +150,15 @@ struct ServingBench {
     profiles_emitted: u64,
     late_dropped: u64,
     peak_resident_events: usize,
+    interned_hosts: usize,
+    interned_table_bytes: usize,
     sustained_pps: f64,
     ingest_seconds: f64,
     wall_seconds: f64,
     report_latency_ms: ServingLatency,
     peak_rss_kb: u64,
     taxonomy_invariant_ok: bool,
+    generations: Vec<Generation>,
 }
 
 #[derive(Deserialize)]
@@ -166,6 +204,7 @@ fn bench_profiling_json_matches_schema() {
         "best_speedup_at_4_threads {} != max over 4-thread rows {best4}",
         b.best_speedup_at_4_threads
     );
+    check_generations(&b.generations);
 }
 
 #[test]
@@ -213,6 +252,7 @@ fn bench_knn_json_matches_schema() {
             "committed default-scale run must meet the recall/speedup target"
         );
     }
+    check_generations(&b.generations);
 }
 
 #[test]
@@ -249,6 +289,9 @@ fn bench_serving_json_matches_schema() {
     assert!(l.p50_ms <= l.p95_ms && l.p95_ms <= l.p99_ms && l.p99_ms <= l.max_ms);
     assert!(b.peak_rss_kb > 0, "VmHWM must be readable where this runs");
     assert!(b.taxonomy_invariant_ok, "merged lane taxonomy broke");
+    assert!(b.interned_hosts > 0, "windower interned nothing");
+    assert!(b.interned_table_bytes > 0);
+    check_generations(&b.generations);
 }
 
 #[test]
@@ -288,4 +331,159 @@ fn bench_skipgram_json_matches_schema() {
     assert!(s.simulated_balance_ratio >= 1.0);
     assert!(s.measured_static_tokens_per_sec > 0.0);
     assert!(s.measured_balanced_tokens_per_sec > 0.0);
+    check_generations(&b.generations);
+}
+
+#[derive(Deserialize)]
+struct LargeBench {
+    scale: String,
+    smoke: bool,
+    users: usize,
+    hosts: usize,
+    days: u32,
+    hardware_threads: usize,
+    generation: LargeGenerationPhase,
+    train: LargeTrainPhase,
+    profile: LargeProfilePhase,
+    sessions_per_sec: f64,
+    peak_rss_kb: u64,
+    rss_gate_mb: Option<u64>,
+    rss_gate_ok: bool,
+    generations: Vec<Generation>,
+}
+
+#[derive(Deserialize)]
+struct LargeGenerationPhase {
+    seconds: f64,
+    events: usize,
+    events_per_sec: f64,
+    columnar_bytes: usize,
+    bytes_per_event: f64,
+    interned_hosts: usize,
+    interned_table_bytes: usize,
+}
+
+#[derive(Deserialize)]
+struct LargeTrainPhase {
+    day: u32,
+    sequences: usize,
+    tokens: usize,
+    vocabulary: usize,
+    dim: usize,
+    seconds: f64,
+    tokens_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct LargeProfilePhase {
+    day: u32,
+    sessions: usize,
+    profiles_emitted: usize,
+    index: String,
+    n_neighbors: usize,
+    curve: Vec<LargeCurvePoint>,
+    thread_curve_gated: bool,
+    skipped_thread_counts: Vec<usize>,
+}
+
+#[derive(Deserialize)]
+struct LargeCurvePoint {
+    threads: usize,
+    seconds: f64,
+    sessions_per_sec: f64,
+    speedup_vs_1t: f64,
+}
+
+#[test]
+fn bench_large_json_matches_schema() {
+    let b: LargeBench = serde_json::from_str(&read("bench_large.json")).expect("schema drifted");
+    assert_eq!(b.scale, "large");
+    // The committed artifact is the real million-user run, not a smoke.
+    assert!(!b.smoke, "committed bench_large must be the full tier");
+    assert!(b.users >= 1_000_000, "large tier is the 10^6-user world");
+    assert!(
+        b.hosts >= 100_000,
+        "large tier is the 10^5-vocabulary world"
+    );
+    assert!(b.days >= 2, "needs a train day and a profile day");
+    assert!(b.hardware_threads >= 1);
+
+    let g = &b.generation;
+    assert!(g.seconds > 0.0 && g.events > 0 && g.events_per_sec > 0.0);
+    assert!(g.columnar_bytes > 0);
+    // The memory story: the SoA layout is 12 B/event plus the interner;
+    // anything above ~2x that means the columnar path regressed into
+    // materializing strings again.
+    assert!(
+        g.bytes_per_event >= 12.0 && g.bytes_per_event < 24.0,
+        "bytes/event {} outside the SoA envelope",
+        g.bytes_per_event
+    );
+    assert!(g.interned_hosts > 0 && g.interned_hosts <= b.hosts);
+    assert!(g.interned_table_bytes > 0);
+
+    let t = &b.train;
+    assert!(t.day == 0, "training day is day 0");
+    assert!(t.sequences > 0 && t.tokens > 0 && t.vocabulary > 0 && t.dim > 0);
+    assert!(t.seconds > 0.0 && t.tokens_per_sec > 0.0);
+    assert!(
+        t.vocabulary <= g.interned_hosts,
+        "vocab cannot exceed hosts seen"
+    );
+
+    let p = &b.profile;
+    assert!(p.day == 1, "profiling day is day 1");
+    assert!(p.sessions > 0);
+    assert!(p.profiles_emitted > 0 && p.profiles_emitted <= p.sessions);
+    assert!(
+        p.index == "exact" || p.index == "ivf",
+        "unknown index {:?}",
+        p.index
+    );
+    assert!(p.n_neighbors > 0);
+    assert!(
+        !p.curve.is_empty(),
+        "thread curve must have at least the 1-thread point"
+    );
+    assert_eq!(p.curve[0].threads, 1, "curve starts at one thread");
+    assert!((p.curve[0].speedup_vs_1t - 1.0).abs() < 1e-9);
+    for (i, c) in p.curve.iter().enumerate() {
+        assert!(
+            c.threads >= 1 && c.threads <= b.hardware_threads,
+            "curve point ran more threads than the hardware has"
+        );
+        if i > 0 {
+            assert!(c.threads > p.curve[i - 1].threads, "curve must ascend");
+        }
+        assert!(c.seconds > 0.0 && c.sessions_per_sec > 0.0 && c.speedup_vs_1t > 0.0);
+    }
+    // Honest multicore curves: every requested-but-impossible thread
+    // count is declared, never silently faked.
+    for &skipped in &p.skipped_thread_counts {
+        assert!(
+            skipped > b.hardware_threads,
+            "skipped a runnable thread count"
+        );
+    }
+    assert_eq!(
+        p.thread_curve_gated,
+        !p.skipped_thread_counts.is_empty(),
+        "gating flag must match the skipped list"
+    );
+
+    let best = p
+        .curve
+        .iter()
+        .map(|c| c.sessions_per_sec)
+        .fold(0.0f64, f64::max);
+    assert!(
+        (b.sessions_per_sec - best).abs() < 1e-9,
+        "headline must be the best curve point"
+    );
+    assert!(b.peak_rss_kb > 0, "the committed run must record VmHWM");
+    if let Some(mb) = b.rss_gate_mb {
+        assert_eq!(b.rss_gate_ok, b.peak_rss_kb <= mb * 1024);
+    }
+    assert!(b.rss_gate_ok, "committed run breached its own RSS gate");
+    check_generations(&b.generations);
 }

@@ -1,0 +1,232 @@
+//! Columnar-store ↔ legacy-trace equivalence (DESIGN.md §13).
+//!
+//! The structure-of-arrays store (`hostprof-store`) and the streaming
+//! lane generator (`hostprof_synth::generate_columnar`) exist so a
+//! million-user world never has to materialize as a `Vec<Request>`. That
+//! is only sound if, on the same seeds, the columnar path is
+//! **bit-identical** to the legacy path every consumer was validated
+//! against:
+//!
+//! * the per-event stream `(t_ms, user, host)` digests equal (the replay
+//!   suite's stage-1 framing),
+//! * the per-(user, day) session windows and training sequences come out
+//!   byte-identical through `SessionSource`,
+//! * the flat container round-trips the whole store bit-for-bit.
+//!
+//! The scenario shapes reuse `replay_scenario_config`, so the seeds here
+//! are the exact worlds the committed golden snapshots pin.
+
+use hostprof::replay::{replay_scenario_config, ReplayOptions};
+use hostprof::scenario::ScenarioConfig;
+use hostprof_core::{Session, SessionSource};
+use hostprof_store::{TraceAccess, TraceColumns};
+use hostprof_synth::trace::DAY_MS;
+use hostprof_synth::{generate_columnar, Population, Trace, UserId, World};
+use proptest::prelude::*;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// FNV-1a-64 with the same length-prefixed framing `src/replay.rs` uses
+/// for its stage digests.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// The replay suite's stage-1 digest, computed from the legacy trace.
+fn trace_digest_legacy(trace: &Trace) -> String {
+    let mut d = Digest::new();
+    for r in trace.requests() {
+        d.write_u64(r.t_ms);
+        d.write_u64(r.user.0 as u64);
+        d.write_u64(r.host.0 as u64);
+    }
+    d.hex()
+}
+
+/// The same digest computed from the columnar store. Host ids are interned
+/// in `HostId` order by `generate_columnar`, so the id streams must match
+/// verbatim, not just the resolved names. The store is user-major; the
+/// legacy request list is globally `(t, user, host)`-sorted, so restore
+/// that order before hashing.
+fn trace_digest_columnar(columns: &TraceColumns) -> String {
+    let mut events: Vec<(u64, u32, u32)> = Vec::with_capacity(columns.num_events());
+    for user in 0..columns.num_users() as u32 {
+        let times = columns.user_times(user);
+        let hosts = columns.user_hosts(user);
+        for (t, h) in times.iter().zip(hosts) {
+            events.push((*t as u64, user, *h));
+        }
+    }
+    events.sort_unstable();
+    let mut d = Digest::new();
+    for (t, u, h) in events {
+        d.write_u64(t);
+        d.write_u64(u as u64);
+        d.write_u64(h as u64);
+    }
+    d.hex()
+}
+
+fn generate_both(cfg: &ScenarioConfig) -> (World, Population, Trace, TraceColumns) {
+    let world = World::generate(&cfg.world);
+    let population = Population::generate(&world, &cfg.population);
+    let trace = Trace::generate(&world, &population, &cfg.trace);
+    let columns = generate_columnar(&world, &population, &cfg.trace);
+    (world, population, trace, columns)
+}
+
+#[test]
+fn golden_seeds_share_one_trace_digest_across_both_paths() {
+    for seed in SEEDS {
+        let cfg = replay_scenario_config(&ReplayOptions::for_seed(seed));
+        let (_, _, trace, columns) = generate_both(&cfg);
+        assert_eq!(
+            trace_digest_legacy(&trace),
+            trace_digest_columnar(&columns),
+            "seed {seed}: columnar stream diverged from the legacy trace"
+        );
+    }
+}
+
+#[test]
+fn flat_container_roundtrip_is_bit_identical_on_golden_seeds() {
+    for seed in SEEDS {
+        let cfg = replay_scenario_config(&ReplayOptions::for_seed(seed));
+        let (_, _, _, columns) = generate_both(&cfg);
+        let bytes = columns.to_flat_bytes();
+        let back = TraceColumns::from_flat_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("seed {seed}: flat decode failed: {e:?}"));
+        assert_eq!(
+            trace_digest_columnar(&columns),
+            trace_digest_columnar(&back),
+            "seed {seed}: flat roundtrip changed the event stream"
+        );
+        assert_eq!(
+            back.to_flat_bytes(),
+            bytes,
+            "seed {seed}: re-encoding is not byte-stable"
+        );
+    }
+}
+
+#[test]
+fn sessions_and_training_corpora_are_byte_identical_on_golden_seeds() {
+    for seed in SEEDS {
+        let cfg = replay_scenario_config(&ReplayOptions::for_seed(seed));
+        let world = World::generate(&cfg.world);
+        let population = Population::generate(&world, &cfg.population);
+        let trace = Trace::generate(&world, &population, &cfg.trace);
+        let columns = generate_columnar(&world, &population, &cfg.trace);
+        let blocklist = world.blocklist();
+        let source = SessionSource::new(&columns, cfg.pipeline.session_window_ms(), DAY_MS);
+        let mut scratch = Vec::new();
+
+        for day in 0..cfg.trace.days {
+            // Legacy sessions: the scenario anchor rule, one user at a
+            // time, through `Trace::window` + `Session::from_window`.
+            for u in 0..population.len() as u32 {
+                let last = trace
+                    .user_requests(UserId(u))
+                    .filter(|r| r.t_ms >= day as u64 * DAY_MS && r.t_ms < (day as u64 + 1) * DAY_MS)
+                    .last();
+                let legacy = last.map(|last| {
+                    let names: Vec<&str> = trace
+                        .window(UserId(u), last.t_ms, cfg.pipeline.session_window_ms())
+                        .into_iter()
+                        .map(|h| world.hostname(h))
+                        .collect();
+                    Session::from_window(names, Some(blocklist))
+                });
+                let columnar = source.day_session(u, day, Some(blocklist), &mut scratch);
+                assert_eq!(
+                    legacy.as_ref().map(Session::hostnames),
+                    columnar.as_ref().map(Session::hostnames),
+                    "seed {seed}, user {u}, day {day}: session diverged"
+                );
+            }
+
+            // Legacy training corpus vs the borrowed columnar one.
+            let legacy: Vec<Vec<&str>> = trace
+                .daily_sequences(day)
+                .into_iter()
+                .map(|(_, seq)| seq.into_iter().map(|h| world.hostname(h)).collect())
+                .collect();
+            assert_eq!(
+                legacy,
+                source.train_sequences(day),
+                "seed {seed}, day {day}: training corpus diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Random tiny worlds: every per-user column and every random window
+    /// agrees between the two paths, not just the golden seeds.
+    #[test]
+    fn columnar_matches_legacy_on_arbitrary_seeds(
+        seed in any::<u64>(),
+        users in 1usize..16,
+        days in 1u32..4,
+        window_idx in 0usize..4,
+    ) {
+        let window_ms = [1u64, 60_000, 1_200_000, DAY_MS][window_idx];
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.world.seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        cfg.population.seed = seed.rotate_left(17) ^ 0x5eed;
+        cfg.population.num_users = users;
+        cfg.trace.seed = seed.rotate_left(41);
+        cfg.trace.days = days;
+        let (world, population, trace, columns) = generate_both(&cfg);
+        prop_assert_eq!(population.len(), columns.num_users());
+        prop_assert_eq!(trace.requests().len(), columns.num_events());
+
+        for u in 0..population.len() as u32 {
+            let times: Vec<u64> = trace.user_requests(UserId(u)).map(|r| r.t_ms).collect();
+            let col_times: Vec<u64> =
+                columns.user_times(u).iter().map(|&t| t as u64).collect();
+            prop_assert_eq!(&times, &col_times, "user {} times diverged", u);
+            let hosts: Vec<&str> = trace
+                .user_requests(UserId(u))
+                .map(|r| world.hostname(r.host))
+                .collect();
+            let col_hosts: Vec<&str> = columns
+                .user_hosts(u)
+                .iter()
+                .map(|&h| columns.host_name(h))
+                .collect();
+            prop_assert_eq!(hosts, col_hosts, "user {} hosts diverged", u);
+
+            // A window anchored at every event time must agree too —
+            // this pins the half-open/epoch boundary semantics.
+            let mut out = Vec::new();
+            for &t in times.iter().take(8) {
+                let legacy: Vec<&str> = trace
+                    .window(UserId(u), t, window_ms)
+                    .into_iter()
+                    .map(|h| world.hostname(h))
+                    .collect();
+                out.clear();
+                columns.window_hosts(u, t, window_ms, &mut out);
+                let columnar: Vec<&str> =
+                    out.iter().map(|&h| columns.host_name(h)).collect();
+                prop_assert_eq!(legacy, columnar, "user {} window at {} diverged", u, t);
+            }
+        }
+    }
+}

@@ -148,6 +148,21 @@ pub mod de {
     impl<T: crate::Deserialize> DeserializeOwned for T {}
 }
 
+/// A value tree serializes to itself, so generic JSON records (e.g. the
+/// bench harness's generation-stamped results) can pass through the same
+/// `to_string_pretty` / `from_str` entry points as derived structs.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Fetch a required struct field from a map (generated-code helper).
 pub fn map_get<'a>(
     map: &'a [(String, Value)],

@@ -4,8 +4,10 @@
 //! workspace uses. Numbers are written with Rust's shortest-roundtrip
 //! float formatting, so `f32`/`f64` survive a save/load cycle bit-for-bit.
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
 use std::fmt;
+
+pub use serde::Value;
 
 /// JSON serialization/deserialization error.
 #[derive(Debug, Clone)]
@@ -45,6 +47,11 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Convert any serializable value into the generic [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
 }
 
 /// Deserialize a value from a JSON string.

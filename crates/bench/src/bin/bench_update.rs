@@ -1,0 +1,398 @@
+//! Online-update benchmark (DESIGN.md §14): what the incremental path
+//! buys over the paper's full daily retrain, and what a hot swap costs
+//! the serving side.
+//!
+//! Three measurements over a multi-day schedule of growing corpora:
+//!
+//! * **Incremental vs from-scratch** — per round, `SkipGram::update` on
+//!   the fresh batch vs a from-scratch `SkipGram::train` on everything
+//!   seen so far: tokens/second of each and the wall-clock speedup.
+//! * **Version publish latency** — building the serving bundle
+//!   (`ModelVersion::build`: labeled tables + unit-norm kNN copy) and
+//!   publishing it through [`VersionedModel::publish`], per round.
+//! * **Reader-visible stall** — a reader thread spins on
+//!   `VersionedModel::load` while every version is published; the
+//!   longest single load is the worst pause a serve tick could ever see.
+//!   The contract is wait-free reads: the maximum must stay microscopic
+//!   (no lock, one `Acquire` load), and is asserted `< 1 ms` here.
+//!
+//! Writes `results/bench_update.json` (override with `--out`).
+//!
+//! ```text
+//! bench_update [--rounds N] [--base-sessions N] [--batch-sessions N]
+//!              [--scale tiny|small|default|large] [--seed N] [--out PATH]
+//!              [--smoke]
+//! ```
+
+use hostprof_bench::{header, row, write_results_stamped, write_stamped_at, Scale};
+use hostprof_core::{ModelVersion, ProfilerConfig, VersionedModel};
+use hostprof_embed::{EmbeddingSet, SkipGram, SkipGramConfig};
+use hostprof_ontology::{CategoryId, CategoryVector, Ontology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct UpdateRound {
+    round: usize,
+    batch_sessions: usize,
+    appended_tokens: usize,
+    table_rebuilt: bool,
+    update_seconds: f64,
+    update_tokens_per_sec: f64,
+    from_scratch_seconds: f64,
+    from_scratch_tokens_per_sec: f64,
+    /// Wall-clock advantage of updating over retraining at this round.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PublishLatency {
+    p50_ms: f64,
+    p95_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ReaderStall {
+    loads: u64,
+    max_load_us: f64,
+    mean_load_us: f64,
+}
+
+#[derive(Serialize)]
+struct UpdateBenchResults {
+    scale: String,
+    rounds: usize,
+    base_sessions: usize,
+    dim: usize,
+    base_vocab: usize,
+    final_vocab: usize,
+    appended_tokens_total: usize,
+    per_round: Vec<UpdateRound>,
+    /// Mean over rounds; the per-round table has the distribution.
+    mean_incremental_speedup: f64,
+    publish_latency_ms: PublishLatency,
+    reader_stall: ReaderStall,
+}
+
+struct Args {
+    rounds: usize,
+    base_sessions: usize,
+    batch_sessions: usize,
+    scale: Scale,
+    seed: u64,
+    out: Option<String>,
+}
+
+const USAGE: &str = "usage: bench_update [--rounds N] [--base-sessions N] \
+[--batch-sessions N] [--scale tiny|small|default|large] [--seed N] [--out PATH] [--smoke]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rounds: 5,
+        base_sessions: 4_000,
+        batch_sessions: 600,
+        scale: Scale::from_env(),
+        seed: 0x00bd_a7e5,
+        out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rounds" => {
+                args.rounds = value(&mut i, "--rounds")?
+                    .parse()
+                    .map_err(bad("--rounds"))?
+            }
+            "--base-sessions" => {
+                args.base_sessions = value(&mut i, "--base-sessions")?
+                    .parse()
+                    .map_err(bad("--base-sessions"))?
+            }
+            "--batch-sessions" => {
+                args.batch_sessions = value(&mut i, "--batch-sessions")?
+                    .parse()
+                    .map_err(bad("--batch-sessions"))?
+            }
+            "--seed" => args.seed = value(&mut i, "--seed")?.parse().map_err(bad("--seed"))?,
+            "--scale" => {
+                args.scale = match value(&mut i, "--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "default" | "full" => Scale::Default,
+                    "large" => Scale::Large,
+                    other => return Err(format!("unknown scale {other:?}\n{USAGE}")),
+                }
+            }
+            "--out" => args.out = Some(value(&mut i, "--out")?),
+            "--smoke" => {
+                args.scale = Scale::Tiny;
+                args.rounds = 3;
+                args.base_sessions = 400;
+                args.batch_sessions = 120;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if args.rounds == 0 || args.base_sessions == 0 || args.batch_sessions == 0 {
+        return Err(format!(
+            "--rounds/--base-sessions/--batch-sessions must be positive\n{USAGE}"
+        ));
+    }
+    Ok(args)
+}
+
+fn bad<E: std::fmt::Display>(flag: &'static str) -> impl Fn(E) -> String {
+    move |e| format!("{flag}: {e}\n{USAGE}")
+}
+
+/// Day `day`'s sessions: topical, with the topic universe widening every
+/// day so each round appends genuinely new hostnames (the growth path),
+/// while earlier topics keep recurring (the count-bump path).
+fn day_corpus(day: usize, sessions: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (day as u64) << 32);
+    let topics = 20 + 4 * day;
+    (0..sessions)
+        .map(|_| {
+            let topic = rng.gen_range(0..topics);
+            let len = rng.gen_range(5..20);
+            (0..len)
+                .map(|_| format!("t{topic}-host{}.com", rng.gen_range(0..50)))
+                .collect()
+        })
+        .collect()
+}
+
+/// A small synthetic ontology over the day-0 topic universe, so the
+/// version bundle build exercises the labeled-table path.
+fn ontology() -> Ontology {
+    let mut ont = Ontology::new();
+    for topic in 0..20u16 {
+        for host in 0..10 {
+            ont.insert(
+                &format!("t{topic}-host{host}.com"),
+                CategoryVector::from_pairs(vec![(CategoryId(topic % 12), 1.0)]),
+            );
+        }
+    }
+    ont
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_update: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let train_cfg = SkipGramConfig {
+        dim: 32,
+        epochs: 3,
+        min_count: 1,
+        seed: args.seed,
+        ..SkipGramConfig::default()
+    };
+
+    header("online update benchmark");
+    row("scale", args.scale.label());
+    row("rounds", args.rounds);
+    row("base sessions", args.base_sessions);
+    row("batch sessions / round", args.batch_sessions);
+    row("dim", train_cfg.dim);
+
+    // Day 0: the base model both paths start from.
+    let base = day_corpus(0, args.base_sessions, args.seed);
+    let mut model = SkipGram::train(&base, &train_cfg).expect("base corpus trains");
+    let base_vocab = model.vocab().len();
+    row("base vocabulary", base_vocab);
+
+    let mut all_sessions = base;
+    let mut per_round = Vec::new();
+    let mut snapshots: Vec<EmbeddingSet> = vec![model.embeddings()];
+    let mut appended_total = 0usize;
+    for round in 1..=args.rounds {
+        let batch = day_corpus(round, args.batch_sessions, args.seed);
+
+        let t = Instant::now();
+        let report = model.update(&batch);
+        let update_seconds = t.elapsed().as_secs_f64();
+        snapshots.push(model.embeddings());
+        appended_total += report.appended_tokens;
+
+        all_sessions.extend(batch.iter().cloned());
+        let t = Instant::now();
+        let scratch = SkipGram::train(&all_sessions, &train_cfg).expect("retrain");
+        let from_scratch_seconds = t.elapsed().as_secs_f64();
+
+        let r = UpdateRound {
+            round,
+            batch_sessions: batch.len(),
+            appended_tokens: report.appended_tokens,
+            table_rebuilt: report.table_rebuilt,
+            update_seconds,
+            update_tokens_per_sec: report.stats.tokens_per_sec(),
+            from_scratch_seconds,
+            from_scratch_tokens_per_sec: scratch.train_stats().tokens_per_sec(),
+            speedup: from_scratch_seconds / update_seconds.max(1e-9),
+        };
+        row(
+            &format!("round {round}"),
+            format!(
+                "+{} tokens, update {:.3}s vs retrain {:.3}s ({:.1}x)",
+                r.appended_tokens, r.update_seconds, r.from_scratch_seconds, r.speedup
+            ),
+        );
+        per_round.push(r);
+    }
+    let final_vocab = model.vocab().len();
+    row("final vocabulary", final_vocab);
+
+    // Publish every round's version while a reader thread spins on
+    // `load`, timing each call: the longest load is the worst tick-side
+    // pause a swap can cause.
+    let ont = Arc::new(ontology());
+    let mut versions = snapshots
+        .into_iter()
+        .enumerate()
+        .map(|(i, emb)| (i as u64 + 1, emb));
+    let (first_seq, first_emb) = versions.next().expect("base snapshot");
+    let t = Instant::now();
+    let versioned = VersionedModel::new(ModelVersion::build(
+        first_seq,
+        first_emb,
+        Arc::clone(&ont),
+        ProfilerConfig::default(),
+    ));
+    let mut publish_ms = vec![t.elapsed().as_secs_f64() * 1000.0];
+    let stop = AtomicBool::new(false);
+    let ready = AtomicBool::new(false);
+    // Floor on reader samples so a fast publish schedule (smoke) still
+    // produces a measurement instead of an empty distribution.
+    const MIN_LOADS: u64 = 100_000;
+    let (reader_loads, reader_max_us, reader_sum_us) = std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut loads = 0u64;
+            let mut max_us = 0f64;
+            let mut sum_us = 0f64;
+            ready.store(true, Ordering::Release);
+            while !stop.load(Ordering::Acquire) || loads < MIN_LOADS {
+                let t = Instant::now();
+                let version = versioned.load();
+                let us = t.elapsed().as_secs_f64() * 1e6;
+                assert!(version.seq() >= 1);
+                loads += 1;
+                max_us = max_us.max(us);
+                sum_us += us;
+            }
+            (loads, max_us, sum_us)
+        });
+        // Don't publish into an empty room: every swap below lands while
+        // the reader is actively loading, so the stall numbers cover the
+        // racy window and not just a quiesced pointer.
+        while !ready.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        for (seq, emb) in versions {
+            let t = Instant::now();
+            versioned.publish(ModelVersion::build(
+                seq,
+                emb,
+                Arc::clone(&ont),
+                ProfilerConfig::default(),
+            ));
+            publish_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+        }
+        stop.store(true, Ordering::Release);
+        reader.join().expect("reader panicked")
+    });
+    publish_ms.sort_by(|a, b| a.total_cmp(b));
+    let publish = PublishLatency {
+        p50_ms: percentile(&publish_ms, 0.50),
+        p95_ms: percentile(&publish_ms, 0.95),
+        max_ms: publish_ms.last().copied().unwrap_or(0.0),
+    };
+    let reader_stall = ReaderStall {
+        loads: reader_loads,
+        max_load_us: reader_max_us,
+        mean_load_us: reader_sum_us / reader_loads.max(1) as f64,
+    };
+    row(
+        "publish latency",
+        format!(
+            "p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms",
+            publish.p50_ms, publish.p95_ms, publish.max_ms
+        ),
+    );
+    row(
+        "reader stall",
+        format!(
+            "{} loads, max {:.2} us, mean {:.3} us",
+            reader_stall.loads, reader_stall.max_load_us, reader_stall.mean_load_us
+        ),
+    );
+    // The wait-free contract: a reader load is one atomic read, so even
+    // with every version publishing at full tilt no load may take a
+    // millisecond. A mutex on the read path would trip this instantly.
+    assert!(
+        reader_stall.max_load_us < 1_000.0,
+        "reader-visible stall {} us — the read path is not wait-free",
+        reader_stall.max_load_us
+    );
+
+    let mean_speedup =
+        per_round.iter().map(|r| r.speedup).sum::<f64>() / per_round.len().max(1) as f64;
+    let results = UpdateBenchResults {
+        scale: args.scale.label().to_string(),
+        rounds: args.rounds,
+        base_sessions: args.base_sessions,
+        dim: train_cfg.dim,
+        base_vocab,
+        final_vocab,
+        appended_tokens_total: appended_total,
+        per_round,
+        mean_incremental_speedup: mean_speedup,
+        publish_latency_ms: publish,
+        reader_stall,
+    };
+    let headline = format!(
+        "vocab {base_vocab} → {final_vocab}, {mean_speedup:.1}x vs retrain, \
+         reader max pause {:.1} us",
+        results.reader_stall.max_load_us
+    );
+    match &args.out {
+        Some(path) => {
+            write_stamped_at(std::path::Path::new(path), &results, &headline).unwrap_or_else(|e| {
+                eprintln!("bench_update: could not write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("\n[results written to {path}]");
+        }
+        None => write_results_stamped("bench_update", &results, &headline),
+    }
+}

@@ -194,6 +194,7 @@ fn main() {
             duration_s: args.duration_s,
             lanes: args.lanes,
             threads: args.threads,
+            update_every: None,
         },
     )
     .unwrap_or_else(|e| {

@@ -41,6 +41,7 @@ pub mod pipeline;
 pub mod profiler;
 pub mod serve;
 pub mod session;
+pub mod versioned;
 
 pub use accumulator::ProfileAccumulator;
 pub use batch::BatchProfiler;
@@ -48,7 +49,9 @@ pub use columnar::SessionSource;
 pub use cores::{core_items, counts_outside_core};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use profiler::{
-    profile_accuracy, Aggregation, ProfileScratch, Profiler, ProfilerConfig, SessionProfile,
+    profile_accuracy, Aggregation, PreparedProfiler, ProfileScratch, Profiler, ProfilerConfig,
+    SessionProfile,
 };
 pub use serve::{IncrementalWindower, ServeConfig, ServeEngine, ServeStats, TickReport};
 pub use session::Session;
+pub use versioned::{ModelVersion, VersionedModel};

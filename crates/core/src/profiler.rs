@@ -171,14 +171,21 @@ impl Default for ProfileScratch {
     }
 }
 
-/// Profiles sessions against one day's embedding model.
-pub struct Profiler<'a> {
-    embeddings: &'a EmbeddingSet,
-    ontology: &'a Ontology,
+/// The vocabulary-dependent precomputed state of a profiler, detached
+/// from the embeddings it was built against: the sorted labeled-host
+/// index, the dense slot table, the Eq. 4 accumulator bound, and the
+/// built kNN index. Owning this separately is what lets a versioned
+/// model (DESIGN.md §14) publish `{embeddings, prepared}` as one
+/// atomic bundle and bind a borrowing [`Profiler`] per serve tick for
+/// the cost of three pointer copies — no per-tick rebuild, no
+/// self-referential struct.
+pub struct PreparedProfiler {
     config: ProfilerConfig,
     /// `(vocab index, categories)` for every labeled in-vocabulary host,
-    /// sorted by index (replaces a per-profiler `HashMap`).
-    labeled_by_idx: Vec<(u32, &'a CategoryVector)>,
+    /// sorted by index (replaces a per-profiler `HashMap`). Category
+    /// vectors are cloned out of the ontology so the prepared state
+    /// borrows nothing.
+    labeled_by_idx: Vec<(u32, CategoryVector)>,
     /// Dense vocab-indexed table: `labeled_slot[idx]` is the position of
     /// `idx` in `labeled_by_idx`, or `u32::MAX`. Turns the per-neighbor
     /// lookup on the kNN result stream into one bounds-checked load.
@@ -187,23 +194,21 @@ pub struct Profiler<'a> {
     /// sizes the dense Eq. 4 accumulator.
     category_bound: usize,
     /// The kNN index answering `H_s` retrievals, built per
-    /// `config.index` over this profiler's embeddings.
+    /// `config.index` over the embeddings this state was prepared from.
     index: Box<dyn NnIndex>,
 }
 
-impl<'a> Profiler<'a> {
-    /// Bind embeddings + ontology. Precomputes the labeled-host index once
-    /// so per-session profiling stays cheap.
-    pub fn new(
-        embeddings: &'a EmbeddingSet,
-        ontology: &'a Ontology,
-        config: ProfilerConfig,
-    ) -> Self {
+impl PreparedProfiler {
+    /// Precompute the labeled-host tables and build the kNN index for
+    /// `embeddings`. The resulting state is only meaningful when bound
+    /// back to the same embeddings (and an ontology carrying the same
+    /// labels) via [`Self::bind`].
+    pub fn build(embeddings: &EmbeddingSet, ontology: &Ontology, config: ProfilerConfig) -> Self {
         let mut labeled_by_idx = Vec::new();
         let mut category_bound = 0usize;
         for (host, cats) in ontology.iter() {
             if let Some(idx) = embeddings.vocab().get(host) {
-                labeled_by_idx.push((idx, cats));
+                labeled_by_idx.push((idx, cats.clone()));
             }
             for (c, _) in cats.iter() {
                 category_bound = category_bound.max(c.index() + 1);
@@ -217,13 +222,65 @@ impl<'a> Profiler<'a> {
         }
         let index = config.index.build(embeddings);
         Self {
-            embeddings,
-            ontology,
             config,
             labeled_by_idx,
             labeled_slot,
             category_bound,
             index,
+        }
+    }
+
+    /// Re-attach prepared state to the embeddings/ontology it was built
+    /// from. Cheap (no allocation, no index rebuild): this is the serve
+    /// tick's per-version entry point.
+    pub fn bind<'a>(
+        &'a self,
+        embeddings: &'a EmbeddingSet,
+        ontology: &'a Ontology,
+    ) -> Profiler<'a> {
+        Profiler {
+            embeddings,
+            ontology,
+            prepared: PreparedRef::Shared(self),
+        }
+    }
+}
+
+/// Prepared state a [`Profiler`] runs against: its own, or a shared
+/// borrow of a versioned bundle's.
+enum PreparedRef<'a> {
+    Owned(PreparedProfiler),
+    Shared(&'a PreparedProfiler),
+}
+
+/// Profiles sessions against one day's embedding model.
+pub struct Profiler<'a> {
+    embeddings: &'a EmbeddingSet,
+    ontology: &'a Ontology,
+    prepared: PreparedRef<'a>,
+}
+
+impl<'a> Profiler<'a> {
+    /// Bind embeddings + ontology. Precomputes the labeled-host index once
+    /// so per-session profiling stays cheap.
+    pub fn new(
+        embeddings: &'a EmbeddingSet,
+        ontology: &'a Ontology,
+        config: ProfilerConfig,
+    ) -> Self {
+        Self {
+            embeddings,
+            ontology,
+            prepared: PreparedRef::Owned(PreparedProfiler::build(embeddings, ontology, config)),
+        }
+    }
+
+    /// The prepared state this profiler runs against.
+    #[inline]
+    fn prepared(&self) -> &PreparedProfiler {
+        match &self.prepared {
+            PreparedRef::Owned(p) => p,
+            PreparedRef::Shared(p) => p,
         }
     }
 
@@ -234,24 +291,25 @@ impl<'a> Profiler<'a> {
 
     /// The configuration this profiler runs with.
     pub fn config(&self) -> &ProfilerConfig {
-        &self.config
+        &self.prepared().config
     }
 
     /// The nearest-neighbor index answering this profiler's retrievals.
     pub fn index(&self) -> &dyn NnIndex {
-        self.index.as_ref()
+        self.prepared().index.as_ref()
     }
 
     /// Number of labeled hosts that are also in vocabulary.
     pub fn labeled_in_vocabulary(&self) -> usize {
-        self.labeled_by_idx.len()
+        self.prepared().labeled_by_idx.len()
     }
 
     /// Category vector of the labeled host at vocab index `idx`, if any.
     #[inline]
-    fn labeled_for(&self, idx: u32) -> Option<&'a CategoryVector> {
-        let slot = *self.labeled_slot.get(idx as usize)?;
-        (slot != u32::MAX).then(|| self.labeled_by_idx[slot as usize].1)
+    fn labeled_for(&self, idx: u32) -> Option<&CategoryVector> {
+        let prepared = self.prepared();
+        let slot = *prepared.labeled_slot.get(idx as usize)?;
+        (slot != u32::MAX).then(|| &prepared.labeled_by_idx[slot as usize].1)
     }
 
     /// Profile a session. Returns `None` only when the session is empty or
@@ -275,12 +333,13 @@ impl<'a> Profiler<'a> {
         }
         let labeled_in_session = self.session_labels(session);
         let session_vector = self.aggregate(session);
+        let prepared = self.prepared();
         let neighbors = match &session_vector {
             // H_s: the N nearest hostnames to the session vector.
             Some(sv) => self.embeddings.nearest_to_vector_with_index(
                 sv,
-                self.config.n_neighbors,
-                self.index.as_ref(),
+                prepared.config.n_neighbors,
+                prepared.index.as_ref(),
                 &mut scratch.knn,
             ),
             None => Vec::new(),
@@ -320,7 +379,7 @@ impl<'a> Profiler<'a> {
             .extend(labeled_in_session.iter().filter_map(|(idx, _)| *idx));
         scratch.in_session.sort_unstable();
 
-        scratch.begin(self.category_bound);
+        scratch.begin(self.prepared().category_bound);
         let mut alpha_sum = 0f32;
         let mut labeled_neighbors = 0usize;
         let mut contributions = 0usize;
@@ -370,7 +429,7 @@ impl<'a> Profiler<'a> {
             let Some(idx) = self.embeddings.vocab().get(h) else {
                 continue;
             };
-            let w = match self.config.aggregation {
+            let w = match self.prepared().config.aggregation {
                 Aggregation::Mean => 1.0,
                 Aggregation::Recency { half_life } => {
                     // Sessions are in first-visit order: the last entry is
@@ -408,7 +467,7 @@ impl<'a> Profiler<'a> {
             return None;
         }
         let mut scratch = ProfileScratch::new();
-        scratch.begin(self.category_bound);
+        scratch.begin(self.prepared().category_bound);
         for cats in &labeled {
             scratch.add(cats, 1.0);
         }

@@ -43,6 +43,7 @@
 use crate::batch::BatchProfiler;
 use crate::profiler::SessionProfile;
 use crate::session::Session;
+use crate::versioned::VersionedModel;
 use hostprof_net::{FlowStats, ObserverConfig, ObserverStats, Packet, SniObserver};
 use hostprof_ontology::Blocklist;
 use hostprof_store::HostInterner;
@@ -66,6 +67,11 @@ pub struct ServeConfig {
     pub observer: ObserverConfig,
     /// Whether lane observers harvest plaintext DNS names too.
     pub harvest_dns: bool,
+    /// Keep a copy of every closed window (pre-dedup, in tick order) so
+    /// the online trainer can harvest them as an update corpus via
+    /// [`ServeEngine::take_closed_windows`]. Off by default — serving
+    /// alone should not accumulate unbounded window history.
+    pub collect_windows: bool,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +83,7 @@ impl Default for ServeConfig {
             lateness_ms: 2000,
             observer: ObserverConfig::default(),
             harvest_dns: false,
+            collect_windows: false,
         }
     }
 }
@@ -322,6 +329,12 @@ pub struct TickReport {
     pub entries: Vec<TickEntry>,
     /// Wall-clock time spent closing windows and profiling this tick.
     pub compute_micros: u64,
+    /// Sequence number of the model version this tick profiled against:
+    /// the versioned handle's current `seq` at fire time, or 0 when the
+    /// engine runs against a fixed (unversioned) profiler. A hot swap
+    /// landing mid-stream shows up as this number changing between
+    /// consecutive ticks — never within one.
+    pub model_seq: u64,
 }
 
 /// Aggregate serving-loop counters.
@@ -339,6 +352,19 @@ pub struct ServeStats {
     pub profiles_emitted: u64,
 }
 
+/// What a tick profiles against: a fixed profiler bound at engine
+/// construction (the original serving shape), or a [`VersionedModel`]
+/// handle re-read at every tick so hot swaps published between ticks
+/// take effect without the engine noticing (DESIGN.md §14).
+enum TickSource<'a> {
+    Fixed(BatchProfiler<'a>),
+    Versioned {
+        model: &'a VersionedModel,
+        /// Worker threads for the per-tick batch profile call.
+        threads: usize,
+    },
+}
+
 /// The serving loop: lanes of [`SniObserver`]s feeding an
 /// [`IncrementalWindower`], with a watermark-driven tick scheduler
 /// profiling through a [`BatchProfiler`].
@@ -346,13 +372,16 @@ pub struct ServeEngine<'a> {
     config: ServeConfig,
     lanes: Vec<SniObserver>,
     windower: IncrementalWindower,
-    profiler: BatchProfiler<'a>,
+    source: TickSource<'a>,
     blocklist: Option<&'a Blocklist>,
     /// Next tick boundary to fire.
     next_tick: u64,
     /// Maximum packet/event timestamp seen; the watermark trails it.
     max_t: u64,
     stats: ServeStats,
+    /// Closed windows retained for the online trainer
+    /// (`config.collect_windows`), in tick order then user order.
+    closed_windows: Vec<WindowClose>,
 }
 
 /// splitmix64 — the repo's standard cheap seeded mix, used here to shard
@@ -373,6 +402,28 @@ impl<'a> ServeEngine<'a> {
         profiler: BatchProfiler<'a>,
         blocklist: Option<&'a Blocklist>,
     ) -> Self {
+        Self::with_source(config, TickSource::Fixed(profiler), blocklist)
+    }
+
+    /// Build an engine over a hot-swappable [`VersionedModel`]: each tick
+    /// takes the handle's current version with one atomic load and
+    /// profiles the whole tick against it, so a publish landing mid-tick
+    /// takes effect at the next tick and no tick ever mixes versions.
+    /// `threads` sizes the per-tick batch profile call.
+    pub fn with_versioned(
+        config: ServeConfig,
+        model: &'a VersionedModel,
+        threads: usize,
+        blocklist: Option<&'a Blocklist>,
+    ) -> Self {
+        Self::with_source(config, TickSource::Versioned { model, threads }, blocklist)
+    }
+
+    fn with_source(
+        config: ServeConfig,
+        source: TickSource<'a>,
+        blocklist: Option<&'a Blocklist>,
+    ) -> Self {
         let lanes = (0..config.lanes.max(1))
             .map(|_| {
                 let o = SniObserver::with_config(config.observer);
@@ -388,10 +439,11 @@ impl<'a> ServeEngine<'a> {
             windower: IncrementalWindower::new(config.session_window_ms),
             lanes,
             config,
-            profiler,
+            source,
             blocklist,
             max_t: 0,
             stats: ServeStats::default(),
+            closed_windows: Vec::new(),
         }
     }
 
@@ -471,12 +523,25 @@ impl<'a> ServeEngine<'a> {
         if closes.is_empty() {
             return None;
         }
+        if self.config.collect_windows {
+            self.closed_windows.extend(closes.iter().cloned());
+        }
         let sessions: Vec<Session> = closes
             .iter()
             .map(|c| Session::from_window(c.window.iter().map(String::as_str), self.blocklist))
             .collect();
         self.stats.sessions_profiled += sessions.len() as u64;
-        let profiles = self.profiler.profile_sessions(&sessions);
+        let (profiles, model_seq) = match &self.source {
+            TickSource::Fixed(batch) => (batch.profile_sessions(&sessions), 0),
+            TickSource::Versioned { model, threads } => {
+                // One atomic load pins the version for the whole tick: the
+                // weights, the labeled tables, and the kNN index all come
+                // from the same bundle, however many publishes race past.
+                let version = model.load();
+                let batch = BatchProfiler::new(version.profiler(), *threads);
+                (batch.profile_sessions(&sessions), version.seq())
+            }
+        };
         let entries: Vec<TickEntry> = closes
             .into_iter()
             .zip(profiles)
@@ -495,6 +560,7 @@ impl<'a> ServeEngine<'a> {
             boundary,
             entries,
             compute_micros: started.elapsed().as_micros() as u64,
+            model_seq,
         })
     }
 
@@ -512,6 +578,16 @@ impl<'a> ServeEngine<'a> {
     /// Serving-loop counters.
     pub fn stats(&self) -> ServeStats {
         self.stats
+    }
+
+    /// Drain the windows collected since the last call (requires
+    /// `config.collect_windows`; always empty otherwise). Order is
+    /// deterministic — tick order, then ascending user key within a tick —
+    /// and independent of the lane count, because window content is lane-
+    /// invariant (the streaming-equivalence contract above). This is the
+    /// online trainer's corpus feed.
+    pub fn take_closed_windows(&mut self) -> Vec<WindowClose> {
+        std::mem::take(&mut self.closed_windows)
     }
 
     /// The windower, for inspection (late drops, resident events).
@@ -909,6 +985,140 @@ mod tests {
             .map(|ip| engine.lane_of(1 + ip))
             .collect::<std::collections::HashSet<_>>();
         assert!(active.len() > 1);
+    }
+
+    #[test]
+    fn versioned_engine_switches_models_between_ticks() {
+        use crate::versioned::{ModelVersion, VersionedModel};
+        use std::sync::Arc;
+
+        let (embeddings, ontology) = tiny_model();
+        let ontology = Arc::new(ontology);
+        let model = VersionedModel::new(ModelVersion::build(
+            1,
+            embeddings.clone(),
+            Arc::clone(&ontology),
+            ProfilerConfig::default(),
+        ));
+        let mut engine = ServeEngine::with_versioned(ServeConfig::default(), &model, 1, None);
+        engine.ingest_packet(&tls_packet(1_000, 1, 5000, "h1.example"));
+        let first = engine.ingest_packet(&tls_packet(MIN10 + 3_000, 1, 5001, "h2.example"));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].model_seq, 1, "first tick serves version 1");
+
+        // Hot swap between ticks: the next tick must profile against v2.
+        model.publish(ModelVersion::build(
+            2,
+            embeddings.clone(),
+            Arc::clone(&ontology),
+            ProfilerConfig::default(),
+        ));
+        engine.ingest_packet(&tls_packet(2 * MIN10 + 100, 1, 5002, "h3.example"));
+        let rest = engine.flush();
+        assert!(!rest.is_empty());
+        assert!(rest.iter().all(|t| t.model_seq == 2));
+        assert!(rest
+            .iter()
+            .all(|t| t.entries.iter().any(|e| e.profile.is_some())));
+    }
+
+    #[test]
+    fn versioned_engine_with_identical_model_matches_the_fixed_engine() {
+        use crate::versioned::{ModelVersion, VersionedModel};
+        use std::sync::Arc;
+
+        let (embeddings, ontology) = tiny_model();
+        let packets: Vec<Packet> = (0..120u64)
+            .map(|i| {
+                tls_packet(
+                    i * 9_007,
+                    1 + (i % 3) as u32,
+                    (4000 + i) as u16,
+                    &format!("h{}.example", i % 8),
+                )
+            })
+            .collect();
+        let fp = |ticks: &[TickReport]| {
+            ticks
+                .iter()
+                .flat_map(|t| {
+                    t.entries.iter().map(move |e| {
+                        let bits: Vec<u32> = e
+                            .profile
+                            .as_ref()
+                            .map(|p| p.session_vector.iter().map(|v| v.to_bits()).collect())
+                            .unwrap_or_default();
+                        (t.boundary, e.user, e.anchor, bits)
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let fixed = {
+            let profiler = Profiler::new(&embeddings, &ontology, ProfilerConfig::default());
+            let mut engine = ServeEngine::new(
+                ServeConfig::default(),
+                BatchProfiler::new(profiler, 1),
+                None,
+            );
+            let mut ticks = Vec::new();
+            for p in &packets {
+                ticks.extend(engine.ingest_packet(p));
+            }
+            ticks.extend(engine.flush());
+            assert!(ticks.iter().all(|t| t.model_seq == 0));
+            fp(&ticks)
+        };
+        let versioned = {
+            let ont = Arc::new(ontology.clone());
+            let model = VersionedModel::new(ModelVersion::build(
+                7,
+                embeddings.clone(),
+                ont,
+                ProfilerConfig::default(),
+            ));
+            let mut engine = ServeEngine::with_versioned(ServeConfig::default(), &model, 1, None);
+            let mut ticks = Vec::new();
+            for p in &packets {
+                ticks.extend(engine.ingest_packet(p));
+            }
+            ticks.extend(engine.flush());
+            assert!(ticks.iter().all(|t| t.model_seq == 7));
+            fp(&ticks)
+        };
+        assert!(!fixed.is_empty());
+        assert_eq!(fixed, versioned, "same weights, same profiles, bit for bit");
+    }
+
+    #[test]
+    fn collect_windows_harvests_the_update_corpus_in_tick_order() {
+        let (embeddings, ontology) = tiny_model();
+        let profiler = Profiler::new(&embeddings, &ontology, ProfilerConfig::default());
+        let mut engine = ServeEngine::new(
+            ServeConfig {
+                collect_windows: true,
+                ..ServeConfig::default()
+            },
+            BatchProfiler::new(profiler, 1),
+            None,
+        );
+        engine.ingest_packet(&tls_packet(100, 2, 5000, "h0.example"));
+        engine.ingest_packet(&tls_packet(200, 1, 5001, "h1.example"));
+        engine.ingest_packet(&tls_packet(MIN10 + 500, 1, 5002, "h2.example"));
+        engine.flush();
+        let windows = engine.take_closed_windows();
+        // Tick 1 reports users 1 and 2 (ascending), tick 2 reports user 1.
+        assert_eq!(windows.len(), 3);
+        assert_eq!((windows[0].user, windows[0].anchor), (1, 200));
+        assert_eq!((windows[1].user, windows[1].anchor), (2, 100));
+        assert_eq!(windows[2].user, 1);
+        assert_eq!(
+            windows[2].window,
+            vec!["h1.example".to_string(), "h2.example".to_string()],
+            "raw window keeps the pre-boundary event inside T"
+        );
+        // Drained: a second take is empty.
+        assert!(engine.take_closed_windows().is_empty());
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Versioned, hot-swappable serving models (DESIGN.md §14).
+//!
+//! The always-on engine retrains incrementally between serve ticks, but a
+//! tick must never block on — or observe half of — a model update. The
+//! contract here is the classic epoch-pointer (arc-swap) shape:
+//!
+//! * a **version** is an immutable bundle `{seq, embeddings, ontology,
+//!   prepared profiler state}` built off the serving thread. The unit-norm
+//!   kNN copy and any IVF structure live inside
+//!   [`PreparedProfiler`](crate::profiler::PreparedProfiler), so they are
+//!   published in the *same* atomic store as the weights — a reader can
+//!   never pair new weights with a stale index or vice versa;
+//! * readers take the current version with **one atomic load**
+//!   ([`VersionedModel::load`]) and profile against it for the whole tick.
+//!   No lock, no reference count traffic, no wait — a publish that lands
+//!   mid-tick simply takes effect on the next tick;
+//! * writers serialize among themselves on a small mutex guarding the
+//!   keep-alive history, then [`publish`](VersionedModel::publish) with a
+//!   release store. Old versions stay alive until
+//!   [`prune`](VersionedModel::prune), which requires `&mut self` — the
+//!   borrow checker itself proves no reader still holds a reference.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hostprof_embed::EmbeddingSet;
+use hostprof_ontology::Ontology;
+
+use crate::profiler::{PreparedProfiler, Profiler, ProfilerConfig};
+
+/// One immutable, publishable serving model: embeddings plus every
+/// derived structure a tick needs, built once and never mutated.
+pub struct ModelVersion {
+    seq: u64,
+    embeddings: EmbeddingSet,
+    ontology: Arc<Ontology>,
+    prepared: PreparedProfiler,
+}
+
+impl ModelVersion {
+    /// Build a version bundle: precomputes the labeled-host tables and the
+    /// kNN index for `embeddings`. This is the expensive step and is meant
+    /// to run off the serving thread; the subsequent
+    /// [`VersionedModel::publish`] is O(1).
+    pub fn build(
+        seq: u64,
+        embeddings: EmbeddingSet,
+        ontology: Arc<Ontology>,
+        config: ProfilerConfig,
+    ) -> Self {
+        let prepared = PreparedProfiler::build(&embeddings, &ontology, config);
+        Self {
+            seq,
+            embeddings,
+            ontology,
+            prepared,
+        }
+    }
+
+    /// Monotonic version number assigned by the builder.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The embeddings this version serves.
+    pub fn embeddings(&self) -> &EmbeddingSet {
+        &self.embeddings
+    }
+
+    /// The ontology this version was prepared against.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Bind a profiler over this version. Cheap — three pointer copies;
+    /// the tables and index were built in [`Self::build`].
+    pub fn profiler(&self) -> Profiler<'_> {
+        self.prepared.bind(&self.embeddings, &self.ontology)
+    }
+}
+
+/// The hot-swap handle: an atomic pointer to the current [`ModelVersion`]
+/// plus a keep-alive history so readers loaded from `&self` stay valid.
+///
+/// Readers call [`load`](Self::load) (wait-free). Writers call
+/// [`publish`](Self::publish) (`&self`, serialized only against other
+/// writers). Reclaiming superseded versions is [`prune`](Self::prune)
+/// (`&mut self`), typically from whoever owns the handle once the serving
+/// threads are quiesced or between ticks on a single-threaded driver.
+pub struct VersionedModel {
+    /// Pointer into the `Arc` currently serving. Arc contents have stable
+    /// addresses, and the Arc itself is retained in `history`, so the
+    /// pointee outlives every `&self`-derived reference.
+    current: AtomicPtr<ModelVersion>,
+    /// Every version published and not yet pruned, oldest first. The
+    /// current version is always the last entry.
+    history: Mutex<Vec<Arc<ModelVersion>>>,
+}
+
+impl VersionedModel {
+    /// Start serving `initial`.
+    pub fn new(initial: ModelVersion) -> Self {
+        let arc = Arc::new(initial);
+        let ptr = Arc::as_ptr(&arc) as *mut ModelVersion;
+        Self {
+            current: AtomicPtr::new(ptr),
+            history: Mutex::new(vec![arc]),
+        }
+    }
+
+    /// The current version — one acquire load, never blocks, never spins.
+    ///
+    /// The returned reference is tied to `&self`, which is what makes this
+    /// sound: the backing `Arc` can only be dropped by
+    /// [`prune`](Self::prune), and `prune` needs `&mut self`, which cannot
+    /// coexist with the returned borrow.
+    pub fn load(&self) -> &ModelVersion {
+        // SAFETY: `current` always points into an `Arc` held by `history`
+        // (set in `new`/`publish` before the store; removed only by
+        // `prune(&mut self)`, which the returned lifetime excludes), and
+        // `ModelVersion` is immutable after construction.
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    /// Sequence number of the currently served version.
+    pub fn current_seq(&self) -> u64 {
+        self.load().seq()
+    }
+
+    /// Atomically switch serving to `version`. Returns its `seq`.
+    ///
+    /// Takes `&self`: publishing happens concurrently with readers. The
+    /// internal mutex serializes writers only — a reader mid-`load` is
+    /// never delayed, it just resolves to whichever side of the store it
+    /// raced to.
+    pub fn publish(&self, version: ModelVersion) -> u64 {
+        let seq = version.seq();
+        let arc = Arc::new(version);
+        let ptr = Arc::as_ptr(&arc) as *mut ModelVersion;
+        let mut history = self.history.lock().expect("version history poisoned");
+        // Retain before the store so no window exists where `current`
+        // points at an un-kept version; holding the lock across the store
+        // keeps `history`'s last entry == current under writer races.
+        history.push(arc);
+        self.current.store(ptr, Ordering::Release);
+        seq
+    }
+
+    /// Number of versions currently kept alive (current included).
+    pub fn versions_retained(&self) -> usize {
+        self.history.lock().expect("version history poisoned").len()
+    }
+
+    /// Drop every superseded version, keeping only the current one.
+    /// Returns how many were reclaimed. Requires `&mut self`, which is the
+    /// proof that no outstanding [`load`](Self::load) borrow exists.
+    pub fn prune(&mut self) -> usize {
+        let current = self.current.load(Ordering::Acquire);
+        let history = self.history.get_mut().expect("version history poisoned");
+        let before = history.len();
+        history.retain(|v| std::ptr::eq(Arc::as_ptr(v), current));
+        before - history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use hostprof_embed::Vocab;
+    use hostprof_ontology::{CategoryId, CategoryVector};
+
+    fn embeddings(hosts: &[&str], dim: usize, salt: u64) -> EmbeddingSet {
+        let vocab = Vocab::build(vec![hosts.to_vec(); 3], 1, 0.0);
+        let mut vectors = Vec::with_capacity(vocab.len() * dim);
+        for i in 0..vocab.len() * dim {
+            // splitmix64, as elsewhere in the test-suite.
+            let mut z = (i as u64 + 1)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(salt);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            vectors.push((z >> 11) as f32 / (1u64 << 53) as f32 - 0.5);
+        }
+        EmbeddingSet::new(dim, vocab, vectors)
+    }
+
+    fn ontology(hosts: &[&str]) -> Arc<Ontology> {
+        let mut o = Ontology::new();
+        for (i, h) in hosts.iter().enumerate() {
+            o.insert(
+                h,
+                CategoryVector::from_pairs(vec![(CategoryId(i as u16 % 3), 1.0)]),
+            );
+        }
+        Arc::new(o)
+    }
+
+    const HOSTS: [&str; 6] = [
+        "news.example",
+        "mail.example",
+        "shop.example",
+        "game.example",
+        "video.example",
+        "docs.example",
+    ];
+
+    fn version(seq: u64, salt: u64) -> ModelVersion {
+        ModelVersion::build(
+            seq,
+            embeddings(&HOSTS, 4, salt),
+            ontology(&HOSTS[..3]),
+            ProfilerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn load_sees_the_latest_publish() {
+        let model = VersionedModel::new(version(1, 10));
+        assert_eq!(model.current_seq(), 1);
+        model.publish(version(2, 20));
+        assert_eq!(model.current_seq(), 2);
+        assert_eq!(model.versions_retained(), 2);
+    }
+
+    #[test]
+    fn prune_keeps_only_the_current_version() {
+        let mut model = VersionedModel::new(version(1, 10));
+        model.publish(version(2, 20));
+        model.publish(version(3, 30));
+        assert_eq!(model.versions_retained(), 3);
+        assert_eq!(model.prune(), 2);
+        assert_eq!(model.versions_retained(), 1);
+        assert_eq!(model.current_seq(), 3);
+        // Pruning again is a no-op.
+        assert_eq!(model.prune(), 0);
+    }
+
+    #[test]
+    fn bound_profiler_matches_a_fresh_profiler_bitwise() {
+        let set = embeddings(&HOSTS, 4, 77);
+        let ont = ontology(&HOSTS[..3]);
+        let v = ModelVersion::build(9, set.clone(), ont.clone(), ProfilerConfig::default());
+        let fresh = Profiler::new(&set, &ont, ProfilerConfig::default());
+        let session = Session::from_window(
+            ["news.example", "game.example", "video.example"],
+            None,
+        );
+        let a = v.profiler().profile(&session).expect("profile");
+        let b = fresh.profile(&session).expect("profile");
+        assert_eq!(
+            a.categories
+                .iter()
+                .map(|(c, w)| (c, w.to_bits()))
+                .collect::<Vec<_>>(),
+            b.categories
+                .iter()
+                .map(|(c, w)| (c, w.to_bits()))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.session_vector
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            b.session_vector
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_never_block_or_tear() {
+        // 4 reader threads hammer load() while the main thread publishes
+        // 50 versions. Every observed version must be internally
+        // consistent: seq N was built with salt 10*N, so the first vector
+        // component identifies the build — a torn read would pair a seq
+        // with the wrong weights.
+        let model = Arc::new(VersionedModel::new(version(1, 10)));
+        let expected_first =
+            |seq: u64| embeddings(&HOSTS, 4, 10 * seq).vector_by_index(0)[0].to_bits();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let model = Arc::clone(&model);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let v = model.load();
+                    let first = v.embeddings().vector_by_index(0)[0].to_bits();
+                    assert_eq!(first, expected_first(v.seq()), "torn version");
+                }
+                // The release-store on `stop` happens after the last
+                // publish, so this final load must see version 50.
+                model.load().seq()
+            }));
+        }
+        for seq in 2..=50 {
+            model.publish(version(seq, 10 * seq));
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            let last = r.join().expect("reader panicked");
+            assert_eq!(last, 50, "reader missed the final publish");
+        }
+        assert_eq!(model.current_seq(), 50);
+        assert_eq!(model.versions_retained(), 50);
+    }
+}

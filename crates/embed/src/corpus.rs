@@ -1,0 +1,184 @@
+//! The online trainer's corpus: a decayed reservoir of recent sessions.
+//!
+//! An always-on observer cannot retrain on its full history — the point
+//! of the incremental path (DESIGN.md §14) is to fold *recent* traffic
+//! into the live model between serve ticks. This buffer keeps a bounded,
+//! deterministic sample of the session stream with a tunable recency
+//! bias: at `bias = 1.0` it is classic Algorithm R (a uniform reservoir);
+//! below 1.0 the effective population shrinks, so later sessions replace
+//! earlier ones more aggressively and the sample tilts toward the recent
+//! past. All replacement decisions come from the same xorshift64* stream
+//! the trainer uses, seeded at construction, so a given push sequence
+//! always yields the same buffer contents — a requirement for the
+//! schedule-level golden replay.
+
+use crate::model::next_random;
+
+/// Bounded, seeded, recency-biased reservoir of training sessions.
+#[derive(Debug, Clone)]
+pub struct CorpusBuffer {
+    capacity: usize,
+    bias: f64,
+    rng: u64,
+    sessions: Vec<Vec<String>>,
+    pushed: u64,
+}
+
+impl CorpusBuffer {
+    /// Uniform-reservoir bias: every session ever pushed is equally
+    /// likely to be retained.
+    pub const UNIFORM: f64 = 1.0;
+
+    /// Create a buffer holding at most `capacity` sessions.
+    ///
+    /// `bias` in `(0, 1]` controls the recency tilt: the replacement
+    /// probability for a full buffer is `capacity / (capacity + overflow
+    /// × bias)` where `overflow` counts the pushes beyond capacity, so
+    /// smaller bias keeps that probability high for longer and favors
+    /// late arrivals.
+    ///
+    /// # Panics
+    /// Panics on `capacity == 0` or a bias outside `(0, 1]`.
+    pub fn new(capacity: usize, bias: f64, seed: u64) -> Self {
+        assert!(capacity > 0, "corpus buffer capacity must be positive");
+        assert!(
+            bias > 0.0 && bias <= 1.0,
+            "bias must be in (0, 1], got {bias}"
+        );
+        Self {
+            capacity,
+            bias,
+            rng: seed | 1,
+            sessions: Vec::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Offer one session to the reservoir.
+    pub fn push(&mut self, session: Vec<String>) {
+        self.pushed += 1;
+        if self.sessions.len() < self.capacity {
+            self.sessions.push(session);
+            return;
+        }
+        let overflow = (self.pushed - self.capacity as u64) as f64;
+        let p = self.capacity as f64 / (self.capacity as f64 + overflow * self.bias);
+        // Two draws, in a fixed order: accept, then slot. Drawing the
+        // slot unconditionally would also work but would burn stream
+        // state on rejected pushes; matching word2vec's habit we draw
+        // lazily, and the acceptance draw uses the high 32 bits.
+        let accept = (next_random(&mut self.rng) >> 32) as f64 / (1u64 << 32) as f64;
+        if accept < p {
+            let slot = (next_random(&mut self.rng) % self.capacity as u64) as usize;
+            self.sessions[slot] = session;
+        }
+    }
+
+    /// The retained sessions, in slot order (deterministic for a given
+    /// push sequence).
+    pub fn sessions(&self) -> &[Vec<String>] {
+        &self.sessions
+    }
+
+    /// How many sessions were ever offered.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Current number of retained sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(i: u64) -> Vec<String> {
+        vec![format!("h{i}.example"), format!("h{}.example", i + 1)]
+    }
+
+    #[test]
+    fn fills_to_capacity_in_order() {
+        let mut b = CorpusBuffer::new(4, CorpusBuffer::UNIFORM, 7);
+        for i in 0..4 {
+            b.push(session(i));
+        }
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.sessions()[2][0], "h2.example");
+        assert_eq!(b.pushed(), 4);
+    }
+
+    #[test]
+    fn same_seed_same_pushes_same_buffer() {
+        let mut a = CorpusBuffer::new(8, 0.5, 42);
+        let mut b = CorpusBuffer::new(8, 0.5, 42);
+        for i in 0..200 {
+            a.push(session(i));
+            b.push(session(i));
+        }
+        assert_eq!(a.sessions(), b.sessions());
+        let mut c = CorpusBuffer::new(8, 0.5, 1042);
+        for i in 0..200 {
+            c.push(session(i));
+        }
+        assert_ne!(
+            a.sessions(),
+            c.sessions(),
+            "different seed, different sample"
+        );
+    }
+
+    #[test]
+    fn stays_bounded_under_heavy_pushing() {
+        let mut b = CorpusBuffer::new(16, CorpusBuffer::UNIFORM, 1);
+        for i in 0..10_000 {
+            b.push(session(i));
+        }
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.pushed(), 10_000);
+    }
+
+    #[test]
+    fn stronger_bias_retains_more_recent_sessions() {
+        // Push 0..N through a uniform and a recency-biased reservoir;
+        // the biased one must end up with a higher mean session index.
+        let n = 5_000u64;
+        let mean_index = |bias: f64| -> f64 {
+            let mut b = CorpusBuffer::new(32, bias, 9);
+            for i in 0..n {
+                b.push(session(i));
+            }
+            let sum: u64 = b
+                .sessions()
+                .iter()
+                .map(|s| s[0][1..s[0].len() - 8].parse::<u64>().unwrap())
+                .sum();
+            sum as f64 / b.len() as f64
+        };
+        let uniform = mean_index(CorpusBuffer::UNIFORM);
+        let biased = mean_index(0.05);
+        assert!(
+            biased > uniform + n as f64 / 10.0,
+            "recency bias too weak: {biased} vs {uniform}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = CorpusBuffer::new(0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be in (0, 1]")]
+    fn out_of_range_bias_panics() {
+        let _ = CorpusBuffer::new(4, 0.0, 1);
+    }
+}

@@ -25,6 +25,7 @@
 //!   and the session aggregation the profiler needs.
 
 pub mod config;
+pub mod corpus;
 pub mod embedding;
 pub mod index;
 pub mod knn;
@@ -36,10 +37,11 @@ pub mod table;
 pub mod vocab;
 
 pub use config::{KernelChoice, Sharding, SkipGramConfig};
+pub use corpus::CorpusBuffer;
 pub use embedding::EmbeddingSet;
 pub use index::{ExactScan, IndexConfig, IvfFlat, IvfParams, NnIndex, DEFAULT_IVF_SEED};
 pub use knn::KnnScratch;
-pub use model::{balanced_chunk_ranges, SkipGram, TrainStats};
+pub use model::{balanced_chunk_ranges, SkipGram, TrainStats, UpdateReport};
 pub use persist::{from_flat_bytes, to_flat_bytes};
 pub use table::NegativeTable;
 pub use vocab::Vocab;

@@ -105,6 +105,23 @@ pub struct SkipGram {
     context: Vec<f32>,
     /// Stats of the most recent [`SkipGram::run_sgd`] pass.
     stats: TrainStats,
+    /// Negative table carried across [`SkipGram::update`] calls so the
+    /// rebuild policy ([`NegativeTable::needs_rebuild`]) has something to
+    /// age. `None` until the first update.
+    table: Option<NegativeTable>,
+}
+
+/// What one [`SkipGram::update`] call did.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateReport {
+    /// Tokens appended to the vocabulary (old ids never moved).
+    pub appended_tokens: usize,
+    /// Sequences with ≥ 2 in-vocabulary tokens that SGD actually saw.
+    pub trained_sequences: usize,
+    /// Whether the negative table was rebuilt this call.
+    pub table_rebuilt: bool,
+    /// Stats of the incremental SGD pass (zeroed when nothing trained).
+    pub stats: TrainStats,
 }
 
 /// Raw-pointer view of the two weight matrices for Hogwild workers.
@@ -146,8 +163,9 @@ impl SharedWeights {
 }
 
 /// xorshift64* — the cheap per-worker RNG word2vec uses in its hot loop.
+/// Crate-visible so the corpus reservoir draws from the same stream family.
 #[inline]
-fn next_random(state: &mut u64) -> u64 {
+pub(crate) fn next_random(state: &mut u64) -> u64 {
     let mut x = *state;
     x ^= x >> 12;
     x ^= x << 25;
@@ -447,12 +465,23 @@ impl SkipGram {
                 threads: 0,
                 simd_accelerated: false,
             },
+            table: None,
         };
         model.stats = model.run_sgd(sequences);
         Ok(model)
     }
 
     fn run_sgd(&mut self, sequences: &[Vec<u32>]) -> TrainStats {
+        let table = NegativeTable::from_vocab(&self.vocab);
+        self.run_sgd_with(sequences, &table)
+    }
+
+    /// The SGD pass proper, against a caller-supplied negative table. The
+    /// table's bits are a pure function of the vocabulary, so whether it
+    /// was freshly built or carried over by the update path's rebuild
+    /// policy never changes the op sequence — only whether the O(table)
+    /// construction cost was paid.
+    fn run_sgd_with(&mut self, sequences: &[Vec<u32>], table: &NegativeTable) -> TrainStats {
         let config = self.config.clone();
         let kernel = Kernel::resolve(config.kernel);
         let total_tokens: u64 = sequences.iter().map(|s| s.len() as u64).sum();
@@ -465,7 +494,6 @@ impl SkipGram {
             threads: n_threads,
             simd_accelerated: kernel.is_accelerated(),
         };
-        let table = NegativeTable::from_vocab(&self.vocab);
         if table.is_empty() {
             return stats;
         }
@@ -483,7 +511,7 @@ impl SkipGram {
                 rows: self.vocab.len(),
                 dim: config.dim,
             },
-            table: &table,
+            table,
             sigmoid: &sigmoid,
             keep_probs: &keep_probs,
             config: &config,
@@ -557,6 +585,80 @@ impl SkipGram {
         encoded.len()
     }
 
+    /// The online update entry point (DESIGN.md §14): fold a batch of
+    /// fresh sessions into the **live** model without a from-scratch
+    /// retrain. Three steps, each deterministic:
+    ///
+    /// 1. Grow the vocabulary ([`Vocab::grow`]) — occurrences of known
+    ///    hostnames bump counts in place, new hostnames append; an id
+    ///    handed out once never moves, so every serving-side structure
+    ///    keyed by token index stays valid across versions.
+    /// 2. Extend the weight matrices: appended input rows get the
+    ///    word2vec `(u − 0.5)/d` init from a stream keyed by
+    ///    `(seed, old vocab length)` — replaying the same update replays
+    ///    the same bits, while successive growths never reuse a stream —
+    ///    and appended context rows start at zero, as in initial training.
+    /// 3. Rebuild the negative table only when the policy demands it
+    ///    ([`NegativeTable::needs_rebuild`]), then resume SGD from the
+    ///    live weights over the new sequences with the configured
+    ///    epochs/LR schedule (a fresh linear decay over this batch, like
+    ///    [`Self::continue_training`]).
+    ///
+    /// With `threads = 1` the whole call is bit-deterministic and matches
+    /// the naive `oracle::update` reference exactly.
+    pub fn update<S: AsRef<str>>(&mut self, sequences: &[Vec<S>]) -> UpdateReport {
+        let old_len = self.vocab.len();
+        let appended = self.vocab.grow(
+            sequences.iter().map(|s| s.iter().map(|t| t.as_ref())),
+            self.config.min_count,
+            self.config.subsample,
+        );
+        if appended > 0 {
+            let dim = self.config.dim;
+            let mut init_state =
+                (self.config.seed ^ (old_len as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+            self.input.reserve(appended * dim);
+            for _ in 0..appended * dim {
+                let r = next_random(&mut init_state);
+                let u = (r >> 11) as f32 / (1u64 << 53) as f32;
+                self.input.push((u - 0.5) / dim as f32);
+            }
+            self.context.resize((old_len + appended) * dim, 0f32);
+        }
+        let table_rebuilt = self
+            .table
+            .as_ref()
+            .is_none_or(|t| t.needs_rebuild(&self.vocab));
+        if table_rebuilt {
+            self.table = Some(NegativeTable::from_vocab(&self.vocab));
+        }
+        let encoded: Vec<Vec<u32>> = sequences
+            .iter()
+            .map(|s| self.vocab.encode(s.iter().map(|t| t.as_ref())))
+            .filter(|s| s.len() >= 2)
+            .collect();
+        let mut report = UpdateReport {
+            appended_tokens: appended,
+            trained_sequences: encoded.len(),
+            table_rebuilt,
+            stats: TrainStats {
+                planned_tokens: 0,
+                processed_tokens: 0,
+                elapsed_secs: 0.0,
+                threads: 0,
+                simd_accelerated: false,
+            },
+        };
+        if encoded.is_empty() {
+            return report;
+        }
+        let table = self.table.take().expect("table built above");
+        self.stats = self.run_sgd_with(&encoded, &table);
+        self.table = Some(table);
+        report.stats = self.stats;
+        report
+    }
+
     /// Throughput/coverage statistics of the most recent training pass
     /// (initial training or [`Self::continue_training`]).
     pub fn train_stats(&self) -> &TrainStats {
@@ -590,6 +692,13 @@ impl SkipGram {
     /// Extract the final embeddings (input matrix), consuming the model.
     pub fn into_embeddings(self) -> EmbeddingSet {
         EmbeddingSet::new(self.config.dim, self.vocab, self.input)
+    }
+
+    /// Snapshot the current embeddings without consuming the model — the
+    /// online path publishes one serving version per [`Self::update`]
+    /// while the trainer keeps the live weights for the next round.
+    pub fn embeddings(&self) -> EmbeddingSet {
+        EmbeddingSet::new(self.config.dim, self.vocab.clone(), self.input.clone())
     }
 }
 
@@ -849,6 +958,89 @@ mod tests {
             "travel1".to_string(),
         ]];
         assert_eq!(model.continue_training(&mixed), 1);
+    }
+
+    #[test]
+    fn update_grows_vocab_extends_matrices_and_trains() {
+        let corpus = clustered_corpus(40);
+        let mut model = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        let before: Vec<(String, u32)> = model
+            .vocab()
+            .iter()
+            .map(|(i, t)| (t.to_string(), i))
+            .collect();
+        let fresh = vec![
+            vec![
+                "travel0".to_string(),
+                "newhost0.example".to_string(),
+                "travel1".to_string(),
+            ],
+            vec![
+                "newhost0.example".to_string(),
+                "newhost1.example".to_string(),
+            ],
+        ];
+        let report = model.update(&fresh);
+        assert_eq!(report.appended_tokens, 2);
+        assert_eq!(report.trained_sequences, 2);
+        assert!(report.table_rebuilt, "first update always builds the table");
+        assert_eq!(report.stats.processed_tokens, report.stats.planned_tokens);
+        for (tok, idx) in &before {
+            assert_eq!(model.vocab().get(tok), Some(*idx), "{tok} moved");
+        }
+        let new_id = model.vocab().get("newhost0.example").unwrap();
+        assert_eq!(model.vector(new_id).len(), model.dim());
+        assert!(model.vector(new_id).iter().all(|v| v.is_finite()));
+        assert!(model.context_vector(new_id).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn update_is_bit_deterministic() {
+        let corpus = clustered_corpus(30);
+        let batch = vec![
+            vec!["sport0".to_string(), "fresh.example".to_string()],
+            vec![
+                "fresh.example".to_string(),
+                "news1".to_string(),
+                "news0".to_string(),
+            ],
+        ];
+        let mut a = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        let mut b = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        a.update(&batch);
+        b.update(&batch);
+        for i in 0..a.vocab().len() as u32 {
+            assert_eq!(a.vector(i), b.vector(i), "input row {i}");
+            assert_eq!(a.context_vector(i), b.context_vector(i), "context row {i}");
+        }
+    }
+
+    #[test]
+    fn update_reuses_the_table_until_the_policy_fires() {
+        let corpus = clustered_corpus(40);
+        let mut model = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        let known = vec![vec!["travel0".to_string(), "travel1".to_string()]];
+        assert!(model.update(&known).table_rebuilt, "no table yet");
+        // Same known-token batch again: no growth, tiny drift → reuse.
+        assert!(!model.update(&known).table_rebuilt);
+        // A new hostname makes the current table unable to sample it.
+        let novel = vec![vec!["travel0".to_string(), "unseen.example".to_string()]];
+        assert!(model.update(&novel).table_rebuilt);
+    }
+
+    #[test]
+    fn successive_updates_use_distinct_init_streams() {
+        let corpus = clustered_corpus(30);
+        let mut model = SkipGram::train(&corpus, &SkipGramConfig::tiny()).unwrap();
+        // Two growth rounds appending one token each; an untrained row
+        // keeps its init bits, so identical streams would be visible as
+        // identical rows. Each batch has < 2 usable tokens, so SGD never
+        // runs and the init survives untouched.
+        model.update(&[vec!["solo-a.example".to_string()]]);
+        model.update(&[vec!["solo-b.example".to_string()]]);
+        let ia = model.vocab().get("solo-a.example").unwrap();
+        let ib = model.vocab().get("solo-b.example").unwrap();
+        assert_ne!(model.vector(ia), model.vector(ib));
     }
 
     #[test]

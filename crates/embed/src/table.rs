@@ -16,6 +16,10 @@ pub const UNIGRAM_POWER: f64 = 0.75;
 #[derive(Debug, Clone)]
 pub struct NegativeTable {
     table: Vec<u32>,
+    /// Vocabulary size the table was built for.
+    built_len: usize,
+    /// Vocabulary total count the table was built for.
+    built_total: u64,
 }
 
 impl NegativeTable {
@@ -39,7 +43,11 @@ impl NegativeTable {
     pub fn with_size(vocab: &Vocab, size: usize) -> Self {
         let counts = vocab.counts();
         if counts.is_empty() {
-            return Self { table: Vec::new() };
+            return Self {
+                table: Vec::new(),
+                built_len: 0,
+                built_total: 0,
+            };
         }
         let total: f64 = counts.iter().map(|&c| (c as f64).powf(UNIGRAM_POWER)).sum();
         let size = size.max(counts.len());
@@ -53,7 +61,23 @@ impl NegativeTable {
                 cum += (counts[idx as usize] as f64).powf(UNIGRAM_POWER) / total;
             }
         }
-        Self { table }
+        Self {
+            table,
+            built_len: counts.len(),
+            built_total: vocab.total_count(),
+        }
+    }
+
+    /// Rebuild policy for incremental training (DESIGN.md §14): the table
+    /// must be rebuilt when the vocabulary has **grown** — an appended
+    /// token has zero slots, so it could never be drawn as a negative —
+    /// or when the counts it was built from have drifted by more than 25%
+    /// (the unigram^0.75 mass is then visibly stale). Pure count drift
+    /// below that threshold is tolerated: the distribution shifts slowly
+    /// and a rebuild costs a full O(table) pass.
+    pub fn needs_rebuild(&self, vocab: &Vocab) -> bool {
+        vocab.len() != self.built_len
+            || vocab.total_count().saturating_mul(4) > self.built_total.saturating_mul(5)
     }
 
     /// Number of table slots.
@@ -179,6 +203,32 @@ mod tests {
         let t = NegativeTable::with_size(&v, 64);
         let mut state = 7u64;
         assert_eq!(t.sample_excluding(|| xorshift(&mut state), 0), None);
+    }
+
+    #[test]
+    fn rebuild_policy_fires_on_growth_and_large_drift_only() {
+        let seqs: Vec<Vec<&str>> = vec![vec!["a"; 8], vec!["b"; 4], vec!["c"]];
+        let mut v = Vocab::build(seqs, 1, 0.0);
+        let t = NegativeTable::from_vocab(&v);
+        assert!(!t.needs_rebuild(&v), "fresh table is current");
+        // Count drift below 25%: tolerated.
+        v.grow(vec![vec!["a", "b"]], 1, 0.0);
+        assert!(!t.needs_rebuild(&v), "2/13 drift tolerated");
+        // Any appended token forces a rebuild (it has no slots).
+        v.grow(vec![vec!["d"]], 1, 0.0);
+        assert!(t.needs_rebuild(&v), "new token is unsampleable");
+        let t = NegativeTable::from_vocab(&v);
+        assert!(!t.needs_rebuild(&v));
+        // Pure count drift past 25% forces a rebuild too.
+        v.grow(vec![vec!["a"; 6]], 1, 0.0);
+        assert!(t.needs_rebuild(&v), "mass is stale");
+    }
+
+    #[test]
+    fn empty_table_needs_no_rebuild_for_empty_vocab() {
+        let v = Vocab::build(Vec::<Vec<&str>>::new(), 1, 0.0);
+        let t = NegativeTable::from_vocab(&v);
+        assert!(!t.needs_rebuild(&v));
     }
 
     #[test]

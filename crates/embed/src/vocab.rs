@@ -116,6 +116,53 @@ impl Vocab {
         seq.into_iter().filter_map(|t| self.get(t)).collect()
     }
 
+    /// Fold a new batch of token sequences into the vocabulary **without
+    /// moving any existing index** (DESIGN.md §14). Occurrences of known
+    /// tokens bump their counts in place; unknown tokens seen at least
+    /// `min_count` times in this batch are appended after the current end,
+    /// ordered by descending batch count with lexicographic tie-break —
+    /// the same deterministic order [`Vocab::build`] uses, restricted to
+    /// the newcomers. Keep-probabilities are recomputed for *every* token
+    /// (the totals shifted), but the token → index map only ever grows:
+    /// an id handed out once is valid forever.
+    ///
+    /// Returns the number of appended tokens.
+    pub fn grow<'a, I, S>(&mut self, sequences: I, min_count: u64, subsample: f64) -> usize
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = &'a str>,
+    {
+        let mut fresh: HashMap<&str, u64> = HashMap::new();
+        for seq in sequences {
+            for tok in seq {
+                if let Some(&i) = self.index.get(tok) {
+                    self.counts[i as usize] += 1;
+                    self.total_count += 1;
+                } else {
+                    *fresh.entry(tok).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut pairs: Vec<(&str, u64)> = fresh
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count.max(1))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let appended = pairs.len();
+        for (tok, c) in pairs {
+            let i = self.tokens.len() as u32;
+            self.index.insert(tok.to_string(), i);
+            self.tokens.push(tok.to_string());
+            self.counts.push(c);
+            self.keep_prob.push(1.0);
+            self.total_count += c;
+        }
+        for (p, &c) in self.keep_prob.iter_mut().zip(&self.counts) {
+            *p = keep_probability(c, self.total_count, subsample);
+        }
+        appended
+    }
+
     /// All keep probabilities, index-aligned (for persistence).
     pub(crate) fn keep_probs(&self) -> &[f64] {
         &self.keep_prob
@@ -231,5 +278,64 @@ mod tests {
         let v = Vocab::build(vec![vec!["z", "y", "z", "y"]], 1, 0.0);
         assert_eq!(v.token(0), "y");
         assert_eq!(v.token(1), "z");
+    }
+
+    #[test]
+    fn grow_appends_without_moving_existing_ids() {
+        let mut v = Vocab::build(corpus(), 1, 0.0);
+        let before: Vec<(String, u32)> = v.iter().map(|(i, t)| (t.to_string(), i)).collect();
+        let appended = v.grow(vec![vec!["f", "a", "g", "f", "f"]], 1, 0.0);
+        assert_eq!(appended, 2);
+        for (tok, idx) in &before {
+            assert_eq!(v.get(tok), Some(*idx), "{tok} moved");
+        }
+        // Newcomers append in batch-count-desc, lexicographic-tie order.
+        assert_eq!(v.get("f"), Some(5));
+        assert_eq!(v.get("g"), Some(6));
+        assert_eq!(v.count(5), 3);
+        assert_eq!(v.count(6), 1);
+        // Known-token occurrences bump counts in place.
+        assert_eq!(v.count(v.get("a").unwrap()), 5);
+        assert_eq!(v.total_count(), 9 + 5);
+    }
+
+    #[test]
+    fn grow_respects_min_count_for_new_tokens_only() {
+        let mut v = Vocab::build(corpus(), 2, 0.0); // a, b
+        let appended = v.grow(vec![vec!["x", "x", "y", "b"]], 2, 0.0);
+        assert_eq!(appended, 1);
+        assert_eq!(v.get("x"), Some(2));
+        assert!(v.get("y").is_none(), "below min_count, dropped");
+        // Existing token counted even though it appeared only once.
+        assert_eq!(v.count(v.get("b").unwrap()), 3);
+        assert_eq!(v.total_count(), 6 + 2 + 1);
+    }
+
+    #[test]
+    fn grow_recomputes_keep_probs_against_the_new_total() {
+        let mut v = Vocab::build(corpus(), 1, 0.05);
+        let a = v.get("a").unwrap();
+        let before = v.keep_prob(a);
+        assert!(before < 1.0);
+        // Flood with a new token: "a"'s relative frequency drops, so its
+        // keep probability must rise.
+        v.grow(vec![vec!["flood"; 40]], 1, 0.05);
+        assert!(v.keep_prob(a) > before);
+        assert!(v.keep_prob(v.get("flood").unwrap()) < 1.0);
+    }
+
+    #[test]
+    fn repeated_grows_keep_every_id_stable() {
+        let mut v = Vocab::build(corpus(), 1, 0.0);
+        let mut pinned: Vec<(String, u32)> = v.iter().map(|(i, t)| (t.to_string(), i)).collect();
+        for round in 0..4 {
+            let name = format!("new{round}");
+            v.grow(vec![vec![name.as_str(), "a"]], 1, 0.0);
+            for (tok, idx) in &pinned {
+                assert_eq!(v.get(tok), Some(*idx));
+            }
+            pinned.push((name.clone(), v.get(&name).unwrap()));
+        }
+        assert_eq!(v.len(), 9);
     }
 }

@@ -14,6 +14,9 @@
 //! * [`sni`] — TLS ClientHello / QUIC Initial SNI recovery (§4.1)
 //! * [`window`] — session windowing + dedup + blocklist filtering (§4.1)
 //! * [`sgd`] — skipgram-with-negative-sampling reference trainer (§4.2)
+//! * [`update`] — naive online-update reference: vocabulary growth with
+//!   stable ids, replayable extension-row init, the negative-table
+//!   rebuild policy, and resumed SGD (DESIGN.md §14)
 //! * [`knn`] — exact O(V) cosine k-nearest-neighbor scan (§4.3)
 //! * [`profile`] — Eq. 3/4 category aggregation (§4.3)
 //! * [`stats`] — Welford moments and a paired t-test with an
@@ -39,6 +42,7 @@ pub mod profile;
 pub mod sgd;
 pub mod sni;
 pub mod stats;
+pub mod update;
 pub mod window;
 
 use std::fmt;
@@ -52,6 +56,9 @@ pub enum Stage {
     Window,
     /// Skipgram training (vocabulary, init, SGD weight trajectories).
     Train,
+    /// Online model update (vocabulary growth, id remapping stability,
+    /// extension-row init, table rebuild policy, incremental SGD).
+    Update,
     /// Cosine k-nearest-neighbor search.
     Knn,
     /// Eq. 3/4 category profile aggregation.
@@ -68,6 +75,7 @@ impl fmt::Display for Stage {
             Stage::Sni => "sni",
             Stage::Window => "window",
             Stage::Train => "train",
+            Stage::Update => "update",
             Stage::Knn => "knn",
             Stage::Profile => "profile",
             Stage::Stats => "stats",

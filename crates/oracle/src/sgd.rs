@@ -23,7 +23,7 @@ pub fn xorshift64star(state: &mut u64) -> u64 {
 }
 
 /// Map one PRNG draw to a uniform f64 in `[0, 1)` (53-bit mantissa).
-fn unit_f64(draw: u64) -> f64 {
+pub fn unit_f64(draw: u64) -> f64 {
     (draw >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -250,28 +250,46 @@ pub fn train(sequences: &[Vec<String>], cfg: &SgdConfig) -> Option<OracleModel> 
     let mut context = vec![0.0f32; rows * dim];
 
     let table = unigram_table(&vocab.counts);
+    sgd_pass(&vocab, dim, &mut input, &mut context, &encoded, &table, cfg);
+
+    Some(OracleModel {
+        vocab,
+        dim,
+        input,
+        context,
+    })
+}
+
+/// One full SGD pass over pre-encoded sequences: worker 0's RNG stream,
+/// the linear learning-rate decay updated every 10k scheduled tokens, the
+/// randomly shrunken window, `negatives + 1` targets per context position
+/// — exactly the production trainer's op sequence at one thread. Shared
+/// by initial [`train`] and the online [`crate::update`] path, which
+/// resumes from live weights with a (possibly stale) carried-over table.
+pub fn sgd_pass(
+    vocab: &OracleVocab,
+    dim: usize,
+    input: &mut [f32],
+    context: &mut [f32],
+    encoded: &[Vec<u32>],
+    table: &[u32],
+    cfg: &SgdConfig,
+) {
     if table.is_empty() {
-        return Some(OracleModel {
-            vocab,
-            dim,
-            input,
-            context,
-        });
+        return;
     }
     let sigmoid = SigmoidLookup::new();
 
     let total_tokens: u64 = encoded.iter().map(|s| s.len() as u64).sum();
     let planned = (total_tokens * cfg.epochs as u64).max(1);
 
-    // Worker 0's RNG stream and the linear learning-rate decay, updated
-    // every 10k scheduled tokens exactly like the production trainer.
     let mut rng = (cfg.seed ^ 0x9e37_79b9u64) | 1;
     let mut lr = cfg.learning_rate;
     let mut since_lr_update = 0u64;
     let mut processed = 0u64;
 
     for _epoch in 0..cfg.epochs {
-        for seq in &encoded {
+        for seq in encoded {
             // Frequent-token subsampling (draws one uniform per token
             // whose keep-probability is below 1).
             let toks: Vec<u32> = if cfg.subsample > 0.0 {
@@ -313,7 +331,7 @@ pub fn train(sequences: &[Vec<String>], cfg: &SgdConfig) -> Option<OracleModel> 
                         let (target, label) = if k == 0 {
                             (ctx_word as usize, 1.0f32)
                         } else {
-                            match sample_excluding(&table, &mut rng, ctx_word) {
+                            match sample_excluding(table, &mut rng, ctx_word) {
                                 Some(t) => (t as usize, 0.0f32),
                                 None => continue,
                             }
@@ -334,13 +352,6 @@ pub fn train(sequences: &[Vec<String>], cfg: &SgdConfig) -> Option<OracleModel> 
             }
         }
     }
-
-    Some(OracleModel {
-        vocab,
-        dim,
-        input,
-        context,
-    })
 }
 
 /// Draw a negative sample that is not `exclude`, giving up after 32

@@ -356,7 +356,9 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_replay_conformance(args: &Args) -> Result<(), String> {
-    args.expect_keys(&["seed", "golden", "bless", "threads", "kernel", "sharding"])?;
+    args.expect_keys(&[
+        "seed", "golden", "bless", "threads", "kernel", "sharding", "update",
+    ])?;
     let golden_dir: PathBuf = args
         .get("golden")
         .ok_or(
@@ -373,6 +375,9 @@ fn cmd_replay_conformance(args: &Args) -> Result<(), String> {
     }
     if let Some(sharding) = args.get_parsed::<Sharding>("sharding")? {
         opts.sharding = sharding;
+    }
+    if args.flag("update") {
+        return cmd_replay_update(args, &opts, &golden_dir, seed);
     }
 
     let snapshot = hostprof::replay::run_replay(&opts)?;
@@ -406,6 +411,57 @@ fn cmd_replay_conformance(args: &Args) -> Result<(), String> {
         }
         Err(format!(
             "replay seed {seed}: {} divergence(s) from {}",
+            diffs.len(),
+            path.display()
+        ))
+    }
+}
+
+/// Conformance for the online-update schedule ({train → serve →
+/// incremental update → serve}), `hostprof replay --update`. Like the
+/// batch replay, this path owns blessing: the canonical golden is the
+/// single-lane run, and `serve --golden` must *reproduce* it at every
+/// lane count.
+fn cmd_replay_update(
+    args: &Args,
+    opts: &hostprof::replay::ReplayOptions,
+    golden_dir: &std::path::Path,
+    seed: u64,
+) -> Result<(), String> {
+    let snapshot = hostprof::replay::run_update_replay(opts, 1)?;
+    let path = hostprof::replay::update_golden_path(golden_dir, seed);
+    if args.flag("bless") {
+        std::fs::create_dir_all(golden_dir).map_err(|e| e.to_string())?;
+        std::fs::write(&path, hostprof::replay::to_update_golden_json(&snapshot)?)
+            .map_err(|e| e.to_string())?;
+        println!("blessed {}", path.display());
+        return Ok(());
+    }
+    let contents = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "read golden {}: {e} (run with --bless to create it)",
+            path.display()
+        )
+    })?;
+    let expected = hostprof::replay::from_update_golden_json(&contents)?;
+    let diffs = hostprof::replay::compare_update_snapshots(&expected, &snapshot);
+    if diffs.is_empty() {
+        println!(
+            "replay --update seed {seed}: OK — vocab {} → {} (+{}), {} profiles, \
+             all stage digests match {}",
+            snapshot.base_vocab,
+            snapshot.grown_vocab,
+            snapshot.appended_tokens,
+            snapshot.profiles.len(),
+            path.display()
+        );
+        Ok(())
+    } else {
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        Err(format!(
+            "replay --update seed {seed}: {} divergence(s) from {}",
             diffs.len(),
             path.display()
         ))
@@ -487,11 +543,43 @@ fn cmd_serve_golden(args: &Args) -> Result<(), String> {
     })?;
     let expected = hostprof::replay::from_golden_json(&contents)?;
     let diffs = hostprof::replay::compare_snapshots(&expected, &snapshot);
+    if !diffs.is_empty() {
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        return Err(format!(
+            "serve --golden seed {seed} lanes {lanes}: {} divergence(s) from {}",
+            diffs.len(),
+            path.display()
+        ));
+    }
+    println!(
+        "serve --golden seed {seed} lanes {lanes}: OK — streaming profiles bit-identical \
+         to the batch goldens in {}",
+        path.display()
+    );
+
+    // The update schedule rides the same command: re-run {train → serve →
+    // incremental update → serve} at this lane count against the golden
+    // blessed by the canonical single-lane `replay --update` run. No
+    // --bless here either — streaming knobs must reproduce, never define.
+    let update_snapshot = hostprof::replay::run_update_replay(&opts, lanes)?;
+    let update_path = hostprof::replay::update_golden_path(&golden_dir, seed);
+    let contents = std::fs::read_to_string(&update_path).map_err(|e| {
+        format!(
+            "read golden {}: {e} (bless it via `hostprof replay --golden ... --update --bless`)",
+            update_path.display()
+        )
+    })?;
+    let expected = hostprof::replay::from_update_golden_json(&contents)?;
+    let diffs = hostprof::replay::compare_update_snapshots(&expected, &update_snapshot);
     if diffs.is_empty() {
         println!(
-            "serve --golden seed {seed} lanes {lanes}: OK — streaming profiles bit-identical \
-             to the batch goldens in {}",
-            path.display()
+            "serve --golden seed {seed} lanes {lanes}: OK — update schedule (vocab {} → {}) \
+             bit-identical to {}",
+            update_snapshot.base_vocab,
+            update_snapshot.grown_vocab,
+            update_path.display()
         );
         Ok(())
     } else {
@@ -499,9 +587,9 @@ fn cmd_serve_golden(args: &Args) -> Result<(), String> {
             eprintln!("  {d}");
         }
         Err(format!(
-            "serve --golden seed {seed} lanes {lanes}: {} divergence(s) from {}",
+            "serve --golden seed {seed} lanes {lanes}: update schedule {} divergence(s) from {}",
             diffs.len(),
-            path.display()
+            update_path.display()
         ))
     }
 }
@@ -510,7 +598,15 @@ fn cmd_serve_golden(args: &Args) -> Result<(), String> {
 /// latency/throughput summary at the end.
 fn cmd_serve_live(args: &Args) -> Result<(), String> {
     args.expect_keys(&[
-        "scale", "users", "pps", "duration", "lanes", "threads", "seed", "days",
+        "scale",
+        "users",
+        "pps",
+        "duration",
+        "lanes",
+        "threads",
+        "seed",
+        "days",
+        "update-every",
     ])?;
     let cfg = scenario_config(args)?;
     let run = hostprof::serving::LiveRunConfig {
@@ -519,6 +615,7 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
         duration_s: args.get_parsed::<u64>("duration")?.unwrap_or(1_800),
         lanes: args.get_parsed::<usize>("lanes")?.unwrap_or(2),
         threads: args.get_parsed::<usize>("threads")?.unwrap_or(1),
+        update_every: args.get_parsed::<u64>("update-every")?,
     };
     let world = hostprof::synth::World::generate(&cfg.world);
     let population = hostprof::synth::Population::generate(&world, &cfg.population);
@@ -557,6 +654,23 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
         "late-dropped events   : {} (watermark bound)",
         report.late_dropped
     );
+    if run.update_every.is_some() {
+        println!(
+            "online updates        : {} applied, vocab {} → {}",
+            report.updates_applied, report.base_vocab, report.final_vocab
+        );
+        if let (Some(&max), Some(&p50)) = (
+            report.publish_latencies_ms.last(),
+            report
+                .publish_latencies_ms
+                .get(report.publish_latencies_ms.len() / 2),
+        ) {
+            println!(
+                "version publish       : p50 {p50:.2} ms, max {max:.2} ms \
+                 (off-thread; ingest never stalls)"
+            );
+        }
+    }
     let st = report.observer;
     print_taxonomy(&st);
     if !report.taxonomy_invariant_ok() {
@@ -610,8 +724,9 @@ USAGE:
   hostprof replay     --capture capture.hpcap [--dns]
   hostprof replay     --golden tests/golden [--seed S] [--bless] [--threads N]
                       [--kernel auto|scalar|simd] [--sharding static|balanced]
+                      [--update]
   hostprof serve      [--scale S] [--users N] [--pps F] [--duration SIM_SECONDS]
-                      [--lanes N] [--threads N] [--seed S]
+                      [--lanes N] [--threads N] [--seed S] [--update-every TICKS]
   hostprof serve      --golden tests/golden [--seed S] [--lanes N] [--threads N]
   hostprof experiment [--scale S] [--days N] [--users N]
 ";

@@ -585,6 +585,374 @@ pub fn golden_path(dir: &std::path::Path, seed: u64) -> std::path::PathBuf {
     dir.join(format!("replay_seed_{seed}.json"))
 }
 
+// ---------------------------------------------------------------------------
+// The update schedule: {train → serve → incremental update → serve}
+// ---------------------------------------------------------------------------
+
+/// FNV digests of every stage of the online-update schedule, pipeline
+/// order (DESIGN.md §14).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStageDigests {
+    /// Model trained on day 0 only (token order + weight bits).
+    pub base_model: String,
+    /// Ticks served against version 1 while day 1 streamed.
+    pub serve_pre: String,
+    /// The harvested update corpus (closed windows, tick order).
+    pub update_corpus: String,
+    /// Model after the incremental update (grown vocab + resumed SGD).
+    pub grown_model: String,
+    /// Ticks served against version 2 from the swap to the flush.
+    pub serve_post: String,
+}
+
+/// The golden snapshot of one online-update schedule: day 0 trains the
+/// base model, day 1 streams against version 1 while its closed windows
+/// are harvested, the harvest drives one [`SkipGram::update`] whose
+/// result publishes as version 2, and day 2 streams against it. Byte-
+/// stable across lanes, profile threads, and kernels — same contract as
+/// [`ReplaySnapshot`], plus: every tick records which version served it,
+/// so the swap point itself is pinned.
+///
+/// [`SkipGram::update`]: hostprof_embed::SkipGram::update
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateSnapshot {
+    pub seed: u64,
+    /// Vocabulary size of the day-0 model.
+    pub base_vocab: u64,
+    /// Vocabulary size after the incremental update.
+    pub grown_vocab: u64,
+    /// Hostnames appended by the update (ids of existing ones unmoved).
+    pub appended_tokens: u64,
+    /// Update-corpus sequences that reached SGD (≥ 2 in-vocab tokens).
+    pub trained_sequences: u64,
+    /// Whether the negative table was rebuilt by the update's policy.
+    pub table_rebuilt: bool,
+    /// Ticks fired while day 1 streamed (served by version 1).
+    pub ticks_pre: u64,
+    /// Ticks fired after the hot swap (served by version 2).
+    pub ticks_post: u64,
+    pub stages: UpdateStageDigests,
+    /// Final post-swap profile per user (trace user ids).
+    pub profiles: Vec<UserProfileSnapshot>,
+}
+
+/// Digest a tick stream: boundary, serving version, and every entry's
+/// profile bits. `compute_micros` is wall clock and deliberately absent.
+fn digest_ticks(d: &mut Digest, ticks: &[hostprof_core::TickReport], base_ip: u32) {
+    for t in ticks {
+        d.write_u64(t.boundary);
+        d.write_u64(t.model_seq);
+        d.write_u64(t.entries.len() as u64);
+        for e in &t.entries {
+            d.write_u64(e.user.wrapping_sub(base_ip) as u64);
+            d.write_u64(e.anchor);
+            match &e.profile {
+                None => d.write_u64(0),
+                Some(p) => {
+                    d.write_u64(1);
+                    d.write_u64(p.categories.len() as u64);
+                    for (c, w) in p.categories.iter() {
+                        d.write_u64(c.0 as u64);
+                        d.write_f32(w);
+                    }
+                    for &x in &p.session_vector {
+                        d.write_f32(x);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Digest an embedding set the same way stage 4 of [`run_replay_with`]
+/// does: dimensionality, vocabulary order, and raw weight bits.
+fn digest_embeddings(embeddings: &hostprof_embed::EmbeddingSet) -> String {
+    let mut d = Digest::new();
+    d.write_u64(embeddings.dim() as u64);
+    d.write_u64(embeddings.len() as u64);
+    for idx in 0..embeddings.len() as u32 {
+        d.write_str(embeddings.vocab().token(idx));
+        for &x in embeddings.vector_by_index(idx) {
+            d.write_f32(x);
+        }
+    }
+    d.hex()
+}
+
+/// Run the {train → serve → incremental-update → serve} schedule for one
+/// seed with `lanes` ingest lanes, snapshotting every stage.
+///
+/// Determinism leans on three already-pinned properties: window *content*
+/// is lane-invariant (the streaming-equivalence contract), the harvest
+/// order is tick order then user order (also lane-invariant), and the
+/// update trains with one Hogwild worker at `dim = 3`, where scalar and
+/// SIMD kernels execute the identical f32 sequence.
+pub fn run_update_replay(opts: &ReplayOptions, lanes: usize) -> Result<UpdateSnapshot, String> {
+    use hostprof_core::{ModelVersion, VersionedModel};
+    use hostprof_embed::SkipGram;
+    use std::sync::Arc;
+
+    let cfg = replay_scenario_config(opts);
+    let s = Scenario::generate(&cfg);
+    if s.trace.days() < 3 {
+        return Err("update schedule needs ≥ 3 trace days".into());
+    }
+
+    // Stage 1: base model, day 0 only — the update must have genuinely
+    // unseen hostnames left to grow into on later days.
+    let base_corpus = s.daily_hostname_sequences(0);
+    let mut model = SkipGram::train(&base_corpus, &cfg.pipeline.skipgram)?;
+    let base_vocab = model.vocab().len() as u64;
+    let base_embeddings = model.embeddings();
+    let base_model_digest = digest_embeddings(&base_embeddings);
+
+    // Version 1 goes live.
+    let ontology = Arc::new(s.world.ontology().clone());
+    let versioned = VersionedModel::new(ModelVersion::build(
+        1,
+        base_embeddings,
+        Arc::clone(&ontology),
+        cfg.pipeline.profiler.clone(),
+    ));
+    let scenario = ObserverScenario::per_user();
+    let base_ip = match scenario.synthesizer.addressing {
+        hostprof_net::Addressing::PerClient { base_ip } => base_ip,
+        _ => unreachable!("per_user() is per-client addressed"),
+    };
+    let blocklist = s.world.blocklist();
+    let mut engine = ServeEngine::with_versioned(
+        ServeConfig {
+            lanes,
+            session_window_ms: cfg.pipeline.session_window_ms(),
+            report_interval_ms: cfg.pipeline.report_interval_ms(),
+            collect_windows: true,
+            ..ServeConfig::default()
+        },
+        &versioned,
+        opts.profile_threads,
+        Some(blocklist),
+    );
+
+    // Stage 2: stream day 1 against version 1.
+    let mut pre_ticks: Vec<hostprof_core::TickReport> = Vec::new();
+    let mut post_ticks: Vec<hostprof_core::TickReport> = Vec::new();
+    let swap_at = 2 * DAY_MS;
+    for r in s.trace.requests() {
+        if r.t_ms < DAY_MS || r.t_ms >= swap_at {
+            continue;
+        }
+        let ev = RequestEvent {
+            t_ms: r.t_ms,
+            client: r.user.0,
+            hostname: s.world.hostname(r.host).to_string(),
+        };
+        for pkt in scenario.synthesizer.packets_for(&ev) {
+            pre_ticks.extend(engine.ingest_packet(&pkt));
+        }
+    }
+    let mut d = Digest::new();
+    digest_ticks(&mut d, &pre_ticks, base_ip);
+    let serve_pre_digest = d.hex();
+
+    // Stage 3: harvest whatever windows the watermark has closed so far —
+    // the online trainer's corpus. Lane-invariant by construction.
+    let windows = engine.take_closed_windows();
+    let mut d = Digest::new();
+    d.write_u64(windows.len() as u64);
+    for w in &windows {
+        d.write_u64(w.user.wrapping_sub(base_ip) as u64);
+        d.write_u64(w.anchor);
+        d.write_u64(w.window.len() as u64);
+        for h in &w.window {
+            d.write_str(h);
+        }
+    }
+    let update_corpus_digest = d.hex();
+    let update_corpus: Vec<Vec<String>> = windows.into_iter().map(|w| w.window).collect();
+
+    // Stage 4: the incremental update — vocab growth, stable remapping,
+    // table policy, SGD resumed from the live weights.
+    let report = model.update(&update_corpus);
+    let grown_embeddings = model.embeddings();
+    let grown_model_digest = digest_embeddings(&grown_embeddings);
+
+    // The hot swap: build version 2 and publish. In the live path the
+    // build runs off-thread; here build-then-publish between two ingest
+    // calls is the same observable schedule (a tick is served entirely by
+    // whichever version its fire time loaded).
+    versioned.publish(ModelVersion::build(
+        2,
+        grown_embeddings,
+        Arc::clone(&ontology),
+        cfg.pipeline.profiler.clone(),
+    ));
+
+    // Stage 5: stream day 2 against version 2, then flush the tail.
+    for r in s.trace.requests() {
+        if r.t_ms < swap_at {
+            continue;
+        }
+        let ev = RequestEvent {
+            t_ms: r.t_ms,
+            client: r.user.0,
+            hostname: s.world.hostname(r.host).to_string(),
+        };
+        for pkt in scenario.synthesizer.packets_for(&ev) {
+            post_ticks.extend(engine.ingest_packet(&pkt));
+        }
+    }
+    post_ticks.extend(engine.flush());
+    let mut d = Digest::new();
+    digest_ticks(&mut d, &post_ticks, base_ip);
+    let serve_post_digest = d.hex();
+
+    // Every pre tick was served by version 1, every post tick by 2 —
+    // the snapshot's own invariant, checked here rather than trusted.
+    if let Some(t) = pre_ticks.iter().find(|t| t.model_seq != 1) {
+        return Err(format!(
+            "pre-swap tick at {} served by version {}",
+            t.boundary, t.model_seq
+        ));
+    }
+    if let Some(t) = post_ticks.iter().find(|t| t.model_seq != 2) {
+        return Err(format!(
+            "post-swap tick at {} served by version {}",
+            t.boundary, t.model_seq
+        ));
+    }
+
+    // Final profile per user across the post-swap ticks.
+    let mut latest: BTreeMap<u32, Option<SessionProfile>> = BTreeMap::new();
+    for t in &post_ticks {
+        for e in &t.entries {
+            latest.insert(e.user.wrapping_sub(base_ip), e.profile.clone());
+        }
+    }
+    let profiles: Vec<UserProfileSnapshot> = latest
+        .into_iter()
+        .filter_map(|(u, p)| {
+            let p = p?;
+            Some(UserProfileSnapshot {
+                user: u,
+                categories: p
+                    .categories
+                    .iter()
+                    .map(|(c, w)| CategoryWeight { id: c.0, weight: w })
+                    .collect(),
+                labeled_in_session: p.labeled_in_session as u64,
+                labeled_neighbors: p.labeled_neighbors as u64,
+            })
+        })
+        .collect();
+
+    Ok(UpdateSnapshot {
+        seed: opts.seed,
+        base_vocab,
+        grown_vocab: model.vocab().len() as u64,
+        appended_tokens: report.appended_tokens as u64,
+        trained_sequences: report.trained_sequences as u64,
+        table_rebuilt: report.table_rebuilt,
+        ticks_pre: pre_ticks.len() as u64,
+        ticks_post: post_ticks.len() as u64,
+        stages: UpdateStageDigests {
+            base_model: base_model_digest,
+            serve_pre: serve_pre_digest,
+            update_corpus: update_corpus_digest,
+            grown_model: grown_model_digest,
+            serve_post: serve_post_digest,
+        },
+        profiles,
+    })
+}
+
+/// Stage-attributed differences between two update snapshots, schedule
+/// order. Empty means byte-equivalent content.
+pub fn compare_update_snapshots(expected: &UpdateSnapshot, actual: &UpdateSnapshot) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if expected.seed != actual.seed {
+        diffs.push(format!("config: seed {} vs {}", expected.seed, actual.seed));
+    }
+    for (stage, e, a) in [
+        (
+            "base_model",
+            &expected.stages.base_model,
+            &actual.stages.base_model,
+        ),
+        (
+            "serve_pre",
+            &expected.stages.serve_pre,
+            &actual.stages.serve_pre,
+        ),
+        (
+            "update_corpus",
+            &expected.stages.update_corpus,
+            &actual.stages.update_corpus,
+        ),
+        (
+            "grown_model",
+            &expected.stages.grown_model,
+            &actual.stages.grown_model,
+        ),
+        (
+            "serve_post",
+            &expected.stages.serve_post,
+            &actual.stages.serve_post,
+        ),
+    ] {
+        if e != a {
+            diffs.push(format!("stage {stage}: digest {e} vs {a}"));
+        }
+    }
+    for (name, e, a) in [
+        ("base_vocab", expected.base_vocab, actual.base_vocab),
+        ("grown_vocab", expected.grown_vocab, actual.grown_vocab),
+        (
+            "appended_tokens",
+            expected.appended_tokens,
+            actual.appended_tokens,
+        ),
+        (
+            "trained_sequences",
+            expected.trained_sequences,
+            actual.trained_sequences,
+        ),
+        ("ticks_pre", expected.ticks_pre, actual.ticks_pre),
+        ("ticks_post", expected.ticks_post, actual.ticks_post),
+    ] {
+        if e != a {
+            diffs.push(format!("counter {name}: {e} vs {a}"));
+        }
+    }
+    if expected.table_rebuilt != actual.table_rebuilt {
+        diffs.push(format!(
+            "counter table_rebuilt: {} vs {}",
+            expected.table_rebuilt, actual.table_rebuilt
+        ));
+    }
+    if expected.profiles != actual.profiles {
+        diffs.push("profiles: final post-swap profiles differ".into());
+    }
+    diffs
+}
+
+/// Serialize an update snapshot to canonical golden JSON (pretty, with a
+/// trailing newline).
+pub fn to_update_golden_json(snapshot: &UpdateSnapshot) -> Result<String, String> {
+    serde_json::to_string_pretty(snapshot)
+        .map(|s| s + "\n")
+        .map_err(|e| format!("serialize update snapshot: {e:?}"))
+}
+
+/// Parse an update-schedule golden JSON file's contents.
+pub fn from_update_golden_json(contents: &str) -> Result<UpdateSnapshot, String> {
+    serde_json::from_str(contents).map_err(|e| format!("parse update snapshot: {e:?}"))
+}
+
+/// `DIR/update_seed_S.json`.
+pub fn update_golden_path(dir: &std::path::Path, seed: u64) -> std::path::PathBuf {
+    dir.join(format!("update_seed_{seed}.json"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +997,52 @@ mod tests {
             );
             assert_eq!(batch.profiles, streamed.profiles, "lanes {lanes}");
             assert!(compare_snapshots(&batch, &streamed).is_empty());
+        }
+    }
+
+    #[test]
+    fn update_schedule_has_signal_and_roundtrips() {
+        let snap = run_update_replay(&ReplayOptions::for_seed(1), 1).expect("update replay");
+        assert!(snap.base_vocab > 0);
+        assert!(
+            snap.appended_tokens > 0,
+            "day 1 must surface unseen hostnames for the growth path to be exercised"
+        );
+        assert_eq!(
+            snap.grown_vocab,
+            snap.base_vocab + snap.appended_tokens,
+            "growth appends, never reorders"
+        );
+        assert!(snap.table_rebuilt, "growth forces a table rebuild");
+        assert!(snap.ticks_pre > 0 && snap.ticks_post > 0);
+        assert!(!snap.profiles.is_empty(), "post-swap serving went dark");
+        assert_ne!(
+            snap.stages.base_model, snap.stages.grown_model,
+            "the update must actually move weights"
+        );
+        let json = to_update_golden_json(&snap).expect("serialize");
+        let back = from_update_golden_json(&json).expect("parse");
+        assert_eq!(snap, back);
+        assert!(compare_update_snapshots(&snap, &back).is_empty());
+    }
+
+    #[test]
+    fn update_schedule_is_lane_and_thread_invariant() {
+        let base = run_update_replay(&ReplayOptions::for_seed(2), 1).expect("update replay");
+        let mut threaded = ReplayOptions::for_seed(2);
+        threaded.profile_threads = 4;
+        for (opts, lanes) in [
+            (ReplayOptions::for_seed(2), 4),
+            (threaded.clone(), 1),
+            (threaded, 4),
+        ] {
+            let other = run_update_replay(&opts, lanes).expect("update replay");
+            assert!(
+                compare_update_snapshots(&base, &other).is_empty(),
+                "lanes {lanes} threads {}: {:?}",
+                opts.profile_threads,
+                compare_update_snapshots(&base, &other)
+            );
         }
     }
 

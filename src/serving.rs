@@ -11,10 +11,14 @@
 //! target packet rate. The warmup doubles as the SKIPGRAM training corpus
 //! so the engine profiles against a model of the same traffic it serves.
 
-use hostprof_core::{Pipeline, PipelineConfig, ServeConfig, ServeEngine};
+use hostprof_core::{
+    ModelVersion, Pipeline, PipelineConfig, ServeConfig, ServeEngine, VersionedModel,
+};
+use hostprof_embed::{CorpusBuffer, EmbeddingSet, SkipGram};
 use hostprof_net::{ObserverStats, TrafficSynthesizer};
 use hostprof_synth::{Population, StreamConfig, TraceStream, World};
 use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Knobs of one live run.
@@ -30,6 +34,12 @@ pub struct LiveRunConfig {
     pub lanes: usize,
     /// Profiler worker threads.
     pub threads: usize,
+    /// `Some(n)`: retrain incrementally every `n` report ticks on the
+    /// windows served since the last update, and hot-swap the new model
+    /// in as a fresh version (the version bundle — unit-norm kNN copy
+    /// included — builds on a dedicated thread; ingest never stalls).
+    /// `None`: serve one fixed model for the whole run.
+    pub update_every: Option<u64>,
 }
 
 /// What a live run measured.
@@ -58,6 +68,15 @@ pub struct LiveRunReport {
     pub ingest_seconds: f64,
     /// Wall-seconds for the whole measured loop, generation included.
     pub wall_seconds: f64,
+    /// Incremental updates applied (0 when `update_every` is `None`).
+    pub updates_applied: u64,
+    /// Vocabulary size of the initially trained model.
+    pub base_vocab: usize,
+    /// Vocabulary size after the last incremental update.
+    pub final_vocab: usize,
+    /// Per-swap build+publish latency (builder thread, build start to
+    /// atomic store), milliseconds, ascending.
+    pub publish_latencies_ms: Vec<f64>,
 }
 
 impl LiveRunReport {
@@ -128,27 +147,43 @@ pub fn run_live(
         .clamp(2, 3_600_000);
 
     let pipeline = Pipeline::new(pipeline_config.clone(), world.blocklist().clone());
-    let embeddings = pipeline.train_model(&corpus)?;
-    let ontology = world.ontology();
-    let profiler = pipeline.batch_profiler(&embeddings, ontology, run.threads.max(1));
-    let mut engine = ServeEngine::new(
-        ServeConfig {
-            lanes: run.lanes,
-            session_window_ms: pipeline.config().session_window_ms(),
-            report_interval_ms: pipeline.config().report_interval_ms(),
-            ..ServeConfig::default()
-        },
-        profiler,
-        Some(pipeline.blocklist()),
-    );
-
-    // The measured loop: a fresh stream at the calibrated gap until the
-    // simulated horizon.
     let duration_ms = run.duration_s * 1000;
     let run_cfg = StreamConfig {
         mean_gap_ms,
         ..stream_cfg
     };
+    let serve_config = ServeConfig {
+        lanes: run.lanes,
+        session_window_ms: pipeline.config().session_window_ms(),
+        report_interval_ms: pipeline.config().report_interval_ms(),
+        collect_windows: run.update_every.is_some(),
+        ..ServeConfig::default()
+    };
+
+    if let Some(every) = run.update_every {
+        return run_live_updating(
+            world,
+            population,
+            pipeline_config,
+            run,
+            &pipeline,
+            &corpus,
+            serve_config,
+            run_cfg,
+            duration_ms,
+            mean_gap_ms,
+            packets_per_request,
+            every.max(1),
+        );
+    }
+
+    let embeddings = pipeline.train_model(&corpus)?;
+    let ontology = world.ontology();
+    let profiler = pipeline.batch_profiler(&embeddings, ontology, run.threads.max(1));
+    let mut engine = ServeEngine::new(serve_config, profiler, Some(pipeline.blocklist()));
+
+    // The measured loop: a fresh stream at the calibrated gap until the
+    // simulated horizon.
     let wall_started = Instant::now();
     let mut ingest_time = Duration::ZERO;
     let mut latencies_ms: Vec<f64> = Vec::new();
@@ -175,6 +210,7 @@ pub fn run_live(
     ingest_time += t.elapsed();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
 
+    let vocab = embeddings.len();
     Ok(LiveRunReport {
         mean_gap_ms,
         packets_per_request,
@@ -187,7 +223,165 @@ pub fn run_live(
         latencies_ms,
         ingest_seconds: ingest_time.as_secs_f64(),
         wall_seconds: wall_started.elapsed().as_secs_f64(),
+        updates_applied: 0,
+        base_vocab: vocab,
+        final_vocab: vocab,
+        publish_latencies_ms: Vec::new(),
     })
+}
+
+/// Retained sessions in the online trainer's reservoir.
+const UPDATE_BUFFER_CAPACITY: usize = 4096;
+/// Recency bias of the reservoir: < 1 tilts retention toward the recent
+/// past, which is the point of updating at all.
+const UPDATE_BUFFER_BIAS: f64 = 0.5;
+
+/// The `--update-every N` serving loop (DESIGN.md §14): the engine serves
+/// through a [`VersionedModel`]; every `N` fired ticks the closed windows
+/// are harvested into a decayed reservoir, the live [`SkipGram`] resumes
+/// SGD over the reservoir (growing its vocabulary in place), and the new
+/// weights are shipped to a dedicated builder thread that assembles the
+/// version bundle — labeled tables, unit-norm kNN copy, any IVF — and
+/// publishes it with one atomic store. Ingest never waits on a build;
+/// a tick fired mid-build simply serves the previous version.
+#[allow(clippy::too_many_arguments)]
+fn run_live_updating(
+    world: &World,
+    population: &Population,
+    pipeline_config: &PipelineConfig,
+    run: &LiveRunConfig,
+    pipeline: &Pipeline,
+    corpus: &[Vec<String>],
+    serve_config: ServeConfig,
+    run_cfg: StreamConfig,
+    duration_ms: u64,
+    mean_gap_ms: u64,
+    packets_per_request: f64,
+    every: u64,
+) -> Result<LiveRunReport, String> {
+    let synth = TrafficSynthesizer::default();
+    let mut model = SkipGram::train(corpus, &pipeline_config.skipgram)?;
+    let base_vocab = model.vocab().len();
+    let ontology = Arc::new(world.ontology().clone());
+    let versioned = VersionedModel::new(ModelVersion::build(
+        1,
+        model.embeddings(),
+        Arc::clone(&ontology),
+        pipeline_config.profiler.clone(),
+    ));
+    let mut buffer = CorpusBuffer::new(
+        UPDATE_BUFFER_CAPACITY,
+        UPDATE_BUFFER_BIAS,
+        run.seed ^ 0x00c0_4b05,
+    );
+    let publish_ms: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let mut updates_applied = 0u64;
+
+    let report = std::thread::scope(|scope| -> Result<LiveRunReport, String> {
+        // One builder thread serializes version builds, so publishes land
+        // in seq order even when updates outpace builds.
+        let (tx, rx) = mpsc::channel::<(u64, EmbeddingSet)>();
+        {
+            let versioned = &versioned;
+            let publish_ms = &publish_ms;
+            let ontology = Arc::clone(&ontology);
+            let profiler_config = pipeline_config.profiler.clone();
+            scope.spawn(move || {
+                for (seq, embeddings) in rx {
+                    let t = Instant::now();
+                    versioned.publish(ModelVersion::build(
+                        seq,
+                        embeddings,
+                        Arc::clone(&ontology),
+                        profiler_config.clone(),
+                    ));
+                    publish_ms
+                        .lock()
+                        .expect("publish latency lock")
+                        .push(t.elapsed().as_secs_f64() * 1000.0);
+                }
+            });
+        }
+
+        let mut engine = ServeEngine::with_versioned(
+            serve_config,
+            &versioned,
+            run.threads.max(1),
+            Some(pipeline.blocklist()),
+        );
+        let wall_started = Instant::now();
+        let mut ingest_time = Duration::ZERO;
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut ticks_since_update = 0u64;
+        let mut next_seq = 2u64;
+        for r in TraceStream::new(world, population, run_cfg) {
+            if r.t_ms > duration_ms {
+                break;
+            }
+            let packets = synth.packets_for_host(r.t_ms, r.user.0, world.hostname(r.host));
+            for pkt in &packets {
+                let t = Instant::now();
+                let ticks = engine.ingest_packet(pkt);
+                ingest_time += t.elapsed();
+                let mut due = false;
+                for tick in ticks {
+                    latencies_ms.push(tick.compute_micros as f64 / 1000.0);
+                    ticks_since_update += 1;
+                    if ticks_since_update >= every {
+                        ticks_since_update = 0;
+                        due = true;
+                    }
+                }
+                if due {
+                    for close in engine.take_closed_windows() {
+                        buffer.push(close.window);
+                    }
+                    if !buffer.is_empty() {
+                        // Resume SGD on the ingest thread (bounded by the
+                        // reservoir), then hand the weights to the builder;
+                        // serving continues on the old version meanwhile.
+                        model.update(buffer.sessions());
+                        updates_applied += 1;
+                        let seq = next_seq;
+                        next_seq += 1;
+                        tx.send((seq, model.embeddings()))
+                            .expect("builder thread alive");
+                    }
+                }
+            }
+        }
+        let t = Instant::now();
+        for tick in engine.flush() {
+            latencies_ms.push(tick.compute_micros as f64 / 1000.0);
+        }
+        ingest_time += t.elapsed();
+        drop(tx); // builder drains its queue and exits; scope joins it
+        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+        Ok(LiveRunReport {
+            mean_gap_ms,
+            packets_per_request,
+            stats: engine.stats(),
+            observer: engine.observer_stats(),
+            late_dropped: engine.windower().late_dropped(),
+            peak_resident_events: engine.windower().peak_resident_events(),
+            interned_hosts: engine.windower().interned_hosts(),
+            interned_table_bytes: engine.windower().interned_table_bytes(),
+            latencies_ms,
+            ingest_seconds: ingest_time.as_secs_f64(),
+            wall_seconds: wall_started.elapsed().as_secs_f64(),
+            updates_applied,
+            base_vocab,
+            final_vocab: 0, // filled in below, after the builder joins
+            publish_latencies_ms: Vec::new(), // likewise
+        })
+    });
+    let mut report = report?;
+    report.final_vocab = model.vocab().len();
+    let mut publish = publish_ms.into_inner().expect("publish latency lock");
+    publish.sort_by(|a, b| a.total_cmp(b));
+    report.publish_latencies_ms = publish;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -216,6 +410,7 @@ mod tests {
                 duration_s: 1_800,
                 lanes: 2,
                 threads: 1,
+                update_every: None,
             },
         )
         .expect("live run");
@@ -235,6 +430,56 @@ mod tests {
     }
 
     #[test]
+    fn updating_run_applies_updates_and_grows_the_vocab() {
+        let world = World::generate(&WorldConfig::tiny());
+        let population = Population::generate(
+            &world,
+            &PopulationConfig {
+                num_users: 12,
+                ..PopulationConfig::tiny()
+            },
+        );
+        let cfg = crate::scenario::ScenarioConfig::tiny().pipeline;
+        let report = run_live(
+            &world,
+            &population,
+            &cfg,
+            &LiveRunConfig {
+                seed: 7,
+                target_pps: 200.0,
+                duration_s: 1_800,
+                lanes: 2,
+                threads: 1,
+                update_every: Some(2),
+            },
+        )
+        .expect("updating live run");
+        assert!(report.stats.ticks > 0, "no report tick fired");
+        assert!(report.stats.profiles_emitted > 0, "nobody got profiled");
+        assert!(
+            report.updates_applied > 0,
+            "expected at least one incremental update over {} ticks",
+            report.stats.ticks
+        );
+        assert_eq!(
+            report.updates_applied as usize,
+            report.publish_latencies_ms.len(),
+            "every update must publish exactly one version"
+        );
+        assert!(report.base_vocab > 0);
+        assert!(
+            report.final_vocab >= report.base_vocab,
+            "vocab growth is append-only: {} -> {}",
+            report.base_vocab,
+            report.final_vocab
+        );
+        assert!(report
+            .publish_latencies_ms
+            .iter()
+            .all(|ms| ms.is_finite() && *ms >= 0.0));
+    }
+
+    #[test]
     fn rejects_degenerate_configs() {
         let world = World::generate(&WorldConfig::tiny());
         let population = Population::generate(&world, &PopulationConfig::tiny());
@@ -246,6 +491,7 @@ mod tests {
                 duration_s: 10,
                 lanes: 1,
                 threads: 1,
+                update_every: None,
             },
             LiveRunConfig {
                 seed: 1,
@@ -253,6 +499,7 @@ mod tests {
                 duration_s: 0,
                 lanes: 1,
                 threads: 1,
+                update_every: None,
             },
             LiveRunConfig {
                 seed: 1,
@@ -260,6 +507,7 @@ mod tests {
                 duration_s: 10,
                 lanes: 0,
                 threads: 1,
+                update_every: None,
             },
         ] {
             assert!(run_live(&world, &population, &cfg, &bad).is_err());

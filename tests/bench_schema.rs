@@ -335,6 +335,103 @@ fn bench_skipgram_json_matches_schema() {
 }
 
 #[derive(Deserialize)]
+struct UpdateBench {
+    scale: String,
+    rounds: usize,
+    base_sessions: usize,
+    dim: usize,
+    base_vocab: usize,
+    final_vocab: usize,
+    appended_tokens_total: usize,
+    per_round: Vec<UpdateRoundRow>,
+    mean_incremental_speedup: f64,
+    publish_latency_ms: UpdatePublishLatency,
+    reader_stall: UpdateReaderStall,
+    generations: Vec<Generation>,
+}
+
+#[derive(Deserialize)]
+struct UpdateRoundRow {
+    round: usize,
+    batch_sessions: usize,
+    appended_tokens: usize,
+    table_rebuilt: bool,
+    update_seconds: f64,
+    update_tokens_per_sec: f64,
+    from_scratch_seconds: f64,
+    from_scratch_tokens_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Deserialize)]
+struct UpdatePublishLatency {
+    p50_ms: f64,
+    p95_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Deserialize)]
+struct UpdateReaderStall {
+    loads: u64,
+    max_load_us: f64,
+    mean_load_us: f64,
+}
+
+#[test]
+fn bench_update_json_matches_schema() {
+    let b: UpdateBench = serde_json::from_str(&read("bench_update.json")).expect("schema drifted");
+    assert!(!b.scale.is_empty());
+    assert!(b.rounds >= 1 && b.base_sessions > 0 && b.dim > 0);
+    assert!(b.base_vocab > 0);
+    assert_eq!(
+        b.final_vocab,
+        b.base_vocab + b.appended_tokens_total,
+        "vocabulary growth must be exactly the appended tokens (id stability)"
+    );
+    assert_eq!(b.per_round.len(), b.rounds, "one row per round");
+    let mut appended_sum = 0usize;
+    for (i, r) in b.per_round.iter().enumerate() {
+        assert_eq!(r.round, i + 1, "rounds are 1-based and dense");
+        assert!(r.batch_sessions > 0);
+        appended_sum += r.appended_tokens;
+        assert!(r.update_seconds > 0.0 && r.from_scratch_seconds > 0.0);
+        assert!(r.update_tokens_per_sec > 0.0);
+        assert!(r.from_scratch_tokens_per_sec > 0.0);
+        assert!(r.speedup > 0.0);
+    }
+    assert_eq!(appended_sum, b.appended_tokens_total);
+    // The first update after a from-scratch train always rebuilds the
+    // negative table (it starts lazily unbuilt — DESIGN.md §14).
+    assert!(
+        b.per_round[0].table_rebuilt,
+        "round 1 must rebuild the negative table"
+    );
+    assert!(b.mean_incremental_speedup > 0.0);
+    // The point of the incremental path: updating must beat retraining
+    // on wall clock in the committed artifact.
+    assert!(
+        b.mean_incremental_speedup > 1.0,
+        "incremental update slower than from-scratch retrain ({}x)",
+        b.mean_incremental_speedup
+    );
+    let p = &b.publish_latency_ms;
+    assert!(p.p50_ms > 0.0 && p.p95_ms > 0.0 && p.max_ms > 0.0);
+    assert!(p.p50_ms <= p.p95_ms && p.p95_ms <= p.max_ms);
+    let s = &b.reader_stall;
+    assert!(s.loads > 0, "the reader thread never sampled a load");
+    assert!(s.mean_load_us >= 0.0 && s.max_load_us >= s.mean_load_us);
+    // The wait-free contract: a version swap may never block a reader.
+    // One `load` is a single Acquire pointer read; a millisecond-scale
+    // pause would mean a lock crept into the serve-tick read path.
+    assert!(
+        s.max_load_us < 1_000.0,
+        "reader-visible stall {} us breaks the wait-free read contract",
+        s.max_load_us
+    );
+    check_generations(&b.generations);
+}
+
+#[derive(Deserialize)]
 struct LargeBench {
     scale: String,
     smoke: bool,

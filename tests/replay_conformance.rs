@@ -15,7 +15,9 @@
 
 use hostprof::embed::{KernelChoice, Sharding};
 use hostprof::replay::{
-    compare_snapshots, from_golden_json, golden_path, run_replay, to_golden_json, ReplayOptions,
+    compare_snapshots, compare_update_snapshots, from_golden_json, from_update_golden_json,
+    golden_path, run_replay, run_update_replay, to_golden_json, to_update_golden_json,
+    update_golden_path, ReplayOptions,
 };
 use std::path::Path;
 
@@ -69,6 +71,74 @@ fn replay_matches_committed_goldens_across_the_full_matrix() {
                 }
             }
         }
+    }
+}
+
+fn read_update_golden(seed: u64) -> String {
+    let path = update_golden_path(golden_dir(), seed);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} — bless with `hostprof replay --golden tests/golden \
+             --seed {seed} --update --bless`",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn update_schedule_matches_committed_goldens_across_lanes_and_kernels() {
+    // ISSUE acceptance: the {train → serve → incremental-update → serve}
+    // schedule replays byte-identically across {1, 4} serving lanes ×
+    // {scalar, simd} kernels on each committed seed. Lane count may not
+    // shift window content (streaming-equivalence contract) and the
+    // kernels share the scalar tail path at the replay's dim = 3.
+    for seed in SEEDS {
+        let golden = read_update_golden(seed);
+        let expected = from_update_golden_json(&golden).expect("update golden parses");
+        for lanes in [1usize, 4] {
+            for kernel in [KernelChoice::Scalar, KernelChoice::Simd] {
+                let opts = ReplayOptions {
+                    seed,
+                    profile_threads: 1,
+                    kernel,
+                    sharding: Sharding::Static,
+                    perturb_embedding: None,
+                };
+                let snapshot = run_update_replay(&opts, lanes).expect("update replay runs");
+                let diffs = compare_update_snapshots(&expected, &snapshot);
+                assert!(
+                    diffs.is_empty(),
+                    "seed {seed}, lanes {lanes}, {kernel:?} diverged:\n{}",
+                    diffs.join("\n")
+                );
+                assert_eq!(
+                    to_update_golden_json(&snapshot).expect("serializes"),
+                    golden,
+                    "seed {seed}, lanes {lanes}, {kernel:?}: snapshot JSON differs \
+                     from committed golden bytes"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn update_schedule_goldens_are_seed_sensitive_and_show_growth() {
+    let g1 = from_update_golden_json(&read_update_golden(1)).expect("parses");
+    let g2 = from_update_golden_json(&read_update_golden(2)).expect("parses");
+    assert_ne!(g1.stages.base_model, g2.stages.base_model);
+    assert_ne!(g1.stages.serve_post, g2.stages.serve_post);
+    for g in [&g1, &g2] {
+        assert!(
+            g.appended_tokens > 0,
+            "seed {}: day-1 harvest grew nothing — the schedule has no signal",
+            g.seed
+        );
+        assert_eq!(g.grown_vocab, g.base_vocab + g.appended_tokens);
+        assert_ne!(
+            g.stages.base_model, g.stages.grown_model,
+            "update left the model digest unchanged"
+        );
     }
 }
 

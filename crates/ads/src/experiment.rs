@@ -176,6 +176,60 @@ impl ExperimentResult {
     }
 }
 
+/// What the eavesdropper actually saw on the wire: per-client-IP
+/// hostname timelines plus the user → client-IP mapping. When a
+/// [`CtrExperiment`] is given a view, the eavesdropper side of the loop
+/// (model training and report-window profiling) reads from it instead
+/// of ground truth, while the ad network, report cadence, impressions
+/// and clicks stay ground truth — exactly the asymmetry a deployed
+/// defense creates (DESIGN.md §15). Under NAT several users share a
+/// timeline, so each profiles a blended household.
+#[derive(Debug, Clone, Default)]
+pub struct ObservedView {
+    /// Per-client-IP `(t_ms, hostname)` observations, time-sorted.
+    pub timelines: std::collections::BTreeMap<u32, Vec<(u64, String)>>,
+    /// Client IP of each user (indexed by `UserId`).
+    pub client_of_user: Vec<u32>,
+}
+
+impl ObservedView {
+    /// One observed hostname sequence per client IP restricted to `day`,
+    /// mirroring `Trace::daily_sequences` ([start, end) on `t_ms`).
+    /// Clients with no observations that day are omitted.
+    pub fn daily_sequences(&self, day: u32) -> Vec<Vec<&str>> {
+        let start = day as u64 * DAY_MS;
+        let end = start + DAY_MS;
+        let mut out = Vec::new();
+        for seq in self.timelines.values() {
+            let lo = seq.partition_point(|&(t, _)| t < start);
+            let hi = seq.partition_point(|&(t, _)| t < end);
+            if lo < hi {
+                out.push(seq[lo..hi].iter().map(|(_, h)| h.as_str()).collect());
+            }
+        }
+        out
+    }
+
+    /// The observed session window ending at `end_ms` for `user`'s
+    /// client IP, mirroring `Trace::window`'s `(end − duration, end]`
+    /// semantics (a window reaching t = 0 keeps the request stamped 0).
+    pub fn window(&self, user: usize, end_ms: u64, duration_ms: u64) -> Vec<&str> {
+        let Some(&ip) = self.client_of_user.get(user) else {
+            return Vec::new();
+        };
+        let Some(seq) = self.timelines.get(&ip) else {
+            return Vec::new();
+        };
+        let lo = match end_ms.checked_sub(duration_ms) {
+            None => 0,
+            Some(0) if duration_ms > 0 => 0,
+            Some(start) => seq.partition_point(|&(t, _)| t <= start),
+        };
+        let hi = seq.partition_point(|&(t, _)| t <= end_ms);
+        seq[lo..hi].iter().map(|(_, h)| h.as_str()).collect()
+    }
+}
+
 /// Per-user extension state during the replay.
 #[derive(Debug, Clone, Default)]
 struct ExtensionState {
@@ -192,6 +246,7 @@ pub struct CtrExperiment<'a> {
     trace: &'a Trace,
     db: &'a AdDatabase,
     config: ExperimentConfig,
+    view: Option<&'a ObservedView>,
 }
 
 impl<'a> CtrExperiment<'a> {
@@ -209,7 +264,18 @@ impl<'a> CtrExperiment<'a> {
             trace,
             db,
             config,
+            view: None,
         }
+    }
+
+    /// Restrict the *eavesdropper's* inputs (training corpus + report
+    /// profiling windows) to an observed view; ground truth keeps driving
+    /// everything else. Profiling consumes no randomness, so the RNG
+    /// stream — and with it every impression/click draw — is unchanged,
+    /// which makes the CTR gap attributable to the defense alone.
+    pub fn with_view(mut self, view: &'a ObservedView) -> Self {
+        self.view = Some(view);
+        self
     }
 
     /// Run the replay. Day 0 is warm-up (training data only); profiling
@@ -245,13 +311,20 @@ impl<'a> CtrExperiment<'a> {
             let first_day = day.saturating_sub(self.config.training_days.max(1));
             let mut sequences: Vec<Vec<&str>> = Vec::new();
             for train_day in first_day..day {
-                sequences.extend(self.trace.daily_sequences(train_day).into_iter().map(
-                    |(_, seq)| {
-                        seq.into_iter()
-                            .map(|h| self.world.hostname(h))
-                            .collect::<Vec<&str>>()
-                    },
-                ));
+                match self.view {
+                    // The eavesdropper trains on what it observed, not on
+                    // ground truth.
+                    Some(view) => sequences.extend(view.daily_sequences(train_day)),
+                    None => {
+                        sequences.extend(self.trace.daily_sequences(train_day).into_iter().map(
+                            |(_, seq)| {
+                                seq.into_iter()
+                                    .map(|h| self.world.hostname(h))
+                                    .collect::<Vec<&str>>()
+                            },
+                        ))
+                    }
+                }
             }
             // An idle training window (e.g. no browsing yesterday) leaves
             // the eavesdropper without a model: ad-network ads still run,
@@ -308,11 +381,17 @@ impl<'a> CtrExperiment<'a> {
                         flush(&mut pending, &mut scheduled);
                     }
                     pending_tick = tick;
-                    let window =
-                        self.trace
-                            .window(r.user, r.t_ms, self.config.pipeline.session_window_ms());
-                    let hostnames: Vec<&str> =
-                        window.iter().map(|h| self.world.hostname(*h)).collect();
+                    let w = self.config.pipeline.session_window_ms();
+                    let hostnames: Vec<&str> = match self.view {
+                        // The report profiles the *observed* window —
+                        // decoys included, hidden hostnames gone.
+                        Some(view) => view.window(r.user.index(), r.t_ms, w),
+                        None => {
+                            // Borrow-friendly two-step: ids, then names.
+                            let window = self.trace.window(r.user, r.t_ms, w);
+                            window.iter().map(|h| self.world.hostname(*h)).collect()
+                        }
+                    };
                     pending.push(Session::from_window(
                         hostnames.iter().copied(),
                         Some(pipeline.blocklist()),
@@ -581,6 +660,53 @@ mod tests {
         let b = tiny_experiment();
         assert_eq!(a.per_user, b.per_user);
         assert_eq!(a.replaced, b.replaced);
+    }
+
+    #[test]
+    fn ground_truth_view_reproduces_the_plain_experiment_bitwise() {
+        let world = World::generate(&WorldConfig::tiny());
+        let pop = Population::generate(&world, &PopulationConfig::tiny());
+        let trace = Trace::generate(
+            &world,
+            &pop,
+            &TraceConfig {
+                days: 3,
+                ..TraceConfig::tiny()
+            },
+        );
+        let db = AdDatabase::generate(&world, 600, 31);
+        let config = ExperimentConfig {
+            pipeline: PipelineConfig {
+                skipgram: SkipGramConfig {
+                    epochs: 3,
+                    dim: 24,
+                    subsample: 0.0,
+                    ..SkipGramConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
+            ..Default::default()
+        };
+        // A view that mirrors ground truth exactly: one timeline per
+        // user, every request visible.
+        let mut view = ObservedView {
+            client_of_user: (0..pop.len() as u32).collect(),
+            ..Default::default()
+        };
+        for r in trace.requests() {
+            view.timelines
+                .entry(r.user.0)
+                .or_default()
+                .push((r.t_ms, world.hostname(r.host).to_string()));
+        }
+        let plain = CtrExperiment::new(&world, &pop, &trace, &db, config.clone()).run();
+        let viewed = CtrExperiment::new(&world, &pop, &trace, &db, config)
+            .with_view(&view)
+            .run();
+        assert_eq!(plain.per_user, viewed.per_user);
+        assert_eq!(plain.replaced, viewed.replaced);
+        assert_eq!(plain.profiles, viewed.profiles);
+        assert_eq!(plain.daily_topics_eaves, viewed.daily_topics_eaves);
     }
 
     #[test]

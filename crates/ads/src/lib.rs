@@ -35,5 +35,5 @@ pub mod network;
 pub use ad::{Ad, AdDatabase, AdId, CreativeSize, HarvestStats};
 pub use click::ClickModel;
 pub use eavesdropper::EavesdropperSelector;
-pub use experiment::{CtrExperiment, ExperimentConfig, ExperimentResult, UserCtr};
+pub use experiment::{CtrExperiment, ExperimentConfig, ExperimentResult, ObservedView, UserCtr};
 pub use network::{AdNetwork, AdNetworkConfig, ServedAdKind};

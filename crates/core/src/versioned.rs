@@ -243,10 +243,7 @@ mod tests {
         let ont = ontology(&HOSTS[..3]);
         let v = ModelVersion::build(9, set.clone(), ont.clone(), ProfilerConfig::default());
         let fresh = Profiler::new(&set, &ont, ProfilerConfig::default());
-        let session = Session::from_window(
-            ["news.example", "game.example", "video.example"],
-            None,
-        );
+        let session = Session::from_window(["news.example", "game.example", "video.example"], None);
         let a = v.profiler().profile(&session).expect("profile");
         let b = fresh.profile(&session).expect("profile");
         assert_eq!(

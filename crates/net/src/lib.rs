@@ -56,4 +56,4 @@ pub use error::ParseError;
 pub use flow::{FlowKey, FlowStats, FlowTable};
 pub use observer::{Observation, ObserverConfig, ObserverStats, SniObserver};
 pub use packet::{Endpoint, Packet, Transport};
-pub use synthesize::{Addressing, RequestEvent, TrafficSynthesizer};
+pub use synthesize::{Addressing, RequestEvent, TrafficSynthesizer, WireOverride};

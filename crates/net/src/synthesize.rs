@@ -96,6 +96,28 @@ impl Default for TrafficSynthesizer {
     }
 }
 
+/// Per-event wire-behaviour override — the hook the defense layer uses
+/// to force protocol choices for individual (client, hostname) events
+/// without mutating synthesizer-wide fractions. The default override is
+/// a no-op: [`TrafficSynthesizer::packets_for_host_with`] under
+/// `WireOverride::default()` is bit-identical to
+/// [`TrafficSynthesizer::packets_for_host`] (every salted threshold draw
+/// is an independent pure function of the event, so skipping or forcing
+/// one branch never perturbs another).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireOverride<'a> {
+    /// Force this connection to hide its hostname with ECH (TCP path;
+    /// also suppresses the QUIC branch, whose Initials here always carry
+    /// a readable ClientHello).
+    pub force_ech: bool,
+    /// Force a leading DNS lookup regardless of `dns_fraction`.
+    pub force_dns: bool,
+    /// Resolver hostname for the forced/feature DNS lookup; when set the
+    /// lookup travels over DoH (TLS to this resolver) even if the
+    /// synthesizer itself has no `doh_resolver`.
+    pub doh_resolver: Option<&'a str>,
+}
+
 /// SplitMix64: cheap deterministic per-event hash.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -120,6 +142,20 @@ impl TrafficSynthesizer {
     /// request without allocating a `RequestEvent` (and its owned
     /// `String`) per packet burst.
     pub fn packets_for_host(&self, t_ms: u64, client: u32, hostname: &str) -> Vec<Packet> {
+        self.packets_for_host_with(t_ms, client, hostname, WireOverride::default())
+    }
+
+    /// [`Self::packets_for_host`] with a per-event [`WireOverride`]. The
+    /// defense layer uses this to force ECH, DNS presence, or a DoH
+    /// resolver for individual events; under the default override the
+    /// output is bit-identical to the un-overridden path.
+    pub fn packets_for_host_with(
+        &self,
+        t_ms: u64,
+        client: u32,
+        hostname: &str,
+        ov: WireOverride<'_>,
+    ) -> Vec<Packet> {
         let mut out = Vec::with_capacity(2);
         let hhash = hash_hostname(hostname);
         let ehash = splitmix64(
@@ -134,8 +170,9 @@ impl TrafficSynthesizer {
         let frac =
             |salt: u64| -> f64 { (splitmix64(ehash ^ salt) >> 11) as f64 / (1u64 << 53) as f64 };
 
-        if frac(0xD45) < self.dns_fraction {
-            match &self.doh_resolver {
+        if ov.force_dns || frac(0xD45) < self.dns_fraction {
+            let resolver: Option<&str> = ov.doh_resolver.or(self.doh_resolver.as_deref());
+            match resolver {
                 // DoH: the query travels inside TLS to the resolver; only
                 // the resolver's own SNI is visible on the wire.
                 Some(resolver) => out.push(Packet {
@@ -155,7 +192,7 @@ impl TrafficSynthesizer {
             }
         }
 
-        if frac(0x901C) < self.quic_fraction {
+        if !ov.force_ech && frac(0x901C) < self.quic_fraction {
             out.push(Packet {
                 t_ms,
                 src: Endpoint::new(src_ip, sport),
@@ -164,7 +201,7 @@ impl TrafficSynthesizer {
                 payload: Bytes::from(InitialPacket::for_hostname(hostname).encode()),
             });
         } else {
-            let hello = if frac(0xEC4) < self.ech_fraction {
+            let hello = if ov.force_ech || frac(0xEC4) < self.ech_fraction {
                 ClientHello::with_ech(96)
             } else {
                 ClientHello::for_hostname(hostname)
@@ -348,6 +385,58 @@ mod tests {
             .map(|o| o.hostname.as_str())
             .collect();
         assert_eq!(names, vec!["dns.resolver.example"]);
+        assert_eq!(obs.stats().dns_names, 0, "no plaintext DNS on the wire");
+    }
+
+    #[test]
+    fn default_override_is_bit_identical() {
+        let synth = TrafficSynthesizer::default();
+        for i in 0..500u64 {
+            let host = format!("site{}.example.com", i % 31);
+            assert_eq!(
+                synth.packets_for_host(i * 7, (i % 9) as u32, &host),
+                synth.packets_for_host_with(i * 7, (i % 9) as u32, &host, WireOverride::default()),
+            );
+        }
+    }
+
+    #[test]
+    fn force_ech_hides_the_hostname_even_on_quic_events() {
+        let synth = TrafficSynthesizer {
+            quic_fraction: 1.0,
+            ..Default::default()
+        };
+        let ov = WireOverride {
+            force_ech: true,
+            ..Default::default()
+        };
+        let packets = synth.packets_for_host_with(0, 1, "secret.example", ov);
+        let mut obs = SniObserver::new();
+        obs.process_stream(&packets);
+        assert!(obs.observations().is_empty());
+        assert_eq!(obs.stats().hidden, 1, "forced ECH overrides QUIC");
+    }
+
+    #[test]
+    fn force_dns_with_doh_resolver_leaks_only_the_resolver() {
+        let synth = TrafficSynthesizer {
+            quic_fraction: 0.0,
+            ..Default::default()
+        };
+        let ov = WireOverride {
+            force_ech: true,
+            force_dns: true,
+            doh_resolver: Some("doh.defense.example"),
+        };
+        let packets = synth.packets_for_host_with(100, 1, "secret.example", ov);
+        let mut obs = SniObserver::new().with_dns_harvesting();
+        obs.process_stream(&packets);
+        let names: Vec<&str> = obs
+            .observations()
+            .iter()
+            .map(|o| o.hostname.as_str())
+            .collect();
+        assert_eq!(names, vec!["doh.defense.example"]);
         assert_eq!(obs.stats().dns_names, 0, "no plaintext DNS on the wire");
     }
 

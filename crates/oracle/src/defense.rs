@@ -1,0 +1,442 @@
+//! Naive defense-transform reference (DESIGN.md §15).
+//!
+//! An independently written twin of `hostprof-defense`'s
+//! [`DefensePlan`]: every decoy count, cover hostname, padding offset
+//! and wire decision is recomputed here from the written spec — plain
+//! loops, an insertion sort instead of `sort_by_key`, a linear-scan
+//! catalog instead of a hash map. The two paths must agree *exactly*
+//! (the transform is integer/string-valued, so there is no float
+//! tolerance to hide behind); any disagreement is a [`Stage::Defense`]
+//! mismatch naming the first diverging event.
+//!
+//! The invariants this module pins (and the proptests replay):
+//!
+//! * **Spec-recomputable randomness** — each injected event depends only
+//!   on `(seed, t_ms, client, hostname)` through splitmix64 over FNV-1a,
+//!   never on iteration state, so the oracle can derive it per event.
+//! * **Identity points are no-ops** — at `ech@0`, `dummy@0`, `pad@0`,
+//!   `adaptive@0`, `doh@0` and `nat@1` the oracle transform returns its
+//!   input unchanged and every wire decision is the default.
+//! * **Order preservation** — real events survive any defense as a
+//!   subsequence, in trace order, because injected offsets are strictly
+//!   forward in time and the sort is stable.
+
+use crate::{DiffReport, Mismatch, Stage};
+use hostprof_defense::{
+    Defense, DefensePlan, ADAPTIVE_NEIGHBORHOOD, DOH_RESOLVER, PAD_COVER_PREFIX,
+};
+use hostprof_net::synthesize::RequestEvent;
+
+/// splitmix64, transcribed from the spec in DESIGN.md §9/§15.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a 64, byte by byte.
+pub fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Top 53 bits mapped to `[0, 1)`.
+pub fn to_unit(x: u64) -> f64 {
+    (x >> 11) as f64 / 9_007_199_254_740_992.0 // 2^53
+}
+
+/// The naive catalog: `(host_id, name, popularity)` rows ordered by
+/// popularity descending with host-id ascending on ties, via an explicit
+/// comparison-counting selection rather than a library sort.
+pub struct OracleCatalog {
+    /// Hostnames in rank order (0 = most popular).
+    pub names: Vec<String>,
+}
+
+impl OracleCatalog {
+    /// Rank rows the slow way: each row's rank is the number of rows
+    /// strictly ahead of it (more popular, or equally popular with a
+    /// smaller host id).
+    pub fn from_rows(rows: &[(u32, String, f64)]) -> Self {
+        let mut names = vec![String::new(); rows.len()];
+        for (id, name, pop) in rows {
+            let ahead = rows
+                .iter()
+                .filter(|(oid, _, opop)| {
+                    opop > pop || (opop == pop && oid < id) || (pop.is_nan() && !opop.is_nan())
+                })
+                .count();
+            names[ahead] = name.clone();
+        }
+        Self { names }
+    }
+
+    /// Linear-scan rank lookup.
+    pub fn rank_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// Per-event hash, recomputed from the event fields and plan seed.
+fn event_hash(seed: u64, t_ms: u64, client: u32, hostname: &str) -> u64 {
+    mix64(
+        fnv(hostname.as_bytes())
+            ^ mix64(t_ms)
+            ^ (client as u64).wrapping_mul(0x517c_c1b7_2722_0a95)
+            ^ mix64(seed ^ 0xdefe_45e0),
+    )
+}
+
+/// Naive ECH decision: hidden iff the hostname's rank is inside the
+/// rounded adoption prefix.
+pub fn ech_hidden(defense: Defense, catalog: &OracleCatalog, hostname: &str) -> bool {
+    let Defense::Ech { adoption } = defense else {
+        return false;
+    };
+    let cut = (adoption.clamp(0.0, 1.0) * catalog.names.len() as f64).round() as usize;
+    match catalog.rank_of(hostname) {
+        Some(r) => r < cut,
+        None => false,
+    }
+}
+
+/// Naive DoH decision: the client's migration hash under the adoption
+/// threshold.
+pub fn doh_migrated(defense: Defense, seed: u64, client: u32) -> bool {
+    let Defense::Doh { adoption } = defense else {
+        return false;
+    };
+    to_unit(mix64(
+        seed ^ 0xd0e0 ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    )) < adoption
+}
+
+/// The wire decision for one event as a plain tuple:
+/// `(force_ech, force_dns, resolver)`.
+pub fn wire_decision(
+    defense: Defense,
+    catalog: &OracleCatalog,
+    seed: u64,
+    client: u32,
+    hostname: &str,
+) -> (bool, bool, Option<&'static str>) {
+    if ech_hidden(defense, catalog, hostname) {
+        (true, false, None)
+    } else if doh_migrated(defense, seed, client) {
+        (true, true, Some(DOH_RESOLVER))
+    } else {
+        (false, false, None)
+    }
+}
+
+/// Decoy/cover events injected after one real event, recomputed from
+/// the spec.
+pub fn injected(
+    defense: Defense,
+    catalog: &OracleCatalog,
+    seed: u64,
+    t_ms: u64,
+    client: u32,
+    hostname: &str,
+) -> Vec<RequestEvent> {
+    let n = catalog.names.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let eh = event_hash(seed, t_ms, client, hostname);
+    match defense {
+        Defense::Dummy { rate } => {
+            let rate = if rate < 0.0 { 0.0 } else { rate };
+            let whole = rate.floor() as usize;
+            let extra = if to_unit(mix64(eh ^ 0x00d0)) < rate - rate.floor() {
+                1
+            } else {
+                0
+            };
+            for i in 0..whole + extra {
+                let u = to_unit(mix64(eh ^ (0xd117 + i as u64)));
+                let mut idx = (u * u * n as f64) as usize;
+                if idx > n - 1 {
+                    idx = n - 1;
+                }
+                out.push(RequestEvent {
+                    t_ms: t_ms + 7 + 13 * i as u64,
+                    client,
+                    hostname: catalog.names[idx].clone(),
+                });
+            }
+        }
+        Defense::PadConstant { pad_per_event } => {
+            let prefix = if PAD_COVER_PREFIX < n {
+                PAD_COVER_PREFIX
+            } else {
+                n
+            };
+            for i in 0..pad_per_event as usize {
+                let idx = (eh.wrapping_add(i as u64) % prefix as u64) as usize;
+                out.push(RequestEvent {
+                    t_ms: t_ms + 3 + 5 * i as u64,
+                    client,
+                    hostname: catalog.names[idx].clone(),
+                });
+            }
+        }
+        Defense::PadAdaptive { intensity } => {
+            let intensity = if intensity < 0.0 { 0.0 } else { intensity };
+            let whole = intensity.floor() as usize;
+            let extra = if to_unit(mix64(eh ^ 0x0ada)) < intensity - intensity.floor() {
+                1
+            } else {
+                0
+            };
+            let anchor = match catalog.rank_of(hostname) {
+                Some(r) => r,
+                None => {
+                    let u = to_unit(mix64(eh ^ 0x0a0c));
+                    let mut idx = (u * u * n as f64) as usize;
+                    if idx > n - 1 {
+                        idx = n - 1;
+                    }
+                    idx
+                }
+            };
+            let width = (2 * ADAPTIVE_NEIGHBORHOOD + 1) as u64;
+            for i in 0..whole + extra {
+                let d =
+                    (mix64(eh ^ (0xada0 + i as u64)) % width) as i64 - ADAPTIVE_NEIGHBORHOOD as i64;
+                let mut idx = anchor as i64 + d;
+                if idx < 0 {
+                    idx = 0;
+                }
+                if idx > n as i64 - 1 {
+                    idx = n as i64 - 1;
+                }
+                let shift = if i < 20 { i } else { 20 };
+                out.push(RequestEvent {
+                    t_ms: t_ms + (1u64 << shift) * 250,
+                    client,
+                    hostname: catalog.names[idx as usize].clone(),
+                });
+            }
+        }
+        Defense::Ech { .. } | Defense::Nat { .. } | Defense::Doh { .. } => {}
+    }
+    out
+}
+
+/// The naive trace transform: real events each followed by their
+/// injections, then a stable insertion sort on `t_ms` (equal timestamps
+/// keep emission order, exactly like the production stable sort).
+pub fn transform(
+    defense: Defense,
+    catalog: &OracleCatalog,
+    seed: u64,
+    events: &[RequestEvent],
+) -> Vec<RequestEvent> {
+    let mut out: Vec<RequestEvent> = Vec::new();
+    for ev in events {
+        out.push(ev.clone());
+        for inj in injected(defense, catalog, seed, ev.t_ms, ev.client, &ev.hostname) {
+            out.push(inj);
+        }
+    }
+    // Insertion sort: shift each element left past strictly later ones.
+    for i in 1..out.len() {
+        let mut j = i;
+        while j > 0 && out[j - 1].t_ms > out[j].t_ms {
+            out.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    out
+}
+
+/// Naive NAT address: `base_ip + client / users_per_ip`, identity at
+/// pool size ≤ 1 (same address as per-client).
+pub fn nat_address(defense: Defense, base_ip: u32, client: u32) -> u32 {
+    match defense {
+        Defense::Nat { users_per_ip } if users_per_ip > 1 => {
+            base_ip.wrapping_add(client / users_per_ip)
+        }
+        _ => base_ip.wrapping_add(client),
+    }
+}
+
+/// Diff the production [`DefensePlan`] against the naive twin on one
+/// event stream: the full transform output plus every per-event wire
+/// decision. Every divergence is a [`Stage::Defense`] mismatch.
+pub fn diff_transform(plan: &DefensePlan, events: &[RequestEvent]) -> DiffReport {
+    let mut report = DiffReport::default();
+    let rows: Vec<(u32, String, f64)> = (0..plan.catalog().len())
+        .map(|i| (i as u32, plan.catalog().name(i).to_string(), -(i as f64)))
+        .collect();
+    let catalog = OracleCatalog::from_rows(&rows);
+    let defense = plan.defense();
+    let seed = plan.seed();
+
+    let produced = plan.transform(events);
+    let expected = transform(defense, &catalog, seed, events);
+    if produced.len() != expected.len() {
+        report.check_failed(Mismatch {
+            stage: Stage::Defense,
+            item: "transform".into(),
+            max_abs: (produced.len() as f64 - expected.len() as f64).abs(),
+            max_ulp: 0,
+            detail: format!(
+                "event count: production {} vs oracle {}",
+                produced.len(),
+                expected.len()
+            ),
+        });
+    } else {
+        for (i, (p, e)) in produced.iter().zip(&expected).enumerate() {
+            if p == e {
+                report.check_ok();
+            } else {
+                report.check_failed(Mismatch {
+                    stage: Stage::Defense,
+                    item: format!("transform[{i}]"),
+                    max_abs: 0.0,
+                    max_ulp: 0,
+                    detail: format!("production {p:?} vs oracle {e:?}"),
+                });
+            }
+        }
+    }
+
+    for ev in events {
+        let ov = plan.wire_override(ev.client, &ev.hostname);
+        let (force_ech, force_dns, resolver) =
+            wire_decision(defense, &catalog, seed, ev.client, &ev.hostname);
+        if ov.force_ech == force_ech && ov.force_dns == force_dns && ov.doh_resolver == resolver {
+            report.check_ok();
+        } else {
+            report.check_failed(Mismatch {
+                stage: Stage::Defense,
+                item: format!("wire[{}/{}]", ev.client, ev.hostname),
+                max_abs: 0.0,
+                max_ulp: 0,
+                detail: format!(
+                    "production {ov:?} vs oracle ({force_ech}, {force_dns}, {resolver:?})"
+                ),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostprof_defense::HostCatalog;
+
+    fn plan(d: Defense, n: usize, seed: u64) -> DefensePlan {
+        let catalog = HostCatalog::from_hosts(
+            (0..n).map(|i| (i as u32, format!("host{i}.test"), 1.0 / (i as f64 + 1.0))),
+        );
+        DefensePlan::new(d, catalog, seed)
+    }
+
+    fn events() -> Vec<RequestEvent> {
+        (0..60)
+            .map(|i| RequestEvent {
+                t_ms: (i / 3) * 50, // duplicate timestamps exercise sort stability
+                client: (i % 7) as u32,
+                hostname: format!("host{}.test", i % 25),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn production_matches_the_oracle_on_every_defense() {
+        let evs = events();
+        for d in [
+            Defense::Ech { adoption: 0.4 },
+            Defense::Dummy { rate: 1.6 },
+            Defense::PadConstant { pad_per_event: 3 },
+            Defense::PadAdaptive { intensity: 2.2 },
+            Defense::Nat { users_per_ip: 4 },
+            Defense::Doh { adoption: 0.5 },
+        ] {
+            let report = diff_transform(&plan(d, 30, 17), &evs);
+            assert!(report.is_clean(), "{d:?}:\n{}", report.summary());
+            assert!(report.items_checked > evs.len());
+        }
+    }
+
+    #[test]
+    fn oracle_identity_points_are_no_ops() {
+        let evs = events();
+        let rows: Vec<(u32, String, f64)> = (0..30)
+            .map(|i| (i, format!("host{i}.test"), 1.0 / (i as f64 + 1.0)))
+            .collect();
+        let catalog = OracleCatalog::from_rows(&rows);
+        for d in [
+            Defense::Ech { adoption: 0.0 },
+            Defense::Dummy { rate: 0.0 },
+            Defense::PadConstant { pad_per_event: 0 },
+            Defense::PadAdaptive { intensity: 0.0 },
+            Defense::Doh { adoption: 0.0 },
+            Defense::Nat { users_per_ip: 1 },
+        ] {
+            assert_eq!(transform(d, &catalog, 7, &evs), evs, "{d:?}");
+            for ev in &evs {
+                assert_eq!(
+                    wire_decision(d, &catalog, 7, ev.client, &ev.hostname),
+                    (false, false, None),
+                    "{d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_sabotaged_seed_is_caught_and_attributed() {
+        // Same defense, different seed: the twin recomputes decoys from
+        // the plan's own seed, so to sabotage we compare two plans'
+        // outputs by hand.
+        let evs = events();
+        let a = plan(Defense::Dummy { rate: 2.0 }, 30, 1).transform(&evs);
+        let b = plan(Defense::Dummy { rate: 2.0 }, 30, 2).transform(&evs);
+        assert_ne!(a, b, "seed must decorrelate decoy draws");
+        // And a direct mismatch surfaces as a Defense-stage report.
+        let rows: Vec<(u32, String, f64)> = (0..30)
+            .map(|i| (i, format!("host{i}.test"), 1.0 / (i as f64 + 1.0)))
+            .collect();
+        let catalog = OracleCatalog::from_rows(&rows);
+        let expected = transform(Defense::Dummy { rate: 2.0 }, &catalog, 1, &evs);
+        assert_ne!(b.len(), 0);
+        assert_eq!(a, expected, "twin disagrees with production at seed 1");
+    }
+
+    #[test]
+    fn naive_catalog_ranks_like_production() {
+        let rows = vec![
+            (2u32, "b.test".to_string(), 0.5),
+            (1, "a.test".to_string(), 0.5),
+            (0, "c.test".to_string(), 0.9),
+        ];
+        let naive = OracleCatalog::from_rows(&rows);
+        let prod = HostCatalog::from_hosts(rows);
+        for i in 0..3 {
+            assert_eq!(naive.names[i], prod.name(i));
+        }
+    }
+
+    #[test]
+    fn nat_addresses_fold_pools_and_identity_at_one() {
+        for c in 0..32 {
+            assert_eq!(nat_address(Defense::Nat { users_per_ip: 1 }, 10, c), 10 + c);
+            assert_eq!(
+                nat_address(Defense::Nat { users_per_ip: 4 }, 10, c),
+                10 + c / 4
+            );
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //!
 //! Module map (one per pipeline stage):
 //!
+//! * [`defense`] — naive twin of every §15 defense transform: decoy
+//!   injection, padding schedules, ECH/DoH wire decisions, NAT folding
 //! * [`sni`] — TLS ClientHello / QUIC Initial SNI recovery (§4.1)
 //! * [`window`] — session windowing + dedup + blocklist filtering (§4.1)
 //! * [`sgd`] — skipgram-with-negative-sampling reference trainer (§4.2)
@@ -34,6 +36,7 @@
 //! to share plain data types.
 
 pub mod ann;
+pub mod defense;
 pub mod diff;
 pub mod driver;
 pub mod intern;
@@ -50,6 +53,9 @@ use std::fmt;
 /// Pipeline stage a mismatch is attributed to, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
+    /// Trace/wire-level defense transform (decoys, padding, ECH/DoH
+    /// decisions, NAT address folding) — upstream of capture.
+    Defense,
     /// TLS/QUIC SNI extraction.
     Sni,
     /// Session windowing, dedup, blocklist filtering.
@@ -72,6 +78,7 @@ pub enum Stage {
 impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
+            Stage::Defense => "defense",
             Stage::Sni => "sni",
             Stage::Window => "window",
             Stage::Train => "train",

@@ -357,7 +357,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 
 fn cmd_replay_conformance(args: &Args) -> Result<(), String> {
     args.expect_keys(&[
-        "seed", "golden", "bless", "threads", "kernel", "sharding", "update",
+        "seed", "golden", "bless", "threads", "kernel", "sharding", "update", "defense",
     ])?;
     let golden_dir: PathBuf = args
         .get("golden")
@@ -378,6 +378,9 @@ fn cmd_replay_conformance(args: &Args) -> Result<(), String> {
     }
     if args.flag("update") {
         return cmd_replay_update(args, &opts, &golden_dir, seed);
+    }
+    if args.flag("defense") {
+        return cmd_replay_defense(args, &opts, &golden_dir, seed);
     }
 
     let snapshot = hostprof::replay::run_replay(&opts)?;
@@ -462,6 +465,53 @@ fn cmd_replay_update(
         }
         Err(format!(
             "replay --update seed {seed}: {} divergence(s) from {}",
+            diffs.len(),
+            path.display()
+        ))
+    }
+}
+
+/// Conformance for the defense schedule (§15: every defense axis through
+/// capture → train → serve), `hostprof replay --defense`. The canonical
+/// golden is the single-lane run; `serve --golden` reproduces it at every
+/// lane count.
+fn cmd_replay_defense(
+    args: &Args,
+    opts: &hostprof::replay::ReplayOptions,
+    golden_dir: &std::path::Path,
+    seed: u64,
+) -> Result<(), String> {
+    let snapshot = hostprof::replay::run_defense_replay(opts, 1)?;
+    let path = hostprof::replay::defense_golden_path(golden_dir, seed);
+    if args.flag("bless") {
+        std::fs::create_dir_all(golden_dir).map_err(|e| e.to_string())?;
+        std::fs::write(&path, hostprof::replay::to_defense_golden_json(&snapshot)?)
+            .map_err(|e| e.to_string())?;
+        println!("blessed {}", path.display());
+        return Ok(());
+    }
+    let contents = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "read golden {}: {e} (run with --bless to create it)",
+            path.display()
+        )
+    })?;
+    let expected = hostprof::replay::from_defense_golden_json(&contents)?;
+    let diffs = hostprof::replay::compare_defense_snapshots(&expected, &snapshot);
+    if diffs.is_empty() {
+        println!(
+            "replay --defense seed {seed}: OK — {} cases (identity bit-equal to baseline), \
+             all digests match {}",
+            snapshot.cases.len(),
+            path.display()
+        );
+        Ok(())
+    } else {
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        Err(format!(
+            "replay --defense seed {seed}: {} divergence(s) from {}",
             diffs.len(),
             path.display()
         ))
@@ -573,13 +623,43 @@ fn cmd_serve_golden(args: &Args) -> Result<(), String> {
     })?;
     let expected = hostprof::replay::from_update_golden_json(&contents)?;
     let diffs = hostprof::replay::compare_update_snapshots(&expected, &update_snapshot);
+    if !diffs.is_empty() {
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        return Err(format!(
+            "serve --golden seed {seed} lanes {lanes}: update schedule {} divergence(s) from {}",
+            diffs.len(),
+            update_path.display()
+        ));
+    }
+    println!(
+        "serve --golden seed {seed} lanes {lanes}: OK — update schedule (vocab {} → {}) \
+         bit-identical to {}",
+        update_snapshot.base_vocab,
+        update_snapshot.grown_vocab,
+        update_path.display()
+    );
+
+    // And the defense schedule: every §15 defense axis streamed through
+    // the serving engine at this lane count must reproduce the golden
+    // blessed by the canonical single-lane `replay --defense` run.
+    let defense_snapshot = hostprof::replay::run_defense_replay(&opts, lanes)?;
+    let defense_path = hostprof::replay::defense_golden_path(&golden_dir, seed);
+    let contents = std::fs::read_to_string(&defense_path).map_err(|e| {
+        format!(
+            "read golden {}: {e} (bless it via `hostprof replay --golden ... --defense --bless`)",
+            defense_path.display()
+        )
+    })?;
+    let expected = hostprof::replay::from_defense_golden_json(&contents)?;
+    let diffs = hostprof::replay::compare_defense_snapshots(&expected, &defense_snapshot);
     if diffs.is_empty() {
         println!(
-            "serve --golden seed {seed} lanes {lanes}: OK — update schedule (vocab {} → {}) \
+            "serve --golden seed {seed} lanes {lanes}: OK — defense schedule ({} cases) \
              bit-identical to {}",
-            update_snapshot.base_vocab,
-            update_snapshot.grown_vocab,
-            update_path.display()
+            defense_snapshot.cases.len(),
+            defense_path.display()
         );
         Ok(())
     } else {
@@ -587,9 +667,9 @@ fn cmd_serve_golden(args: &Args) -> Result<(), String> {
             eprintln!("  {d}");
         }
         Err(format!(
-            "serve --golden seed {seed} lanes {lanes}: update schedule {} divergence(s) from {}",
+            "serve --golden seed {seed} lanes {lanes}: defense schedule {} divergence(s) from {}",
             diffs.len(),
-            update_path.display()
+            defense_path.display()
         ))
     }
 }
@@ -679,6 +759,104 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `lo:hi:step` (CLI units) into an inclusive sweep.
+fn parse_sweep(spec: &str) -> Result<Vec<f64>, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [lo, hi, step] = parts.as_slice() else {
+        return Err(format!("invalid sweep '{spec}' (expected lo:hi:step)"));
+    };
+    let lo: f64 = lo
+        .parse()
+        .map_err(|_| format!("invalid sweep start '{lo}'"))?;
+    let hi: f64 = hi
+        .parse()
+        .map_err(|_| format!("invalid sweep end '{hi}'"))?;
+    let step: f64 = step
+        .parse()
+        .map_err(|_| format!("invalid sweep step '{step}'"))?;
+    if step <= 0.0 || hi < lo {
+        return Err(format!(
+            "invalid sweep '{spec}' (need step > 0 and hi >= lo)"
+        ));
+    }
+    let mut out = Vec::new();
+    let mut x = lo;
+    while x <= hi + 1e-9 {
+        out.push(x.min(hi));
+        x += step;
+    }
+    Ok(out)
+}
+
+/// Degradation curves: run one defense axis (or all six) through the
+/// full pipeline at swept intensities and print the curve table.
+fn cmd_defend(args: &Args) -> Result<(), String> {
+    args.expect_keys(&[
+        "scale", "days", "users", "defense", "sweep", "seed", "threads", "no-ctr",
+    ])?;
+    let cfg = scenario_config(args)?;
+    let which = args.get("defense").unwrap_or("all");
+    let names: Vec<&str> = if which == "all" {
+        hostprof::defend::DEFENSE_NAMES.to_vec()
+    } else if hostprof::defend::DEFENSE_NAMES.contains(&which) {
+        vec![which]
+    } else {
+        return Err(format!(
+            "unknown defense '{which}' (expected all or one of: {})",
+            hostprof::defend::DEFENSE_NAMES.join(", ")
+        ));
+    };
+    let sweep_override = args.get("sweep").map(parse_sweep).transpose()?;
+    let seed = args.get_parsed::<u64>("seed")?.unwrap_or(0x00de_f5ed);
+    let s = Scenario::generate(&cfg);
+    let mut ev = hostprof::DefenseEvaluator::new(&s, seed);
+    ev.with_ctr = !args.flag("no-ctr");
+    if let Some(threads) = args.get_parsed::<usize>("threads")? {
+        ev.profile_threads = threads;
+    }
+    for name in names {
+        let sweep = match &sweep_override {
+            Some(v) => v.clone(),
+            None => hostprof::defend::default_sweep(name).expect("known defense"),
+        };
+        let curve = ev
+            .eval_curve(name, &sweep)
+            .ok_or_else(|| format!("defense '{name}' rejected its sweep"))?;
+        println!("defense {name}:");
+        println!(
+            "  {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>9}",
+            "intensity", "recovery%", "purity", "divergence", "accuracy", "ctr_gap", "sessions"
+        );
+        for p in &curve.points {
+            println!(
+                "  {:>10.2} {:>10.2} {:>8.3} {:>10.3} {:>9.3} {:>+9.4} {:>9}{}",
+                p.intensity,
+                p.recovery_pct,
+                p.purity,
+                p.divergence,
+                p.mean_accuracy,
+                p.ctr_gap * 100.0,
+                p.sessions_profiled,
+                match p.identity_bit_equal {
+                    Some(true) => "  [identity: bit-equal]",
+                    Some(false) => "  [identity: DIVERGED]",
+                    None => "",
+                }
+            );
+        }
+        if curve
+            .points
+            .iter()
+            .any(|p| p.identity_bit_equal == Some(false))
+        {
+            return Err(format!(
+                "defense '{name}': identity point diverged from the undefended baseline"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_experiment(args: &Args) -> Result<(), String> {
     args.expect_keys(&["scale", "days", "users"])?;
     let cfg = scenario_config(args)?;
@@ -724,7 +902,9 @@ USAGE:
   hostprof replay     --capture capture.hpcap [--dns]
   hostprof replay     --golden tests/golden [--seed S] [--bless] [--threads N]
                       [--kernel auto|scalar|simd] [--sharding static|balanced]
-                      [--update]
+                      [--update | --defense]
+  hostprof defend     [--scale S] [--days N] [--users N] [--defense NAME|all]
+                      [--sweep LO:HI:STEP] [--seed S] [--threads N] [--no-ctr]
   hostprof serve      [--scale S] [--users N] [--pps F] [--duration SIM_SECONDS]
                       [--lanes N] [--threads N] [--seed S] [--update-every TICKS]
   hostprof serve      --golden tests/golden [--seed S] [--lanes N] [--threads N]
@@ -743,6 +923,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args),
         "observe" => cmd_observe(&args),
         "replay" => cmd_replay(&args),
+        "defend" => cmd_defend(&args),
         "serve" => cmd_serve(&args),
         "experiment" => cmd_experiment(&args),
         "help" | "--help" | "-h" => {

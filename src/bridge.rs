@@ -8,6 +8,7 @@
 //! run off *observed* data and we can quantify the observer's fidelity
 //! (and how ECH or NAT degrade it, §7.2/§7.4 of the paper).
 
+use hostprof_defense::DefensePlan;
 use hostprof_net::{chaos, Addressing, ChaosConfig, RequestEvent, SniObserver, TrafficSynthesizer};
 use hostprof_synth::{Trace, UserId, World};
 use serde::{Deserialize, Serialize};
@@ -129,6 +130,83 @@ impl ObservedTrace {
             chaos_stats,
             ground_truth_requests: trace.requests().len(),
         }
+    }
+
+    /// Like [`ObservedTrace::capture`], but with a [`DefensePlan`]
+    /// applied between the trace and the wire (DESIGN.md §15): the event
+    /// stream is transformed (decoys, padding), each event is lowered
+    /// with its per-event wire override (forced ECH, DoH migration), and
+    /// NAT mixing swaps the addressing. At a defense's identity point the
+    /// packet stream — and therefore the whole capture — is bit-equal to
+    /// the undefended [`ObservedTrace::capture`].
+    pub fn capture_defended(
+        world: &World,
+        trace: &Trace,
+        scenario: &ObserverScenario,
+        plan: &DefensePlan,
+    ) -> Self {
+        let mut observer = if scenario.harvest_dns {
+            SniObserver::new().with_dns_harvesting()
+        } else {
+            SniObserver::new()
+        };
+        let mut chaos_stats = None;
+        let base_events: Vec<RequestEvent> = trace
+            .requests()
+            .iter()
+            .map(|r| RequestEvent {
+                t_ms: r.t_ms,
+                client: r.user.0,
+                hostname: world.hostname(r.host).to_string(),
+            })
+            .collect();
+        let defended = plan.transform(&base_events);
+        let synth = plan.synthesizer(&scenario.synthesizer);
+        let lower = |ev: &RequestEvent| {
+            synth.packets_for_host_with(
+                ev.t_ms,
+                ev.client,
+                &ev.hostname,
+                plan.wire_override(ev.client, &ev.hostname),
+            )
+        };
+        match scenario.chaos {
+            None => {
+                for ev in &defended {
+                    for pkt in lower(ev) {
+                        observer.process(&pkt);
+                    }
+                }
+            }
+            Some(cfg) => {
+                let packets: Vec<_> = defended.iter().flat_map(lower).collect();
+                let mutated = chaos::apply(&cfg, &packets);
+                observer.process_stream(&mutated.packets);
+                chaos_stats = Some(mutated.stats);
+            }
+        }
+        let sequences: BTreeMap<u32, Vec<(u64, String)>> =
+            observer.per_client_sequences().into_iter().collect();
+        Self {
+            sequences,
+            observer_stats: observer.stats(),
+            flow_stats: observer.flow_stats(),
+            chaos_stats,
+            ground_truth_requests: trace.requests().len(),
+        }
+    }
+
+    /// Map a ground-truth user to their wire address under a defense
+    /// plan (NAT mixing changes the mapping; everything else keeps the
+    /// scenario's own addressing).
+    pub fn address_of_defended(
+        scenario: &ObserverScenario,
+        plan: &DefensePlan,
+        user: UserId,
+    ) -> u32 {
+        plan.synthesizer(&scenario.synthesizer)
+            .addressing
+            .client_ip(user.0)
     }
 
     /// Fraction of ground-truth requests whose hostname the observer
@@ -253,6 +331,55 @@ mod tests {
         let c = ObservedTrace::capture(&s.world, &s.trace, &calm);
         let clean = ObservedTrace::capture(&s.world, &s.trace, &ObserverScenario::per_user());
         assert!((c.fidelity() - clean.fidelity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defended_capture_at_identity_points_is_bit_equal_to_plain_capture() {
+        use hostprof_defense::{Defense, DefensePlan, HostCatalog};
+        let s = small_scenario();
+        let catalog = HostCatalog::from_hosts(
+            s.world
+                .hosts()
+                .iter()
+                .map(|h| (h.id.0, h.name.clone(), h.popularity)),
+        );
+        let scenario = ObserverScenario::per_user();
+        let plain = ObservedTrace::capture(&s.world, &s.trace, &scenario);
+        for d in [
+            Defense::Ech { adoption: 0.0 },
+            Defense::Dummy { rate: 0.0 },
+            Defense::PadConstant { pad_per_event: 0 },
+            Defense::PadAdaptive { intensity: 0.0 },
+            Defense::Doh { adoption: 0.0 },
+            Defense::Nat { users_per_ip: 1 },
+        ] {
+            let plan = DefensePlan::new(d, catalog.clone(), 42);
+            let got = ObservedTrace::capture_defended(&s.world, &s.trace, &scenario, &plan);
+            assert_eq!(got.sequences, plain.sequences, "{d:?}");
+            assert_eq!(got.observer_stats, plain.observer_stats, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn defended_ech_sweep_hides_popular_sites_first() {
+        use hostprof_defense::{Defense, DefensePlan, HostCatalog};
+        let s = small_scenario();
+        let catalog = HostCatalog::from_hosts(
+            s.world
+                .hosts()
+                .iter()
+                .map(|h| (h.id.0, h.name.clone(), h.popularity)),
+        );
+        let scenario = ObserverScenario::per_user();
+        let mut prev = f64::INFINITY;
+        for step in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let plan = DefensePlan::new(Defense::Ech { adoption: step }, catalog.clone(), 42);
+            let got = ObservedTrace::capture_defended(&s.world, &s.trace, &scenario, &plan);
+            let f = got.useful_fidelity(&s.world);
+            assert!(f <= prev + 1e-12, "fidelity rose at adoption {step}");
+            prev = f;
+        }
+        assert_eq!(prev, 0.0, "full adoption blinds the observer");
     }
 
     #[test]

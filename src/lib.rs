@@ -50,6 +50,7 @@
 
 pub use hostprof_ads as ads;
 pub use hostprof_core as profiling;
+pub use hostprof_defense as defense;
 pub use hostprof_embed as embed;
 pub use hostprof_net as net;
 pub use hostprof_ontology as ontology;
@@ -57,12 +58,14 @@ pub use hostprof_stats as stats;
 pub use hostprof_synth as synth;
 
 pub mod bridge;
+pub mod defend;
 pub mod replay;
 pub mod scenario;
 pub mod serving;
 pub mod storage;
 
 pub use bridge::{ObservedTrace, ObserverScenario};
+pub use defend::{CurvePoint, DefenseCurve, DefenseEvaluator};
 pub use replay::{ReplayOptions, ReplaySnapshot};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use serving::{run_live, LiveRunConfig, LiveRunReport};

@@ -953,6 +953,255 @@ pub fn update_golden_path(dir: &std::path::Path, seed: u64) -> std::path::PathBu
     dir.join(format!("update_seed_{seed}.json"))
 }
 
+// ---------------------------------------------------------------------------
+// The defense schedule: every §15 defense through capture → train → serve
+// ---------------------------------------------------------------------------
+
+/// Digests of one defended pipeline case (DESIGN.md §15).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseCaseDigests {
+    /// Case name (`baseline`, `identity_ech0`, `ech50`, …).
+    pub name: String,
+    /// Observations the eavesdropper recovered in this case.
+    pub observations: u64,
+    /// Per-client observed sequences after the defense.
+    pub observed: String,
+    /// Skipgram model trained on the defended observations (`none` when
+    /// the defense starves training below viability).
+    pub model: String,
+    /// Tick stream of the defended packets through [`ServeEngine`].
+    pub serve: String,
+}
+
+/// The golden snapshot of the defense schedule: the undefended baseline
+/// plus one representative point per defense axis, each run capture →
+/// train → streaming serve on the pinned replay scenario. Byte-stable
+/// across {1, 4} lanes × {scalar, simd} kernels × profile threads — the
+/// same contract as [`ReplaySnapshot`] — and the `identity_ech0` case is
+/// checked *in-run* to be bit-equal to `baseline` (the defended code
+/// path at an identity point must reproduce the undefended pipeline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseSnapshot {
+    pub seed: u64,
+    /// Cases in fixed schedule order.
+    pub cases: Vec<DefenseCaseDigests>,
+}
+
+/// The fixed defense-schedule case list: name + plan (None = plain
+/// undefended capture).
+fn defense_schedule(
+    catalog: &hostprof_defense::HostCatalog,
+    plan_seed: u64,
+) -> Vec<(&'static str, Option<hostprof_defense::DefensePlan>)> {
+    use hostprof_defense::{Defense, DefensePlan};
+    let plan = |d: Defense| Some(DefensePlan::new(d, catalog.clone(), plan_seed));
+    vec![
+        ("baseline", None),
+        ("identity_ech0", plan(Defense::Ech { adoption: 0.0 })),
+        ("ech50", plan(Defense::Ech { adoption: 0.5 })),
+        ("dummy1", plan(Defense::Dummy { rate: 1.0 })),
+        ("pad2", plan(Defense::PadConstant { pad_per_event: 2 })),
+        ("adaptive1", plan(Defense::PadAdaptive { intensity: 1.0 })),
+        ("nat4", plan(Defense::Nat { users_per_ip: 4 })),
+        ("doh50", plan(Defense::Doh { adoption: 0.5 })),
+    ]
+}
+
+/// Run the defense schedule for one seed with `lanes` ingest lanes.
+///
+/// Determinism: defended event streams are stable time sorts of a
+/// deterministic transform, training runs at `dim = 3` with one Hogwild
+/// worker (kernel-invariant), and serving inherits the lane-invariance
+/// contract — decoys share their client's IP, so they ride the same
+/// lane as the traffic they cover.
+pub fn run_defense_replay(opts: &ReplayOptions, lanes: usize) -> Result<DefenseSnapshot, String> {
+    let cfg = replay_scenario_config(opts);
+    let s = Scenario::generate(&cfg);
+    let catalog = crate::defend::catalog_for_world(&s.world);
+    let scenario = ObserverScenario::per_user();
+    let base_ip = match scenario.synthesizer.addressing {
+        hostprof_net::Addressing::PerClient { base_ip } => base_ip,
+        _ => unreachable!("per_user() is per-client addressed"),
+    };
+    let pipeline = s.pipeline();
+
+    let mut cases = Vec::new();
+    for (name, plan) in defense_schedule(&catalog, opts.seed ^ 0x00de_f5ed) {
+        // Capture what survives the defense.
+        let observed = match &plan {
+            None => ObservedTrace::capture(&s.world, &s.trace, &scenario),
+            Some(p) => ObservedTrace::capture_defended(&s.world, &s.trace, &scenario, p),
+        };
+        let mut d = Digest::new();
+        let mut observations = 0u64;
+        for (ip, seq) in &observed.sequences {
+            d.write_u64(*ip as u64);
+            d.write_u64(seq.len() as u64);
+            observations += seq.len() as u64;
+            for (t, h) in seq {
+                d.write_u64(*t);
+                d.write_str(h);
+            }
+        }
+        let observed_digest = d.hex();
+
+        // Train on the defended observations.
+        let training: Vec<Vec<String>> = observed
+            .sequences
+            .values()
+            .map(|seq| seq.iter().map(|(_, h)| h.clone()).collect::<Vec<String>>())
+            .filter(|sq: &Vec<String>| sq.len() >= 2)
+            .collect();
+        let embeddings = pipeline.train_model(&training).ok();
+        let model_digest = embeddings
+            .as_ref()
+            .map(digest_embeddings)
+            .unwrap_or_else(|| "none".to_string());
+
+        // Stream the defended packets through the serving engine.
+        let serve_digest = match &embeddings {
+            None => "none".to_string(),
+            Some(emb) => {
+                let profiler =
+                    pipeline.batch_profiler(emb, s.world.ontology(), opts.profile_threads);
+                let mut engine = ServeEngine::new(
+                    ServeConfig {
+                        lanes,
+                        session_window_ms: cfg.pipeline.session_window_ms(),
+                        report_interval_ms: cfg.pipeline.report_interval_ms(),
+                        ..ServeConfig::default()
+                    },
+                    profiler,
+                    Some(pipeline.blocklist()),
+                );
+                let base_events: Vec<RequestEvent> = s
+                    .trace
+                    .requests()
+                    .iter()
+                    .map(|r| RequestEvent {
+                        t_ms: r.t_ms,
+                        client: r.user.0,
+                        hostname: s.world.hostname(r.host).to_string(),
+                    })
+                    .collect();
+                let (events, synth) = match &plan {
+                    None => (base_events, scenario.synthesizer.clone()),
+                    Some(p) => (
+                        p.transform(&base_events),
+                        p.synthesizer(&scenario.synthesizer),
+                    ),
+                };
+                let mut ticks: Vec<hostprof_core::TickReport> = Vec::new();
+                for ev in &events {
+                    let ov = match &plan {
+                        None => hostprof_net::WireOverride::default(),
+                        Some(p) => p.wire_override(ev.client, &ev.hostname),
+                    };
+                    for pkt in synth.packets_for_host_with(ev.t_ms, ev.client, &ev.hostname, ov) {
+                        ticks.extend(engine.ingest_packet(&pkt));
+                    }
+                }
+                ticks.extend(engine.flush());
+                let mut d = Digest::new();
+                digest_ticks(&mut d, &ticks, base_ip);
+                d.hex()
+            }
+        };
+
+        cases.push(DefenseCaseDigests {
+            name: name.to_string(),
+            observations,
+            observed: observed_digest,
+            model: model_digest,
+            serve: serve_digest,
+        });
+    }
+
+    // The identity case must reproduce the baseline bit for bit — the
+    // snapshot's own invariant, checked here rather than trusted.
+    let baseline = &cases[0];
+    let identity = &cases[1];
+    for (stage, b, i) in [
+        ("observed", &baseline.observed, &identity.observed),
+        ("model", &baseline.model, &identity.model),
+        ("serve", &baseline.serve, &identity.serve),
+    ] {
+        if b != i {
+            return Err(format!(
+                "identity point diverged from baseline at stage {stage}: {b} vs {i}"
+            ));
+        }
+    }
+
+    Ok(DefenseSnapshot {
+        seed: opts.seed,
+        cases,
+    })
+}
+
+/// Stage-attributed differences between two defense snapshots, schedule
+/// order. Empty means byte-equivalent content.
+pub fn compare_defense_snapshots(
+    expected: &DefenseSnapshot,
+    actual: &DefenseSnapshot,
+) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if expected.seed != actual.seed {
+        diffs.push(format!("config: seed {} vs {}", expected.seed, actual.seed));
+    }
+    if expected.cases.len() != actual.cases.len() {
+        diffs.push(format!(
+            "cases: {} vs {}",
+            expected.cases.len(),
+            actual.cases.len()
+        ));
+        return diffs;
+    }
+    for (e, a) in expected.cases.iter().zip(&actual.cases) {
+        if e.name != a.name {
+            diffs.push(format!("case order: {} vs {}", e.name, a.name));
+            continue;
+        }
+        if e.observations != a.observations {
+            diffs.push(format!(
+                "case {}: observations {} vs {}",
+                e.name, e.observations, a.observations
+            ));
+        }
+        for (stage, ed, ad) in [
+            ("observed", &e.observed, &a.observed),
+            ("model", &e.model, &a.model),
+            ("serve", &e.serve, &a.serve),
+        ] {
+            if ed != ad {
+                diffs.push(format!(
+                    "case {} stage {stage}: digest {ed} vs {ad}",
+                    e.name
+                ));
+            }
+        }
+    }
+    diffs
+}
+
+/// Serialize a defense snapshot to canonical golden JSON (pretty, with a
+/// trailing newline).
+pub fn to_defense_golden_json(snapshot: &DefenseSnapshot) -> Result<String, String> {
+    serde_json::to_string_pretty(snapshot)
+        .map(|s| s + "\n")
+        .map_err(|e| format!("serialize defense snapshot: {e:?}"))
+}
+
+/// Parse a defense-schedule golden JSON file's contents.
+pub fn from_defense_golden_json(contents: &str) -> Result<DefenseSnapshot, String> {
+    serde_json::from_str(contents).map_err(|e| format!("parse defense snapshot: {e:?}"))
+}
+
+/// `DIR/defense_seed_S.json`.
+pub fn defense_golden_path(dir: &std::path::Path, seed: u64) -> std::path::PathBuf {
+    dir.join(format!("defense_seed_{seed}.json"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1042,6 +1291,51 @@ mod tests {
                 "lanes {lanes} threads {}: {:?}",
                 opts.profile_threads,
                 compare_update_snapshots(&base, &other)
+            );
+        }
+    }
+
+    #[test]
+    fn defense_schedule_has_signal_and_roundtrips() {
+        let snap = run_defense_replay(&ReplayOptions::for_seed(1), 1).expect("defense replay");
+        assert_eq!(snap.cases.len(), 8, "fixed schedule: baseline + 7 defended");
+        assert_eq!(snap.cases[0].name, "baseline");
+        assert_eq!(snap.cases[1].name, "identity_ech0");
+        // The in-run invariant already asserts identity == baseline; pin
+        // it here too so golden diffs name the case.
+        assert_eq!(snap.cases[0].observed, snap.cases[1].observed);
+        assert_eq!(snap.cases[0].serve, snap.cases[1].serve);
+        // Every non-identity defense must actually move the observations.
+        for case in &snap.cases[2..] {
+            assert_ne!(
+                case.observed, snap.cases[0].observed,
+                "case {} left the observed stage untouched",
+                case.name
+            );
+        }
+        assert!(snap.cases.iter().all(|c| c.observations > 0));
+        let json = to_defense_golden_json(&snap).expect("serialize");
+        let back = from_defense_golden_json(&json).expect("parse");
+        assert_eq!(snap, back);
+        assert!(compare_defense_snapshots(&snap, &back).is_empty());
+    }
+
+    #[test]
+    fn defense_schedule_is_lane_and_thread_invariant() {
+        let base = run_defense_replay(&ReplayOptions::for_seed(2), 1).expect("defense replay");
+        let mut threaded = ReplayOptions::for_seed(2);
+        threaded.profile_threads = 4;
+        for (opts, lanes) in [
+            (ReplayOptions::for_seed(2), 4),
+            (threaded.clone(), 1),
+            (threaded, 4),
+        ] {
+            let other = run_defense_replay(&opts, lanes).expect("defense replay");
+            assert!(
+                compare_defense_snapshots(&base, &other).is_empty(),
+                "lanes {lanes} threads {}: {:?}",
+                opts.profile_threads,
+                compare_defense_snapshots(&base, &other)
             );
         }
     }

@@ -15,9 +15,10 @@
 
 use hostprof::embed::{KernelChoice, Sharding};
 use hostprof::replay::{
-    compare_snapshots, compare_update_snapshots, from_golden_json, from_update_golden_json,
-    golden_path, run_replay, run_update_replay, to_golden_json, to_update_golden_json,
-    update_golden_path, ReplayOptions,
+    compare_defense_snapshots, compare_snapshots, compare_update_snapshots, defense_golden_path,
+    from_defense_golden_json, from_golden_json, from_update_golden_json, golden_path,
+    run_defense_replay, run_replay, run_update_replay, to_defense_golden_json, to_golden_json,
+    to_update_golden_json, update_golden_path, ReplayOptions,
 };
 use std::path::Path;
 
@@ -138,6 +139,93 @@ fn update_schedule_goldens_are_seed_sensitive_and_show_growth() {
         assert_ne!(
             g.stages.base_model, g.stages.grown_model,
             "update left the model digest unchanged"
+        );
+    }
+}
+
+fn read_defense_golden(seed: u64) -> String {
+    let path = defense_golden_path(golden_dir(), seed);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} — bless with `hostprof replay --golden tests/golden \
+             --seed {seed} --defense --bless`",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn defense_schedule_matches_committed_goldens_across_lanes_and_kernels() {
+    // ISSUE acceptance: defended replay schedules are byte-identical
+    // across {1, 4} serving lanes × {scalar, simd} kernels on each
+    // committed seed. Decoy packets share their client's IP — and
+    // therefore its lane — so lane count cannot reorder any per-client
+    // window, defended or not.
+    for seed in SEEDS {
+        let golden = read_defense_golden(seed);
+        let expected = from_defense_golden_json(&golden).expect("defense golden parses");
+        for lanes in [1usize, 4] {
+            for kernel in [KernelChoice::Scalar, KernelChoice::Simd] {
+                let opts = ReplayOptions {
+                    seed,
+                    profile_threads: 1,
+                    kernel,
+                    sharding: Sharding::Static,
+                    perturb_embedding: None,
+                };
+                let snapshot = run_defense_replay(&opts, lanes).expect("defense replay runs");
+                let diffs = compare_defense_snapshots(&expected, &snapshot);
+                assert!(
+                    diffs.is_empty(),
+                    "seed {seed}, lanes {lanes}, {kernel:?} diverged:\n{}",
+                    diffs.join("\n")
+                );
+                assert_eq!(
+                    to_defense_golden_json(&snapshot).expect("serializes"),
+                    golden,
+                    "seed {seed}, lanes {lanes}, {kernel:?}: snapshot JSON differs \
+                     from committed golden bytes"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn defense_schedule_goldens_pin_identity_and_degradation() {
+    for seed in SEEDS {
+        let g = from_defense_golden_json(&read_defense_golden(seed)).expect("parses");
+        let baseline = &g.cases[0];
+        assert_eq!(baseline.name, "baseline", "seed {seed}");
+        let identity = &g.cases[1];
+        assert_eq!(identity.name, "identity_ech0", "seed {seed}");
+        // The committed bytes themselves must witness the identity
+        // invariant: the defended path at ech@0 is the undefended
+        // pipeline, digest for digest.
+        assert_eq!(baseline.observed, identity.observed, "seed {seed}");
+        assert_eq!(baseline.model, identity.model, "seed {seed}");
+        assert_eq!(baseline.serve, identity.serve, "seed {seed}");
+        // And every real defense must visibly move the observed stage.
+        for case in &g.cases[2..] {
+            assert_ne!(
+                case.observed, baseline.observed,
+                "seed {seed}: case {} is a silent no-op",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn defense_schedule_goldens_are_seed_sensitive() {
+    let g1 = from_defense_golden_json(&read_defense_golden(1)).expect("parses");
+    let g2 = from_defense_golden_json(&read_defense_golden(2)).expect("parses");
+    for (c1, c2) in g1.cases.iter().zip(&g2.cases) {
+        assert_eq!(c1.name, c2.name);
+        assert_ne!(
+            c1.observed, c2.observed,
+            "case {}: seed did not move the observed digest",
+            c1.name
         );
     }
 }
